@@ -1,0 +1,134 @@
+// Ablation E: HNTES-style alpha-flow redirection (§IV intra-domain story).
+//
+// "With automatic α flow identification, packets from α flows can be
+// redirected to intra-domain VCs … that have been preconfigured between
+// ingress-egress router pairs." We run a mixed workload — alpha transfers
+// plus mouse cross traffic — with and without the hybrid traffic
+// engineer, and measure (a) how much alpha traffic the circuits absorb
+// and (b) what redirection does to alpha-flow throughput variance.
+#include <cstdio>
+
+#include <memory>
+#include <set>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "net/cross_traffic.hpp"
+#include "net/network.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "vc/hybrid_te.hpp"
+#include "workload/testbed.hpp"
+
+using namespace gridvc;
+
+namespace {
+
+struct Outcome {
+  stats::Summary alpha_gbps;
+  std::size_t redirected = 0;
+  std::size_t denied = 0;
+  double redirected_gb = 0.0;
+};
+
+Outcome run(bool enable_te, std::uint64_t seed) {
+  workload::Testbed tb = workload::build_esnet_testbed();
+  sim::Simulator sim;
+  net::Network network(sim, tb.topo);
+  const net::Path path = tb.path(tb.slac, tb.bnl);
+
+  // Mice: Poisson web-scale flows, individually far below the alpha bar,
+  // collectively a moving background.
+  net::CrossTrafficConfig mice;
+  mice.mean_interarrival = 0.5;
+  mice.flow_cap = mbps(200);
+  net::CrossTrafficSource cross(network, path, mice, Rng(seed + 1));
+
+  // A recurring fluctuating competitor that surges to most of the link.
+  Rng surge_rng(seed + 2);
+  net::FlowOptions comp;
+  comp.cap = gbps(1);
+  const auto competitor =
+      network.start_flow(path, static_cast<Bytes>(1) << 60, comp, nullptr);
+  sim.schedule_periodic(120.0, 120.0, [&] {
+    network.update_cap(competitor, surge_rng.bernoulli(0.5) ? gbps(8) : gbps(1));
+    return true;
+  });
+
+  // HNTES scopes detection to flows between known DTN address pairs; the
+  // bench marks the science flows as it launches them.
+  auto science_flows = std::make_shared<std::set<net::FlowId>>();
+  vc::HybridTeConfig te_cfg;
+  te_cfg.detector.min_bytes = 512 * MiB;
+  te_cfg.detector.min_rate = mbps(500);
+  te_cfg.detector.window = 10.0;
+  te_cfg.poll_period = 5.0;
+  te_cfg.circuit_pool = gbps(6);
+  te_cfg.per_flow_guarantee = gbps(6);
+  te_cfg.eligible = [science_flows](net::FlowId id) {
+    return science_flows->contains(id);
+  };
+  std::unique_ptr<vc::HybridTrafficEngineer> te;
+  if (enable_te) te = std::make_unique<vc::HybridTrafficEngineer>(network, te_cfg);
+
+  // The alpha population: one 16 GiB flow every ~4 minutes.
+  std::vector<double> alpha_gbps;
+  Rng arrivals(seed + 3);
+  constexpr int kAlphas = 50;
+  for (int i = 0; i < kAlphas; ++i) {
+    const Seconds when = 240.0 * (i + 1) + arrivals.uniform(0.0, 60.0);
+    sim.schedule_at(when, [&, science_flows] {
+      const auto id =
+          network.start_flow(path, 16 * GiB, {}, [&](const net::FlowRecord& r) {
+            alpha_gbps.push_back(to_gbps(r.average_rate()));
+          });
+      science_flows->insert(id);
+    });
+  }
+  sim.run_until(240.0 * (kAlphas + 4));
+  cross.stop();
+
+  Outcome out;
+  out.alpha_gbps = stats::summarize(alpha_gbps);
+  if (te) {
+    out.redirected = te->stats().flows_redirected;
+    out.denied = te->stats().redirections_denied;
+    out.redirected_gb = te->stats().redirected_bytes / 1e9;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_exhibit_header(
+      "Ablation E: HNTES-style automatic alpha-flow redirection",
+      "Section IV (qualitative): preconfigured intra-domain circuits +"
+      " online alpha identification isolate science flows without end-user "
+      "signaling");
+
+  const Outcome off = run(false, 2024);
+  const Outcome on = run(true, 2024);
+
+  stats::Table table("50x 16 GiB alpha flows under mice + a surging competitor (Gbps)");
+  table.set_header(analysis::summary_header("Mode", /*with_stddev=*/true,
+                                            /*with_count=*/true));
+  table.add_row(analysis::summary_row("IP-routed only", off.alpha_gbps, 2, true, true));
+  table.add_row(analysis::summary_row("Hybrid TE (redirection)", on.alpha_gbps, 2, true,
+                                      true));
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("redirections: %zu of 50 alpha flows (%zu denied for pool headroom); "
+              "%.1f GB carried on the circuit pool after promotion\n",
+              on.redirected, on.denied, on.redirected_gb);
+  std::printf("alpha throughput CV: %s (IP) -> %s (hybrid TE)\n",
+              format_percent(off.alpha_gbps.cv(), 1).c_str(),
+              format_percent(on.alpha_gbps.cv(), 1).c_str());
+  std::printf(
+      "\nThe engineer detects each alpha flow within one or two polling\n"
+      "periods and grants it a circuit-pool guarantee, flooring its rate\n"
+      "during competitor surges -- the paper's intra-domain deployment\n"
+      "path that needs no per-user reservations.\n");
+  return 0;
+}

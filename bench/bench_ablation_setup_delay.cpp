@@ -1,0 +1,54 @@
+// Ablation B: sweep of VC setup delay vs the fraction of sessions (and
+// transfers) that can amortize it. The paper evaluates only two points
+// (1 min, the ESnet IDC; 50 ms, hypothetical hardware signaling); the
+// sweep fills in the curve between and beyond them.
+#include <cstdio>
+
+#include "analysis/session_grouping.hpp"
+#include "analysis/vc_feasibility.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "stats/table.hpp"
+
+using namespace gridvc;
+
+int main() {
+  bench::print_exhibit_header(
+      "Ablation B: VC setup delay sweep vs session suitability (g = 1 min)",
+      "Paper anchor points -- SLAC: 12.54% (78.38%) at 1 min, 93.56% (99.73%) "
+      "at 50 ms; NCAR: 56.87% (90.54%) at 1 min, 92.89% (98.04%) at 50 ms");
+
+  const struct {
+    const char* name;
+    const gridftp::TransferLog* log;
+  } datasets[] = {
+      {"NCAR-NICS", &bench::ncar_log()},
+      {"SLAC-BNL", &bench::slac_log()},
+  };
+
+  stats::Table table("Suitable fraction vs setup delay (measured)");
+  table.set_header({"Data set", "Setup delay", "% sessions", "% transfers",
+                    "min session size (MB)"});
+  for (const auto& d : datasets) {
+    const auto sessions = analysis::group_sessions(*d.log, {.gap = 60.0});
+    for (double setup : {0.05, 1.0, 5.0, 15.0, 60.0, 120.0, 300.0}) {
+      const auto r = analysis::analyze_vc_feasibility(
+          sessions, *d.log, {.setup_delay = setup, .overhead_fraction = 0.1});
+      const std::string label = setup < 1.0
+                                    ? format_fixed(setup * 1000.0, 0) + " ms"
+                                    : format_fixed(setup, 0) + " s";
+      table.add_row({d.name, label, format_percent(r.session_fraction(), 2),
+                     format_percent(r.transfer_fraction(), 2),
+                     bench::fmt1(to_megabytes(r.min_suitable_size))});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Reading: transfer coverage saturates early -- by ~15 s setup delay\n"
+      "nearly all transfers live in amortizable sessions -- so cutting the\n"
+      "IDC's batching latency below a minute has diminishing returns for\n"
+      "bulk data movement, while interactive-scale (sub-second) setup mainly\n"
+      "rescues the long tail of small sessions.\n");
+  return 0;
+}

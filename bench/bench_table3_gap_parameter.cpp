@@ -1,0 +1,49 @@
+// Table III: impact of the g parameter on the number of sessions.
+#include <cstdio>
+
+#include "analysis/session_grouping.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "stats/table.hpp"
+
+using namespace gridvc;
+
+namespace {
+
+void add_rows(stats::Table& table, const std::string& dataset,
+              const gridftp::TransferLog& log) {
+  for (double g : {0.0, 60.0, 120.0}) {
+    const auto sessions = analysis::group_sessions(log, {.gap = g});
+    const auto c = analysis::census(sessions);
+    table.add_row({dataset, "g = " + format_fixed(g / 60.0, 0) + " min",
+                   bench::fmt_int(static_cast<double>(c.single_transfer_sessions)),
+                   bench::fmt_int(static_cast<double>(c.multi_transfer_sessions)),
+                   format_percent(c.fraction_with_le2, 1),
+                   bench::fmt_int(static_cast<double>(c.max_transfers_in_session)),
+                   bench::fmt_int(static_cast<double>(c.sessions_with_100_or_more))});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_exhibit_header(
+      "Table III: Impact of the g parameter on number of sessions",
+      "NCAR g=0: 25,xxx single-transfer sessions; g=1min: ~211 sessions total, "
+      "max ~19,xxx transfers/session. SLAC g=1min: 779 single + 9,420 multi "
+      "(10,199), max 30,153 transfers, 1,412 sessions with >=100 transfers; "
+      "g=2min: 358 single + ~5,7xx multi, 1,068 with >=100");
+
+  stats::Table table("Session census under g = 0 / 1 min / 2 min (measured)");
+  table.set_header({"Data set", "g", "Single-transfer", "Multi-transfer",
+                    "% with 1-2 transfers", "Max transfers", ">=100 transfers"});
+  add_rows(table, "NCAR-NICS", bench::ncar_log());
+  add_rows(table, "SLAC-BNL", bench::slac_log());
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Reading: raising g merges batches separated by short idle gaps, so the\n"
+      "session count falls and single-transfer sessions nearly disappear --\n"
+      "the property that makes dynamic VCs amortizable (Section VI-A).\n");
+  return 0;
+}

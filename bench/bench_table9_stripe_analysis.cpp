@@ -1,0 +1,44 @@
+// Table IX: stripes-based analysis of the NCAR 16GB / 4GB transfer
+// throughput. "The median column is the one to consider. This is higher
+// when the number of stripes is higher."
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "analysis/throughput_analysis.hpp"
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+using namespace gridvc;
+
+namespace {
+
+void stripe_table(const char* label, const gridftp::TransferLog& class_log) {
+  stats::Table table(std::string("Stripes-based analysis of ") + label +
+                     " transfers (Mbps, measured)");
+  table.set_header(
+      analysis::summary_header("Stripes", /*with_stddev=*/true, /*with_count=*/true));
+  for (const auto& [stripes, summary] : analysis::throughput_by_stripes(class_log)) {
+    table.add_row(
+        analysis::summary_row(std::to_string(stripes), summary, 1, true, true));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_exhibit_header(
+      "Table IX: Throughput of 16GB/4GB transfers in NCAR data set, by stripes",
+      "Median throughput is higher when the number of stripes is higher, for "
+      "both the 16 GB and 4 GB classes; min/max are not meaningful per group");
+
+  const auto& log = bench::ncar_log();
+  stripe_table("16GB", analysis::filter_by_size(log, 16 * GiB, 17 * GiB));
+  stripe_table("4GB", analysis::filter_by_size(log, 4 * GiB, 5 * GiB));
+
+  std::printf(
+      "Reading: each stripe engages another physical server, so the median\n"
+      "rises with stripe count -- the direct mechanism behind Table VIII's\n"
+      "year trend.\n");
+  return 0;
+}

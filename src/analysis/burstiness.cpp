@@ -1,0 +1,76 @@
+#include "analysis/burstiness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+
+double SessionRateProfile::peak() const {
+  double best = 0.0;
+  for (double r : rate_bps) best = std::max(best, r);
+  return best;
+}
+
+double SessionRateProfile::mean() const {
+  if (rate_bps.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : rate_bps) sum += r;
+  return sum / static_cast<double>(rate_bps.size());
+}
+
+double SessionRateProfile::burstiness() const {
+  const double m = mean();
+  return m > 0.0 ? peak() / m : 0.0;
+}
+
+SessionRateProfile session_rate_profile(const gridftp::TransferLog& log,
+                                        const Session& session, Seconds window) {
+  GRIDVC_REQUIRE(window > 0.0, "window must be positive");
+  GRIDVC_REQUIRE(session.duration() > 0.0, "session has no duration");
+
+  SessionRateProfile profile;
+  profile.window = window;
+  profile.start = session.start_time;
+  const std::size_t bins = static_cast<std::size_t>(
+      std::ceil(session.duration() / window));
+  profile.rate_bps.assign(std::max<std::size_t>(bins, 1), 0.0);
+
+  for (std::size_t idx : session.transfer_indices) {
+    GRIDVC_REQUIRE(idx < log.size(), "session references a missing transfer");
+    const auto& r = log[idx];
+    if (r.duration <= 0.0) continue;
+    const double rate = r.throughput();
+    // Spread the transfer's bytes over the windows it overlaps,
+    // pro-rating edge windows by overlap (the eq.(1) discipline applied
+    // in reverse).
+    const Seconds t0 = r.start_time;
+    const Seconds t1 = r.end_time();
+    for (std::size_t b = 0; b < profile.rate_bps.size(); ++b) {
+      const Seconds w0 = profile.start + static_cast<double>(b) * window;
+      const Seconds w1 = w0 + window;
+      const Seconds overlap = std::min(w1, t1) - std::max(w0, t0);
+      if (overlap <= 0.0) continue;
+      profile.rate_bps[b] += rate * overlap / window;
+    }
+  }
+  return profile;
+}
+
+std::vector<double> session_burstiness(const gridftp::TransferLog& log,
+                                       const std::vector<Session>& sessions,
+                                       Seconds window) {
+  std::vector<double> out;
+  out.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    if (s.duration() <= window) {
+      out.push_back(1.0);
+      continue;
+    }
+    out.push_back(session_rate_profile(log, s, window).burstiness());
+  }
+  return out;
+}
+
+}  // namespace gridvc::analysis

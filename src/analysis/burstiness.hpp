@@ -1,0 +1,50 @@
+// Session rate profiles and burstiness.
+//
+// §I: alpha flows "are responsible for increasing the burstiness of IP
+// traffic" (Sarvotham et al.), and the related work's porcupine class is
+// defined by burstiness. Transfer records carry only averages, but a
+// *session's* rate profile can be reconstructed by superposing its member
+// transfers' active intervals — which is exactly what a link between the
+// two endpoints would have seen. The burstiness index (peak windowed rate
+// over mean rate) then quantifies how spiky the session's offered load
+// was, the property that motivates isolating these flows in their own
+// queues (§I positive #3).
+#pragma once
+
+#include <vector>
+
+#include "analysis/session_grouping.hpp"
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+
+namespace gridvc::analysis {
+
+/// A session's aggregate offered rate sampled on a fixed grid.
+struct SessionRateProfile {
+  Seconds window = 30.0;       ///< grid width (defaults to the SNMP bin)
+  Seconds start = 0.0;         ///< grid origin (the session's start time)
+  std::vector<double> rate_bps;  ///< mean aggregate rate within each window
+
+  /// Peak windowed rate.
+  double peak() const;
+  /// Time-average rate over the whole profile.
+  double mean() const;
+  /// Burstiness index: peak / mean (>= 1 by construction; 1 = constant
+  /// rate). Returns 0 for an all-idle profile.
+  double burstiness() const;
+};
+
+/// Reconstruct `session`'s rate profile from its member transfers in
+/// `log`. Each transfer contributes its average rate uniformly over its
+/// [start, end) interval (the fluid view). Requires window > 0 and a
+/// session with positive duration.
+SessionRateProfile session_rate_profile(const gridftp::TransferLog& log,
+                                        const Session& session, Seconds window = 30.0);
+
+/// Burstiness index of every session (same order). Sessions shorter than
+/// one window get index 1.
+std::vector<double> session_burstiness(const gridftp::TransferLog& log,
+                                       const std::vector<Session>& sessions,
+                                       Seconds window = 30.0);
+
+}  // namespace gridvc::analysis

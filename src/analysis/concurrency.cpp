@@ -1,0 +1,95 @@
+#include "analysis/concurrency.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::analysis {
+
+std::vector<ConcurrencyInterval> concurrency_timeline(const gridftp::TransferLog& all,
+                                                      std::size_t index) {
+  GRIDVC_REQUIRE(index < all.size(), "transfer index out of range");
+  const auto& target = all[index];
+  const Seconds t0 = target.start_time;
+  const Seconds t1 = target.end_time();
+  GRIDVC_REQUIRE(t1 > t0, "target transfer has non-positive duration");
+
+  // Event boundaries: every overlapping transfer's start/end clipped to
+  // [t0, t1].
+  std::set<Seconds> boundaries{t0, t1};
+  for (const auto& r : all) {
+    if (r.end_time() <= t0 || r.start_time >= t1) continue;
+    if (r.start_time > t0) boundaries.insert(r.start_time);
+    if (r.end_time() < t1) boundaries.insert(r.end_time());
+  }
+
+  std::vector<ConcurrencyInterval> timeline;
+  auto it = boundaries.begin();
+  Seconds prev = *it;
+  for (++it; it != boundaries.end(); ++it) {
+    const Seconds mid = 0.5 * (prev + *it);
+    ConcurrencyInterval interval;
+    interval.start = prev;
+    interval.duration = *it - prev;
+    for (const auto& r : all) {
+      if (r.start_time <= mid && mid < r.end_time()) {
+        ++interval.concurrent;
+        interval.concurrent_throughput_sum += r.throughput();
+      }
+    }
+    timeline.push_back(interval);
+    prev = *it;
+  }
+  return timeline;
+}
+
+ConcurrencyPrediction predict_throughput(const gridftp::TransferLog& all,
+                                         const std::vector<std::size_t>& targets,
+                                         const ConcurrencyOptions& options) {
+  GRIDVC_REQUIRE(!targets.empty(), "concurrency prediction needs targets");
+
+  ConcurrencyPrediction out;
+  out.actual.reserve(targets.size());
+  for (std::size_t idx : targets) {
+    GRIDVC_REQUIRE(idx < all.size(), "target index out of range");
+    GRIDVC_REQUIRE(all[idx].duration > 0.0, "target with non-positive duration");
+    out.actual.push_back(all[idx].throughput());
+  }
+
+  if (options.fixed_r > 0.0) {
+    out.r = options.fixed_r;
+  } else {
+    GRIDVC_REQUIRE(options.r_quantile > 0.0 && options.r_quantile <= 1.0,
+                   "R quantile out of range");
+    out.r = stats::quantile(out.actual, options.r_quantile);
+  }
+
+  out.predicted.reserve(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const std::size_t idx = targets[t];
+    const auto timeline = concurrency_timeline(all, idx);
+    const Seconds duration = all[idx].duration;
+    // Eq. (2): t̂_i = Σ_j (R − Σ_k t_k) · d_ij / D_i — in each interval the
+    // transfer is predicted to receive the server ceiling R minus the
+    // recorded throughput the *other* concurrent transfers consume,
+    // time-averaged over the transfer's duration. Negative residuals
+    // (ceiling oversubscribed) clamp to zero.
+    const double own = all[idx].throughput();
+    double weighted = 0.0;
+    for (const auto& interval : timeline) {
+      const double others = std::max(0.0, interval.concurrent_throughput_sum - own);
+      weighted += std::max(0.0, out.r - others) * interval.duration;
+    }
+    out.predicted.push_back(weighted / duration);
+  }
+
+  out.rho = stats::pearson(out.predicted, out.actual);
+  const auto per_quartile =
+      stats::correlate_by_quartile(out.predicted, out.actual, out.actual);
+  out.rho_by_quartile = per_quartile.by_quartile;
+  return out;
+}
+
+}  // namespace gridvc::analysis

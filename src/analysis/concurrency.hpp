@@ -1,0 +1,70 @@
+// Concurrent-transfer factor analysis (§VII-D, eq. (2), Figs 7-8).
+//
+// "For each of the 84 memory-to-memory transfers, the duration is divided
+// into intervals based on the number of concurrent transfers being
+// executed by the NERSC GridFTP server" (Fig 7), and a predicted
+// throughput is computed as
+//
+//    t̂_i = R · Σ_j (d_ij / Σ_k t_k) / D_i                       (eq. 2)
+//
+// where R is "a theoretical maximum aggregated throughput that a server
+// can support" (the paper uses the 90th percentile of observed transfer
+// throughput), the inner sum Σ_k t_k runs over the recorded throughputs of
+// the transfers concurrent in interval j (including transfer i itself),
+// d_ij is interval j's duration and D_i the transfer's duration. The
+// correlation between t̂_i and the actual t_i is Fig 8's ρ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "stats/correlation.hpp"
+
+namespace gridvc::analysis {
+
+/// One constant-concurrency interval within a transfer's duration (Fig 7).
+struct ConcurrencyInterval {
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  /// Transfers in flight at the server during this interval, including
+  /// the reference transfer itself.
+  std::size_t concurrent = 0;
+  /// Sum of the recorded (whole-transfer) throughputs of those transfers.
+  BitsPerSecond concurrent_throughput_sum = 0.0;
+};
+
+/// Split transfer `index`'s duration into constant-concurrency intervals.
+/// `all` is the full server log used to find overlapping transfers.
+std::vector<ConcurrencyInterval> concurrency_timeline(const gridftp::TransferLog& all,
+                                                      std::size_t index);
+
+struct ConcurrencyPrediction {
+  /// Predicted throughputs t̂_i (bits/s) for the `targets` subset, in order.
+  std::vector<double> predicted;
+  /// Actual throughputs t_i (bits/s), same order.
+  std::vector<double> actual;
+  /// R used (bits/s).
+  BitsPerSecond r = 0.0;
+  /// Pearson correlation between predicted and actual (Fig 8's rho).
+  double rho = 0.0;
+  /// Per-actual-throughput-quartile correlations (the paper reports
+  /// 0.141, 0.051, 0.191, 0.347).
+  std::vector<double> rho_by_quartile;
+};
+
+struct ConcurrencyOptions {
+  /// Quantile of the targets' observed throughput used for R; <= 0 means
+  /// the caller passes an explicit R via `fixed_r`.
+  double r_quantile = 0.90;
+  BitsPerSecond fixed_r = 0.0;
+};
+
+/// Run eq. (2) for the transfers at positions `targets` of `all`.
+/// Requires non-empty targets with positive durations.
+ConcurrencyPrediction predict_throughput(const gridftp::TransferLog& all,
+                                         const std::vector<std::size_t>& targets,
+                                         const ConcurrencyOptions& options = {});
+
+}  // namespace gridvc::analysis

@@ -1,0 +1,128 @@
+#include "analysis/flow_classification.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::analysis {
+
+namespace {
+
+/// exp(mean + k*sd) of ln(x) over positive observations.
+double log_space_cut(const std::vector<double>& values, double k) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      sum += std::log(v);
+      ++n;
+    }
+  }
+  GRIDVC_REQUIRE(n > 0, "no positive observations for threshold");
+  const double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : values) {
+    if (v > 0.0) {
+      const double d = std::log(v) - mean;
+      ss += d * d;
+    }
+  }
+  const double sd = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return std::exp(mean + k * sd);
+}
+
+}  // namespace
+
+ClassThresholds log_space_thresholds(const gridftp::TransferLog& log, double k) {
+  GRIDVC_REQUIRE(!log.empty(), "thresholds of an empty log");
+  std::vector<double> sizes, durations, rates;
+  sizes.reserve(log.size());
+  durations.reserve(log.size());
+  rates.reserve(log.size());
+  for (const auto& r : log) {
+    sizes.push_back(static_cast<double>(r.size));
+    durations.push_back(r.duration);
+    rates.push_back(r.throughput());
+  }
+  ClassThresholds t;
+  t.size_bytes = log_space_cut(sizes, k);
+  t.duration_seconds = log_space_cut(durations, k);
+  t.rate_bps = log_space_cut(rates, k);
+  return t;
+}
+
+ClassThresholds quantile_thresholds(const gridftp::TransferLog& log, double p) {
+  GRIDVC_REQUIRE(!log.empty(), "thresholds of an empty log");
+  GRIDVC_REQUIRE(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+  std::vector<double> sizes, durations, rates;
+  sizes.reserve(log.size());
+  durations.reserve(log.size());
+  rates.reserve(log.size());
+  for (const auto& r : log) {
+    sizes.push_back(static_cast<double>(r.size));
+    durations.push_back(r.duration);
+    rates.push_back(r.throughput());
+  }
+  ClassThresholds t;
+  t.size_bytes = stats::quantile(sizes, p);
+  t.duration_seconds = stats::quantile(durations, p);
+  t.rate_bps = stats::quantile(rates, p);
+  return t;
+}
+
+std::vector<std::uint8_t> classify(const gridftp::TransferLog& log,
+                                   const ClassThresholds& thresholds) {
+  std::vector<std::uint8_t> masks;
+  masks.reserve(log.size());
+  for (const auto& r : log) {
+    std::uint8_t mask = 0;
+    if (static_cast<double>(r.size) >= thresholds.size_bytes) mask |= kElephant;
+    if (r.duration >= thresholds.duration_seconds) mask |= kTortoise;
+    if (r.throughput() >= thresholds.rate_bps) mask |= kCheetah;
+    masks.push_back(mask);
+  }
+  return masks;
+}
+
+ClassificationSummary summarize_classification(const gridftp::TransferLog& log,
+                                               const std::vector<std::uint8_t>& masks) {
+  GRIDVC_REQUIRE(log.size() == masks.size(), "mask/log size mismatch");
+  ClassificationSummary s;
+  s.total = log.size();
+
+  const std::uint8_t bits[3] = {kElephant, kTortoise, kCheetah};
+  std::size_t counts[3] = {0, 0, 0};
+  std::size_t joint[3][3] = {};
+  double total_bytes = 0.0, alpha_bytes = 0.0;
+
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    total_bytes += static_cast<double>(log[i].size);
+    const std::uint8_t m = masks[i];
+    for (int a = 0; a < 3; ++a) {
+      if (!(m & bits[a])) continue;
+      ++counts[a];
+      for (int b = 0; b < 3; ++b) {
+        if (m & bits[b]) ++joint[a][b];
+      }
+    }
+    if ((m & kElephant) && (m & kCheetah)) {
+      ++s.alphas;
+      alpha_bytes += static_cast<double>(log[i].size);
+    }
+  }
+  s.elephants = counts[0];
+  s.tortoises = counts[1];
+  s.cheetahs = counts[2];
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      s.overlap[a][b] = counts[a] > 0 ? static_cast<double>(joint[a][b]) /
+                                            static_cast<double>(counts[a])
+                                      : 0.0;
+    }
+  }
+  s.alpha_byte_fraction = total_bytes > 0.0 ? alpha_bytes / total_bytes : 0.0;
+  return s;
+}
+
+}  // namespace gridvc::analysis

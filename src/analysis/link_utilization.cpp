@@ -1,0 +1,74 @@
+#include "analysis/link_utilization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+
+double attributed_bytes(const net::SnmpSeries& series, Seconds start, Seconds duration) {
+  GRIDVC_REQUIRE(duration >= 0.0, "negative transfer duration");
+  if (series.bins.empty() || duration == 0.0) return 0.0;
+  const Seconds end = start + duration;
+  const Seconds bin = series.bin_seconds;
+  double total = 0.0;
+  for (std::size_t i = 0; i < series.bins.size(); ++i) {
+    const Seconds b0 = series.bin_start(i);
+    const Seconds b1 = b0 + bin;
+    if (b1 <= start) continue;
+    if (b0 >= end) break;
+    // Overlap-weighted share of this bin's byte count — eq. (1)'s
+    // (tau_i2 - s_i)/30 and (s_i + D_i - tau_i(m-1))/30 edge factors,
+    // generalized to also handle a transfer inside a single bin.
+    const Seconds overlap = std::min(b1, end) - std::max(b0, start);
+    total += series.bins[i] * (overlap / bin);
+  }
+  return total;
+}
+
+std::vector<double> attributed_bytes_per_transfer(const net::SnmpSeries& series,
+                                                  const gridftp::TransferLog& log) {
+  std::vector<double> out;
+  out.reserve(log.size());
+  for (const auto& r : log) {
+    out.push_back(attributed_bytes(series, r.start_time, r.duration));
+  }
+  return out;
+}
+
+LinkCorrelation correlate_link(const net::SnmpSeries& series,
+                               const gridftp::TransferLog& log) {
+  return correlate_attributed(attributed_bytes_per_transfer(series, log), log);
+}
+
+LinkCorrelation correlate_attributed(const std::vector<double>& total_bytes,
+                                     const gridftp::TransferLog& log) {
+  GRIDVC_REQUIRE(!log.empty(), "link correlation of an empty log");
+  GRIDVC_REQUIRE(total_bytes.size() == log.size(),
+                 "attributed-bytes vector does not match the log");
+
+  std::vector<double> gridftp_bytes, other_bytes, throughput, load_gbps;
+  gridftp_bytes.reserve(log.size());
+  other_bytes.reserve(log.size());
+  throughput.reserve(log.size());
+  load_gbps.reserve(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const double bytes = static_cast<double>(log[i].size);
+    gridftp_bytes.push_back(bytes);
+    other_bytes.push_back(std::max(0.0, total_bytes[i] - bytes));
+    throughput.push_back(log[i].throughput());
+    const double seconds = std::max(log[i].duration, 1e-9);
+    load_gbps.push_back(total_bytes[i] * 8.0 / seconds / 1e9);
+  }
+
+  LinkCorrelation out;
+  out.gridftp_vs_total =
+      stats::correlate_by_quartile(gridftp_bytes, total_bytes, throughput);
+  out.gridftp_vs_other =
+      stats::correlate_by_quartile(gridftp_bytes, other_bytes, throughput);
+  out.load_gbps = stats::summarize(load_gbps);
+  return out;
+}
+
+}  // namespace gridvc::analysis

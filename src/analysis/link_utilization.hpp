@@ -1,0 +1,60 @@
+// SNMP link-utilization factor analysis (§VII-C, eq. (1), Tables X-XIII).
+//
+// "The start and end times of the GridFTP transfers will typically not
+// align with the 30-sec SNMP time bins … the total number of bytes
+// transferred on link L during the i-th GridFTP transfer is computed"
+// by pro-rating the first and last overlapping bins by their overlap
+// with [s_i, s_i + D_i] and taking the interior bins whole — eq. (1).
+//
+// From the attributed bytes B_i this module derives:
+//   * correlation of GridFTP transfer bytes with B_i per router, per
+//     throughput quartile (Table XI — high: α flows dominate);
+//   * correlation of GridFTP bytes with the *other* traffic B_i − bytes_i
+//     (Table XII — low: the rest of the traffic neither tracks nor
+//     disturbs the transfers);
+//   * average link load B_i / D_i during each transfer (Table XIII).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "net/snmp.hpp"
+#include "stats/correlation.hpp"
+#include "stats/summary.hpp"
+
+namespace gridvc::analysis {
+
+/// Eq. (1): bytes carried by the monitored link during [start,
+/// start+duration), assembled from 30-s bins with pro-rated edge bins.
+/// Bins before the series' first bin or after its last contribute zero.
+double attributed_bytes(const net::SnmpSeries& series, Seconds start, Seconds duration);
+
+/// B_i for every transfer in `log` against one link's series.
+std::vector<double> attributed_bytes_per_transfer(const net::SnmpSeries& series,
+                                                  const gridftp::TransferLog& log);
+
+/// Per-router correlation analysis for one monitored link.
+struct LinkCorrelation {
+  /// corr(GridFTP bytes, B_i) — overall and per throughput quartile.
+  stats::QuartileCorrelation gridftp_vs_total;
+  /// corr(GridFTP bytes, B_i - GridFTP bytes) — the "remaining traffic".
+  stats::QuartileCorrelation gridftp_vs_other;
+  /// Average link load B_i / D_i during each transfer, Gbps.
+  stats::Summary load_gbps;
+};
+
+/// Run the full §VII-C analysis of `log` against one link's SNMP series.
+/// Requires a non-empty log.
+LinkCorrelation correlate_link(const net::SnmpSeries& series,
+                               const gridftp::TransferLog& log);
+
+/// Same analysis from precomputed per-transfer attributed bytes B_i
+/// (used when transfers take direction-dependent interfaces, as the
+/// paper's STOR/RETR mix does). Requires total_bytes.size() == log.size()
+/// and a non-empty log.
+LinkCorrelation correlate_attributed(const std::vector<double>& total_bytes,
+                                     const gridftp::TransferLog& log);
+
+}  // namespace gridvc::analysis

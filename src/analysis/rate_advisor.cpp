@@ -1,0 +1,81 @@
+#include "analysis/rate_advisor.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::analysis {
+
+RateAdvisor::RateAdvisor(const gridftp::TransferLog& history, RateAdvisorConfig config)
+    : config_(config) {
+  GRIDVC_REQUIRE(!history.empty(), "advisor needs a transfer history");
+  GRIDVC_REQUIRE(config_.size_band > 1.0, "size band must exceed 1");
+  GRIDVC_REQUIRE(config_.min_samples >= 2, "need at least two samples to advise");
+  GRIDVC_REQUIRE(config_.rate_quantile > 0.0 && config_.rate_quantile < 1.0,
+                 "rate quantile out of range");
+  for (const auto& r : history) {
+    if (r.duration <= 0.0) continue;
+    const Sample s{static_cast<double>(r.size), r.throughput()};
+    by_config_[{r.streams, r.stripes}].push_back(s);
+    pooled_.push_back(s);
+  }
+  const auto by_size = [](const Sample& a, const Sample& b) { return a.size < b.size; };
+  for (auto& [key, samples] : by_config_) {
+    std::sort(samples.begin(), samples.end(), by_size);
+  }
+  std::sort(pooled_.begin(), pooled_.end(), by_size);
+}
+
+std::vector<double> RateAdvisor::band(const std::vector<Sample>& sorted, double lo,
+                                      double hi) {
+  const auto by_size = [](const Sample& a, double v) { return a.size < v; };
+  const auto begin = std::lower_bound(sorted.begin(), sorted.end(), lo, by_size);
+  auto it = begin;
+  std::vector<double> out;
+  while (it != sorted.end() && it->size <= hi) {
+    out.push_back(it->throughput);
+    ++it;
+  }
+  return out;
+}
+
+std::optional<CircuitAdvice> RateAdvisor::advise(const AdviceRequest& request) const {
+  GRIDVC_REQUIRE(request.size > 0, "advice needs a transfer size");
+  GRIDVC_REQUIRE(request.confidence > 0.0 && request.confidence < 1.0,
+                 "confidence must be in (0, 1)");
+
+  const double lo = static_cast<double>(request.size) / config_.size_band;
+  const double hi = static_cast<double>(request.size) * config_.size_band;
+
+  // Pass 1: same configuration, same size class. Pass 2: same size class
+  // only (pooled). Pass 3: everything (last resort).
+  std::vector<double> matched;
+  bool fallback = false;
+  const auto cit = by_config_.find({request.streams, request.stripes});
+  if (cit != by_config_.end()) matched = band(cit->second, lo, hi);
+  if (matched.size() < config_.min_samples) {
+    fallback = true;
+    matched = band(pooled_, lo, hi);
+    if (matched.size() < config_.min_samples) {
+      matched.clear();
+      matched.reserve(pooled_.size());
+      for (const auto& s : pooled_) matched.push_back(s.throughput);
+    }
+  }
+  if (matched.size() < 2) return std::nullopt;
+
+  CircuitAdvice advice;
+  advice.sample_size = matched.size();
+  advice.fallback = fallback;
+  advice.rate = stats::quantile(matched, config_.rate_quantile);
+  // Duration such that a (1 - confidence) low-quantile realization still
+  // finishes: size over the pessimistic throughput.
+  const double pessimistic =
+      std::max(stats::quantile(matched, 1.0 - request.confidence), 1.0);
+  advice.duration = static_cast<double>(request.size) * 8.0 / pessimistic;
+  return advice;
+}
+
+}  // namespace gridvc::analysis

@@ -1,0 +1,88 @@
+// Circuit-sizing advisor.
+//
+// §VII gives two reasons for the factor analysis; the second is "to
+// provide a mechanism for the data transfer application to estimate the
+// rate and duration it should specify when requesting a virtual circuit
+// based on values chosen for parameters such as number of stripes,
+// number of streams, etc." This module is that mechanism: given the
+// site's own transfer history, it matches a planned transfer's
+// configuration (streams, stripes, size class) against comparable past
+// transfers and recommends
+//
+//   * a circuit *rate* the transfer can realistically use (an upper-mid
+//     quantile of matched throughput — reserving more wastes the pool),
+//   * a circuit *duration* the transfer will fit in with the requested
+//     confidence (size over a *low* quantile of matched throughput, so
+//     slow realizations still finish inside the window).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+
+namespace gridvc::analysis {
+
+struct AdviceRequest {
+  Bytes size = 0;
+  int streams = 1;
+  int stripes = 1;
+  /// Desired probability that the transfer finishes within the advised
+  /// duration, in (0, 1).
+  double confidence = 0.9;
+};
+
+struct CircuitAdvice {
+  /// Recommended reservation rate.
+  BitsPerSecond rate = 0.0;
+  /// Recommended reservation duration (setup delay not included).
+  Seconds duration = 0.0;
+  /// Historical transfers the advice was derived from.
+  std::size_t sample_size = 0;
+  /// True when the matcher had to drop the streams/stripes filters to
+  /// find enough history (advice is weaker).
+  bool fallback = false;
+};
+
+struct RateAdvisorConfig {
+  /// Matched transfers must have size within [size/band, size*band].
+  double size_band = 4.0;
+  /// Minimum matched sample before widening the filters.
+  std::size_t min_samples = 20;
+  /// Quantile of matched throughput used for the reservation rate.
+  double rate_quantile = 0.75;
+};
+
+class RateAdvisor {
+ public:
+  /// Builds a size-sorted per-configuration index over `history` (copied
+  /// into the index; the log need not outlive the advisor). Requires a
+  /// non-empty history.
+  explicit RateAdvisor(const gridftp::TransferLog& history,
+                       RateAdvisorConfig config = {});
+
+  /// Advice for a planned transfer, or nullopt when even the widened
+  /// matcher finds no history at all. O(matched log matched) via the
+  /// index, independent of total history size outside the size band.
+  std::optional<CircuitAdvice> advise(const AdviceRequest& request) const;
+
+ private:
+  struct Sample {
+    double size;
+    double throughput;
+  };
+  // Size-sorted samples per (streams, stripes), plus one pooled list.
+  std::map<std::pair<int, int>, std::vector<Sample>> by_config_;
+  std::vector<Sample> pooled_;
+  RateAdvisorConfig config_;
+
+  /// Throughputs of samples with size in [lo, hi] from a size-sorted list.
+  static std::vector<double> band(const std::vector<Sample>& sorted, double lo,
+                                  double hi);
+};
+
+}  // namespace gridvc::analysis

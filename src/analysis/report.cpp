@@ -1,0 +1,105 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace gridvc::analysis {
+
+std::vector<std::string> summary_header(const std::string& label_column, bool with_stddev,
+                                        bool with_count) {
+  std::vector<std::string> h{label_column};
+  if (with_count) h.push_back("N");
+  h.insert(h.end(), {"Min", "1st Qu.", "Median", "Mean", "3rd Qu.", "Max"});
+  if (with_stddev) h.push_back("Std. Dev.");
+  return h;
+}
+
+std::vector<std::string> summary_row(const std::string& label, const stats::Summary& s,
+                                     int decimals, bool with_stddev, bool with_count) {
+  std::vector<std::string> row{label};
+  if (with_count) row.push_back(std::to_string(s.count));
+  row.push_back(gridvc::format_grouped(s.min, decimals));
+  row.push_back(gridvc::format_grouped(s.q1, decimals));
+  row.push_back(gridvc::format_grouped(s.median, decimals));
+  row.push_back(gridvc::format_grouped(s.mean, decimals));
+  row.push_back(gridvc::format_grouped(s.q3, decimals));
+  row.push_back(gridvc::format_grouped(s.max, decimals));
+  if (with_stddev) row.push_back(gridvc::format_grouped(s.stddev, decimals));
+  return row;
+}
+
+namespace {
+
+struct Frame {
+  double x_lo, x_hi, y_lo, y_hi;
+};
+
+Frame frame_of(const std::vector<double>& x, const std::vector<double>& y) {
+  Frame f{0.0, 1.0, 0.0, 1.0};
+  if (!x.empty()) {
+    f.x_lo = *std::min_element(x.begin(), x.end());
+    f.x_hi = *std::max_element(x.begin(), x.end());
+  }
+  if (!y.empty()) {
+    f.y_lo = *std::min_element(y.begin(), y.end());
+    f.y_hi = *std::max_element(y.begin(), y.end());
+  }
+  if (f.x_hi <= f.x_lo) f.x_hi = f.x_lo + 1.0;
+  if (f.y_hi <= f.y_lo) f.y_hi = f.y_lo + 1.0;
+  return f;
+}
+
+void plot_into(std::vector<std::string>& grid, const Frame& f, const std::vector<double>& x,
+               const std::vector<double>& y, char mark, int width, int height) {
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    const int col = static_cast<int>(
+        std::lround((x[i] - f.x_lo) / (f.x_hi - f.x_lo) * (width - 1)));
+    const int row = static_cast<int>(
+        std::lround((y[i] - f.y_lo) / (f.y_hi - f.y_lo) * (height - 1)));
+    const int r = height - 1 - std::clamp(row, 0, height - 1);
+    const int c = std::clamp(col, 0, width - 1);
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = mark;
+  }
+}
+
+std::string render_grid(const std::vector<std::string>& grid, const Frame& f) {
+  std::string out;
+  out += gridvc::format_fixed(f.y_hi, 1) + "\n";
+  for (const auto& row : grid) out += "| " + row + "\n";
+  out += gridvc::format_fixed(f.y_lo, 1) + " +" +
+         std::string(grid.empty() ? 0 : grid[0].size(), '-') + "\n";
+  out += "   x: [" + gridvc::format_fixed(f.x_lo, 1) + ", " +
+         gridvc::format_fixed(f.x_hi, 1) + "]\n";
+  return out;
+}
+
+}  // namespace
+
+std::string ascii_series(const std::vector<double>& x, const std::vector<double>& y,
+                         int width, int height, const std::string& x_label,
+                         const std::string& y_label) {
+  const Frame f = frame_of(x, y);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  plot_into(grid, f, x, y, '*', width, height);
+  return y_label + " vs " + x_label + "\n" + render_grid(grid, f);
+}
+
+std::string ascii_two_series(const std::vector<double>& x1, const std::vector<double>& y1,
+                             char mark1, const std::vector<double>& x2,
+                             const std::vector<double>& y2, char mark2, int width,
+                             int height) {
+  std::vector<double> all_x(x1), all_y(y1);
+  all_x.insert(all_x.end(), x2.begin(), x2.end());
+  all_y.insert(all_y.end(), y2.begin(), y2.end());
+  const Frame f = frame_of(all_x, all_y);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  plot_into(grid, f, x1, y1, mark1, width, height);
+  plot_into(grid, f, x2, y2, mark2, width, height);
+  return render_grid(grid, f);
+}
+
+}  // namespace gridvc::analysis

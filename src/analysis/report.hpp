@@ -1,0 +1,38 @@
+// Shared rendering helpers so every bench binary prints the paper's table
+// shapes through one code path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace gridvc::analysis {
+
+/// The paper's standard column set: Min / 1st Qu. / Median / Mean /
+/// 3rd Qu. / Max (optionally + Std. Dev.).
+std::vector<std::string> summary_header(const std::string& label_column,
+                                        bool with_stddev = false,
+                                        bool with_count = false);
+
+/// Row of formatted summary values matching summary_header's layout.
+std::vector<std::string> summary_row(const std::string& label, const stats::Summary& s,
+                                     int decimals, bool with_stddev = false,
+                                     bool with_count = false);
+
+/// A crude ASCII scatter/series plot: x ascending, one char column per
+/// x-bucket, `height` rows. Used for the figure benches.
+std::string ascii_series(const std::vector<double>& x, const std::vector<double>& y,
+                         int width = 72, int height = 16,
+                         const std::string& x_label = "x",
+                         const std::string& y_label = "y");
+
+/// Two overlaid series (marked '1' and '8' — or the given marks) on a
+/// shared axis; used by the Fig 3/4 benches.
+std::string ascii_two_series(const std::vector<double>& x1, const std::vector<double>& y1,
+                             char mark1, const std::vector<double>& x2,
+                             const std::vector<double>& y2, char mark2, int width = 72,
+                             int height = 16);
+
+}  // namespace gridvc::analysis

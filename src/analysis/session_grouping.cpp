@@ -1,0 +1,97 @@
+#include "analysis/session_grouping.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+
+std::vector<Session> group_sessions(const gridftp::TransferLog& log,
+                                    const GroupingOptions& options) {
+  GRIDVC_REQUIRE(options.gap >= 0.0, "session gap must be non-negative");
+
+  // Partition by endpoint-pair key.
+  std::map<std::string, std::vector<std::size_t>> partitions;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& r = log[i];
+    std::string key = r.server_host + "|" + r.remote_host;
+    if (options.split_by_direction) {
+      key += r.type == gridftp::TransferType::kStore ? "|STOR" : "|RETR";
+    }
+    partitions[key].push_back(i);
+  }
+
+  std::vector<Session> sessions;
+  for (auto& [key, indices] : partitions) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      if (log[a].start_time != log[b].start_time) {
+        return log[a].start_time < log[b].start_time;
+      }
+      return log[a].end_time() < log[b].end_time();
+    });
+
+    Session* current = nullptr;
+    for (std::size_t idx : indices) {
+      const auto& r = log[idx];
+      // A transfer starting within `gap` of the running end (which may be
+      // before this start for concurrent batches -> negative gap) joins.
+      if (current != nullptr && r.start_time - current->end_time <= options.gap) {
+        current->transfer_indices.push_back(idx);
+        current->total_bytes += r.size;
+        current->end_time = std::max(current->end_time, r.end_time());
+      } else {
+        Session s;
+        s.key = key;
+        s.transfer_indices.push_back(idx);
+        s.total_bytes = r.size;
+        s.start_time = r.start_time;
+        s.end_time = r.end_time();
+        sessions.push_back(std::move(s));
+        current = &sessions.back();
+      }
+    }
+  }
+
+  std::sort(sessions.begin(), sessions.end(), [](const Session& a, const Session& b) {
+    if (a.start_time != b.start_time) return a.start_time < b.start_time;
+    return a.key < b.key;
+  });
+  return sessions;
+}
+
+SessionCensus census(const std::vector<Session>& sessions) {
+  SessionCensus c;
+  std::size_t le2 = 0;
+  for (const auto& s : sessions) {
+    const std::size_t n = s.transfer_count();
+    if (n == 1) {
+      ++c.single_transfer_sessions;
+    } else {
+      ++c.multi_transfer_sessions;
+    }
+    if (n <= 2) ++le2;
+    c.max_transfers_in_session = std::max(c.max_transfers_in_session, n);
+    if (n >= 100) ++c.sessions_with_100_or_more;
+  }
+  c.fraction_with_le2 =
+      sessions.empty() ? 0.0
+                       : static_cast<double>(le2) / static_cast<double>(sessions.size());
+  return c;
+}
+
+std::vector<double> session_sizes_megabytes(const std::vector<Session>& sessions) {
+  std::vector<double> out;
+  out.reserve(sessions.size());
+  for (const auto& s : sessions) out.push_back(to_megabytes(s.total_bytes));
+  return out;
+}
+
+std::vector<double> session_durations_seconds(const std::vector<Session>& sessions) {
+  std::vector<double> out;
+  out.reserve(sessions.size());
+  for (const auto& s : sessions) out.push_back(s.duration());
+  return out;
+}
+
+}  // namespace gridvc::analysis

@@ -1,0 +1,78 @@
+// Session grouping — the paper's central preprocessing step (§V).
+//
+// "The term session refers to multiple transfers executed in batch mode by
+// an automated script. A configurable parameter, g, is used to set the
+// maximum allowed gap between the end of one transfer and the start of the
+// next transfer within a session. The gap … could be negative as multiple
+// transfers can be started concurrently. Such transfers are part of the
+// same session."
+//
+// Transfers are first partitioned by endpoint-pair key (logging server +
+// remote host, optionally + direction), then each partition is swept in
+// start-time order: a transfer extends the current session when its start
+// is within `gap` of the session's running end (max end time seen so
+// far); otherwise it opens a new session.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+
+namespace gridvc::analysis {
+
+struct Session {
+  /// Partition key this session belongs to.
+  std::string key;
+  /// Indices into the source TransferLog, in start-time order.
+  std::vector<std::size_t> transfer_indices;
+  Bytes total_bytes = 0;
+  Seconds start_time = 0.0;  ///< first transfer's start
+  Seconds end_time = 0.0;    ///< latest transfer end
+
+  std::size_t transfer_count() const { return transfer_indices.size(); }
+  Seconds duration() const { return end_time - start_time; }
+  /// Effective session rate: total bytes over wall-clock duration.
+  BitsPerSecond effective_rate() const { return achieved_rate(total_bytes, duration()); }
+};
+
+struct GroupingOptions {
+  /// Maximum allowed gap g between one transfer's end and the next's start.
+  Seconds gap = 60.0;
+  /// Include the transfer direction in the partition key (off by default:
+  /// a mixed STOR/RETR batch to one host is one session, as in the paper).
+  bool split_by_direction = false;
+};
+
+/// Group a log into sessions. The log need not be pre-sorted. Transfers
+/// with an empty remote_host all share one partition per server — callers
+/// replicating the NERSC situation should treat such grouping as
+/// unreliable (the paper could not group NERSC data).
+std::vector<Session> group_sessions(const gridftp::TransferLog& log,
+                                    const GroupingOptions& options);
+
+/// Table III's row: session-population shape under one g value.
+struct SessionCensus {
+  std::size_t single_transfer_sessions = 0;
+  std::size_t multi_transfer_sessions = 0;
+  /// Fraction of sessions with 1 or 2 transfers.
+  double fraction_with_le2 = 0.0;
+  std::size_t max_transfers_in_session = 0;
+  std::size_t sessions_with_100_or_more = 0;
+
+  std::size_t total_sessions() const {
+    return single_transfer_sessions + multi_transfer_sessions;
+  }
+};
+
+SessionCensus census(const std::vector<Session>& sessions);
+
+/// Session sizes in (binary) MB, session order — Tables I/II top block.
+std::vector<double> session_sizes_megabytes(const std::vector<Session>& sessions);
+
+/// Session durations in seconds — Tables I/II middle block.
+std::vector<double> session_durations_seconds(const std::vector<Session>& sessions);
+
+}  // namespace gridvc::analysis

@@ -1,0 +1,60 @@
+#include "analysis/stream_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+
+StreamComparison compare_streams(const gridftp::TransferLog& log,
+                                 const StreamAnalysisOptions& options) {
+  GRIDVC_REQUIRE(options.streams_a != options.streams_b,
+                 "stream groups must differ");
+  stats::SizeBinner binner_a = stats::SizeBinner::paper_scheme();
+  stats::SizeBinner binner_b = stats::SizeBinner::paper_scheme();
+
+  StreamComparison cmp;
+  cmp.group_a.streams = options.streams_a;
+  cmp.group_b.streams = options.streams_b;
+  for (const auto& r : log) {
+    if (r.size >= options.max_size) continue;
+    if (r.streams == options.streams_a) {
+      binner_a.add(r.size, to_mbps(r.throughput()));
+    } else if (r.streams == options.streams_b) {
+      binner_b.add(r.size, to_mbps(r.throughput()));
+    } else {
+      ++cmp.unmatched;
+    }
+  }
+  cmp.group_a.points = stats::binned_medians(binner_a, options.min_bin_count);
+  cmp.group_b.points = stats::binned_medians(binner_b, options.min_bin_count);
+  return cmp;
+}
+
+double convergence_size_mb(const StreamComparison& cmp, double tolerance) {
+  GRIDVC_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  // Walk both series from the largest size down; find the smallest size
+  // above which every size-aligned pair of medians agrees within
+  // tolerance.
+  const auto& a = cmp.group_a.points;
+  const auto& b = cmp.group_b.points;
+  double converged_from = -1.0;
+  std::size_t ia = 0;
+  for (const auto& pb : b) {
+    // Align by bin center (both series use the same binner).
+    while (ia < a.size() && a[ia].size_mb < pb.size_mb) ++ia;
+    if (ia >= a.size() || a[ia].size_mb != pb.size_mb) continue;
+    const double lo = std::min(a[ia].median, pb.median);
+    const double hi = std::max(a[ia].median, pb.median);
+    const bool close = hi <= lo * (1.0 + tolerance);
+    if (close) {
+      if (converged_from < 0.0) converged_from = pb.size_mb;
+    } else {
+      converged_from = -1.0;  // diverged again; restart
+    }
+  }
+  return converged_from;
+}
+
+}  // namespace gridvc::analysis

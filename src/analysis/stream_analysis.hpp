@@ -1,0 +1,55 @@
+// Parallel-TCP-stream factor analysis (§VII-B, Figs 3-5).
+//
+// "transfers were divided, based on their size, into bins. For transfers
+// of size [0 GB, 1 GB], the bin size is chosen to be 1 MB, while for
+// transfers of size (1 GB, 4 GB], the bin size is chosen to be 100 MB …
+// partition the transfers in each file size bin into two groups:
+// (i) 1-stream transfers and (ii) 8-stream transfers. The median
+// throughput is computed for each group for each file size bin."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "stats/binning.hpp"
+
+namespace gridvc::analysis {
+
+/// One group's per-bin median series plus observation counts (Fig 5).
+struct StreamSeries {
+  int streams = 0;
+  std::vector<stats::BinnedMedianPoint> points;  ///< median Mbps per bin
+};
+
+struct StreamComparison {
+  StreamSeries group_a;  ///< e.g. 1-stream
+  StreamSeries group_b;  ///< e.g. 8-stream
+  /// Transfers that matched neither stream count.
+  std::size_t unmatched = 0;
+};
+
+struct StreamAnalysisOptions {
+  int streams_a = 1;
+  int streams_b = 8;
+  /// Bins with fewer observations than this are omitted from the series
+  /// (the paper flags 1-stream bins under ~300 observations as
+  /// unrepresentative).
+  std::size_t min_bin_count = 1;
+  /// Restrict to sizes below this bound (paper scheme covers (0, 4 GiB]).
+  Bytes max_size = 4 * GiB;
+};
+
+/// Bin transfers with the paper's scheme and compare median throughput of
+/// the two stream groups per bin.
+StreamComparison compare_streams(const gridftp::TransferLog& log,
+                                 const StreamAnalysisOptions& options = {});
+
+/// The size (MiB) above which the two groups' medians differ by at most
+/// `tolerance` (relative) for every subsequent populated bin — the
+/// "crossover" after which stream count stops mattering. Returns -1 when
+/// the groups never converge.
+double convergence_size_mb(const StreamComparison& cmp, double tolerance = 0.15);
+
+}  // namespace gridvc::analysis

@@ -1,0 +1,64 @@
+#include "analysis/throughput_analysis.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+
+stats::Summary throughput_summary_mbps(const gridftp::TransferLog& log) {
+  GRIDVC_REQUIRE(!log.empty(), "throughput summary of an empty log");
+  return stats::summarize(gridftp::throughputs_mbps(log));
+}
+
+stats::Summary duration_summary_seconds(const gridftp::TransferLog& log) {
+  GRIDVC_REQUIRE(!log.empty(), "duration summary of an empty log");
+  return stats::summarize(gridftp::durations_seconds(log));
+}
+
+gridftp::TransferLog filter_by_size(const gridftp::TransferLog& log, Bytes lo, Bytes hi) {
+  GRIDVC_REQUIRE(lo < hi, "size filter range inverted");
+  gridftp::TransferLog out;
+  for (const auto& r : log) {
+    if (r.size >= lo && r.size < hi) out.push_back(r);
+  }
+  return out;
+}
+
+gridftp::TransferLog filter(const gridftp::TransferLog& log,
+                            const std::function<bool(const gridftp::TransferRecord&)>& pred) {
+  GRIDVC_REQUIRE(pred != nullptr, "null filter predicate");
+  gridftp::TransferLog out;
+  for (const auto& r : log) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::map<int, stats::Summary> throughput_by_stripes(const gridftp::TransferLog& log,
+                                                    std::size_t min_count) {
+  std::map<int, std::vector<double>> groups;
+  for (const auto& r : log) groups[r.stripes].push_back(to_mbps(r.throughput()));
+  std::map<int, stats::Summary> out;
+  for (const auto& [stripes, values] : groups) {
+    if (values.size() < min_count) continue;
+    out.emplace(stripes, stats::summarize(values));
+  }
+  return out;
+}
+
+std::map<int, stats::Summary> throughput_by_year(const gridftp::TransferLog& log,
+                                                 const YearOf& year_of,
+                                                 std::size_t min_count) {
+  GRIDVC_REQUIRE(year_of != nullptr, "null year mapping");
+  std::map<int, std::vector<double>> groups;
+  for (const auto& r : log) groups[year_of(r.start_time)].push_back(to_mbps(r.throughput()));
+  std::map<int, stats::Summary> out;
+  for (const auto& [year, values] : groups) {
+    if (values.size() < min_count) continue;
+    out.emplace(year, stats::summarize(values));
+  }
+  return out;
+}
+
+}  // namespace gridvc::analysis

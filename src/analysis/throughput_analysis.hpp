@@ -1,0 +1,45 @@
+// Transfer-throughput characterization (§VI-B, §VII-A).
+//
+// Slicing helpers behind Tables V–IX: five-number summaries of throughput
+// for a whole log, for size-range subsets (the NCAR "16G"/"4G" transfer
+// classes), grouped by stripe count (Table IX), and grouped by calendar
+// year (Table VIII — the NCAR pool shrank year over year).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "stats/summary.hpp"
+
+namespace gridvc::analysis {
+
+/// Summary of per-transfer throughput in Mbps. Requires a non-empty log.
+stats::Summary throughput_summary_mbps(const gridftp::TransferLog& log);
+
+/// Summary of per-transfer duration in seconds. Requires a non-empty log.
+stats::Summary duration_summary_seconds(const gridftp::TransferLog& log);
+
+/// Transfers with size in [lo, hi).
+gridftp::TransferLog filter_by_size(const gridftp::TransferLog& log, Bytes lo, Bytes hi);
+
+/// Transfers matching a predicate.
+gridftp::TransferLog filter(const gridftp::TransferLog& log,
+                            const std::function<bool(const gridftp::TransferRecord&)>& pred);
+
+/// Throughput summary per stripe count (Table IX). Groups with fewer than
+/// `min_count` transfers are dropped.
+std::map<int, stats::Summary> throughput_by_stripes(const gridftp::TransferLog& log,
+                                                    std::size_t min_count = 2);
+
+/// Maps a record's start time to a calendar year. Simulation time is
+/// seconds from an epoch; scenario builders provide the mapping.
+using YearOf = std::function<int(Seconds)>;
+
+/// Throughput summary per year (Table VIII).
+std::map<int, stats::Summary> throughput_by_year(const gridftp::TransferLog& log,
+                                                 const YearOf& year_of,
+                                                 std::size_t min_count = 2);
+
+}  // namespace gridvc::analysis

@@ -1,0 +1,39 @@
+#include "analysis/timeofday_analysis.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace gridvc::analysis {
+
+int hour_of_day(Seconds t) {
+  double seconds_into_day = std::fmod(t, kDay);
+  if (seconds_into_day < 0.0) seconds_into_day += kDay;
+  return static_cast<int>(seconds_into_day / kHour) % 24;
+}
+
+std::vector<TimeOfDayPoint> time_of_day_scatter(const gridftp::TransferLog& log) {
+  std::vector<TimeOfDayPoint> out;
+  out.reserve(log.size());
+  for (const auto& r : log) {
+    double seconds_into_day = std::fmod(r.start_time, kDay);
+    if (seconds_into_day < 0.0) seconds_into_day += kDay;
+    out.push_back(TimeOfDayPoint{seconds_into_day / kHour, to_mbps(r.throughput())});
+  }
+  return out;
+}
+
+std::map<int, stats::Summary> throughput_by_start_hour(const gridftp::TransferLog& log,
+                                                       std::size_t min_count) {
+  std::map<int, std::vector<double>> groups;
+  for (const auto& r : log) {
+    groups[hour_of_day(r.start_time)].push_back(to_mbps(r.throughput()));
+  }
+  std::map<int, stats::Summary> out;
+  for (const auto& [hour, values] : groups) {
+    if (values.size() < min_count) continue;
+    out.emplace(hour, stats::summarize(values));
+  }
+  return out;
+}
+
+}  // namespace gridvc::analysis

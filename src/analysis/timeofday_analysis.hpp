@@ -1,0 +1,34 @@
+// Time-of-day factor analysis (§VII-C, Fig 6).
+//
+// The 145 32-GB NERSC–ORNL test transfers "started at either 2 AM or
+// 8 AM"; Fig 6 scatters throughput against start hour. The helpers here
+// fold simulation time onto a 24-hour clock and summarize throughput per
+// start-hour group.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "stats/summary.hpp"
+
+namespace gridvc::analysis {
+
+/// Hour-of-day (0-23) of a simulation timestamp; day 0 starts at t = 0.
+int hour_of_day(Seconds t);
+
+/// One transfer's (hour, throughput Mbps) pair — the Fig 6 scatter.
+struct TimeOfDayPoint {
+  double hour = 0.0;  ///< fractional hour of day of the start time
+  double throughput_mbps = 0.0;
+};
+
+std::vector<TimeOfDayPoint> time_of_day_scatter(const gridftp::TransferLog& log);
+
+/// Throughput summary per integer start hour. Hours with fewer than
+/// `min_count` transfers are dropped.
+std::map<int, stats::Summary> throughput_by_start_hour(const gridftp::TransferLog& log,
+                                                       std::size_t min_count = 2);
+
+}  // namespace gridvc::analysis

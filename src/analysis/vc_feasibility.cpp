@@ -1,0 +1,44 @@
+#include "analysis/vc_feasibility.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::analysis {
+
+FeasibilityResult analyze_vc_feasibility(const std::vector<Session>& sessions,
+                                         const gridftp::TransferLog& log,
+                                         const FeasibilityOptions& options) {
+  GRIDVC_REQUIRE(options.setup_delay >= 0.0, "negative setup delay");
+  GRIDVC_REQUIRE(options.overhead_fraction > 0.0 && options.overhead_fraction <= 1.0,
+                 "overhead fraction must be in (0, 1]");
+  GRIDVC_REQUIRE(!log.empty(), "feasibility analysis of an empty log");
+
+  FeasibilityResult result;
+  std::vector<double> tputs;
+  tputs.reserve(log.size());
+  for (const auto& r : log) tputs.push_back(r.throughput());
+  result.reference_throughput = stats::quantile(tputs, options.throughput_quantile);
+  GRIDVC_REQUIRE(result.reference_throughput > 0.0,
+                 "reference throughput is zero; log has degenerate durations");
+
+  // Session qualifies iff its hypothetical duration (bytes / T_ref) is at
+  // least setup_delay / overhead_fraction, i.e. its size is at least:
+  const Seconds min_duration = options.setup_delay / options.overhead_fraction;
+  result.min_suitable_size =
+      static_cast<Bytes>(std::ceil(min_duration * result.reference_throughput / 8.0));
+
+  result.total_sessions = sessions.size();
+  result.total_transfers = 0;
+  for (const auto& s : sessions) {
+    result.total_transfers += s.transfer_count();
+    if (s.total_bytes >= result.min_suitable_size) {
+      ++result.suitable_sessions;
+      result.suitable_transfers += s.transfer_count();
+    }
+  }
+  return result;
+}
+
+}  // namespace gridvc::analysis

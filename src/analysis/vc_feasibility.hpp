@@ -1,0 +1,67 @@
+// Dynamic-VC suitability methodology (§VI-A, Table IV).
+//
+// The paper's question: "for what percentage of the sessions would the VC
+// setup delay overhead represent one-tenth or less of session durations if
+// the session throughput is assumed to be as high as the third-quartile
+// throughput across all transfers?"
+//
+// Method, exactly as published:
+//   1. reference throughput T_ref = Q3 of per-transfer throughput;
+//   2. hypothetical session duration D̂ = session bytes / T_ref
+//      (deliberately optimistic: real durations are longer, so a session
+//      judged long enough under D̂ certainly is in practice);
+//   3. session suitable iff setup_delay <= overhead_fraction · D̂
+//      (overhead_fraction = 1/10 in the paper);
+//   4. report the suitable fraction of sessions and — because large
+//      sessions hold most files — the fraction of *transfers* contained
+//      in suitable sessions (the parenthesized numbers of Table IV).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/session_grouping.hpp"
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+
+namespace gridvc::analysis {
+
+struct FeasibilityOptions {
+  /// VC setup delay to amortize (the paper uses 1 min and 50 ms).
+  Seconds setup_delay = 60.0;
+  /// Maximum tolerable setup overhead as a fraction of session duration.
+  double overhead_fraction = 0.1;
+  /// Which quantile of transfer throughput to use as the optimistic
+  /// session rate (the paper uses the third quartile).
+  double throughput_quantile = 0.75;
+};
+
+struct FeasibilityResult {
+  std::size_t suitable_sessions = 0;
+  std::size_t total_sessions = 0;
+  std::size_t suitable_transfers = 0;
+  std::size_t total_transfers = 0;
+  /// The reference throughput used (bits/s).
+  BitsPerSecond reference_throughput = 0.0;
+  /// Smallest session size (bytes) that qualifies under these options —
+  /// the paper's "sessions of sizes 42 MB or larger" observation.
+  Bytes min_suitable_size = 0;
+
+  double session_fraction() const {
+    return total_sessions > 0
+               ? static_cast<double>(suitable_sessions) / static_cast<double>(total_sessions)
+               : 0.0;
+  }
+  double transfer_fraction() const {
+    return total_transfers > 0 ? static_cast<double>(suitable_transfers) /
+                                     static_cast<double>(total_transfers)
+                               : 0.0;
+  }
+};
+
+/// Run the Table IV methodology over `sessions` grouped from `log`.
+FeasibilityResult analyze_vc_feasibility(const std::vector<Session>& sessions,
+                                         const gridftp::TransferLog& log,
+                                         const FeasibilityOptions& options);
+
+}  // namespace gridvc::analysis

@@ -1,0 +1,83 @@
+#include "common/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace gridvc {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // tolerate CRLF input
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field: " + std::string(line));
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string format_csv_line(const CsvRow& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find_first_of(",\"") != std::string::npos ||
+        (!f.empty() && (f.front() == ' ' || f.back() == ' '));
+    if (!needs_quotes) {
+      line += f;
+      continue;
+    }
+    line.push_back('"');
+    for (char c : f) {
+      if (c == '"') line.push_back('"');
+      line.push_back(c);
+    }
+    line.push_back('"');
+  }
+  return line;
+}
+
+std::vector<CsvRow> read_csv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(parse_csv_line(line));
+  }
+  return rows;
+}
+
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows) {
+  for (const auto& row : rows) {
+    out << format_csv_line(row) << '\n';
+  }
+}
+
+}  // namespace gridvc

@@ -1,0 +1,32 @@
+// Minimal CSV reader/writer used by the GridFTP log serializer and the
+// bench harness (each bench can dump the series behind a figure as CSV).
+//
+// Scope: comma-separated, optional double-quote quoting with "" escapes,
+// no embedded newlines inside quoted fields. That covers the log schema
+// this library emits and consumes; it is not a general CSV library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridvc {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parse one CSV line into fields. Throws ParseError on an unterminated
+/// quoted field.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Render fields as one CSV line (without trailing newline). Fields
+/// containing commas, quotes, or leading/trailing spaces are quoted.
+std::string format_csv_line(const CsvRow& fields);
+
+/// Read all rows from a stream; blank lines are skipped.
+std::vector<CsvRow> read_csv(std::istream& in);
+
+/// Write rows to a stream, one line per row.
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows);
+
+}  // namespace gridvc

@@ -1,0 +1,141 @@
+#include "common/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc {
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  GRIDVC_REQUIRE(lo <= hi, "Uniform range inverted");
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  GRIDVC_REQUIRE(mean > 0.0, "Exponential mean must be positive");
+}
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(mean_); }
+
+TruncatedLogNormal::TruncatedLogNormal(double median, double sigma_log, double lo, double hi)
+    : mu_(std::log(median)), sigma_(sigma_log), lo_(lo), hi_(hi) {
+  GRIDVC_REQUIRE(median > 0.0, "TruncatedLogNormal median must be positive");
+  GRIDVC_REQUIRE(sigma_log >= 0.0, "TruncatedLogNormal sigma must be non-negative");
+  GRIDVC_REQUIRE(lo <= hi, "TruncatedLogNormal range inverted");
+}
+
+double TruncatedLogNormal::sample(Rng& rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = rng.lognormal(mu_, sigma_);
+    if (x >= lo_ && x <= hi_) return x;
+  }
+  return std::clamp(std::exp(mu_), lo_, hi_);
+}
+
+TruncatedPareto::TruncatedPareto(double alpha, double x_min, double x_max)
+    : alpha_(alpha), x_min_(x_min), x_max_(x_max) {
+  GRIDVC_REQUIRE(alpha > 0.0, "TruncatedPareto shape must be positive");
+  GRIDVC_REQUIRE(x_min > 0.0 && x_min < x_max, "TruncatedPareto support invalid");
+}
+
+double TruncatedPareto::sample(Rng& rng) const {
+  // Inverse CDF of the Pareto restricted to [x_min, x_max]:
+  //   F(x) = (1 - (x_min/x)^a) / (1 - (x_min/x_max)^a)
+  const double tail = std::pow(x_min_ / x_max_, alpha_);
+  const double u = rng.uniform();
+  return x_min_ / std::pow(1.0 - u * (1.0 - tail), 1.0 / alpha_);
+}
+
+EmpiricalQuantile::EmpiricalQuantile(std::vector<std::pair<double, double>> anchors)
+    : anchors_(std::move(anchors)) {
+  GRIDVC_REQUIRE(anchors_.size() >= 2, "EmpiricalQuantile needs at least 2 anchors");
+  GRIDVC_REQUIRE(anchors_.front().first == 0.0, "EmpiricalQuantile must start at p=0");
+  GRIDVC_REQUIRE(anchors_.back().first == 1.0, "EmpiricalQuantile must end at p=1");
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    GRIDVC_REQUIRE(anchors_[i].first >= anchors_[i - 1].first,
+                   "EmpiricalQuantile probabilities must be sorted");
+    GRIDVC_REQUIRE(anchors_[i].second >= anchors_[i - 1].second,
+                   "EmpiricalQuantile values must be non-decreasing");
+  }
+}
+
+double EmpiricalQuantile::quantile(double p) const {
+  GRIDVC_REQUIRE(p >= 0.0 && p <= 1.0, "quantile probability out of range");
+  auto it = std::upper_bound(
+      anchors_.begin(), anchors_.end(), p,
+      [](double lhs, const std::pair<double, double>& a) { return lhs < a.first; });
+  if (it == anchors_.begin()) return anchors_.front().second;
+  if (it == anchors_.end()) return anchors_.back().second;
+  const auto& [p1, v1] = *(it - 1);
+  const auto& [p2, v2] = *it;
+  if (p2 == p1) return v1;
+  const double w = (p - p1) / (p2 - p1);
+  return v1 + w * (v2 - v1);
+}
+
+double EmpiricalQuantile::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+Mixture::Mixture(std::vector<double> weights, std::vector<DistributionPtr> components)
+    : components_(std::move(components)) {
+  GRIDVC_REQUIRE(!weights.empty(), "Mixture must have at least one component");
+  GRIDVC_REQUIRE(weights.size() == components_.size(),
+                 "Mixture weight/component count mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    GRIDVC_REQUIRE(w >= 0.0, "Mixture weights must be non-negative");
+    total += w;
+  }
+  GRIDVC_REQUIRE(total > 0.0, "Mixture weights must not all be zero");
+  double running = 0.0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    running += w / total;
+    cumulative_.push_back(running);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+  for (const auto& c : components_) {
+    GRIDVC_REQUIRE(c != nullptr, "Mixture component must not be null");
+  }
+}
+
+double Mixture::sample(Rng& rng) const { return pick_component(rng)->sample(rng); }
+
+const DistributionPtr& Mixture::pick_component(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t idx =
+      std::min<std::size_t>(static_cast<std::size_t>(it - cumulative_.begin()),
+                            components_.size() - 1);
+  return components_[idx];
+}
+
+Discrete::Discrete(std::vector<double> values, std::vector<double> weights)
+    : values_(std::move(values)) {
+  GRIDVC_REQUIRE(!values_.empty(), "Discrete must have at least one value");
+  GRIDVC_REQUIRE(values_.size() == weights.size(), "Discrete value/weight count mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    GRIDVC_REQUIRE(w >= 0.0, "Discrete weights must be non-negative");
+    total += w;
+  }
+  GRIDVC_REQUIRE(total > 0.0, "Discrete weights must not all be zero");
+  double running = 0.0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    running += w / total;
+    cumulative_.push_back(running);
+  }
+  cumulative_.back() = 1.0;
+}
+
+double Discrete::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t idx = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cumulative_.begin()), values_.size() - 1);
+  return values_[idx];
+}
+
+}  // namespace gridvc

@@ -1,0 +1,128 @@
+// Fully specified sampling distributions for workload generation.
+//
+// The standard library's distribution objects are implementation-defined,
+// which would make the reproduced tables differ across standard libraries.
+// These implementations are exact functions of the Rng stream.
+//
+// The workload calibration (src/workload/) composes these primitives:
+// right-skewed session sizes are TruncatedLogNormal / TruncatedPareto,
+// file-size mixes are Mixture over point masses and ranges, and published
+// quartiles are matched with EmpiricalQuantile.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gridvc {
+
+/// Abstract sampling distribution over doubles.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draw one sample using `rng`.
+  virtual double sample(Rng& rng) const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Point mass: always returns `value`.
+class Constant final : public Distribution {
+ public:
+  explicit Constant(double value) : value_(value) {}
+  double sample(Rng&) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Uniform over [lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  double sample(Rng& rng) const override;
+
+ private:
+  double lo_, hi_;
+};
+
+/// Exponential with the given mean.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+  double sample(Rng& rng) const override;
+
+ private:
+  double mean_;
+};
+
+/// Lognormal parameterized by the *linear-space* median and the log-space
+/// sigma; optionally truncated to [lo, hi] by resampling (at most 64
+/// attempts, then clamped).
+class TruncatedLogNormal final : public Distribution {
+ public:
+  TruncatedLogNormal(double median, double sigma_log, double lo, double hi);
+  double sample(Rng& rng) const override;
+
+ private:
+  double mu_, sigma_, lo_, hi_;
+};
+
+/// Pareto (type I) with shape alpha and scale x_min, truncated at x_max via
+/// inverse-CDF sampling restricted to the truncated support (exact, no
+/// rejection).
+class TruncatedPareto final : public Distribution {
+ public:
+  TruncatedPareto(double alpha, double x_min, double x_max);
+  double sample(Rng& rng) const override;
+
+ private:
+  double alpha_, x_min_, x_max_;
+};
+
+/// Piecewise-linear inverse CDF through the given (probability, value)
+/// anchor points. This is how workload profiles match the paper's published
+/// five-number summaries exactly: anchors at p = 0, .25, .5, .75, 1.
+class EmpiricalQuantile final : public Distribution {
+ public:
+  /// `anchors` must be sorted by probability, start at p=0, end at p=1,
+  /// and have non-decreasing values.
+  explicit EmpiricalQuantile(std::vector<std::pair<double, double>> anchors);
+  double sample(Rng& rng) const override;
+  /// Evaluate the inverse CDF at probability p in [0, 1].
+  double quantile(double p) const;
+
+ private:
+  std::vector<std::pair<double, double>> anchors_;
+};
+
+/// Finite mixture: picks component i with probability weight_i / sum(weights).
+class Mixture final : public Distribution {
+ public:
+  Mixture(std::vector<double> weights, std::vector<DistributionPtr> components);
+  double sample(Rng& rng) const override;
+
+  /// Draw a component according to the mixture weights (used by workload
+  /// generators that fix one component per batch: a user script typically
+  /// moves a directory of same-class files).
+  const DistributionPtr& pick_component(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+  std::vector<DistributionPtr> components_;
+};
+
+/// Discrete distribution over explicit values with the given weights.
+class Discrete final : public Distribution {
+ public:
+  Discrete(std::vector<double> values, std::vector<double> weights);
+  double sample(Rng& rng) const override;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace gridvc

@@ -1,0 +1,49 @@
+// Error handling primitives for the gridvc library.
+//
+// The library reports programmer errors (precondition violations) via
+// GRIDVC_REQUIRE, which throws gridvc::PreconditionError so tests can
+// observe the failure, and domain errors (e.g. unroutable endpoints,
+// rejected reservations) via dedicated exception types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gridvc {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an input file or record cannot be parsed.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulation entity is referenced that does not exist.
+class NotFoundError : public std::runtime_error {
+ public:
+  explicit NotFoundError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_failure(const char* expr, const char* file,
+                                              int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace gridvc
+
+/// Validate a documented precondition of a public entry point.
+#define GRIDVC_REQUIRE(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::gridvc::detail::precondition_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                          \
+  } while (false)

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the simulator draw from gridvc::Rng, a
+// xoshiro256** generator seeded via splitmix64. Determinism matters here:
+// every bench binary regenerates the paper's tables from a fixed seed, so
+// runs are exactly reproducible across machines and build modes (we never
+// rely on std::random_device or on unspecified standard-library
+// distribution algorithms).
+#pragma once
+
+#include <cstdint>
+
+namespace gridvc {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+/// Public because workload generators also use it to derive per-entity
+/// sub-seeds ("seed hashing").
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with explicit, value-semantics state.
+///
+/// Satisfies UniformRandomBitGenerator, so it can be used with standard
+/// distributions where exact reproducibility is not required; the library
+/// itself uses the bundled distribution implementations (distributions.hpp)
+/// which are fully specified.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator. Two generators constructed with the same seed
+  /// produce identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal deviate (Box–Muller; one value per call, cached pair).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential deviate with the given mean (not rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Lognormal deviate: exp(N(mu, sigma)). (mu/sigma are in log space.)
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Derive an independent generator for a sub-component. Streams derived
+  /// with distinct tags are statistically independent of each other and of
+  /// the parent's future output.
+  Rng fork(std::uint64_t tag);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace gridvc

@@ -1,0 +1,31 @@
+// Small string utilities shared across the library: splitting/trimming for
+// parsers, and printf-style numeric formatting for table renderers (GCC 12
+// has no std::format, so we provide the few formatters the reports need).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridvc {
+
+/// Split `text` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Format a double with `decimals` fractional digits ("12.34").
+std::string format_fixed(double value, int decimals);
+
+/// Format with thousands separators and `decimals` fractional digits
+/// ("12,037,604.5"), as the paper's tables print sizes.
+std::string format_grouped(double value, int decimals);
+
+/// Format a fraction as a percentage string with `decimals` digits ("56.87%").
+std::string format_percent(double fraction, int decimals);
+
+/// Case-sensitive prefix test.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace gridvc

@@ -1,0 +1,61 @@
+// Units used throughout the library.
+//
+// Conventions (matching the paper's):
+//   * time        — double seconds since simulation epoch (t = 0)
+//   * data sizes  — std::uint64_t bytes; 1 MB = 2^20 bytes, 1 GB = 2^30 bytes
+//                   (the paper states "assuming 1 MB = 2^20 bytes")
+//   * rates       — double bits per second; tables report Mbps/Gbps
+//
+// Helper literals and conversion functions keep call sites readable:
+//   `4 * GiB`, `mbps(682.2)`, `to_mbps(rate)`.
+#pragma once
+
+#include <cstdint>
+
+namespace gridvc {
+
+/// Simulation time in seconds.
+using Seconds = double;
+
+/// Data size in bytes.
+using Bytes = std::uint64_t;
+
+/// Data rate in bits per second.
+using BitsPerSecond = double;
+
+inline constexpr Bytes KiB = 1024ULL;
+inline constexpr Bytes MiB = 1024ULL * KiB;
+inline constexpr Bytes GiB = 1024ULL * MiB;
+inline constexpr Bytes TiB = 1024ULL * GiB;
+
+inline constexpr Seconds kMinute = 60.0;
+inline constexpr Seconds kHour = 3600.0;
+inline constexpr Seconds kDay = 86400.0;
+
+/// Construct a rate from megabits per second.
+constexpr BitsPerSecond mbps(double v) { return v * 1e6; }
+/// Construct a rate from gigabits per second.
+constexpr BitsPerSecond gbps(double v) { return v * 1e9; }
+
+/// Express a rate in megabits per second (for reporting).
+constexpr double to_mbps(BitsPerSecond r) { return r / 1e6; }
+/// Express a rate in gigabits per second (for reporting).
+constexpr double to_gbps(BitsPerSecond r) { return r / 1e9; }
+
+/// Express a size in (binary) megabytes, as the paper's tables do.
+constexpr double to_megabytes(Bytes b) { return static_cast<double>(b) / static_cast<double>(MiB); }
+/// Express a size in (binary) gigabytes.
+constexpr double to_gigabytes(Bytes b) { return static_cast<double>(b) / static_cast<double>(GiB); }
+
+/// Time to move `size` bytes at `rate` bits/s. Returns +inf for rate <= 0.
+constexpr Seconds transfer_time(Bytes size, BitsPerSecond rate) {
+  return rate > 0.0 ? (static_cast<double>(size) * 8.0) / rate
+                    : 1e300;  // effectively never completes
+}
+
+/// Average rate achieved moving `size` bytes in `duration` seconds.
+constexpr BitsPerSecond achieved_rate(Bytes size, Seconds duration) {
+  return duration > 0.0 ? (static_cast<double>(size) * 8.0) / duration : 0.0;
+}
+
+}  // namespace gridvc

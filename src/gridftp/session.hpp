@@ -1,0 +1,77 @@
+// Batch-session client.
+//
+// §VI-A: "Often scientists move lots of files because their simulation
+// programs or experiments create many files. Scripts are used to have
+// GridFTP move all files in one or more directories." The SessionRunner
+// is that script: it feeds a list of files to the TransferEngine with a
+// configurable in-flight concurrency (concurrent starts are why observed
+// inter-transfer gaps can be negative) and optional think-time between
+// files, and reports a session summary when the last file lands.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace gridvc::gridftp {
+
+struct SessionScript {
+  /// Files to move, in order.
+  std::vector<Bytes> file_sizes;
+  /// Maximum transfers in flight at once (globus-url-copy -cc style).
+  int concurrency = 1;
+  /// Think time between a completion and the next submission.
+  Seconds inter_file_gap = 0.0;
+  /// Template for every transfer (size is filled per file).
+  TransferSpec transfer_template;
+};
+
+struct SessionSummary {
+  std::uint64_t session_id = 0;
+  std::size_t transfers = 0;
+  Bytes total_bytes = 0;
+  Seconds start_time = 0.0;
+  Seconds end_time = 0.0;
+
+  Seconds duration() const { return end_time - start_time; }
+  BitsPerSecond effective_rate() const { return achieved_rate(total_bytes, duration()); }
+};
+
+class SessionRunner {
+ public:
+  using SessionDoneFn = std::function<void(const SessionSummary&)>;
+
+  SessionRunner(sim::Simulator& sim, TransferEngine& engine);
+  SessionRunner(const SessionRunner&) = delete;
+  SessionRunner& operator=(const SessionRunner&) = delete;
+
+  /// Begin a session now; several sessions may run concurrently.
+  /// Requires at least one file and concurrency >= 1.
+  std::uint64_t run(SessionScript script, SessionDoneFn on_done = nullptr);
+
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  struct ActiveSession {
+    SessionScript script;
+    SessionSummary summary;
+    std::size_t next_file = 0;
+    std::size_t in_flight = 0;
+    SessionDoneFn on_done;
+  };
+
+  void pump(std::uint64_t session_id);
+  void on_transfer_done(std::uint64_t session_id);
+
+  sim::Simulator& sim_;
+  TransferEngine& engine_;
+  std::map<std::uint64_t, ActiveSession> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gridvc::gridftp

@@ -1,0 +1,198 @@
+#include "gridftp/transfer_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::gridftp {
+
+TransferEngine::TransferEngine(net::Network& network, UsageStatsCollector& collector,
+                               TransferEngineConfig config, Rng rng)
+    : network_(network),
+      collector_(collector),
+      config_(config),
+      tcp_(config.tcp),
+      rng_(rng) {
+  GRIDVC_REQUIRE(config_.server_noise_sigma >= 0.0, "noise sigma must be non-negative");
+}
+
+void TransferEngine::attach_listener(Server* server) {
+  if (listened_.contains(server)) return;
+  listened_.insert(server);
+  server->set_change_listener([this] { refresh_caps(); });
+}
+
+std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
+  GRIDVC_REQUIRE(spec.src.server != nullptr && spec.dst.server != nullptr,
+                 "transfer endpoints need servers");
+  GRIDVC_REQUIRE(!spec.path.empty(), "transfer needs a network path");
+  GRIDVC_REQUIRE(spec.size > 0, "transfer size must be positive");
+  GRIDVC_REQUIRE(spec.streams >= 1 && spec.stripes >= 1, "streams/stripes must be >= 1");
+  GRIDVC_REQUIRE(spec.rtt > 0.0, "RTT must be positive");
+
+  const std::uint64_t id = next_id_++;
+  Active t;
+  t.id = id;
+  t.spec = spec;
+  t.submit_time = network_.simulator().now();
+  // Lognormal efficiency factor clamped at 1: CPU/disk jitter can only
+  // degrade a transfer below the configured hardware ceilings, never
+  // exceed them.
+  const double sigma = config_.server_noise_sigma;
+  t.noise =
+      sigma > 0.0 ? std::min(rng_.lognormal(-sigma * sigma / 2.0, sigma), 1.0) : 1.0;
+  t.on_done = std::move(on_done);
+
+  attach_listener(spec.src.server);
+  attach_listener(spec.dst.server);
+  spec.src.server->add_transfer(id, spec.stripes,
+                                spec.src.io == IoMode::kMemory ? IoMode::kMemory
+                                                               : IoMode::kDiskRead);
+  spec.dst.server->add_transfer(id, spec.stripes,
+                                spec.dst.io == IoMode::kMemory ? IoMode::kMemory
+                                                               : IoMode::kDiskWrite);
+
+  auto [it, inserted] = transfers_.emplace(id, std::move(t));
+  Active& active = it->second;
+
+  // The loss haircut and Slow Start penalty are computed against the
+  // steady rate the transfer would get if alone on its current caps.
+  const BitsPerSecond expected = std::max(1.0, transfer_cap(active));
+  active.loss_factor =
+      tcp_.loss_factor(spec.size, spec.streams, spec.rtt, expected, rng_);
+  const Bytes per_stripe = spec.size / static_cast<Bytes>(spec.stripes) + 1;
+  const Seconds penalty = tcp_.slow_start_penalty(
+      per_stripe, spec.streams, spec.rtt,
+      std::max(1.0, expected / static_cast<double>(spec.stripes)));
+
+  active.injection =
+      network_.simulator().schedule_in(penalty, [this, id] { begin_attempt(id); });
+  return id;
+}
+
+BitsPerSecond TransferEngine::transfer_cap(const Active& t) const {
+  // Which side does disk I/O was fixed at registration, so share()
+  // already reflects it.
+  const BitsPerSecond src_share = t.spec.src.server->share(t.id);
+  const BitsPerSecond dst_share = t.spec.dst.server->share(t.id);
+  const BitsPerSecond window =
+      tcp_.window_cap(t.spec.streams, t.spec.rtt) * static_cast<double>(t.spec.stripes);
+  return std::max(1.0, std::min({src_share, dst_share, window}) * t.noise * t.loss_factor);
+}
+
+void TransferEngine::begin_attempt(std::uint64_t id) {
+  Active& t = transfers_.at(id);
+  const Bytes remaining = t.spec.size - t.bytes_done;
+  ++t.attempts;
+  ++stats_.attempts;
+
+  // Decide up front whether this attempt dies partway; the final allowed
+  // attempt always goes through (GridFTP clients retry until done).
+  t.attempt_fails = config_.failure_probability > 0.0 &&
+                    t.attempts < config_.max_attempts &&
+                    rng_.bernoulli(config_.failure_probability);
+  if (t.attempt_fails) {
+    const double fraction = rng_.uniform(0.05, 0.95);
+    t.attempt_bytes = std::max<Bytes>(
+        1, static_cast<Bytes>(static_cast<double>(remaining) * fraction));
+  } else {
+    t.attempt_bytes = remaining;
+  }
+
+  const BitsPerSecond cap = transfer_cap(t);
+  const int stripes = t.spec.stripes;
+  const Bytes per_stripe = (t.attempt_bytes + static_cast<Bytes>(stripes) - 1) /
+                           static_cast<Bytes>(stripes);
+  t.flows.clear();
+  t.flows_remaining = static_cast<std::size_t>(stripes);
+  for (int s = 0; s < stripes; ++s) {
+    net::FlowOptions opts;
+    opts.cap = cap / static_cast<double>(stripes);
+    opts.guarantee = t.spec.guarantee / static_cast<double>(stripes);
+    const net::FlowId fid = network_.start_flow(
+        t.spec.path, per_stripe, opts,
+        [this, id](const net::FlowRecord&) { on_flow_complete(id); });
+    t.flows.push_back(fid);
+  }
+}
+
+void TransferEngine::on_flow_complete(std::uint64_t id) {
+  Active& t = transfers_.at(id);
+  GRIDVC_REQUIRE(t.flows_remaining > 0, "flow completion underflow");
+  if (--t.flows_remaining == 0) attempt_complete(id);
+}
+
+void TransferEngine::attempt_complete(std::uint64_t id) {
+  Active& t = transfers_.at(id);
+  t.bytes_done += t.attempt_bytes;
+  t.flows.clear();
+  if (t.bytes_done >= t.spec.size) {
+    finish(id);
+    return;
+  }
+  // This attempt failed partway: restart from the marker after a backoff
+  // (plus a fresh Slow Start ramp for the new connections).
+  GRIDVC_REQUIRE(t.attempt_fails, "attempt fell short without a failure");
+  ++stats_.failures;
+  const Bytes remaining = t.spec.size - t.bytes_done;
+  const Seconds penalty = tcp_.slow_start_penalty(
+      std::max<Bytes>(remaining / static_cast<Bytes>(t.spec.stripes), 1),
+      t.spec.streams, t.spec.rtt,
+      std::max(1.0, transfer_cap(t) / static_cast<double>(t.spec.stripes)));
+  t.injection = network_.simulator().schedule_in(
+      config_.retry_backoff + penalty, [this, id] { begin_attempt(id); });
+}
+
+void TransferEngine::finish(std::uint64_t id) {
+  auto node = transfers_.extract(id);
+  Active& t = node.mapped();
+  const Seconds now = network_.simulator().now();
+
+  TransferRecord record;
+  record.type = t.spec.type;
+  record.size = t.spec.size;
+  record.start_time = t.submit_time;
+  record.duration = now - t.submit_time;
+  record.server_host = t.spec.type == TransferType::kRetrieve ? t.spec.src.server->name()
+                                                              : t.spec.dst.server->name();
+  record.remote_host = t.spec.remote_host;
+  record.streams = t.spec.streams;
+  record.stripes = t.spec.stripes;
+  record.tcp_buffer = tcp_.config().stream_buffer;
+  record.block_size = t.spec.block_size;
+
+  t.spec.src.server->remove_transfer(id);
+  t.spec.dst.server->remove_transfer(id);
+
+  ++stats_.completed;
+  collector_.report(record);
+  if (t.on_done) t.on_done(record);
+}
+
+void TransferEngine::set_guarantee(std::uint64_t transfer_id, BitsPerSecond guarantee) {
+  const auto it = transfers_.find(transfer_id);
+  GRIDVC_REQUIRE(it != transfers_.end(), "set_guarantee on unknown transfer");
+  Active& t = it->second;
+  t.spec.guarantee = guarantee;
+  for (net::FlowId fid : t.flows) {
+    network_.update_guarantee(fid, guarantee / static_cast<double>(t.flows.size()));
+  }
+}
+
+void TransferEngine::refresh_caps() {
+  // Server callbacks fire inside add/remove_transfer, including from our
+  // own submit/finish paths; the guard prevents re-entrant refresh storms.
+  if (refreshing_) return;
+  refreshing_ = true;
+  for (auto& [id, t] : transfers_) {
+    if (t.flows.empty()) continue;
+    const BitsPerSecond cap = transfer_cap(t);
+    for (net::FlowId fid : t.flows) {
+      network_.update_cap(fid, cap / static_cast<double>(t.flows.size()));
+    }
+  }
+  refreshing_ = false;
+}
+
+}  // namespace gridvc::gridftp

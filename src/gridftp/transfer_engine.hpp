@@ -1,0 +1,145 @@
+// GridFTP transfer execution over the flow-level network.
+//
+// The engine turns a TransferSpec into data-plane flows and a usage-stats
+// record:
+//
+//   * striping: k stripes become k parallel flows of size/k bytes each,
+//     engaging up to k hosts at each server cluster (Table IX mechanism);
+//   * parallel TCP streams: bound each stripe's demand by the TCP window
+//     cap, and delay injection by the analytic Slow Start penalty
+//     (Figs 3-5 mechanism);
+//   * server contention: each transfer's aggregate demand is capped by
+//     min(source share, destination share) — shares shrink as concurrent
+//     transfers register, which is eq. (2)'s regime — multiplied by a
+//     per-transfer lognormal noise factor modelling CPU/disk jitter;
+//   * rare loss: a per-transfer multiplicative haircut from the TCP model;
+//   * virtual circuits: a transfer may carry a rate guarantee, which is
+//     split across its stripe flows.
+//
+// When the last stripe finishes, the engine reports a TransferRecord to
+// the UsageStatsCollector and fires the submitter's callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gridftp/server.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "gridftp/usage_stats.hpp"
+#include "net/network.hpp"
+#include "net/tcp_model.hpp"
+
+namespace gridvc::gridftp {
+
+/// One side of a transfer.
+struct EndpointSpec {
+  Server* server = nullptr;  ///< non-owning; must outlive the engine
+  IoMode io = IoMode::kMemory;
+};
+
+struct TransferSpec {
+  EndpointSpec src;
+  EndpointSpec dst;
+  net::Path path;        ///< network path from src to dst
+  Seconds rtt = 0.05;    ///< end-to-end round-trip time
+  Bytes size = 0;
+  int streams = 1;
+  int stripes = 1;
+  TransferType type = TransferType::kRetrieve;
+  std::string remote_host;            ///< logged as the other end
+  Bytes block_size = 256 * 1024;
+  BitsPerSecond guarantee = 0.0;      ///< VC rate guarantee (0 = best effort)
+};
+
+struct TransferEngineConfig {
+  net::TcpConfig tcp;
+  /// Log-space sigma of the per-transfer server-share noise (CPU/disk
+  /// jitter). The factor has mean 1.
+  double server_noise_sigma = 0.30;
+  /// Probability that any given attempt fails partway (connection reset,
+  /// server hiccup). GridFTP supports restart markers (§II "recovery from
+  /// failures during transfers"), so a failed attempt resumes from the
+  /// bytes already moved after `retry_backoff`.
+  double failure_probability = 0.0;
+  /// Attempts after which the transfer is forced through (the operator's
+  /// patience); the final attempt never fails.
+  int max_attempts = 5;
+  /// Pause between a failure and the restart.
+  Seconds retry_backoff = 5.0;
+};
+
+class TransferEngine {
+ public:
+  using DoneFn = std::function<void(const TransferRecord&)>;
+
+  TransferEngine(net::Network& network, UsageStatsCollector& collector,
+                 TransferEngineConfig config, Rng rng);
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
+
+  /// Start a transfer now. Requires a valid spec (servers set, non-empty
+  /// path, size > 0, streams/stripes >= 1). Returns the transfer id.
+  std::uint64_t submit(const TransferSpec& spec, DoneFn on_done = nullptr);
+
+  /// Attach or replace the rate guarantee of an in-flight transfer (its
+  /// circuit activated mid-transfer).
+  void set_guarantee(std::uint64_t transfer_id, BitsPerSecond guarantee);
+
+  std::size_t active_transfers() const { return transfers_.size(); }
+
+  const net::TcpModel& tcp_model() const { return tcp_; }
+
+  /// Failure/retry accounting across the engine's lifetime.
+  struct Stats {
+    std::uint64_t completed = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t failures = 0;  ///< attempts that ended in a mid-transfer failure
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Active {
+    std::uint64_t id = 0;
+    TransferSpec spec;
+    Seconds submit_time = 0.0;
+    double noise = 1.0;        ///< lognormal server-share factor
+    double loss_factor = 1.0;  ///< TCP loss haircut
+    Bytes bytes_done = 0;      ///< delivered by completed attempts
+    Bytes attempt_bytes = 0;   ///< size of the in-flight attempt
+    bool attempt_fails = false;
+    int attempts = 0;
+    std::vector<net::FlowId> flows;
+    std::size_t flows_remaining = 0;
+    DoneFn on_done;
+    sim::EventHandle injection;
+  };
+
+  void attach_listener(Server* server);
+  void begin_attempt(std::uint64_t id);
+  void on_flow_complete(std::uint64_t id);
+  void attempt_complete(std::uint64_t id);
+  void finish(std::uint64_t id);
+  /// Aggregate demand cap of a transfer right now.
+  BitsPerSecond transfer_cap(const Active& t) const;
+  /// Push refreshed caps into the network for every in-flight transfer.
+  void refresh_caps();
+
+  net::Network& network_;
+  UsageStatsCollector& collector_;
+  TransferEngineConfig config_;
+  net::TcpModel tcp_;
+  Rng rng_;
+  std::map<std::uint64_t, Active> transfers_;
+  std::set<Server*> listened_;
+  std::uint64_t next_id_ = 1;
+  bool refreshing_ = false;
+  Stats stats_;
+};
+
+}  // namespace gridvc::gridftp

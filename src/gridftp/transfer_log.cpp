@@ -1,0 +1,109 @@
+#include "gridftp/transfer_log.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gridvc::gridftp {
+
+namespace {
+const char* const kHeader = "type,size,start_time,duration,server,remote,streams,stripes,tcp_buffer,block_size";
+
+std::string type_code(TransferType t) { return t == TransferType::kStore ? "STOR" : "RETR"; }
+
+TransferType parse_type(const std::string& s) {
+  if (s == "STOR") return TransferType::kStore;
+  if (s == "RETR") return TransferType::kRetrieve;
+  throw ParseError("unknown transfer type: " + s);
+}
+}  // namespace
+
+void write_log(std::ostream& out, const TransferLog& log) {
+  out << kHeader << '\n';
+  for (const auto& r : log) {
+    CsvRow row{
+        type_code(r.type),
+        std::to_string(r.size),
+        format_fixed(r.start_time, 6),
+        format_fixed(r.duration, 6),
+        r.server_host,
+        r.remote_host,
+        std::to_string(r.streams),
+        std::to_string(r.stripes),
+        std::to_string(r.tcp_buffer),
+        std::to_string(r.block_size),
+    };
+    out << format_csv_line(row) << '\n';
+  }
+}
+
+TransferLog read_log(std::istream& in) {
+  const auto rows = read_csv(in);
+  GRIDVC_REQUIRE(!rows.empty(), "empty transfer log");
+  TransferLog log;
+  log.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const CsvRow& row = rows[i];
+    if (row.size() != 10) {
+      throw ParseError("transfer log row " + std::to_string(i) + " has " +
+                       std::to_string(row.size()) + " fields, expected 10");
+    }
+    try {
+      TransferRecord r;
+      r.type = parse_type(row[0]);
+      r.size = static_cast<Bytes>(std::stoull(row[1]));
+      r.start_time = std::stod(row[2]);
+      r.duration = std::stod(row[3]);
+      r.server_host = row[4];
+      r.remote_host = row[5];
+      r.streams = std::stoi(row[6]);
+      r.stripes = std::stoi(row[7]);
+      r.tcp_buffer = static_cast<Bytes>(std::stoull(row[8]));
+      r.block_size = static_cast<Bytes>(std::stoull(row[9]));
+      log.push_back(std::move(r));
+    } catch (const std::invalid_argument&) {
+      throw ParseError("unparsable numeric field in transfer log row " + std::to_string(i));
+    } catch (const std::out_of_range&) {
+      throw ParseError("numeric field out of range in transfer log row " + std::to_string(i));
+    }
+  }
+  return log;
+}
+
+void sort_by_start(TransferLog& log) {
+  std::stable_sort(log.begin(), log.end(), [](const TransferRecord& a, const TransferRecord& b) {
+    if (a.start_time != b.start_time) return a.start_time < b.start_time;
+    return a.end_time() < b.end_time();
+  });
+}
+
+void anonymize_remote_hosts(TransferLog& log) {
+  for (auto& r : log) r.remote_host.clear();
+}
+
+std::vector<double> throughputs_mbps(const TransferLog& log) {
+  std::vector<double> out;
+  out.reserve(log.size());
+  for (const auto& r : log) out.push_back(to_mbps(r.throughput()));
+  return out;
+}
+
+std::vector<double> sizes_megabytes(const TransferLog& log) {
+  std::vector<double> out;
+  out.reserve(log.size());
+  for (const auto& r : log) out.push_back(to_megabytes(r.size));
+  return out;
+}
+
+std::vector<double> durations_seconds(const TransferLog& log) {
+  std::vector<double> out;
+  out.reserve(log.size());
+  for (const auto& r : log) out.push_back(r.duration);
+  return out;
+}
+
+}  // namespace gridvc::gridftp

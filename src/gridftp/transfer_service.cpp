@@ -1,0 +1,115 @@
+#include "gridftp/transfer_service.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gridvc::gridftp {
+
+TransferService::TransferService(sim::Simulator& sim, TransferEngine& engine,
+                                 TransferServiceConfig config)
+    : sim_(sim), engine_(engine), config_(config) {
+  GRIDVC_REQUIRE(config_.max_active_tasks >= 1, "service needs at least one task slot");
+  GRIDVC_REQUIRE(config_.per_task_concurrency >= 1,
+                 "service needs at least one transfer lane per task");
+}
+
+std::uint64_t TransferService::submit(std::string label, std::vector<Bytes> files,
+                                      TransferSpec transfer_template, TaskDoneFn on_done) {
+  GRIDVC_REQUIRE(!files.empty(), "task needs at least one file");
+
+  const std::uint64_t id = next_id_++;
+  Task task;
+  task.status.id = id;
+  task.status.label = std::move(label);
+  task.status.files_total = files.size();
+  task.status.bytes_total =
+      std::accumulate(files.begin(), files.end(), Bytes{0});
+  task.status.submitted_at = sim_.now();
+  task.files = std::move(files);
+  task.transfer_template = std::move(transfer_template);
+  task.on_done = std::move(on_done);
+  tasks_.emplace(id, std::move(task));
+  queue_.push_back(id);
+  maybe_start_next();
+  return id;
+}
+
+void TransferService::maybe_start_next() {
+  while (active_ < static_cast<std::size_t>(config_.max_active_tasks) && !queue_.empty()) {
+    const std::uint64_t id = queue_.front();
+    queue_.pop_front();
+    Task& task = tasks_.at(id);
+    if (task.status.state == TaskState::kCancelled) continue;  // cancelled while queued
+    task.status.state = TaskState::kActive;
+    task.status.started_at = sim_.now();
+    ++active_;
+    pump(id);
+  }
+}
+
+void TransferService::pump(std::uint64_t task_id) {
+  Task& task = tasks_.at(task_id);
+  if (task.status.state != TaskState::kActive) return;
+  while (!task.cancelled && task.next_file < task.files.size() &&
+         task.in_flight < static_cast<std::size_t>(config_.per_task_concurrency)) {
+    TransferSpec spec = task.transfer_template;
+    spec.size = task.files[task.next_file];
+    ++task.next_file;
+    ++task.in_flight;
+    engine_.submit(spec, [this, task_id](const TransferRecord& record) {
+      on_transfer_done(task_id, record);
+    });
+  }
+  if (task.in_flight == 0) {
+    finish_task(task, task.cancelled ? TaskState::kCancelled : TaskState::kSucceeded);
+  }
+}
+
+void TransferService::on_transfer_done(std::uint64_t task_id, const TransferRecord& record) {
+  Task& task = tasks_.at(task_id);
+  GRIDVC_REQUIRE(task.in_flight > 0, "task in-flight underflow");
+  --task.in_flight;
+  ++task.status.files_done;
+  task.status.bytes_done += record.size;
+  pump(task_id);
+}
+
+void TransferService::finish_task(Task& task, TaskState state) {
+  task.status.state = state;
+  task.status.finished_at = sim_.now();
+  GRIDVC_REQUIRE(active_ > 0, "active task underflow");
+  --active_;
+  if (task.on_done) task.on_done(task.status);
+  maybe_start_next();
+}
+
+bool TransferService::cancel(std::uint64_t task_id) {
+  const auto it = tasks_.find(task_id);
+  GRIDVC_REQUIRE(it != tasks_.end(), "cancel of unknown task");
+  Task& task = it->second;
+  switch (task.status.state) {
+    case TaskState::kQueued:
+      task.status.state = TaskState::kCancelled;
+      task.status.finished_at = sim_.now();
+      task.cancelled = true;
+      if (task.on_done) task.on_done(task.status);
+      return true;
+    case TaskState::kActive:
+      if (task.cancelled) return false;
+      task.cancelled = true;  // in-flight transfers drain; no new starts
+      return true;
+    case TaskState::kSucceeded:
+    case TaskState::kCancelled:
+      return false;
+  }
+  return false;
+}
+
+const TaskStatus& TransferService::status(std::uint64_t task_id) const {
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) throw NotFoundError("unknown transfer task");
+  return it->second.status;
+}
+
+}  // namespace gridvc::gridftp

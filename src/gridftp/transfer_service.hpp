@@ -1,0 +1,109 @@
+// Managed transfer service, in the spirit of Globus Online (§V).
+//
+// The paper's users drive GridFTP from hand-rolled scripts (the sessions
+// of §VI-A); the hosted-service successor queues *tasks* — a named batch
+// of files between two endpoints — schedules them with bounded
+// concurrency, rides out failures via the engine's restart-marker
+// retries, and exposes queryable progress. This layer is what converts
+// "sessions" from an emergent artifact of user scripts into a first-class
+// scheduling unit — exactly the entity a VC-aware service would request
+// circuits for.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gridftp/transfer_engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace gridvc::gridftp {
+
+struct TransferServiceConfig {
+  /// Tasks running at once; excess submissions queue FIFO.
+  int max_active_tasks = 4;
+  /// Transfers in flight per task.
+  int per_task_concurrency = 2;
+};
+
+enum class TaskState : std::uint8_t {
+  kQueued,
+  kActive,
+  kSucceeded,
+  kCancelled,
+};
+
+struct TaskStatus {
+  std::uint64_t id = 0;
+  std::string label;
+  TaskState state = TaskState::kQueued;
+  std::size_t files_total = 0;
+  std::size_t files_done = 0;
+  Bytes bytes_total = 0;
+  Bytes bytes_done = 0;
+  Seconds submitted_at = 0.0;
+  Seconds started_at = 0.0;
+  Seconds finished_at = 0.0;
+
+  double progress() const {
+    return bytes_total > 0
+               ? static_cast<double>(bytes_done) / static_cast<double>(bytes_total)
+               : 0.0;
+  }
+};
+
+class TransferService {
+ public:
+  using TaskDoneFn = std::function<void(const TaskStatus&)>;
+
+  TransferService(sim::Simulator& sim, TransferEngine& engine,
+                  TransferServiceConfig config = {});
+  TransferService(const TransferService&) = delete;
+  TransferService& operator=(const TransferService&) = delete;
+
+  /// Queue a task: move `files` using `transfer_template` (size filled
+  /// per file). Requires at least one file. Returns the task id.
+  std::uint64_t submit(std::string label, std::vector<Bytes> files,
+                       TransferSpec transfer_template, TaskDoneFn on_done = nullptr);
+
+  /// Cancel a task. Queued tasks never start; active tasks stop
+  /// submitting new files (in-flight transfers drain and are counted).
+  /// Completed tasks are left untouched; returns whether the cancel had
+  /// any effect.
+  bool cancel(std::uint64_t task_id);
+
+  /// Current status snapshot. Throws NotFoundError for unknown ids.
+  const TaskStatus& status(std::uint64_t task_id) const;
+
+  std::size_t queued_tasks() const { return queue_.size(); }
+  std::size_t active_tasks() const { return active_; }
+
+ private:
+  struct Task {
+    TaskStatus status;
+    std::vector<Bytes> files;
+    TransferSpec transfer_template;
+    std::size_t next_file = 0;
+    std::size_t in_flight = 0;
+    bool cancelled = false;
+    TaskDoneFn on_done;
+  };
+
+  void maybe_start_next();
+  void pump(std::uint64_t task_id);
+  void on_transfer_done(std::uint64_t task_id, const TransferRecord& record);
+  void finish_task(Task& task, TaskState state);
+
+  sim::Simulator& sim_;
+  TransferEngine& engine_;
+  TransferServiceConfig config_;
+  std::map<std::uint64_t, Task> tasks_;
+  std::deque<std::uint64_t> queue_;
+  std::size_t active_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gridvc::gridftp

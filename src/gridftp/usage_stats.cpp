@@ -1,0 +1,29 @@
+#include "gridftp/usage_stats.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gridvc::gridftp {
+
+UsageStatsCollector::UsageStatsCollector(double drop_probability, Rng rng)
+    : drop_probability_(drop_probability), rng_(rng) {
+  GRIDVC_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0,
+                 "drop probability must be in [0, 1)");
+}
+
+void UsageStatsCollector::report(const TransferRecord& record) {
+  if (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_)) {
+    ++dropped_;
+    return;
+  }
+  log_.push_back(record);
+}
+
+TransferLog UsageStatsCollector::take_log() {
+  TransferLog out = std::move(log_);
+  log_.clear();
+  return out;
+}
+
+}  // namespace gridvc::gridftp

@@ -1,0 +1,40 @@
+// Usage-statistics collection.
+//
+// §II: "GridFTP servers send usage statistics in UDP packets at the end of
+// each transfer to a server maintained by the Globus organization." The
+// collector is that sink: the transfer engine reports each finished
+// transfer here, and analyses read the accumulated log. A drop probability
+// models UDP loss / servers with the feature disabled.
+#pragma once
+
+#include "common/rng.hpp"
+#include "gridftp/transfer_log.hpp"
+
+namespace gridvc::gridftp {
+
+class UsageStatsCollector {
+ public:
+  /// `drop_probability` is the chance a report never arrives.
+  explicit UsageStatsCollector(double drop_probability = 0.0,
+                               Rng rng = Rng(0xC011EC7ULL));
+
+  /// Report one finished transfer (called by the engine).
+  void report(const TransferRecord& record);
+
+  /// All received records in arrival order.
+  const TransferLog& log() const { return log_; }
+
+  /// Move the log out (collector resets to empty).
+  TransferLog take_log();
+
+  std::size_t received() const { return log_.size(); }
+  std::size_t dropped() const { return dropped_; }
+
+ private:
+  double drop_probability_;
+  Rng rng_;
+  TransferLog log_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace gridvc::gridftp

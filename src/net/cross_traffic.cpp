@@ -1,0 +1,43 @@
+#include "net/cross_traffic.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+
+CrossTrafficSource::CrossTrafficSource(Network& network, Path path,
+                                       CrossTrafficConfig config, Rng rng, Seconds start)
+    : network_(network), path_(std::move(path)), config_(std::move(config)), rng_(rng) {
+  GRIDVC_REQUIRE(!path_.empty(), "cross-traffic path must not be empty");
+  GRIDVC_REQUIRE(config_.mean_interarrival > 0.0, "mean inter-arrival must be positive");
+  if (!config_.size_distribution) {
+    // Default: mouse-dominated web-like mix, median ~100 KB, heavy tail.
+    config_.size_distribution =
+        std::make_shared<TruncatedLogNormal>(100.0 * 1024.0, 2.0, 1024.0, 1e9);
+  }
+  next_arrival_ = network_.simulator().schedule_at(
+      start + rng_.exponential(config_.mean_interarrival), [this] { schedule_next(); });
+}
+
+CrossTrafficSource::~CrossTrafficSource() { stop(); }
+
+void CrossTrafficSource::stop() {
+  stopped_ = true;
+  next_arrival_.cancel();
+}
+
+void CrossTrafficSource::schedule_next() {
+  if (stopped_) return;
+  const double raw = config_.size_distribution->sample(rng_);
+  const Bytes size = static_cast<Bytes>(std::max(1.0, raw));
+  FlowOptions opts;
+  opts.cap = config_.flow_cap;
+  network_.start_flow(path_, size, opts, nullptr);
+  ++flows_started_;
+  bytes_offered_ += static_cast<double>(size);
+  next_arrival_ = network_.simulator().schedule_in(
+      rng_.exponential(config_.mean_interarrival), [this] { schedule_next(); });
+}
+
+}  // namespace gridvc::net

@@ -1,0 +1,62 @@
+// Background ("general-purpose") traffic generator.
+//
+// The paper's §VII-C finds ESnet backbone links lightly loaded: GridFTP
+// α flows dominate total link bytes (Table XI) while the remaining traffic
+// neither correlates with nor affects the transfers (Table XII). To
+// reproduce that, each backbone path carries a Poisson stream of small
+// best-effort flows whose aggregate offered load is a configurable (small)
+// fraction of link capacity.
+#pragma once
+
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+
+namespace gridvc::net {
+
+struct CrossTrafficConfig {
+  /// Mean flow inter-arrival time.
+  Seconds mean_interarrival = 1.0;
+  /// Flow size distribution (bytes). Defaults to a mouse-heavy lognormal.
+  DistributionPtr size_distribution;
+  /// Per-flow rate cap (models access-link speed of general-purpose
+  /// sources); <= 0 for uncapped.
+  BitsPerSecond flow_cap = 0.0;
+};
+
+/// Generates background flows along a fixed path until stopped.
+class CrossTrafficSource {
+ public:
+  /// Flows follow `path` through `network`. Arrivals start at time
+  /// `start`. The source holds a copy of `rng` forked for independence.
+  CrossTrafficSource(Network& network, Path path, CrossTrafficConfig config, Rng rng,
+                     Seconds start = 0.0);
+  ~CrossTrafficSource();
+  CrossTrafficSource(const CrossTrafficSource&) = delete;
+  CrossTrafficSource& operator=(const CrossTrafficSource&) = delete;
+
+  /// Stop generating new arrivals (in-flight flows drain normally).
+  void stop();
+
+  /// Flows injected so far.
+  std::size_t flows_started() const { return flows_started_; }
+  /// Total bytes offered so far.
+  double bytes_offered() const { return bytes_offered_; }
+
+ private:
+  void schedule_next();
+
+  Network& network_;
+  Path path_;
+  CrossTrafficConfig config_;
+  Rng rng_;
+  std::size_t flows_started_ = 0;
+  double bytes_offered_ = 0.0;
+  bool stopped_ = false;
+  sim::EventHandle next_arrival_;
+};
+
+}  // namespace gridvc::net

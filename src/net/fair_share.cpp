@@ -1,0 +1,130 @@
+#include "net/fair_share.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+
+namespace {
+constexpr double kEps = 1e-3;  // bits/s; far below any meaningful WAN rate
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows) {
+  const std::size_t nflows = flows.size();
+  const std::size_t nlinks = topo.link_count();
+  Allocation out;
+  out.rates.assign(nflows, 0.0);
+  if (nflows == 0) return out;
+
+  for (const auto& f : flows) {
+    GRIDVC_REQUIRE(!f.path.empty(), "flow with empty path");
+    for (LinkId l : f.path) {
+      GRIDVC_REQUIRE(l < nlinks, "flow path references unknown link");
+    }
+    GRIDVC_REQUIRE(f.guarantee >= 0.0, "negative guarantee");
+  }
+
+  std::vector<double> residual(nlinks);
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    residual[l] = topo.link(static_cast<LinkId>(l)).capacity;
+  }
+
+  // Phase 1: rate guarantees. If a link is oversubscribed by guarantees
+  // (should not happen under VC admission control) scale each crossing
+  // flow's guarantee by the worst per-link factor on its path.
+  std::vector<double> guarantee_load(nlinks, 0.0);
+  for (const auto& f : flows) {
+    const double g = f.cap > 0.0 ? std::min(f.guarantee, f.cap) : f.guarantee;
+    if (g <= 0.0) continue;
+    for (LinkId l : f.path) guarantee_load[l] += g;
+  }
+  std::vector<double> link_scale(nlinks, 1.0);
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    if (guarantee_load[l] > residual[l]) link_scale[l] = residual[l] / guarantee_load[l];
+  }
+  std::vector<double> base(nflows, 0.0);
+  for (std::size_t i = 0; i < nflows; ++i) {
+    double g = flows[i].cap > 0.0 ? std::min(flows[i].guarantee, flows[i].cap)
+                                  : flows[i].guarantee;
+    if (g <= 0.0) continue;
+    double scale = 1.0;
+    for (LinkId l : flows[i].path) scale = std::min(scale, link_scale[l]);
+    base[i] = g * scale;
+  }
+  for (std::size_t i = 0; i < nflows; ++i) {
+    out.rates[i] = base[i];
+    for (LinkId l : flows[i].path) {
+      residual[l] = std::max(0.0, residual[l] - base[i]);
+    }
+  }
+
+  // Phase 2: progressive filling of the residual capacity.
+  std::vector<bool> active(nflows, true);
+  for (std::size_t i = 0; i < nflows; ++i) {
+    if (flows[i].cap > 0.0 && out.rates[i] >= flows[i].cap - kEps) active[i] = false;
+  }
+
+  std::vector<std::size_t> active_on_link(nlinks, 0);
+  auto recount = [&] {
+    std::fill(active_on_link.begin(), active_on_link.end(), 0);
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (!active[i]) continue;
+      for (LinkId l : flows[i].path) ++active_on_link[l];
+    }
+  };
+  recount();
+
+  // Each iteration freezes at least one flow (cap hit) or saturates at
+  // least one link, so the loop runs at most nflows + nlinks times.
+  for (std::size_t iter = 0; iter < nflows + nlinks + 1; ++iter) {
+    double delta = kInf;
+    for (std::size_t l = 0; l < nlinks; ++l) {
+      if (active_on_link[l] == 0) continue;
+      delta = std::min(delta, residual[l] / static_cast<double>(active_on_link[l]));
+    }
+    bool any_active = false;
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (!active[i]) continue;
+      any_active = true;
+      if (flows[i].cap > 0.0) delta = std::min(delta, flows[i].cap - out.rates[i]);
+    }
+    if (!any_active || delta == kInf) break;
+    delta = std::max(delta, 0.0);
+
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (!active[i]) continue;
+      out.rates[i] += delta;
+      for (LinkId l : flows[i].path) {
+        residual[l] -= delta;
+      }
+    }
+
+    // Freeze flows that hit their cap or a saturated link.
+    bool froze = false;
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (!active[i]) continue;
+      bool saturated = flows[i].cap > 0.0 && out.rates[i] >= flows[i].cap - kEps;
+      if (!saturated) {
+        for (LinkId l : flows[i].path) {
+          if (residual[l] <= kEps) {
+            saturated = true;
+            break;
+          }
+        }
+      }
+      if (saturated) {
+        active[i] = false;
+        froze = true;
+      }
+    }
+    if (!froze) break;  // numerical stall guard
+    recount();
+  }
+
+  return out;
+}
+
+}  // namespace gridvc::net

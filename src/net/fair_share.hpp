@@ -1,0 +1,49 @@
+// Max-min fair bandwidth allocation with rate guarantees.
+//
+// The flow-level network model assigns each active flow a rate via
+// progressive filling:
+//
+//   1. Guaranteed (virtual-circuit) flows are allocated
+//      min(guarantee, demand cap) off the top of each link they traverse —
+//      that is the OSCARS rate guarantee.
+//   2. Remaining capacity is shared max-min among all flows (guaranteed
+//      flows may also claim idle headroom beyond their guarantee, matching
+//      the paper's observation that a VC "allows for shared usage of
+//      assigned capacity" — idle VC bandwidth is not wasted).
+//
+// Each flow can carry a demand cap (from the TCP window model or the
+// sending server's per-transfer share); a flow never receives more than
+// its cap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/topology.hpp"
+
+namespace gridvc::net {
+
+/// Input to the allocator: one entry per active flow.
+struct FlowDemand {
+  Path path;                      ///< directed links traversed
+  BitsPerSecond cap = 0.0;        ///< demand ceiling (<=0 means unbounded)
+  BitsPerSecond guarantee = 0.0;  ///< reserved VC rate (0 for best-effort)
+};
+
+/// Computed allocation, one rate per input flow (same order).
+struct Allocation {
+  std::vector<BitsPerSecond> rates;
+};
+
+/// Compute the allocation for `flows` over `topo`.
+///
+/// Guarantees are honored first (clipped to link capacity if operators
+/// oversubscribed a link — the allocator scales guarantees down
+/// proportionally on any link where their sum exceeds capacity, which the
+/// admission control in src/vc/ prevents in normal operation). The residual
+/// capacity is then distributed by progressive filling: all unfrozen flows
+/// receive equal increments until they hit their cap or a saturated link.
+Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows);
+
+}  // namespace gridvc::net

@@ -1,0 +1,169 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+
+namespace {
+// Completions within this many bytes are treated as done; absorbs fluid
+// floating-point residue.
+constexpr double kByteEps = 0.5;
+}  // namespace
+
+Network::Network(sim::Simulator& sim, Topology topology)
+    : sim_(sim), topo_(std::move(topology)), link_bytes_(topo_.link_count(), 0.0) {}
+
+FlowId Network::start_flow(Path path, Bytes size, FlowOptions options,
+                           CompletionFn on_complete) {
+  GRIDVC_REQUIRE(!path.empty(), "flow path must not be empty");
+  GRIDVC_REQUIRE(size > 0, "flow size must be positive");
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    GRIDVC_REQUIRE(topo_.link(path[i]).from == topo_.link(path[i - 1]).to,
+                   "flow path is not a connected chain");
+  }
+
+  const FlowId id = next_id_++;
+  ActiveFlow f;
+  f.path = std::move(path);
+  f.size = size;
+  f.bytes_remaining = static_cast<double>(size);
+  f.cap = options.cap;
+  f.guarantee = options.guarantee;
+  f.start_time = sim_.now();
+  f.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(f));
+  recompute();
+  return id;
+}
+
+void Network::update_cap(FlowId id, BitsPerSecond cap) {
+  const auto it = flows_.find(id);
+  GRIDVC_REQUIRE(it != flows_.end(), "update_cap on unknown flow");
+  if (it->second.cap == cap) return;
+  it->second.cap = cap;
+  recompute();
+}
+
+void Network::update_guarantee(FlowId id, BitsPerSecond guarantee) {
+  const auto it = flows_.find(id);
+  GRIDVC_REQUIRE(it != flows_.end(), "update_guarantee on unknown flow");
+  GRIDVC_REQUIRE(guarantee >= 0.0, "negative guarantee");
+  if (it->second.guarantee == guarantee) return;
+  it->second.guarantee = guarantee;
+  recompute();
+}
+
+void Network::abort_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  GRIDVC_REQUIRE(it != flows_.end(), "abort_flow on unknown flow");
+  settle();
+  it->second.completion.cancel();
+  flows_.erase(it);
+  recompute();
+}
+
+BitsPerSecond Network::current_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  GRIDVC_REQUIRE(it != flows_.end(), "current_rate on unknown flow");
+  return it->second.rate;
+}
+
+Bytes Network::remaining_bytes(FlowId id) {
+  settle();
+  const auto it = flows_.find(id);
+  GRIDVC_REQUIRE(it != flows_.end(), "remaining_bytes on unknown flow");
+  return static_cast<Bytes>(std::max(0.0, it->second.bytes_remaining));
+}
+
+Bytes Network::sent_bytes(FlowId id) {
+  settle();
+  const auto it = flows_.find(id);
+  GRIDVC_REQUIRE(it != flows_.end(), "sent_bytes on unknown flow");
+  const double sent = static_cast<double>(it->second.size) - it->second.bytes_remaining;
+  return static_cast<Bytes>(std::max(0.0, sent));
+}
+
+std::vector<FlowId> Network::active_flows() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) ids.push_back(id);
+  return ids;
+}
+
+Bytes Network::flow_size(FlowId id) const {
+  const auto it = flows_.find(id);
+  GRIDVC_REQUIRE(it != flows_.end(), "flow_size on unknown flow");
+  return it->second.size;
+}
+
+double Network::link_bytes(LinkId id) {
+  GRIDVC_REQUIRE(id < link_bytes_.size(), "link id out of range");
+  settle();
+  return link_bytes_[id];
+}
+
+void Network::settle() {
+  const Seconds now = sim_.now();
+  const Seconds elapsed = now - last_settle_;
+  if (elapsed <= 0.0) return;
+  for (auto& [id, f] : flows_) {
+    const double sent = std::min(f.bytes_remaining, f.rate * elapsed / 8.0);
+    f.bytes_remaining -= sent;
+    for (LinkId l : f.path) link_bytes_[l] += sent;
+  }
+  last_settle_ = now;
+}
+
+void Network::recompute() {
+  settle();
+
+  std::vector<FlowDemand> demands;
+  std::vector<FlowId> order;
+  demands.reserve(flows_.size());
+  order.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    demands.push_back(FlowDemand{f.path, f.cap, f.guarantee});
+    order.push_back(id);
+  }
+  const Allocation alloc = max_min_allocate(topo_, demands);
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ActiveFlow& f = flows_.at(order[i]);
+    f.rate = alloc.rates[i];
+    f.completion.cancel();
+    if (f.bytes_remaining <= kByteEps) {
+      // Finished (or within fluid rounding of finished): complete now.
+      const FlowId id = order[i];
+      f.completion = sim_.schedule_in(0.0, [this, id] { complete_flow(id); });
+    } else if (f.rate > 0.0) {
+      const Seconds eta = f.bytes_remaining * 8.0 / f.rate;
+      const FlowId id = order[i];
+      f.completion = sim_.schedule_in(eta, [this, id] { complete_flow(id); });
+    }
+    // rate == 0: the flow is stalled; it will be rescheduled by the next
+    // recompute that gives it bandwidth.
+  }
+}
+
+void Network::complete_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // aborted concurrently
+  settle();
+  if (it->second.bytes_remaining > kByteEps) {
+    // A rate change outran this event; recompute() already rescheduled it.
+    return;
+  }
+  FlowRecord record;
+  record.id = id;
+  record.size = it->second.size;
+  record.start_time = it->second.start_time;
+  record.end_time = sim_.now();
+  CompletionFn callback = std::move(it->second.on_complete);
+  flows_.erase(it);
+  recompute();
+  if (callback) callback(record);
+}
+
+}  // namespace gridvc::net

@@ -1,0 +1,123 @@
+// Flow-level network engine.
+//
+// The engine simulates elastic data flows over the Topology in a
+// discrete-event fashion: whenever the flow set changes (arrival,
+// completion, abort, or a cap/guarantee update), it settles per-flow byte
+// progress and per-link byte counters, recomputes the max-min fair
+// allocation (fair_share.hpp), and reschedules every flow's completion
+// event for its new rate. Per-link cumulative byte counters feed the SNMP
+// collector, which is how Tables X–XIII are regenerated.
+//
+// This is the standard fluid approximation for WAN-scale transfer studies:
+// packet-level effects enter only through the TCP model's demand caps and
+// slow-start penalty (see tcp_model.hpp and the transfer engine).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/fair_share.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace gridvc::net {
+
+using FlowId = std::uint64_t;
+
+/// Summary of a finished flow, passed to its completion callback.
+struct FlowRecord {
+  FlowId id = 0;
+  Bytes size = 0;
+  Seconds start_time = 0.0;
+  Seconds end_time = 0.0;
+  /// Average achieved rate, size / (end - start).
+  BitsPerSecond average_rate() const { return achieved_rate(size, end_time - start_time); }
+};
+
+/// Per-flow tuning knobs at start time.
+struct FlowOptions {
+  BitsPerSecond cap = 0.0;        ///< demand ceiling; <= 0 means unbounded
+  BitsPerSecond guarantee = 0.0;  ///< reserved VC rate (0 = best effort)
+};
+
+class Network {
+ public:
+  using CompletionFn = std::function<void(const FlowRecord&)>;
+
+  Network(sim::Simulator& sim, Topology topology);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const { return topo_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Inject a flow of `size` bytes along `path`. `on_complete` (may be
+  /// null) fires when the last byte is delivered. Requires a non-empty
+  /// valid path and size > 0.
+  FlowId start_flow(Path path, Bytes size, FlowOptions options, CompletionFn on_complete);
+
+  /// Change a flow's demand cap (e.g. the sending server's per-transfer
+  /// share changed). <= 0 removes the cap.
+  void update_cap(FlowId id, BitsPerSecond cap);
+
+  /// Change a flow's reserved rate (e.g. its VC was set up or torn down
+  /// mid-flow).
+  void update_guarantee(FlowId id, BitsPerSecond guarantee);
+
+  /// Remove a flow before completion; no callback fires.
+  void abort_flow(FlowId id);
+
+  /// Instantaneous allocated rate of an active flow.
+  BitsPerSecond current_rate(FlowId id) const;
+
+  /// Bytes still to deliver for an active flow (settled to now()).
+  Bytes remaining_bytes(FlowId id);
+
+  /// Bytes already delivered for an active flow (settled to now()).
+  Bytes sent_bytes(FlowId id);
+
+  /// Ids of all currently active flows, ascending. Traffic-engineering
+  /// components poll this to discover flows worth watching.
+  std::vector<FlowId> active_flows() const;
+
+  /// Total size of an active flow.
+  Bytes flow_size(FlowId id) const;
+
+  std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Cumulative bytes carried by a directed link, settled to now().
+  /// The SNMP collector samples this.
+  double link_bytes(LinkId id);
+
+  /// Bring byte accounting up to the current simulation time.
+  void settle();
+
+ private:
+  struct ActiveFlow {
+    Path path;
+    Bytes size = 0;
+    double bytes_remaining = 0.0;
+    BitsPerSecond cap = 0.0;
+    BitsPerSecond guarantee = 0.0;
+    BitsPerSecond rate = 0.0;
+    Seconds start_time = 0.0;
+    CompletionFn on_complete;
+    sim::EventHandle completion;
+  };
+
+  void recompute();
+  void complete_flow(FlowId id);
+
+  sim::Simulator& sim_;
+  Topology topo_;
+  // std::map keeps iteration in FlowId order -> deterministic allocation.
+  std::map<FlowId, ActiveFlow> flows_;
+  std::vector<double> link_bytes_;
+  Seconds last_settle_ = 0.0;
+  FlowId next_id_ = 1;
+};
+
+}  // namespace gridvc::net

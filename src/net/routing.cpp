@@ -1,0 +1,76 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+
+namespace {
+
+std::optional<Path> dijkstra(const Topology& topo, NodeId src, NodeId dst,
+                             const LinkFilter& usable,
+                             const std::function<double(const Link&)>& weight) {
+  GRIDVC_REQUIRE(src < topo.node_count() && dst < topo.node_count(),
+                 "routing endpoint out of range");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr LinkId kNoLink = std::numeric_limits<LinkId>::max();
+
+  std::vector<double> dist(topo.node_count(), kInf);
+  std::vector<LinkId> via(topo.node_count(), kNoLink);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  dist[src] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (u == dst) break;
+    for (LinkId lid : topo.outgoing(u)) {
+      if (usable && !usable(lid)) continue;
+      const Link& l = topo.link(lid);
+      const double nd = d + weight(l);
+      const NodeId v = l.to;
+      // Strict improvement, or equal cost with a smaller link id: the tie
+      // break makes path selection deterministic across platforms.
+      if (nd < dist[v] || (nd == dist[v] && via[v] != kNoLink && lid < via[v])) {
+        dist[v] = nd;
+        via[v] = lid;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+
+  if (src != dst && via[dst] == kNoLink) return std::nullopt;
+  Path path;
+  for (NodeId cur = dst; cur != src;) {
+    const LinkId lid = via[cur];
+    path.push_back(lid);
+    cur = topo.link(lid).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path(const Topology& topo, NodeId src, NodeId dst,
+                                  const LinkFilter& usable) {
+  return dijkstra(topo, src, dst, usable, [](const Link& l) {
+    // Delay plus an infinitesimal hop cost so zero-delay meshes still
+    // prefer fewer hops.
+    return l.delay + 1e-9;
+  });
+}
+
+std::optional<Path> min_hop_path(const Topology& topo, NodeId src, NodeId dst,
+                                 const LinkFilter& usable) {
+  return dijkstra(topo, src, dst, usable, [](const Link&) { return 1.0; });
+}
+
+}  // namespace gridvc::net

@@ -1,0 +1,29 @@
+// Shortest-path routing.
+//
+// IP-routed service: Dijkstra over propagation delay (BGP-style "you get
+// what the IGP gives you"). The virtual-circuit path computation in
+// src/vc/ builds on the same primitive but adds bandwidth-availability
+// constraints and link pruning.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/topology.hpp"
+
+namespace gridvc::net {
+
+/// Optional per-link filter; return false to exclude a link from the search.
+using LinkFilter = std::function<bool(LinkId)>;
+
+/// Least-delay path from src to dst, or nullopt if unreachable.
+/// Ties are broken deterministically by smaller predecessor link id.
+std::optional<Path> shortest_path(const Topology& topo, NodeId src, NodeId dst,
+                                  const LinkFilter& usable = nullptr);
+
+/// Least-hop path (unit weights); used by tests and the inter-domain VC
+/// controller's per-domain segment search.
+std::optional<Path> min_hop_path(const Topology& topo, NodeId src, NodeId dst,
+                                 const LinkFilter& usable = nullptr);
+
+}  // namespace gridvc::net

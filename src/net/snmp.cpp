@@ -1,0 +1,49 @@
+#include "net/snmp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+
+SnmpCollector::SnmpCollector(Network& network, std::vector<LinkId> links,
+                             Seconds bin_seconds, Seconds start)
+    : network_(network), links_(std::move(links)) {
+  GRIDVC_REQUIRE(bin_seconds > 0.0, "SNMP bin width must be positive");
+  GRIDVC_REQUIRE(!links_.empty(), "SNMP collector needs at least one link");
+  series_.resize(links_.size());
+  last_counter_.assign(links_.size(), 0.0);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    series_[i].link = links_[i];
+    series_[i].bin_seconds = bin_seconds;
+    series_[i].first_bin_start = start;
+    last_counter_[i] = 0.0;
+  }
+  // The first tick fires one bin after `start` and closes the first bin.
+  tick_ = network_.simulator().schedule_periodic(start + bin_seconds, bin_seconds, [this] {
+    sample();
+    return true;
+  });
+}
+
+SnmpCollector::~SnmpCollector() { tick_.cancel(); }
+
+void SnmpCollector::stop() { tick_.cancel(); }
+
+void SnmpCollector::sample() {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const double counter = network_.link_bytes(links_[i]);
+    series_[i].bins.push_back(counter - last_counter_[i]);
+    last_counter_[i] = counter;
+  }
+}
+
+const SnmpSeries& SnmpCollector::series(LinkId link) const {
+  const auto it = std::find(links_.begin(), links_.end(), link);
+  if (it == links_.end()) {
+    throw gridvc::NotFoundError("link not monitored by this SNMP collector");
+  }
+  return series_[static_cast<std::size_t>(it - links_.begin())];
+}
+
+}  // namespace gridvc::net

@@ -1,0 +1,64 @@
+// SNMP-style link usage collection.
+//
+// ESnet "configures its routers to collect byte counts (incoming and
+// outgoing) on all interfaces on a 30 second basis" (§VII-C). The collector
+// samples the Network's cumulative per-link byte counters on that cadence
+// and stores per-bin deltas, i.e. exactly the data of Table X. The
+// byte-attribution method of eq. (1) lives in src/analysis/ and consumes
+// these bins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace gridvc::net {
+
+/// One monitored interface's time series of 30-second byte counts.
+struct SnmpSeries {
+  LinkId link = 0;
+  Seconds bin_seconds = 30.0;
+  Seconds first_bin_start = 0.0;
+  /// bins[i] covers [first_bin_start + i*bin, first_bin_start + (i+1)*bin).
+  std::vector<double> bins;
+
+  /// Start time of bin `i`.
+  Seconds bin_start(std::size_t i) const {
+    return first_bin_start + static_cast<double>(i) * bin_seconds;
+  }
+};
+
+class SnmpCollector {
+ public:
+  /// Monitor the given links of `network`, sampling every `bin_seconds`
+  /// starting at time `start`. Sampling stops when the collector is
+  /// destroyed or stop() is called.
+  SnmpCollector(Network& network, std::vector<LinkId> links, Seconds bin_seconds = 30.0,
+                Seconds start = 0.0);
+  ~SnmpCollector();
+  SnmpCollector(const SnmpCollector&) = delete;
+  SnmpCollector& operator=(const SnmpCollector&) = delete;
+
+  /// Stop sampling (finalizes the current partial bin at the next tick).
+  void stop();
+
+  /// Retrieved series for a monitored link. Throws NotFoundError for an
+  /// unmonitored link.
+  const SnmpSeries& series(LinkId link) const;
+
+  const std::vector<LinkId>& monitored_links() const { return links_; }
+
+ private:
+  void sample();
+
+  Network& network_;
+  std::vector<LinkId> links_;
+  std::vector<SnmpSeries> series_;
+  std::vector<double> last_counter_;
+  sim::EventHandle tick_;
+};
+
+}  // namespace gridvc::net

@@ -1,0 +1,143 @@
+#include "net/tcp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+
+TcpModel::TcpModel(TcpConfig config) : config_(config) {
+  GRIDVC_REQUIRE(config_.mss > 0, "MSS must be positive");
+  GRIDVC_REQUIRE(config_.stream_buffer >= config_.mss, "stream buffer smaller than MSS");
+  GRIDVC_REQUIRE(config_.loss_probability >= 0.0 && config_.loss_probability <= 1.0,
+                 "loss probability out of range");
+  GRIDVC_REQUIRE(config_.slow_start_growth > 1.0, "slow-start growth must exceed 1");
+}
+
+BitsPerSecond TcpModel::window_cap(int streams, Seconds rtt) const {
+  GRIDVC_REQUIRE(streams >= 1, "stream count must be >= 1");
+  GRIDVC_REQUIRE(rtt > 0.0, "RTT must be positive");
+  return static_cast<double>(streams) * static_cast<double>(config_.stream_buffer) * 8.0 / rtt;
+}
+
+namespace {
+
+/// Piecewise ramp of the aggregate congestion window: an exponential
+/// Slow Start phase up to the (aggregate) ssthresh, then a linear
+/// congestion-avoidance climb to the steady window. All quantities are
+/// aggregates over the parallel streams; closed forms keep the model O(1)
+/// per transfer even for million-transfer trace synthesis.
+struct Ramp {
+  // Exponential phase: k1 rounds moving bytes1 bytes.
+  double k1 = 0.0;
+  double bytes1 = 0.0;
+  // Linear phase: k2 rounds moving bytes2 bytes.
+  double k2 = 0.0;
+  double bytes2 = 0.0;
+  // Parameters needed to invert the ramp for mid-ramp completions.
+  double start_window = 0.0;  ///< aggregate window at round 0
+  double ca_window = 0.0;     ///< aggregate window entering the CA phase
+  double ca_step = 0.0;       ///< CA window increment per round
+
+  double rounds() const { return k1 + k2; }
+  double bytes() const { return bytes1 + bytes2; }
+};
+
+Ramp compute_ramp(const TcpConfig& cfg, int streams, double steady_window) {
+  Ramp r;
+  const double n = static_cast<double>(streams);
+  r.start_window = n * static_cast<double>(cfg.mss);
+  if (r.start_window >= steady_window) return r;  // ramp is instantaneous
+
+  const double aggregate_ssthresh =
+      cfg.ssthresh_per_stream > 0
+          ? std::min(n * static_cast<double>(cfg.ssthresh_per_stream), steady_window)
+          : steady_window;
+
+  const double g = cfg.slow_start_growth;
+  if (r.start_window < aggregate_ssthresh) {
+    r.k1 = std::ceil(std::log(aggregate_ssthresh / r.start_window) / std::log(g));
+    // Geometric series: start * (g^k1 - 1) / (g - 1).
+    r.bytes1 = r.start_window * (std::pow(g, r.k1) - 1.0) / (g - 1.0);
+    r.ca_window = aggregate_ssthresh;
+  } else {
+    r.ca_window = r.start_window;
+  }
+
+  if (r.ca_window < steady_window) {
+    r.ca_step = cfg.ca_mss_per_rtt * n * static_cast<double>(cfg.mss);
+    r.k2 = std::ceil((steady_window - r.ca_window) / r.ca_step);
+    // Arithmetic series: k2 rounds starting at ca_window stepping ca_step.
+    r.bytes2 = r.k2 * r.ca_window + r.ca_step * r.k2 * (r.k2 - 1.0) / 2.0;
+  }
+  return r;
+}
+
+/// Rounds needed to move `size` bytes when the transfer completes inside
+/// the ramp.
+double rounds_within_ramp(const TcpConfig& cfg, const Ramp& r, double size) {
+  if (size <= r.bytes1) {
+    // Invert the geometric series.
+    const double g = cfg.slow_start_growth;
+    return std::ceil(std::log(1.0 + size * (g - 1.0) / r.start_window) / std::log(g));
+  }
+  // Invert the arithmetic series for the CA remainder:
+  //   (d/2) j^2 + (W0 - d/2) j - S >= 0.
+  const double remainder = size - r.bytes1;
+  const double d = r.ca_step;
+  const double b = r.ca_window - d / 2.0;
+  const double j = (-b + std::sqrt(b * b + 2.0 * d * remainder)) / d;
+  return r.k1 + std::ceil(j);
+}
+
+}  // namespace
+
+TcpModel::SlowStartProfile TcpModel::slow_start(int streams, Seconds rtt,
+                                                BitsPerSecond steady_rate) const {
+  GRIDVC_REQUIRE(steady_rate > 0.0, "steady rate must be positive");
+  // Steady aggregate window in bytes: rate * RTT / 8.
+  const double steady_window = steady_rate * rtt / 8.0;
+  const Ramp r = compute_ramp(config_, streams, steady_window);
+  SlowStartProfile p;
+  p.bytes = static_cast<Bytes>(r.bytes());
+  p.duration = r.rounds() * rtt;
+  return p;
+}
+
+Seconds TcpModel::transfer_duration(Bytes size, int streams, Seconds rtt,
+                                    BitsPerSecond share) const {
+  GRIDVC_REQUIRE(share > 0.0, "path share must be positive");
+  const BitsPerSecond steady = std::min(share, window_cap(streams, rtt));
+  const double steady_window = steady * rtt / 8.0;
+  const Ramp r = compute_ramp(config_, streams, steady_window);
+  const double bytes = static_cast<double>(size);
+  if (bytes <= r.bytes()) {
+    return rounds_within_ramp(config_, r, bytes) * rtt;
+  }
+  return r.rounds() * rtt + transfer_time(size - static_cast<Bytes>(r.bytes()), steady);
+}
+
+Seconds TcpModel::slow_start_penalty(Bytes size, int streams, Seconds rtt,
+                                     BitsPerSecond share) const {
+  const Seconds actual = transfer_duration(size, streams, rtt, share);
+  const BitsPerSecond steady = std::min(share, window_cap(streams, rtt));
+  const Seconds fluid = transfer_time(size, steady);
+  return std::max(0.0, actual - fluid);
+}
+
+double TcpModel::loss_factor(Bytes size, int streams, Seconds rtt, BitsPerSecond rate,
+                             Rng& rng) const {
+  if (config_.loss_probability <= 0.0) return 1.0;
+  if (!rng.bernoulli(config_.loss_probability)) return 1.0;
+  // One loss event: the afflicted stream runs at half rate for the
+  // recovery period (loss_recovery_rtts RTTs of linear regrowth), so the
+  // aggregate loses recovery * rate / (4 * streams) bit-seconds.
+  const Seconds duration = std::max(transfer_time(size, rate), rtt);
+  const Seconds recovery = std::min(config_.loss_recovery_rtts * rtt, duration);
+  const double deficit_fraction =
+      (recovery / duration) / (4.0 * static_cast<double>(streams));
+  return std::clamp(1.0 - deficit_fraction, 0.05, 1.0);
+}
+
+}  // namespace gridvc::net

@@ -1,0 +1,92 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gridvc::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Simulator::schedule_at(Seconds when, Callback fn) {
+  GRIDVC_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  GRIDVC_REQUIRE(fn != nullptr, "cannot schedule a null callback");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Scheduled{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+EventHandle Simulator::schedule_in(Seconds delay, Callback fn) {
+  GRIDVC_REQUIRE(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_periodic(Seconds start, Seconds period,
+                                         std::function<bool()> fn) {
+  GRIDVC_REQUIRE(period > 0.0, "periodic event needs a positive period");
+  GRIDVC_REQUIRE(fn != nullptr, "cannot schedule a null callback");
+  // The outer handle controls the whole periodic series: the wrapper
+  // re-schedules itself under the same cancellation flag.
+  auto cancelled = std::make_shared<bool>(false);
+  auto tick = std::make_shared<std::function<void(Seconds)>>();
+  *tick = [this, period, fn = std::move(fn), cancelled, tick](Seconds when) {
+    if (*cancelled) return;
+    if (!fn()) {
+      *cancelled = true;
+      return;
+    }
+    const Seconds next = when + period;
+    queue_.push(Scheduled{next, next_seq_++, [tick, next] { (*tick)(next); }, cancelled});
+  };
+  queue_.push(Scheduled{start, next_seq_++, [tick, start] { (*tick)(start); }, cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void Simulator::drop_dead_events() {
+  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+}
+
+bool Simulator::step() {
+  drop_dead_events();
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out so the callback
+  // may schedule/cancel freely while running.
+  Scheduled ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++dispatched_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Seconds deadline) {
+  GRIDVC_REQUIRE(deadline >= now_, "run_until deadline is in the past");
+  while (true) {
+    drop_dead_events();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    step();
+  }
+  now_ = deadline;
+}
+
+bool Simulator::idle() const {
+  // Cheap check: scan a copy-free heap is not possible with
+  // priority_queue, so idle() conservatively reports the queue state
+  // after dead-event removal done by const_cast-free means: we only look
+  // at emptiness here; callers that need exactness should use step().
+  if (queue_.empty()) return true;
+  // The top may be a cancelled tombstone; treat any live entry as busy.
+  // (We cannot iterate a priority_queue, so this errs on the busy side.)
+  return false;
+}
+
+}  // namespace gridvc::sim

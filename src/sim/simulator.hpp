@@ -1,0 +1,102 @@
+// Discrete-event simulation engine.
+//
+// All dynamic subsystems (the flow-level network, the GridFTP transfer
+// engine, the virtual-circuit controller, cross-traffic sources, SNMP
+// samplers) are driven by one Simulator. Events are (time, callback)
+// pairs; ties are broken by insertion order so runs are deterministic.
+//
+// Scheduled events can be cancelled through the returned EventHandle —
+// flow completions are rescheduled every time the fair-share allocator
+// changes a flow's rate, so cancellation is on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gridvc::sim {
+
+/// Cancellation token for a scheduled event. Copyable; all copies refer to
+/// the same scheduled occurrence.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing. Idempotent; safe after the event fired.
+  void cancel();
+
+  /// True if the event has neither fired nor been cancelled.
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The event loop.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (seconds since epoch 0).
+  Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when`. Scheduling in the past (before
+  /// now()) is a precondition violation.
+  EventHandle schedule_at(Seconds when, Callback fn);
+
+  /// Schedule `fn` after `delay` seconds. Requires delay >= 0.
+  EventHandle schedule_in(Seconds delay, Callback fn);
+
+  /// Schedule `fn` every `period` seconds, first firing at `start`.
+  /// The callback returns true to continue, false to stop.
+  EventHandle schedule_periodic(Seconds start, Seconds period, std::function<bool()> fn);
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Run events with time <= `deadline`; afterwards now() == max(now, deadline).
+  void run_until(Seconds deadline);
+
+  /// Process exactly one event if any is queued; returns false when empty.
+  bool step();
+
+  /// Number of events dispatched so far (diagnostics).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// True when no live (non-cancelled) events remain.
+  bool idle() const;
+
+ private:
+  struct Scheduled {
+    Seconds when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the top of the heap.
+  void drop_dead_events();
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace gridvc::sim

@@ -1,0 +1,69 @@
+#include "stats/binning.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::stats {
+
+using gridvc::Bytes;
+using gridvc::GiB;
+using gridvc::MiB;
+
+SizeBinner SizeBinner::paper_scheme() {
+  SizeBinner b;
+  for (Bytes edge = 0; edge < GiB; edge += MiB) b.edges_.push_back(edge);
+  for (Bytes edge = GiB; edge < 4 * GiB; edge += 100 * MiB) b.edges_.push_back(edge);
+  b.edges_.push_back(4 * GiB);  // final (short) bin closes exactly at 4 GiB
+  b.bins_.resize(b.edges_.size() - 1);
+  for (std::size_t i = 0; i + 1 < b.edges_.size(); ++i) {
+    b.bins_[i].lo = b.edges_[i];
+    b.bins_[i].hi = b.edges_[i + 1];
+  }
+  return b;
+}
+
+SizeBinner SizeBinner::fixed(Bytes width, Bytes limit) {
+  GRIDVC_REQUIRE(width > 0, "bin width must be positive");
+  GRIDVC_REQUIRE(limit > width, "bin limit must exceed width");
+  SizeBinner b;
+  for (Bytes edge = 0; edge <= limit; edge += width) b.edges_.push_back(edge);
+  if (b.edges_.back() < limit) b.edges_.push_back(limit);
+  b.bins_.resize(b.edges_.size() - 1);
+  for (std::size_t i = 0; i + 1 < b.edges_.size(); ++i) {
+    b.bins_[i].lo = b.edges_[i];
+    b.bins_[i].hi = b.edges_[i + 1];
+  }
+  return b;
+}
+
+std::optional<std::size_t> SizeBinner::bin_index(Bytes size) const {
+  if (edges_.empty() || size < edges_.front() || size >= edges_.back()) return std::nullopt;
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), size);
+  return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+void SizeBinner::add(Bytes size, double value) {
+  const auto idx = bin_index(size);
+  if (!idx) {
+    ++dropped_;
+    return;
+  }
+  bins_[*idx].values.push_back(value);
+}
+
+std::vector<BinnedMedianPoint> binned_medians(const SizeBinner& binner, std::size_t min_count) {
+  std::vector<BinnedMedianPoint> out;
+  for (const auto& bin : binner.bins()) {
+    if (bin.values.size() < std::max<std::size_t>(min_count, 1)) continue;
+    BinnedMedianPoint p;
+    p.size_mb = bin.center_bytes() / static_cast<double>(MiB);
+    p.median = median(bin.values);
+    p.count = bin.values.size();
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace gridvc::stats

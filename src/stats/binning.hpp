@@ -1,0 +1,66 @@
+// File-size binning for the parallel-TCP-stream analysis (§VII-B).
+//
+// The paper bins SLAC–BNL transfers by file size — 1 MB bins below 1 GB and
+// 100 MB bins from 1 GB to 4 GB — then compares the median throughput of
+// 1-stream vs 8-stream transfers per bin (Figs 3–5). SizeBinner implements
+// that exact scheme plus a general fixed-width scheme for ablations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gridvc::stats {
+
+/// A half-open size interval [lo, hi) with accumulated sample values.
+struct SizeBin {
+  gridvc::Bytes lo = 0;
+  gridvc::Bytes hi = 0;
+  std::vector<double> values;
+
+  double center_bytes() const { return 0.5 * (static_cast<double>(lo) + static_cast<double>(hi)); }
+};
+
+/// Bins observations keyed by size.
+class SizeBinner {
+ public:
+  /// Paper scheme: 1 MiB bins on [0, 1 GiB), 100 MiB bins on [1 GiB, 4 GiB].
+  static SizeBinner paper_scheme();
+
+  /// Fixed-width bins covering [0, limit) with the given width.
+  static SizeBinner fixed(gridvc::Bytes width, gridvc::Bytes limit);
+
+  /// Index of the bin containing `size`, or nullopt if out of range.
+  std::optional<std::size_t> bin_index(gridvc::Bytes size) const;
+
+  /// Add an observation; sizes outside the covered range are dropped and
+  /// counted in dropped().
+  void add(gridvc::Bytes size, double value);
+
+  const std::vector<SizeBin>& bins() const { return bins_; }
+  std::size_t dropped() const { return dropped_; }
+
+ private:
+  SizeBinner() = default;
+  // Boundaries of consecutive half-open bins: bins_[i] = [edges_[i], edges_[i+1]).
+  std::vector<gridvc::Bytes> edges_;
+  std::vector<SizeBin> bins_;
+  std::size_t dropped_ = 0;
+};
+
+/// One point of a per-bin median series (the plotted quantity of Figs 3/4).
+struct BinnedMedianPoint {
+  double size_mb = 0.0;      ///< bin center in MiB
+  double median = 0.0;       ///< median of the bin's values
+  std::size_t count = 0;     ///< observations in the bin (Fig 5)
+};
+
+/// Medians of all non-empty bins with at least `min_count` observations.
+std::vector<BinnedMedianPoint> binned_medians(const SizeBinner& binner,
+                                              std::size_t min_count = 1);
+
+}  // namespace gridvc::stats

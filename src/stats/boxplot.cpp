@@ -1,0 +1,88 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::stats {
+
+BoxStats box_stats(std::span<const double> values) {
+  GRIDVC_REQUIRE(!values.empty(), "box_stats of empty data");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  BoxStats b;
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.50);
+  b.q3 = quantile_sorted(sorted, 0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+
+  b.whisker_lo = sorted.back();
+  b.whisker_hi = sorted.front();
+  for (double v : sorted) {
+    if (v >= lo_fence) {
+      b.whisker_lo = v;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_hi = *it;
+      break;
+    }
+  }
+  for (double v : sorted) {
+    if (v < lo_fence || v > hi_fence) b.outliers.push_back(v);
+  }
+  return b;
+}
+
+std::string render_boxplots(std::span<const BoxGroup> groups, int width) {
+  if (groups.empty()) return "";
+  double lo = groups[0].stats.whisker_lo, hi = groups[0].stats.whisker_hi;
+  std::size_t label_width = 0;
+  for (const auto& g : groups) {
+    lo = std::min(lo, g.stats.whisker_lo);
+    hi = std::max(hi, g.stats.whisker_hi);
+    for (double o : g.stats.outliers) {
+      lo = std::min(lo, o);
+      hi = std::max(hi, o);
+    }
+    label_width = std::max(label_width, g.label.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  const auto col = [&](double v) {
+    const double f = (v - lo) / (hi - lo);
+    return static_cast<int>(std::lround(f * (width - 1)));
+  };
+
+  std::string out;
+  for (const auto& g : groups) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    const auto& s = g.stats;
+    for (int c = col(s.whisker_lo); c <= col(s.whisker_hi); ++c) line[c] = '-';
+    for (int c = col(s.q1); c <= col(s.q3); ++c) line[c] = '=';
+    line[col(s.whisker_lo)] = '|';
+    line[col(s.whisker_hi)] = '|';
+    line[col(s.q1)] = '[';
+    line[col(s.q3)] = ']';
+    line[col(s.median)] = 'M';
+    for (double o : s.outliers) line[col(o)] = 'o';
+
+    std::string label = g.label;
+    label.resize(label_width, ' ');
+    out += label + " " + line + "\n";
+  }
+  out += std::string(label_width + 1, ' ') + gridvc::format_fixed(lo, 0) +
+         std::string(std::max(1, width - 12), ' ') + gridvc::format_fixed(hi, 0) + "\n";
+  return out;
+}
+
+}  // namespace gridvc::stats

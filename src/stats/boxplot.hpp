@@ -1,0 +1,38 @@
+// Box-plot extraction (Fig 1: ANL→NERSC throughput by transfer type).
+//
+// Produces the five box statistics with Tukey 1.5·IQR whiskers plus the
+// outliers beyond them, and an ASCII rendering so bench binaries can print
+// the figure without a plotting stack.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gridvc::stats {
+
+/// Tukey box-plot statistics of one group.
+struct BoxStats {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_lo = 0.0;  ///< smallest value >= q1 - 1.5*IQR
+  double whisker_hi = 0.0;  ///< largest value <= q3 + 1.5*IQR
+  std::vector<double> outliers;
+};
+
+/// Compute box statistics. Requires non-empty input.
+BoxStats box_stats(std::span<const double> values);
+
+/// A labelled group in a multi-box chart.
+struct BoxGroup {
+  std::string label;
+  BoxStats stats;
+};
+
+/// Render groups as horizontal ASCII box plots sharing one axis:
+///   label |----[==|==]-----| o o
+/// with `width` characters between the global min and max.
+std::string render_boxplots(std::span<const BoxGroup> groups, int width = 60);
+
+}  // namespace gridvc::stats

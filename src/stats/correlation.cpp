@@ -1,0 +1,69 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  GRIDVC_REQUIRE(!x.empty(), "pearson of empty data");
+  GRIDVC_REQUIRE(x.size() == y.size(), "pearson size mismatch");
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+QuartileCorrelation correlate_by_quartile(std::span<const double> x,
+                                          std::span<const double> y,
+                                          std::span<const double> key) {
+  GRIDVC_REQUIRE(!x.empty(), "correlate_by_quartile of empty data");
+  GRIDVC_REQUIRE(x.size() == y.size() && x.size() == key.size(),
+                 "correlate_by_quartile size mismatch");
+  const double b1 = quantile(key, 0.25);
+  const double b2 = quantile(key, 0.50);
+  const double b3 = quantile(key, 0.75);
+
+  std::vector<std::vector<double>> xs(4), ys(4);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    std::size_t bucket;
+    if (key[i] <= b1) {
+      bucket = 0;
+    } else if (key[i] <= b2) {
+      bucket = 1;
+    } else if (key[i] <= b3) {
+      bucket = 2;
+    } else {
+      bucket = 3;
+    }
+    xs[bucket].push_back(x[i]);
+    ys[bucket].push_back(y[i]);
+  }
+
+  QuartileCorrelation out;
+  out.overall = pearson(x, y);
+  for (std::size_t q = 0; q < 4; ++q) {
+    out.quartile_counts.push_back(xs[q].size());
+    // A quartile needs >= 2 points for a meaningful coefficient.
+    out.by_quartile.push_back(xs[q].size() >= 2 ? pearson(xs[q], ys[q]) : 0.0);
+  }
+  return out;
+}
+
+}  // namespace gridvc::stats

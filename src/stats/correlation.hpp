@@ -1,0 +1,38 @@
+// Correlation analysis used by §VII-C/D of the paper: Pearson coefficients
+// between GridFTP byte counts and SNMP byte counts (Tables XI/XII) and
+// between predicted and actual throughput (Fig 8), including the paper's
+// per-quartile breakdown.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gridvc::stats {
+
+/// Pearson product-moment correlation of paired samples. Requires both
+/// spans non-empty and of equal size. Returns 0 when either variable has
+/// zero variance (a degenerate but well-defined convention for reports).
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Result of a per-quartile correlation analysis.
+struct QuartileCorrelation {
+  /// pearson(x, y) restricted to observations whose `key` falls in each
+  /// key-quartile (1st..4th), in order.
+  std::vector<double> by_quartile;
+  /// Correlation over all observations.
+  double overall = 0.0;
+  /// Number of observations in each quartile bucket.
+  std::vector<std::size_t> quartile_counts;
+};
+
+/// Split observations into four buckets by the quartiles of `key`
+/// (boundaries at Q1/Q2/Q3 of key; ties go to the lower bucket), then
+/// correlate x against y inside each bucket. This mirrors the paper's
+/// "divided into four quartiles based on throughput" methodology.
+/// Requires x, y, key of equal, non-zero size.
+QuartileCorrelation correlate_by_quartile(std::span<const double> x,
+                                          std::span<const double> y,
+                                          std::span<const double> key);
+
+}  // namespace gridvc::stats

@@ -1,0 +1,64 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gridvc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), step_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  GRIDVC_REQUIRE(lo < hi, "histogram range inverted");
+  GRIDVC_REQUIRE(buckets >= 1, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double value) {
+  double idx = std::floor((value - lo_) / step_);
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  GRIDVC_REQUIRE(bucket < counts_.size(), "bucket out of range");
+  return lo_ + step_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const { return bucket_lo(bucket) + step_; }
+
+double Histogram::cdf(double value) const {
+  if (total_ == 0) return 0.0;
+  if (value <= lo_) return 0.0;
+  if (value >= hi_) return 1.0;
+  std::size_t below = 0;
+  const double pos = (value - lo_) / step_;
+  const std::size_t full = static_cast<std::size_t>(std::floor(pos));
+  for (std::size_t i = 0; i < full && i < counts_.size(); ++i) below += counts_[i];
+  double partial = 0.0;
+  if (full < counts_.size()) {
+    partial = (pos - static_cast<double>(full)) * static_cast<double>(counts_[full]);
+  }
+  return (static_cast<double>(below) + partial) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(int width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(
+        std::lround(static_cast<double>(counts_[i]) / static_cast<double>(peak) * width));
+    out += "[" + gridvc::format_fixed(bucket_lo(i), 1) + ", " +
+           gridvc::format_fixed(bucket_hi(i), 1) + ") " + std::string(bar, '#') + " " +
+           std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gridvc::stats

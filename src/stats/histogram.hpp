@@ -1,0 +1,41 @@
+// Fixed-width histograms, used for reporting throughput and duration
+// distributions in examples and ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gridvc::stats {
+
+/// A fixed-width histogram over [lo, hi); out-of-range samples are clamped
+/// into the first/last bucket so mass is never silently lost.
+class Histogram {
+ public:
+  /// Requires lo < hi and buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Fraction of samples strictly below `value` (linear interpolation
+  /// inside the containing bucket).
+  double cdf(double value) const;
+
+  /// ASCII rendering: one `#`-bar line per bucket, normalized to `width`.
+  std::string render(int width = 50) const;
+
+ private:
+  double lo_, hi_, step_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gridvc::stats

@@ -1,0 +1,48 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "stats/quantile.hpp"
+
+namespace gridvc::stats {
+
+Summary summarize(std::span<const double> values) {
+  GRIDVC_REQUIRE(!values.empty(), "summarize of empty data");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.q3 = quantile_sorted(sorted, 0.75);
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double v : sorted) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+std::string to_string(const Summary& s, int decimals) {
+  return "n=" + std::to_string(s.count) + " min=" + format_fixed(s.min, decimals) +
+         " q1=" + format_fixed(s.q1, decimals) + " med=" + format_fixed(s.median, decimals) +
+         " mean=" + format_fixed(s.mean, decimals) + " q3=" + format_fixed(s.q3, decimals) +
+         " max=" + format_fixed(s.max, decimals) + " sd=" + format_fixed(s.stddev, decimals);
+}
+
+}  // namespace gridvc::stats

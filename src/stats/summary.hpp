@@ -1,0 +1,38 @@
+// Five-number summaries with mean/SD/CV — the row format of nearly every
+// table in the paper (Tables I, II, V–IX, XIII).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace gridvc::stats {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< first quartile (type-7)
+  double median = 0.0;
+  double mean = 0.0;
+  double q3 = 0.0;      ///< third quartile (type-7)
+  double max = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+
+  /// Inter-quartile range q3 - q1 (the paper quotes e.g. "IQR was 695 Mbps").
+  double iqr() const { return q3 - q1; }
+
+  /// Coefficient of variation stddev/mean (Table VI reports CV%); 0 when
+  /// the mean is 0.
+  double cv() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Compute a Summary. Requires non-empty input. For count == 1 the standard
+/// deviation is 0.
+Summary summarize(std::span<const double> values);
+
+/// Render as "Min / 1st Qu. / Median / Mean / 3rd Qu. / Max" single-line
+/// string with `decimals` digits (diagnostic aid; tables use stats::Table).
+std::string to_string(const Summary& s, int decimals = 1);
+
+}  // namespace gridvc::stats

@@ -1,0 +1,62 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gridvc::stats {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  GRIDVC_REQUIRE(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  GRIDVC_REQUIRE(!header_.empty(), "add_row before set_header");
+  GRIDVC_REQUIRE(row.size() <= header_.size(), "row wider than header");
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::size_t total = header_.empty() ? 0 : (3 * header_.size() + 1);
+  for (std::size_t w : widths) total += w;
+  const std::string rule(total, '-');
+
+  const auto render_row = [&](const std::vector<std::string>& cells, bool left_align) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : header_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      line += " ";
+      if (left_align) {
+        line += cell + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + cell;
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule + "\n";
+  out += render_row(header_, /*left_align=*/true);
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row, /*left_align=*/false);
+  out += rule + "\n";
+  return out;
+}
+
+}  // namespace gridvc::stats

@@ -1,0 +1,34 @@
+// ASCII table renderer. Every bench binary prints its exhibit through this
+// class so the output format is uniform and greppable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gridvc::stats {
+
+/// Simple right-aligned text table with a header row and optional title.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Set the column headers. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table (title, rule, header, rule, rows, rule).
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridvc::stats

@@ -1,0 +1,73 @@
+#include "vc/alpha_detector.hpp"
+
+#include "common/error.hpp"
+
+namespace gridvc::vc {
+
+AlphaDetector::AlphaDetector(AlphaDetectorConfig config, PromotionFn on_promote)
+    : config_(config), on_promote_(std::move(on_promote)) {
+  GRIDVC_REQUIRE(config_.min_bytes > 0, "alpha threshold volume must be positive");
+  GRIDVC_REQUIRE(config_.min_rate > 0.0, "alpha threshold rate must be positive");
+  GRIDVC_REQUIRE(config_.window > 0.0, "alpha window must be positive");
+}
+
+void AlphaDetector::observe(FlowKey key, Bytes cumulative_bytes, Seconds now) {
+  auto [it, inserted] = flows_.try_emplace(key);
+  State& s = it->second;
+  if (inserted) {
+    s.first_seen = now;
+    s.window_start = now;
+    s.window_start_bytes = cumulative_bytes;
+    s.last_bytes = cumulative_bytes;
+    s.last_time = now;
+    return;
+  }
+  GRIDVC_REQUIRE(now >= s.last_time, "observations must be time-ordered");
+  GRIDVC_REQUIRE(cumulative_bytes >= s.last_bytes,
+                 "cumulative byte counts must be non-decreasing");
+  s.last_bytes = cumulative_bytes;
+  s.last_time = now;
+  if (s.alpha) return;
+
+  // Slide the window anchor forward once the window is over-full, so the
+  // rate estimate stays a *trailing* rate rather than a lifetime average
+  // (a flow that stalls must be able to fall below the bar again).
+  if (now - s.window_start > 2.0 * config_.window) {
+    s.window_start = now - config_.window;
+    // Approximate the anchor bytes linearly between the old anchor and
+    // the present; exact bookkeeping would need a sample ring, and the
+    // detector only needs threshold-crossing fidelity.
+    const double span = now - s.window_start;
+    const double full_span = now - s.first_seen;
+    if (full_span > 0.0) {
+      const double recent_fraction = span / full_span;
+      s.window_start_bytes =
+          cumulative_bytes -
+          static_cast<Bytes>(static_cast<double>(cumulative_bytes) * recent_fraction);
+    }
+  }
+
+  const Seconds elapsed = now - s.window_start;
+  if (elapsed < config_.window) return;  // not enough evidence yet
+  if (cumulative_bytes < config_.min_bytes) return;
+  const BitsPerSecond rate =
+      static_cast<double>(cumulative_bytes - s.window_start_bytes) * 8.0 / elapsed;
+  if (rate < config_.min_rate) {
+    // Restart the window: the flow must re-earn the sustained-rate bar.
+    s.window_start = now;
+    s.window_start_bytes = cumulative_bytes;
+    return;
+  }
+  s.alpha = true;
+  ++promoted_;
+  if (on_promote_) on_promote_(key, rate);
+}
+
+void AlphaDetector::forget(FlowKey key) { flows_.erase(key); }
+
+bool AlphaDetector::is_alpha(FlowKey key) const {
+  const auto it = flows_.find(key);
+  return it != flows_.end() && it->second.alpha;
+}
+
+}  // namespace gridvc::vc

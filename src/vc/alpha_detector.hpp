@@ -1,0 +1,81 @@
+// Online alpha-flow identification.
+//
+// §IV: "With automatic α flow identification [19], packets from α flows
+// can be redirected to intra-domain VCs, such as MPLS label switched
+// paths, that have been preconfigured between ingress-egress router
+// pairs." (The reference is the authors' HNTES line of work.)
+//
+// An α flow (Sarvotham et al.) is a high-rate, large-volume flow that
+// dominates a link's burstiness. The detector watches per-flow byte
+// progress reported by the data plane and flags a flow once it has both
+//   * moved at least `min_bytes`, and
+//   * sustained at least `min_rate` over the last observation window,
+// which is the practical ingress-side heuristic: big enough to matter,
+// fast enough to hurt.
+//
+// The detector is deliberately data-plane-agnostic: callers feed it
+// (flow id, cumulative bytes, timestamp) observations — from the
+// flow-level Network, from parsed NetFlow-like records, or from tests —
+// and register a callback for promotions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/units.hpp"
+
+namespace gridvc::vc {
+
+struct AlphaDetectorConfig {
+  /// Minimum cumulative volume before a flow can be considered (bytes).
+  Bytes min_bytes = 256 * MiB;
+  /// Minimum sustained rate over the trailing window (bits/s).
+  BitsPerSecond min_rate = mbps(400.0);
+  /// Trailing window over which the rate is measured (seconds).
+  Seconds window = 10.0;
+};
+
+class AlphaDetector {
+ public:
+  using FlowKey = std::uint64_t;
+  /// Fired exactly once per flow, at promotion time.
+  using PromotionFn = std::function<void(FlowKey, BitsPerSecond observed_rate)>;
+
+  explicit AlphaDetector(AlphaDetectorConfig config = {}, PromotionFn on_promote = nullptr);
+
+  /// Feed one observation: flow `key` has moved `cumulative_bytes` in
+  /// total as of time `now`. Observations for one flow must have
+  /// non-decreasing time and byte values.
+  void observe(FlowKey key, Bytes cumulative_bytes, Seconds now);
+
+  /// Remove a finished flow's state.
+  void forget(FlowKey key);
+
+  /// True once the flow was promoted to alpha status.
+  bool is_alpha(FlowKey key) const;
+
+  std::size_t tracked_flows() const { return flows_.size(); }
+  std::size_t promoted_count() const { return promoted_; }
+
+  const AlphaDetectorConfig& config() const { return config_; }
+
+ private:
+  struct State {
+    Seconds first_seen = 0.0;
+    // Trailing-window anchor: bytes/time at the start of the current
+    // measurement window.
+    Seconds window_start = 0.0;
+    Bytes window_start_bytes = 0;
+    Bytes last_bytes = 0;
+    Seconds last_time = 0.0;
+    bool alpha = false;
+  };
+
+  AlphaDetectorConfig config_;
+  PromotionFn on_promote_;
+  std::map<FlowKey, State> flows_;
+  std::size_t promoted_ = 0;
+};
+
+}  // namespace gridvc::vc

@@ -1,0 +1,117 @@
+#include "vc/bandwidth_calendar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::vc {
+
+namespace {
+// Reserved-rate comparisons tolerate this much float noise (bits/s).
+constexpr double kRateEps = 1e-3;
+}  // namespace
+
+void BandwidthProfile::add(Seconds start, Seconds end, BitsPerSecond rate) {
+  GRIDVC_REQUIRE(start < end, "reservation window inverted");
+  GRIDVC_REQUIRE(rate > 0.0, "reservation rate must be positive");
+  deltas_[start] += rate;
+  deltas_[end] -= rate;
+  // Drop exact-zero deltas to keep the map compact.
+  if (std::abs(deltas_[start]) < kRateEps) deltas_.erase(start);
+  if (std::abs(deltas_[end]) < kRateEps) deltas_.erase(end);
+}
+
+void BandwidthProfile::remove(Seconds start, Seconds end, BitsPerSecond rate) {
+  GRIDVC_REQUIRE(start < end, "reservation window inverted");
+  deltas_[start] -= rate;
+  deltas_[end] += rate;
+  if (std::abs(deltas_[start]) < kRateEps) deltas_.erase(start);
+  if (std::abs(deltas_[end]) < kRateEps) deltas_.erase(end);
+}
+
+BitsPerSecond BandwidthProfile::peak(Seconds start, Seconds end) const {
+  GRIDVC_REQUIRE(start <= end, "peak window inverted");
+  // Entry level: all deltas at or before `start` are in force during the
+  // window (a block [start, x) applies from `start` inclusive, and a
+  // block [y, start) has already ended at `start`). Then sweep deltas
+  // strictly inside (start, end).
+  double level = 0.0;
+  auto it = deltas_.begin();
+  for (; it != deltas_.end() && it->first <= start; ++it) level += it->second;
+  double best = level;
+  for (; it != deltas_.end() && it->first < end; ++it) {
+    level += it->second;
+    best = std::max(best, level);
+  }
+  return std::max(best, 0.0);
+}
+
+BitsPerSecond BandwidthProfile::at(Seconds t) const {
+  double level = 0.0;
+  for (const auto& [when, delta] : deltas_) {
+    if (when > t) break;
+    level += delta;
+  }
+  return std::max(level, 0.0);
+}
+
+bool BandwidthProfile::empty() const { return deltas_.empty(); }
+
+BandwidthCalendar::BandwidthCalendar(const net::Topology& topo, double reservable_fraction)
+    : topo_(topo), reservable_fraction_(reservable_fraction), profiles_(topo.link_count()) {
+  GRIDVC_REQUIRE(reservable_fraction > 0.0 && reservable_fraction <= 1.0,
+                 "reservable fraction must be in (0, 1]");
+}
+
+BitsPerSecond BandwidthCalendar::available(net::LinkId link, Seconds start,
+                                           Seconds end) const {
+  GRIDVC_REQUIRE(link < profiles_.size(), "link id out of range");
+  const BitsPerSecond reservable = topo_.link(link).capacity * reservable_fraction_;
+  return std::max(0.0, reservable - profiles_[link].peak(start, end));
+}
+
+bool BandwidthCalendar::fits(const net::Path& path, Seconds start, Seconds end,
+                             BitsPerSecond rate) const {
+  GRIDVC_REQUIRE(!path.empty(), "fits() of empty path");
+  for (net::LinkId l : path) {
+    if (available(l, start, end) + kRateEps < rate) return false;
+  }
+  return true;
+}
+
+ReservationId BandwidthCalendar::book(const net::Path& path, Seconds start, Seconds end,
+                                      BitsPerSecond rate) {
+  GRIDVC_REQUIRE(fits(path, start, end, rate), "booking does not fit the calendar");
+  for (net::LinkId l : path) profiles_[l].add(start, end, rate);
+  const ReservationId id = next_id_++;
+  bookings_.emplace(id, Booking{path, start, end, rate});
+  return id;
+}
+
+void BandwidthCalendar::release(ReservationId id) {
+  const auto it = bookings_.find(id);
+  GRIDVC_REQUIRE(it != bookings_.end(), "release of unknown booking");
+  const Booking& b = it->second;
+  for (net::LinkId l : b.path) profiles_[l].remove(b.start, b.end, b.rate);
+  bookings_.erase(it);
+}
+
+void BandwidthCalendar::truncate(ReservationId id, Seconds new_end) {
+  const auto it = bookings_.find(id);
+  GRIDVC_REQUIRE(it != bookings_.end(), "truncate of unknown booking");
+  Booking& b = it->second;
+  GRIDVC_REQUIRE(new_end >= b.start && new_end <= b.end, "truncate outside booking window");
+  if (new_end == b.end) return;
+  if (new_end == b.start) {
+    release(id);
+    return;
+  }
+  for (net::LinkId l : b.path) {
+    profiles_[l].remove(b.start, b.end, b.rate);
+    profiles_[l].add(b.start, new_end, b.rate);
+  }
+  b.end = new_end;
+}
+
+}  // namespace gridvc::vc

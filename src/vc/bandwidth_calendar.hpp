@@ -1,0 +1,89 @@
+// Advance-reservation bandwidth bookkeeping.
+//
+// OSCARS-style dynamic circuit service accepts reservations of a given
+// rate over a future [start, end) window (§II: "advance-reservation
+// service is required when the requested circuit rate is a significant
+// portion of link capacity if the network is to be operated at high
+// utilization and with low call blocking probability"). The calendar
+// tracks, per link, the piecewise-constant sum of reserved rates over
+// time, and admits a new reservation only if the peak reserved rate over
+// its window stays within the link's reservable capacity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/topology.hpp"
+
+namespace gridvc::vc {
+
+using ReservationId = std::uint64_t;
+
+/// Piecewise-constant reserved-rate profile of one link.
+class BandwidthProfile {
+ public:
+  /// Add `rate` over [start, end). Requires start < end and rate > 0.
+  void add(Seconds start, Seconds end, BitsPerSecond rate);
+
+  /// Remove a previously added block (exact inverse of add).
+  void remove(Seconds start, Seconds end, BitsPerSecond rate);
+
+  /// Peak reserved rate over [start, end).
+  BitsPerSecond peak(Seconds start, Seconds end) const;
+
+  /// Reserved rate at instant `t`.
+  BitsPerSecond at(Seconds t) const;
+
+  /// True when nothing is reserved at any time.
+  bool empty() const;
+
+ private:
+  // Delta encoding: deltas_[t] is the change in reserved rate at time t.
+  std::map<Seconds, BitsPerSecond> deltas_;
+};
+
+/// Per-topology calendar over all links.
+class BandwidthCalendar {
+ public:
+  /// `reservable_fraction` caps how much of each link's capacity circuits
+  /// may claim (providers keep headroom for IP-routed traffic).
+  explicit BandwidthCalendar(const net::Topology& topo, double reservable_fraction = 1.0);
+
+  /// Max rate still reservable on `link` everywhere in [start, end).
+  BitsPerSecond available(net::LinkId link, Seconds start, Seconds end) const;
+
+  /// True iff `rate` fits on every link of `path` over the whole window.
+  bool fits(const net::Path& path, Seconds start, Seconds end, BitsPerSecond rate) const;
+
+  /// Book `rate` on every link of `path` over [start, end). Returns a
+  /// booking id used for release. Requires fits(...) — callers are
+  /// expected to check first; booking a non-fitting request throws.
+  ReservationId book(const net::Path& path, Seconds start, Seconds end, BitsPerSecond rate);
+
+  /// Release a booking in full (idempotent release of an unknown id throws).
+  void release(ReservationId id);
+
+  /// Truncate a booking's end time (early circuit teardown releases the
+  /// tail of the window for other users). `new_end` must lie in
+  /// [start, end].
+  void truncate(ReservationId id, Seconds new_end);
+
+  std::size_t active_bookings() const { return bookings_.size(); }
+
+ private:
+  struct Booking {
+    net::Path path;
+    Seconds start, end;
+    BitsPerSecond rate;
+  };
+
+  const net::Topology& topo_;
+  double reservable_fraction_;
+  std::vector<BandwidthProfile> profiles_;  // one per link
+  std::map<ReservationId, Booking> bookings_;
+  ReservationId next_id_ = 1;
+};
+
+}  // namespace gridvc::vc

@@ -1,0 +1,85 @@
+// Hybrid network traffic engineering (HNTES-style).
+//
+// §IV's intra-domain story: the provider preconfigures circuits between
+// ingress-egress router pairs, identifies alpha flows online, and
+// redirects their packets onto the circuits — no per-flow signaling, no
+// end-user involvement. The HybridTrafficEngineer implements that control
+// loop over the flow-level network:
+//
+//   poll the data plane -> feed the AlphaDetector -> on promotion,
+//   grant the flow a rate guarantee drawn from the preprovisioned
+//   circuit-bandwidth pool -> return the bandwidth when the flow ends.
+//
+// The guarantee stands in for the MPLS LSP redirection: on the fluid
+// network, "redirected onto the circuit" and "carried with a rate
+// guarantee on the same links" are equivalent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/network.hpp"
+#include "vc/alpha_detector.hpp"
+
+namespace gridvc::vc {
+
+struct HybridTeConfig {
+  AlphaDetectorConfig detector;
+  /// Operator scoping: only flows this predicate accepts are watched at
+  /// all (HNTES identifies science flows offline by DTN address pairs;
+  /// the provider does not grant circuits to arbitrary traffic). Null
+  /// means every flow is eligible.
+  std::function<bool(net::FlowId)> eligible;
+  /// Data-plane polling cadence.
+  Seconds poll_period = 5.0;
+  /// Total preprovisioned intra-domain circuit bandwidth.
+  BitsPerSecond circuit_pool = gbps(8.0);
+  /// Guarantee granted to each redirected flow (clipped to pool headroom).
+  BitsPerSecond per_flow_guarantee = gbps(1.0);
+};
+
+class HybridTrafficEngineer {
+ public:
+  /// Starts polling `network` immediately; stops when destroyed.
+  HybridTrafficEngineer(net::Network& network, HybridTeConfig config);
+  ~HybridTrafficEngineer();
+  HybridTrafficEngineer(const HybridTrafficEngineer&) = delete;
+  HybridTrafficEngineer& operator=(const HybridTrafficEngineer&) = delete;
+
+  void stop();
+
+  struct Stats {
+    std::size_t flows_observed = 0;   ///< distinct flows ever polled
+    std::size_t flows_redirected = 0; ///< promoted to the circuit pool
+    std::size_t redirections_denied = 0;  ///< promoted but pool exhausted
+    /// Bytes moved by redirected flows *after* their redirection — the
+    /// payoff metric: how much alpha traffic the circuits absorbed.
+    double redirected_bytes = 0.0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Circuit-pool bandwidth currently granted.
+  BitsPerSecond pool_in_use() const { return pool_in_use_; }
+
+ private:
+  void poll();
+  void promote(net::FlowId id);
+
+  net::Network& network_;
+  HybridTeConfig config_;
+  AlphaDetector detector_;
+
+  struct Redirected {
+    BitsPerSecond guarantee = 0.0;
+    Bytes bytes_at_promotion = 0;
+    Bytes last_seen_bytes = 0;
+  };
+  std::map<net::FlowId, Redirected> redirected_;
+  std::map<net::FlowId, bool> seen_;  // value: still active last poll
+  BitsPerSecond pool_in_use_ = 0.0;
+  Stats stats_;
+  sim::EventHandle tick_;
+};
+
+}  // namespace gridvc::vc

@@ -1,0 +1,243 @@
+#include "vc/idc.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::vc {
+
+Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkPolicy policy)
+    : sim_(sim),
+      topo_(topo),
+      config_(config),
+      calendar_(topo, config.reservable_fraction),
+      user_policy_(std::move(policy)),
+      paths_(topo, calendar_, [this](net::LinkId l) {
+        if (failed_links_.contains(l)) return false;
+        return !user_policy_ || user_policy_(l);
+      }) {
+  GRIDVC_REQUIRE(config_.batch_interval > 0.0, "batch interval must be positive");
+  GRIDVC_REQUIRE(config_.immediate_setup_delay >= 0.0, "negative signaling delay");
+}
+
+Seconds Idc::predicted_activation(Seconds submit_time, Seconds start_time) const {
+  const Seconds want = std::max(submit_time, start_time);
+  switch (config_.mode) {
+    case SignalingMode::kImmediate:
+      return want + config_.immediate_setup_delay;
+    case SignalingMode::kBatchedAutomatic: {
+      // A request must be received a full interval before the batch
+      // boundary that provisions it, so immediate-use requests wait at
+      // least one interval: the "minimum 1-min VC setup delay" of §IV.
+      const Seconds earliest = submit_time + config_.batch_interval;
+      if (start_time >= earliest) {
+        // Advance reservation: the IDC provisions just before startTime.
+        return start_time;
+      }
+      const double k = std::ceil(earliest / config_.batch_interval);
+      return k * config_.batch_interval;
+    }
+  }
+  return want;  // unreachable
+}
+
+Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
+                                          CircuitFn on_active, CircuitFn on_release) {
+  SubmitResult result;
+  if (request.bandwidth <= 0.0 || request.end_time <= request.start_time ||
+      request.src >= topo_.node_count() || request.dst >= topo_.node_count() ||
+      request.src == request.dst) {
+    result.reason = RejectReason::kInvalidRequest;
+    ++stats_.rejected_invalid;
+    return result;
+  }
+
+  const Seconds activation = predicted_activation(sim_.now(), request.start_time);
+  if (activation >= request.end_time) {
+    // The circuit would expire before it could be set up.
+    result.reason = RejectReason::kInvalidRequest;
+    ++stats_.rejected_invalid;
+    return result;
+  }
+
+  const auto path = paths_.compute(request.src, request.dst, request.bandwidth,
+                                   activation, request.end_time);
+  if (!path) {
+    // Distinguish "no connectivity at all" from "connected but full".
+    const bool any_route = net::shortest_path(topo_, request.src, request.dst).has_value();
+    result.reason =
+        any_route ? RejectReason::kInsufficientBandwidth : RejectReason::kNoRoute;
+    if (any_route) {
+      ++stats_.rejected_no_bandwidth;
+    } else {
+      ++stats_.rejected_no_route;
+    }
+    return result;
+  }
+
+  const std::uint64_t id = next_id_++;
+  Entry entry;
+  entry.circuit.id = id;
+  entry.circuit.request = request;
+  entry.circuit.path = *path;
+  entry.circuit.state = CircuitState::kScheduled;
+  entry.booking = calendar_.book(*path, activation, request.end_time, request.bandwidth);
+  entry.on_active = std::move(on_active);
+  entry.on_release = std::move(on_release);
+  entry.circuit.provision_started = sim_.now();
+  entry.activate_event = sim_.schedule_at(activation, [this, id] { activate(id); });
+  entries_.emplace(id, std::move(entry));
+  ++stats_.accepted;
+  result.circuit_id = id;
+  return result;
+}
+
+Idc::SubmitResult Idc::request_immediate(net::NodeId src, net::NodeId dst,
+                                         BitsPerSecond bandwidth, Seconds duration,
+                                         CircuitFn on_active, CircuitFn on_release) {
+  GRIDVC_REQUIRE(duration > 0.0, "circuit duration must be positive");
+  const Seconds activation = predicted_activation(sim_.now(), sim_.now());
+  ReservationRequest request;
+  request.src = src;
+  request.dst = dst;
+  request.bandwidth = bandwidth;
+  request.start_time = sim_.now();
+  request.end_time = activation + duration;
+  request.description = "immediate";
+  return create_reservation(request, std::move(on_active), std::move(on_release));
+}
+
+void Idc::activate(std::uint64_t id) {
+  auto& entry = entries_.at(id);
+  entry.circuit.state = CircuitState::kActive;
+  entry.circuit.active_at = sim_.now();
+  entry.release_event =
+      sim_.schedule_at(entry.circuit.request.end_time, [this, id] { release(id); });
+  if (entry.on_active) entry.on_active(entry.circuit);
+}
+
+void Idc::release(std::uint64_t id) {
+  auto& entry = entries_.at(id);
+  entry.circuit.state = CircuitState::kReleased;
+  entry.circuit.released_at = sim_.now();
+  ++stats_.released;
+  // The calendar booking ends at end_time on its own, but release the
+  // booking record so active_bookings() reflects live circuits only.
+  calendar_.release(entry.booking);
+  entry.booking = 0;
+  if (entry.on_release) entry.on_release(entry.circuit);
+}
+
+void Idc::cancel(std::uint64_t circuit_id) {
+  const auto it = entries_.find(circuit_id);
+  GRIDVC_REQUIRE(it != entries_.end(), "cancel of unknown circuit");
+  Entry& entry = it->second;
+  GRIDVC_REQUIRE(entry.circuit.state == CircuitState::kScheduled,
+                 "cancel after activation; use release_now");
+  entry.activate_event.cancel();
+  calendar_.release(entry.booking);
+  entry.circuit.state = CircuitState::kCancelled;
+  ++stats_.cancelled;
+}
+
+void Idc::release_now(std::uint64_t circuit_id) {
+  const auto it = entries_.find(circuit_id);
+  GRIDVC_REQUIRE(it != entries_.end(), "release_now of unknown circuit");
+  Entry& entry = it->second;
+  GRIDVC_REQUIRE(entry.circuit.state == CircuitState::kActive,
+                 "release_now of a circuit that is not active");
+  entry.release_event.cancel();
+  entry.circuit.state = CircuitState::kReleased;
+  entry.circuit.released_at = sim_.now();
+  ++stats_.released;
+  // Releasing the whole booking frees the window tail for other circuits;
+  // freeing the (already elapsed) head has no effect on future admission.
+  calendar_.release(entry.booking);
+  entry.booking = 0;
+  if (entry.on_release) entry.on_release(entry.circuit);
+}
+
+bool Idc::modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwidth,
+                             Seconds new_end_time) {
+  const auto it = entries_.find(circuit_id);
+  GRIDVC_REQUIRE(it != entries_.end(), "modify of unknown circuit");
+  Entry& entry = it->second;
+  GRIDVC_REQUIRE(entry.circuit.state == CircuitState::kScheduled,
+                 "only scheduled reservations can be modified");
+  GRIDVC_REQUIRE(new_bandwidth > 0.0, "modified bandwidth must be positive");
+  const Seconds activation =
+      predicted_activation(entry.circuit.provision_started, entry.circuit.request.start_time);
+  if (new_end_time <= activation) return false;
+
+  // Re-admit with the old booking out of the way so shrinking always
+  // succeeds and growing is checked against true residual capacity.
+  calendar_.release(entry.booking);
+  if (!calendar_.fits(entry.circuit.path, activation, new_end_time, new_bandwidth)) {
+    entry.booking = calendar_.book(entry.circuit.path, activation,
+                                   entry.circuit.request.end_time,
+                                   entry.circuit.request.bandwidth);
+    return false;
+  }
+  entry.booking =
+      calendar_.book(entry.circuit.path, activation, new_end_time, new_bandwidth);
+  entry.circuit.request.bandwidth = new_bandwidth;
+  entry.circuit.request.end_time = new_end_time;
+  return true;
+}
+
+std::size_t Idc::handle_link_failure(net::LinkId failed_link) {
+  GRIDVC_REQUIRE(failed_link < topo_.link_count(), "link id out of range");
+  failed_links_.insert(failed_link);
+
+  std::size_t repathed = 0;
+  for (auto& [id, entry] : entries_) {
+    Circuit& c = entry.circuit;
+    if (c.state != CircuitState::kScheduled && c.state != CircuitState::kActive) continue;
+    bool affected = false;
+    for (net::LinkId l : c.path) {
+      if (l == failed_link) affected = true;
+    }
+    if (!affected) continue;
+
+    // Free the old booking first so the replacement can reuse capacity on
+    // the surviving portion of the path.
+    calendar_.release(entry.booking);
+    entry.booking = 0;
+    const Seconds start = c.state == CircuitState::kActive
+                              ? sim_.now()
+                              : predicted_activation(sim_.now(), c.request.start_time);
+    const auto replacement = paths_.compute(c.request.src, c.request.dst,
+                                            c.request.bandwidth, start,
+                                            c.request.end_time);
+    if (replacement) {
+      c.path = *replacement;
+      entry.booking =
+          calendar_.book(*replacement, start, c.request.end_time, c.request.bandwidth);
+      ++repathed;
+      continue;
+    }
+    // No alternative: tear the circuit down.
+    entry.activate_event.cancel();
+    entry.release_event.cancel();
+    if (c.state == CircuitState::kActive) {
+      c.state = CircuitState::kReleased;
+      c.released_at = sim_.now();
+      ++stats_.released;
+      if (entry.on_release) entry.on_release(c);
+    } else {
+      c.state = CircuitState::kCancelled;
+      ++stats_.cancelled;
+    }
+  }
+  return repathed;
+}
+
+void Idc::restore_link(net::LinkId link) { failed_links_.erase(link); }
+
+const Circuit& Idc::circuit(std::uint64_t circuit_id) const {
+  const auto it = entries_.find(circuit_id);
+  GRIDVC_REQUIRE(it != entries_.end(), "lookup of unknown circuit");
+  return it->second.circuit;
+}
+
+}  // namespace gridvc::vc

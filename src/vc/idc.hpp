@@ -1,0 +1,154 @@
+// OSCARS-like Inter-Domain Controller (single-domain scheduler).
+//
+// Implements the reservation lifecycle of §IV:
+//
+//   createReservation(startTime, endTime, bandwidth, endpoints)
+//     -> path computation against the bandwidth calendar
+//     -> admission (book) or rejection
+//   provisioning ("automatic signaling"): just before startTime the IDC
+//     configures the path's routers. With kBatchedAutomatic signaling the
+//     IDC flushes provisioning work at fixed batch boundaries
+//     (batch_interval, default 1 min), so a request for *immediate* use
+//     activates only at the first boundary at least one full interval
+//     after submission — the paper's "minimum 1-min VC setup delay". With
+//     kImmediate signaling, activation follows submission by a fixed
+//     hardware signaling delay (the paper's 50 ms scenario).
+//   release: at endTime (or on early release, which returns the calendar
+//     tail to the pool).
+//
+// The IDC is control-plane only; callers attach the activated circuit's
+// rate guarantee to data-plane flows (see gridftp::TransferEngine).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "sim/simulator.hpp"
+#include "vc/bandwidth_calendar.hpp"
+#include "vc/path_computation.hpp"
+#include "vc/reservation.hpp"
+
+namespace gridvc::vc {
+
+struct IdcConfig {
+  SignalingMode mode = SignalingMode::kBatchedAutomatic;
+  /// Batch boundary cadence for kBatchedAutomatic (the ESnet "1 min").
+  Seconds batch_interval = 60.0;
+  /// Fixed signaling latency for kImmediate (the paper's 50 ms scenario).
+  Seconds immediate_setup_delay = 0.05;
+  /// Fraction of each link's capacity the calendar may hand to circuits.
+  double reservable_fraction = 1.0;
+};
+
+class Idc {
+ public:
+  /// Circuit lifecycle notifications.
+  using CircuitFn = std::function<void(const Circuit&)>;
+
+  Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config = {},
+      LinkPolicy policy = nullptr);
+  Idc(const Idc&) = delete;
+  Idc& operator=(const Idc&) = delete;
+
+  /// Outcome of create_reservation.
+  struct SubmitResult {
+    std::optional<std::uint64_t> circuit_id;  ///< set iff accepted
+    RejectReason reason = RejectReason::kInvalidRequest;
+    bool accepted() const { return circuit_id.has_value(); }
+  };
+
+  /// Submit an advance reservation. `on_active` fires when the data plane
+  /// guarantee takes effect, `on_release` when the circuit is torn down.
+  SubmitResult create_reservation(const ReservationRequest& request,
+                                  CircuitFn on_active = nullptr,
+                                  CircuitFn on_release = nullptr);
+
+  /// Convenience for the common data-transfer pattern: a circuit for
+  /// immediate use, held for `duration` *after* it activates. The
+  /// reservation window booked in the calendar is
+  /// [predicted activation, predicted activation + duration).
+  SubmitResult request_immediate(net::NodeId src, net::NodeId dst, BitsPerSecond bandwidth,
+                                 Seconds duration, CircuitFn on_active = nullptr,
+                                 CircuitFn on_release = nullptr);
+
+  /// Cancel a reservation that has not yet activated.
+  void cancel(std::uint64_t circuit_id);
+
+  /// OSCARS modifyReservation: change a scheduled (not yet active)
+  /// reservation's bandwidth and/or extend/shorten its end time. The
+  /// change is admitted against the calendar with the old booking
+  /// removed; on rejection the old booking is reinstated untouched.
+  /// Returns true when the modification was admitted.
+  bool modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwidth,
+                          Seconds new_end_time);
+
+  /// Control-plane reaction to a link failure: every scheduled or active
+  /// circuit whose path uses `failed_link` is re-pathed around it if the
+  /// calendar allows; circuits that cannot be re-homed are released
+  /// (active) or cancelled (scheduled). Returns the number of circuits
+  /// successfully re-pathed. Subsequent path computation avoids the
+  /// failed link until restore_link() is called.
+  std::size_t handle_link_failure(net::LinkId failed_link);
+
+  /// Return a previously failed link to service.
+  void restore_link(net::LinkId link);
+
+  /// Tear down an active circuit before its endTime; the calendar tail is
+  /// returned to the pool.
+  void release_now(std::uint64_t circuit_id);
+
+  const Circuit& circuit(std::uint64_t circuit_id) const;
+  const BandwidthCalendar& calendar() const { return calendar_; }
+
+  /// The activation time the current signaling mode would give a request
+  /// submitted at `submit_time` for a circuit wanted from `start_time`.
+  Seconds predicted_activation(Seconds submit_time, Seconds start_time) const;
+
+  /// Counters for blocking-probability studies (Ablation D).
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_no_bandwidth = 0;
+    std::uint64_t rejected_no_route = 0;
+    std::uint64_t rejected_invalid = 0;
+    std::uint64_t released = 0;
+    std::uint64_t cancelled = 0;
+
+    double blocking_probability() const {
+      const double total = static_cast<double>(accepted + rejected_no_bandwidth +
+                                               rejected_no_route + rejected_invalid);
+      return total > 0.0
+                 ? static_cast<double>(rejected_no_bandwidth + rejected_no_route) / total
+                 : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Circuit circuit;
+    ReservationId booking = 0;
+    CircuitFn on_active;
+    CircuitFn on_release;
+    sim::EventHandle activate_event;
+    sim::EventHandle release_event;
+  };
+
+  void activate(std::uint64_t id);
+  void release(std::uint64_t id);
+
+  sim::Simulator& sim_;
+  const net::Topology& topo_;
+  IdcConfig config_;
+  BandwidthCalendar calendar_;
+  LinkPolicy user_policy_;
+  std::set<net::LinkId> failed_links_;
+  PathComputer paths_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace gridvc::vc

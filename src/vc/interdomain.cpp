@@ -1,0 +1,101 @@
+#include "vc/interdomain.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "net/routing.hpp"
+
+namespace gridvc::vc {
+
+InterdomainCoordinator::InterdomainCoordinator(sim::Simulator& sim,
+                                               const net::Topology& topo,
+                                               std::vector<DomainController> controllers)
+    : sim_(sim), topo_(topo) {
+  for (const auto& c : controllers) {
+    GRIDVC_REQUIRE(c.idc != nullptr, "null domain controller");
+    GRIDVC_REQUIRE(!controllers_.contains(c.domain), "duplicate domain: " + c.domain);
+    controllers_.emplace(c.domain, c.idc);
+  }
+  GRIDVC_REQUIRE(!controllers_.empty(), "coordinator needs at least one domain");
+}
+
+Idc* InterdomainCoordinator::controller_for(const std::string& domain) const {
+  const auto it = controllers_.find(domain);
+  return it == controllers_.end() ? nullptr : it->second;
+}
+
+std::vector<InterdomainCoordinator::Segment> InterdomainCoordinator::segment_path(
+    const net::Path& path) const {
+  std::vector<Segment> segments;
+  for (net::LinkId lid : path) {
+    const net::Link& link = topo_.link(lid);
+    // A link belongs to the domain of its router endpoints; access links
+    // (host<->router) belong to the router's domain.
+    const net::Node& from = topo_.node(link.from);
+    const net::Node& to = topo_.node(link.to);
+    std::string domain;
+    if (from.kind == net::NodeKind::kRouter) {
+      domain = from.domain;
+    } else {
+      domain = to.domain;
+    }
+    if (segments.empty() || segments.back().domain != domain) {
+      segments.push_back(Segment{domain, {}});
+    }
+    segments.back().links.push_back(lid);
+  }
+  return segments;
+}
+
+InterdomainCoordinator::Result InterdomainCoordinator::create_reservation(
+    const ReservationRequest& request) {
+  Result result;
+  const auto path = net::shortest_path(topo_, request.src, request.dst);
+  if (!path || path->empty()) {
+    result.reason = RejectReason::kNoRoute;
+    return result;
+  }
+  result.end_to_end_path = *path;
+
+  const auto segments = segment_path(*path);
+  // Two-phase booking: try every domain in path order; on failure cancel
+  // the segments already booked.
+  for (const auto& seg : segments) {
+    Idc* idc = controller_for(seg.domain);
+    if (idc == nullptr) {
+      result.reason = RejectReason::kNoRoute;  // uncooperative domain
+      for (const auto& booked : result.segments) {
+        controller_for(booked.domain)->cancel(booked.circuit_id);
+      }
+      result.segments.clear();
+      return result;
+    }
+    ReservationRequest seg_request = request;
+    seg_request.src = topo_.link(seg.links.front()).from;
+    seg_request.dst = topo_.link(seg.links.back()).to;
+    seg_request.description = request.description + " [" + seg.domain + " segment]";
+    const auto sub = idc->create_reservation(seg_request);
+    if (!sub.accepted()) {
+      result.reason = sub.reason;
+      for (const auto& booked : result.segments) {
+        controller_for(booked.domain)->cancel(booked.circuit_id);
+      }
+      result.segments.clear();
+      return result;
+    }
+    result.segments.push_back(SegmentBooking{seg.domain, *sub.circuit_id});
+  }
+
+  // Domains provision in parallel; the end-to-end circuit is usable when
+  // the slowest segment activates.
+  result.activation = 0.0;
+  for (const auto& booked : result.segments) {
+    Idc* idc = controller_for(booked.domain);
+    result.activation = std::max(
+        result.activation, idc->predicted_activation(sim_.now(), request.start_time));
+  }
+  result.accepted = true;
+  return result;
+}
+
+}  // namespace gridvc::vc

@@ -1,0 +1,75 @@
+// Inter-domain circuit coordination (IDCP-style).
+//
+// §II: "ESnet and Internet2 deploy Inter-Domain Controller Protocol (IDCP)
+// schedulers that receive and process advance-reservation requests for
+// virtual circuits"; §IV argues inter-domain dynamic circuits are the
+// scalable option and that providers want control over the inter-domain
+// path. The coordinator implements the standard chain model:
+//
+//   1. Compute an end-to-end path over the full multi-domain topology.
+//   2. Cut it into per-domain segments at domain boundaries.
+//   3. Ask each domain's IDC to book its segment (two-phase: if any
+//      domain rejects, the already-booked segments are rolled back).
+//   4. End-to-end setup delay = the slowest domain's activation time
+//      (domains signal in parallel, per IDCP).
+//
+// Domains are identified by the `domain` tag of router nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vc/idc.hpp"
+
+namespace gridvc::vc {
+
+/// A per-domain controller registered with the coordinator.
+struct DomainController {
+  std::string domain;
+  Idc* idc = nullptr;  ///< non-owning; must outlive the coordinator
+};
+
+class InterdomainCoordinator {
+ public:
+  /// All controllers share the one multi-domain `topo` (each IDC's
+  /// calendar still only books its own segment's links).
+  InterdomainCoordinator(sim::Simulator& sim, const net::Topology& topo,
+                         std::vector<DomainController> controllers);
+
+  struct SegmentBooking {
+    std::string domain;
+    std::uint64_t circuit_id = 0;
+  };
+
+  struct Result {
+    bool accepted = false;
+    RejectReason reason = RejectReason::kInvalidRequest;
+    net::Path end_to_end_path;
+    std::vector<SegmentBooking> segments;
+    /// Predicted activation of the slowest domain (== end-to-end setup).
+    Seconds activation = 0.0;
+  };
+
+  /// Book an end-to-end circuit across all traversed domains.
+  Result create_reservation(const ReservationRequest& request);
+
+  /// Cut a path into maximal same-domain runs (host endpoints attach to
+  /// their neighbor's domain). Exposed for testing.
+  struct Segment {
+    std::string domain;
+    net::Path links;
+  };
+  std::vector<Segment> segment_path(const net::Path& path) const;
+
+ private:
+  Idc* controller_for(const std::string& domain) const;
+
+  sim::Simulator& sim_;
+  const net::Topology& topo_;
+  std::map<std::string, Idc*> controllers_;
+};
+
+}  // namespace gridvc::vc

@@ -1,0 +1,130 @@
+#include "vc/queue_isolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace gridvc::vc {
+
+QueueIsolationModel::QueueIsolationModel(InterfaceModel interface) : interface_(interface) {
+  GRIDVC_REQUIRE(interface_.capacity > 0.0, "interface capacity must be positive");
+  GRIDVC_REQUIRE(interface_.gp_utilization >= 0.0 && interface_.gp_utilization < 1.0,
+                 "GP utilization must be in [0, 1)");
+  GRIDVC_REQUIRE(interface_.gp_weight > 0.0 && interface_.gp_weight <= 1.0,
+                 "GP weight must be in (0, 1]");
+}
+
+Seconds QueueIsolationModel::gp_service_time() const {
+  return transfer_time(interface_.gp_packet_size, interface_.capacity);
+}
+
+Seconds QueueIsolationModel::alpha_burst_service_time() const {
+  return transfer_time(interface_.alpha_burst_bytes, interface_.capacity);
+}
+
+namespace {
+
+/// M/M/1 waiting + service moments for offered load rho and mean service s.
+struct Mm1 {
+  double mean;
+  double variance;
+};
+Mm1 mm1_delay(double rho, Seconds s) {
+  // Sojourn time of M/M/1: exponential with mean s / (1 - rho).
+  const double mean = s / (1.0 - rho);
+  return Mm1{mean, mean * mean};
+}
+
+DelaySummary summarize_mixture(double base_mean, double base_var, double burst_prob,
+                               Seconds burst_max) {
+  // GP delay = M/M/1 sojourn + (with probability burst_prob) an extra
+  // U(0, burst_max) residual wait behind an α burst.
+  const double extra_mean = burst_prob * burst_max / 2.0;
+  const double extra_second_moment = burst_prob * burst_max * burst_max / 3.0;
+  const double extra_var = extra_second_moment - extra_mean * extra_mean;
+  DelaySummary out;
+  out.mean = base_mean + extra_mean;
+  out.stddev = std::sqrt(std::max(0.0, base_var + extra_var));
+  // p99 of the mixture: if bursts are the rare dominant term, the tail is
+  // burst-bound; otherwise it is the exponential sojourn tail.
+  const double exp_p99 = base_mean * std::log(100.0);
+  const double burst_p99 = burst_prob >= 0.01 ? burst_max * (1.0 - 0.01 / burst_prob) : 0.0;
+  out.p99 = std::max(exp_p99, burst_p99 + base_mean);
+  return out;
+}
+
+}  // namespace
+
+DelaySummary QueueIsolationModel::shared_fifo_analytic() const {
+  const Seconds s = gp_service_time();
+  // In the shared FIFO the α bursts consume capacity, raising effective
+  // GP utilization.
+  const double alpha_load =
+      interface_.alpha_burst_per_second * alpha_burst_service_time();
+  const double rho = std::min(0.999, interface_.gp_utilization + alpha_load);
+  const Mm1 base = mm1_delay(rho, s);
+  // Probability a GP packet lands while a burst drains: load fraction of
+  // time the burst occupies the line.
+  const double burst_prob = std::min(1.0, alpha_load);
+  return summarize_mixture(base.mean, base.variance, burst_prob,
+                           alpha_burst_service_time());
+}
+
+DelaySummary QueueIsolationModel::isolated_analytic() const {
+  // GP queue serviced at min-guarantee gp_weight * C when the α queue is
+  // backlogged; the α queue is backlogged for its load fraction of time,
+  // so the GP queue's average service rate is a convex mix. Conservative:
+  // use the guaranteed share whenever bursts exist.
+  const double alpha_load =
+      interface_.alpha_burst_per_second * alpha_burst_service_time();
+  const double effective_capacity_fraction =
+      alpha_load > 0.0 ? interface_.gp_weight + (1.0 - interface_.gp_weight) *
+                                                    std::max(0.0, 1.0 - alpha_load)
+                       : 1.0;
+  const Seconds s = gp_service_time() / effective_capacity_fraction;
+  const double rho = std::min(0.999, interface_.gp_utilization / effective_capacity_fraction);
+  const Mm1 base = mm1_delay(rho, s);
+  // No α burst ever enters the GP queue: burst term vanishes.
+  return summarize_mixture(base.mean, base.variance, 0.0, 0.0);
+}
+
+std::vector<double> QueueIsolationModel::sample_shared_fifo(std::size_t samples,
+                                                            Rng& rng) const {
+  const Seconds s = gp_service_time();
+  const Seconds burst_s = alpha_burst_service_time();
+  const double alpha_load = interface_.alpha_burst_per_second * burst_s;
+  const double rho = std::min(0.999, interface_.gp_utilization + alpha_load);
+  const double burst_prob = std::min(1.0, alpha_load);
+  std::vector<double> delays;
+  delays.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    double d = rng.exponential(s / (1.0 - rho));  // M/M/1 sojourn
+    if (rng.bernoulli(burst_prob)) {
+      d += rng.uniform(0.0, burst_s);  // residual of the in-progress burst
+    }
+    delays.push_back(d);
+  }
+  return delays;
+}
+
+std::vector<double> QueueIsolationModel::sample_isolated(std::size_t samples,
+                                                         Rng& rng) const {
+  const double alpha_load =
+      interface_.alpha_burst_per_second * alpha_burst_service_time();
+  const double effective_capacity_fraction =
+      alpha_load > 0.0 ? interface_.gp_weight + (1.0 - interface_.gp_weight) *
+                                                    std::max(0.0, 1.0 - alpha_load)
+                       : 1.0;
+  const Seconds s = gp_service_time() / effective_capacity_fraction;
+  const double rho = std::min(0.999, interface_.gp_utilization / effective_capacity_fraction);
+  std::vector<double> delays;
+  delays.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    delays.push_back(rng.exponential(s / (1.0 - rho)));
+  }
+  return delays;
+}
+
+}  // namespace gridvc::vc

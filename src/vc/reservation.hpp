@@ -1,0 +1,67 @@
+// Reservation request/record types shared by the IDC and the inter-domain
+// coordinator. Field names mirror the OSCARS createReservation message
+// described in §IV: startTime, endTime, bandwidth, and circuit endpoints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "net/topology.hpp"
+
+namespace gridvc::vc {
+
+/// How circuit provisioning is triggered (§IV).
+enum class SignalingMode : std::uint8_t {
+  /// "automatic signaling": the IDC batches provisioning requests that
+  /// start in the next minute and sends them to the ingress router in
+  /// batch mode — a request for immediate use therefore waits for the
+  /// next batch boundary (the "minimum 1-min VC setup delay").
+  kBatchedAutomatic,
+  /// Hypothetical hardware-assisted signaling: per-request setup after a
+  /// fixed processing + propagation delay (the paper's 50 ms scenario,
+  /// citing [22]).
+  kImmediate,
+};
+
+/// A createReservation message.
+struct ReservationRequest {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  BitsPerSecond bandwidth = 0.0;
+  Seconds start_time = 0.0;  ///< requested circuit start (absolute sim time)
+  Seconds end_time = 0.0;    ///< requested circuit end
+  std::string description;   ///< free-form, for logs
+};
+
+enum class CircuitState : std::uint8_t {
+  kScheduled,   ///< accepted, waiting for provisioning
+  kSettingUp,   ///< provisioning messages in flight
+  kActive,      ///< data plane configured; rate guarantee in force
+  kReleased,    ///< torn down (end reached or cancelled after activation)
+  kCancelled,   ///< cancelled before activation
+};
+
+/// An accepted reservation and its circuit lifecycle record.
+struct Circuit {
+  std::uint64_t id = 0;
+  ReservationRequest request;
+  net::Path path;            ///< explicit path selected by the controller
+  CircuitState state = CircuitState::kScheduled;
+  Seconds provision_started = 0.0;  ///< when setup signaling began
+  Seconds active_at = 0.0;          ///< when the guarantee took effect
+  Seconds released_at = 0.0;
+
+  /// Observed setup delay (active_at - the time the user asked for the
+  /// circuit to be usable). Meaningful once kActive.
+  Seconds setup_delay() const { return active_at - request.start_time; }
+};
+
+/// Why a reservation was rejected.
+enum class RejectReason : std::uint8_t {
+  kNoRoute,          ///< endpoints not connected by reservable links
+  kInsufficientBandwidth,  ///< no path with enough calendar headroom
+  kInvalidRequest,   ///< malformed window or rate
+};
+
+}  // namespace gridvc::vc

@@ -1,0 +1,143 @@
+// Calibrated workload profiles for the four analyzed datasets.
+//
+// The paper analyzed proprietary logs; we regenerate statistically
+// equivalent ones (see DESIGN.md §2). Each profile bundles the knobs a
+// generator needs, with defaults tuned so the synthesized logs match the
+// published marginals:
+//
+//   * NCAR–NICS (2009-2011): 52,454 transfers, ~211 sessions at g = 1 min,
+//     right-skewed session sizes (median ~16 GB), transfer throughput
+//     Q3 ≈ 682 Mbps / max ≈ 4.23 Gbps, a 16 GB + 4 GB large-transfer class
+//     (87% of the top-5% sizes), stripes 1-3 with a server pool that
+//     shrank 3 -> 2 -> 1 across the years.
+//   * SLAC–BNL (Feb-Apr 2012): ~1.02 M transfers in ~10 K sessions,
+//     84.6% multi-stream (8) vs 1-stream, session sizes median ~1.2 GB /
+//     mean ~24 GB / max ~12 TB, throughput max 2.56 Gbps, large-file
+//     median ~200 Mbps on an 80 ms RTT path.
+//
+// The NERSC-ORNL and NERSC-ANL *test-transfer* datasets are produced by
+// the full event-driven simulator instead (scenarios.hpp) because their
+// analyses need SNMP counters and server-concurrency ground truth.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/units.hpp"
+#include "net/tcp_model.hpp"
+
+namespace gridvc::workload {
+
+/// Mixture weight entry for integer-valued configuration choices.
+struct IntMix {
+  int value = 1;
+  double weight = 1.0;
+};
+
+/// Per-year stripe configuration of the NCAR "frost" cluster (§VII-A:
+/// "the number of servers was either 1 or 3 [in 2009], … mostly 2 [in
+/// 2010], … mostly 1 [in 2011]").
+struct YearStripeProfile {
+  int year = 2009;
+  double weight = 1.0;            ///< fraction of sessions in this year
+  std::vector<IntMix> stripe_mix;
+};
+
+/// Generic session-trace profile consumed by the TraceSynthesizer.
+struct SessionTraceProfile {
+  std::string name;
+  std::string server_host;
+  std::string remote_host;
+
+  /// Stop after this many transfers.
+  std::size_t target_transfers = 10000;
+
+  /// Files per batch (a batch is one user script invocation).
+  DistributionPtr files_per_batch;
+  /// Hard cap on a batch's file count after class scaling (0 = none).
+  std::size_t max_files_per_batch = 0;
+  /// File size in bytes (used when file_classes is empty).
+  DistributionPtr file_size_bytes;
+  /// When true and file_size_bytes is a Mixture, one mixture component is
+  /// drawn per batch and all of the batch's files come from it (scripts
+  /// move directories of same-class files). This is what lets the
+  /// session-size *median* sit far below the mean, as the paper's
+  /// right-skewed session tables show.
+  bool per_batch_file_class = false;
+
+  /// A homogeneous directory class: the script moves files of this size
+  /// class, and directories of the class tend to hold batch_scale times
+  /// the baseline file count (detector-output directories are both large
+  /// *and* numerous — how 12.5% of SLAC sessions can hold 78.4% of all
+  /// transfers, Table IV).
+  struct FileClass {
+    double weight = 1.0;
+    DistributionPtr size_bytes;
+    double batch_scale = 1.0;
+    /// Class-specific cap on files per batch (0 = only the global cap);
+    /// big-file directories do not reach the 30k-file extremes that
+    /// small-file directories do.
+    std::size_t max_files = 0;
+  };
+  /// When non-empty, overrides file_size_bytes/per_batch_file_class: the
+  /// class is drawn per batch and scales the batch's file count.
+  std::vector<FileClass> file_classes;
+  /// Gap between one file's end and the next submission within a batch
+  /// (seconds; the mixture includes mass above 1-2 min so Table III's g
+  /// sweep has structure to find).
+  DistributionPtr intra_batch_gap;
+  /// Idle time between batches (seconds; >> any g considered).
+  DistributionPtr inter_batch_idle;
+  /// Lanes of concurrent transfers within a batch (>= 2 produces the
+  /// negative inter-transfer gaps of §V).
+  std::vector<IntMix> batch_concurrency_mix;
+
+  /// Per-transfer bottleneck share in Mbps (server/disk/CPU composite);
+  /// the TCP model turns (size, streams, rtt, share) into a duration.
+  DistributionPtr share_mbps;
+  /// Log-space sigma of the per-batch share factor (conditions of the
+  /// hour are correlated within one script run).
+  double batch_share_sigma = 0.25;
+  /// Probability that a transfer is a pathological straggler, and the
+  /// straggler share distribution (Mbps) — the paper's minimum observed
+  /// throughput is in the bits-per-second range.
+  double straggler_probability = 0.0;
+  DistributionPtr straggler_share_mbps;
+
+  std::vector<IntMix> stream_mix;
+  /// Used when year_profiles is empty.
+  std::vector<IntMix> stripe_mix;
+  /// Share multiplier applied per engaged stripe beyond the first
+  /// (share *= 1 + per_stripe_gain * (stripes - 1)).
+  double per_stripe_gain = 0.0;
+  /// Year-dependent stripe behaviour (NCAR); empty for single-period data.
+  std::vector<YearStripeProfile> year_profiles;
+  /// Simulation-time length of one profile year (seconds).
+  Seconds year_length = 365.0 * kDay;
+
+  Seconds rtt = 0.08;
+  net::TcpConfig tcp;
+  /// Probability a batch runs over a "fresh" path state (infinite
+  /// ssthresh: pure exponential Slow Start, so high shares are actually
+  /// reachable — the 2.56 Gbps peak of Fig 2). The rest of the batches
+  /// use the profile's seasoned `tcp` config (finite ssthresh + linear
+  /// congestion avoidance: the slow median climb of Fig 3).
+  double fresh_path_probability = 0.0;
+  /// Hard clamp on the per-transfer share after all multipliers (Mbps);
+  /// <= 0 disables. Models the DTN NIC ceiling.
+  double share_cap_mbps = 0.0;
+  /// Upper bound on any single transfer's duration (stragglers stall but
+  /// eventually finish or get killed); <= 0 disables.
+  Seconds max_transfer_duration = 0.0;
+};
+
+/// Default NCAR–NICS profile (Tables I, III, IV, VII, VIII, IX).
+SessionTraceProfile ncar_nics_profile();
+
+/// Default SLAC–BNL profile (Tables II, III, IV; Figs 2-5). `scale` in
+/// (0, 1] shrinks target_transfers for quick runs (1.0 = the full ~1.02 M
+/// transfers).
+SessionTraceProfile slac_bnl_profile(double scale = 1.0);
+
+}  // namespace gridvc::workload

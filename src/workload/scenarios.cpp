@@ -1,0 +1,370 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gridftp/server.hpp"
+#include "gridftp/transfer_engine.hpp"
+#include "gridftp/usage_stats.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "workload/testbed.hpp"
+
+namespace gridvc::workload {
+
+namespace {
+
+using gridftp::IoMode;
+using gridftp::Server;
+using gridftp::ServerConfig;
+using gridftp::TransferEngine;
+using gridftp::TransferEngineConfig;
+using gridftp::TransferSpec;
+using gridftp::TransferType;
+
+/// A time-varying aggregate of general-purpose flows on one directed
+/// path: a never-completing flow whose cap is resampled periodically
+/// around `mean_rate`. Far cheaper than per-flow simulation of mice, and
+/// sufficient for the SNMP byte accounting of Tables X-XIII.
+class AggregateCrossTraffic {
+ public:
+  AggregateCrossTraffic(net::Network& network, net::Path path, BitsPerSecond mean_rate,
+                        Seconds resample_period, Rng rng)
+      : network_(network), mean_rate_(mean_rate), rng_(rng) {
+    net::FlowOptions opts;
+    opts.cap = sample_rate();
+    flow_ = network_.start_flow(std::move(path), static_cast<Bytes>(1) << 62, opts, nullptr);
+    tick_ = network_.simulator().schedule_periodic(
+        resample_period, resample_period, [this] {
+          network_.update_cap(flow_, sample_rate());
+          return true;
+        });
+  }
+
+  ~AggregateCrossTraffic() {
+    tick_.cancel();
+    network_.abort_flow(flow_);
+  }
+
+ private:
+  BitsPerSecond sample_rate() {
+    // Lognormal with mean mean_rate_ and ~50% coefficient of variation.
+    const double sigma = 0.47;
+    return mean_rate_ * rng_.lognormal(-sigma * sigma / 2.0, sigma);
+  }
+
+  net::Network& network_;
+  BitsPerSecond mean_rate_;
+  Rng rng_;
+  net::FlowId flow_ = 0;
+  sim::EventHandle tick_;
+};
+
+}  // namespace
+
+NerscOrnlResult run_nersc_ornl_tests(const NerscOrnlConfig& config, std::uint64_t seed) {
+  GRIDVC_REQUIRE(config.transfer_count > 0, "no test transfers requested");
+  GRIDVC_REQUIRE(!config.launch_hours.empty(), "no launch hours configured");
+
+  Rng root(seed);
+  Testbed tb = build_esnet_testbed();
+  sim::Simulator sim;
+  net::Network network(sim, tb.topo);
+
+  ServerConfig nersc_cfg;
+  nersc_cfg.name = "nersc-dtn";
+  nersc_cfg.nic_rate = config.nersc_nic;
+  Server nersc(nersc_cfg);
+
+  ServerConfig ornl_cfg;
+  ornl_cfg.name = "ornl-dtn";
+  ornl_cfg.nic_rate = config.ornl_nic;
+  Server ornl(ornl_cfg);
+
+  // Background traffic partner (generously provisioned so contention is
+  // NERSC-side only).
+  ServerConfig anl_cfg;
+  anl_cfg.name = "anl-dtn";
+  anl_cfg.nic_rate = gbps(40.0);
+  Server anl(anl_cfg);
+
+  gridftp::UsageStatsCollector collector;
+  TransferEngineConfig engine_cfg;
+  engine_cfg.tcp.stream_buffer = 16 * MiB;
+  engine_cfg.tcp.loss_probability = 0.01;
+  engine_cfg.server_noise_sigma = config.server_noise_sigma;
+  TransferEngine engine(network, collector, engine_cfg, root.fork(1));
+
+  const net::Path fwd_path = tb.path(tb.nersc, tb.ornl);
+  const net::Path rev_path = tb.path(tb.ornl, tb.nersc);
+  const Seconds path_rtt = tb.rtt(tb.nersc, tb.ornl);
+
+  // Monitored backbone interfaces: the first five router->router links
+  // past the NERSC provider edge ("SNMP data for 2 out of the 7 routers
+  // … were unavailable").
+  auto fwd_backbone = tb.backbone_links(tb.nersc, tb.ornl);
+  auto rev_backbone = tb.backbone_links(tb.ornl, tb.nersc);
+  GRIDVC_REQUIRE(fwd_backbone.size() >= 6 && rev_backbone.size() >= 6,
+                 "unexpected testbed path shape");
+  std::vector<net::LinkId> fwd_links(fwd_backbone.begin() + 1, fwd_backbone.begin() + 6);
+  // The reverse path lists links ORNL->NERSC; take the mirror five and
+  // flip their order so index k matches forward router rt(k+1).
+  std::vector<net::LinkId> rev_links(rev_backbone.begin() + 1, rev_backbone.begin() + 6);
+  std::reverse(rev_links.begin(), rev_links.end());
+
+  std::vector<net::LinkId> monitored = fwd_links;
+  monitored.insert(monitored.end(), rev_links.begin(), rev_links.end());
+  net::SnmpCollector snmp(network, monitored, config.snmp_bin_seconds);
+
+  // General-purpose cross traffic in both directions.
+  Rng cross_rng = root.fork(2);
+  AggregateCrossTraffic cross_fwd(network, fwd_path, config.cross_traffic_mean,
+                                  config.cross_traffic_resample, cross_rng.fork(1));
+  AggregateCrossTraffic cross_rev(network, rev_path, config.cross_traffic_mean,
+                                  config.cross_traffic_resample, cross_rng.fork(2));
+
+  // Background transfers keeping the NERSC DTN busy at random times.
+  const net::Path bg_path = tb.path(tb.nersc, tb.anl);
+  const Seconds bg_rtt = tb.rtt(tb.nersc, tb.anl);
+  Rng bg_rng = root.fork(3);
+  const Seconds horizon = static_cast<double>(config.days) * kDay;
+  auto schedule_background = std::make_shared<std::function<void()>>();
+  *schedule_background = [&, schedule_background] {
+    const Seconds next = sim.now() + bg_rng.exponential(config.background_mean_interarrival);
+    if (next >= horizon) return;
+    sim.schedule_at(next, [&, schedule_background] {
+      TransferSpec spec;
+      spec.src = {&nersc, IoMode::kMemory};
+      spec.dst = {&anl, IoMode::kMemory};
+      spec.path = bg_path;
+      spec.rtt = bg_rtt;
+      spec.size = static_cast<Bytes>(std::max(
+          1.0, bg_rng.exponential(static_cast<double>(config.background_mean_size))));
+      spec.streams = 4;
+      spec.remote_host = "background";
+      engine.submit(spec);
+      (*schedule_background)();
+    });
+  };
+  (*schedule_background)();
+
+  // The 145 test transfers: spread over `days` days at the launch hours,
+  // heavier slots first (25 slots of 3 + 35 of 2 in the default config).
+  NerscOrnlResult result;
+  Rng test_rng = root.fork(4);
+  const std::size_t slots = config.days * config.launch_hours.size();
+  std::size_t remaining = config.transfer_count;
+  std::size_t slot_index = 0;
+  for (std::size_t day = 0; day < config.days && remaining > 0; ++day) {
+    for (int hour : config.launch_hours) {
+      if (remaining == 0) break;
+      const std::size_t base = config.transfer_count / slots;
+      const std::size_t extra = (slot_index < config.transfer_count % slots) ? 1 : 0;
+      const std::size_t count = std::min(remaining, std::max<std::size_t>(1, base + extra));
+      ++slot_index;
+      for (std::size_t k = 0; k < count; ++k) {
+        const Seconds when = static_cast<double>(day) * kDay +
+                             static_cast<double>(hour) * kHour +
+                             static_cast<double>(k) * 600.0;
+        const bool retrieve = test_rng.bernoulli(config.retrieve_fraction);
+        const Bytes test_size = static_cast<Bytes>(
+            static_cast<double>(config.transfer_size) *
+            test_rng.uniform(1.0 - config.size_spread, 1.0 + config.size_spread));
+        sim.schedule_at(when, [&, retrieve, test_size] {
+          TransferSpec spec;
+          if (retrieve) {  // NERSC -> ORNL
+            spec.src = {&nersc, IoMode::kDiskRead};
+            spec.dst = {&ornl, IoMode::kDiskWrite};
+            spec.path = fwd_path;
+            spec.type = TransferType::kRetrieve;
+          } else {  // ORNL -> NERSC
+            spec.src = {&ornl, IoMode::kDiskRead};
+            spec.dst = {&nersc, IoMode::kDiskWrite};
+            spec.path = rev_path;
+            spec.type = TransferType::kStore;
+          }
+          spec.rtt = path_rtt;
+          spec.size = test_size;
+          spec.streams = config.streams;
+          spec.stripes = config.stripes;
+          spec.remote_host = "ornl-dtn";
+          engine.submit(spec, [&result](const gridftp::TransferRecord& r) {
+            result.log.push_back(r);
+          });
+        });
+        --remaining;
+      }
+    }
+  }
+
+  sim.run_until(horizon + kDay);  // margin for the last transfers to drain
+  snmp.stop();
+
+  for (std::size_t k = 0; k < fwd_links.size(); ++k) {
+    result.router_names.push_back("rt" + std::to_string(k + 1));
+    result.forward_series.push_back(snmp.series(fwd_links[k]));
+    result.reverse_series.push_back(snmp.series(rev_links[k]));
+  }
+  gridftp::sort_by_start(result.log);
+  return result;
+}
+
+AnlNerscResult run_anl_nersc_tests(const AnlNerscConfig& config, std::uint64_t seed) {
+  Rng root(seed);
+  Testbed tb = build_esnet_testbed();
+  sim::Simulator sim;
+  net::Network network(sim, tb.topo);
+
+  ServerConfig nersc_cfg;
+  nersc_cfg.name = "nersc-dtn";
+  nersc_cfg.nic_rate = config.nersc_nic;
+  nersc_cfg.disk_read_rate = config.nersc_disk_read;
+  nersc_cfg.disk_write_rate = config.nersc_disk_write;
+  Server nersc(nersc_cfg);
+
+  ServerConfig anl_cfg;
+  anl_cfg.name = "anl-dtn";
+  anl_cfg.nic_rate = config.anl_nic;
+  anl_cfg.disk_read_rate = config.anl_disk_read;
+  anl_cfg.disk_write_rate = config.anl_disk_write;
+  Server anl(anl_cfg);
+
+  // Partner for background transfers; generous so only NERSC contends.
+  ServerConfig ornl_cfg;
+  ornl_cfg.name = "ornl-dtn";
+  ornl_cfg.nic_rate = gbps(40.0);
+  Server ornl(ornl_cfg);
+
+  gridftp::UsageStatsCollector collector;
+  TransferEngineConfig engine_cfg;
+  engine_cfg.tcp.stream_buffer = 16 * MiB;
+  engine_cfg.tcp.loss_probability = 0.01;
+  engine_cfg.server_noise_sigma = config.server_noise_sigma;
+  TransferEngine engine(network, collector, engine_cfg, root.fork(1));
+
+  const net::Path test_path = tb.path(tb.anl, tb.nersc);  // ANL -> NERSC
+  const Seconds test_rtt = tb.rtt(tb.anl, tb.nersc);
+  const net::Path bg_path = tb.path(tb.nersc, tb.ornl);
+  const Seconds bg_rtt = tb.rtt(tb.nersc, tb.ornl);
+  const Seconds horizon = static_cast<double>(config.days) * kDay;
+
+  // Slow drift of the NERSC DTN's deliverable capacity (see config).
+  Rng drift_rng = root.fork(7);
+  if (config.capacity_drift_sigma > 0.0 && config.capacity_drift_period > 0.0) {
+    sim.schedule_periodic(config.capacity_drift_period, config.capacity_drift_period,
+                          [&, sigma = config.capacity_drift_sigma] {
+                            nersc.set_nic_rate(config.nersc_nic *
+                                               drift_rng.lognormal(-sigma * sigma / 2.0,
+                                                                   sigma));
+                            return true;
+                          });
+  }
+
+  // Background load at the NERSC DTN, with occasional bursts of several
+  // simultaneous starts (Fig 7's high-concurrency intervals).
+  Rng bg_rng = root.fork(2);
+  auto schedule_background = std::make_shared<std::function<void()>>();
+  *schedule_background = [&, schedule_background] {
+    const Seconds next = sim.now() + bg_rng.exponential(config.background_mean_interarrival);
+    if (next >= horizon) return;
+    sim.schedule_at(next, [&, schedule_background] {
+      int count = 1;
+      if (bg_rng.bernoulli(config.background_burst_probability)) {
+        count = static_cast<int>(
+            bg_rng.uniform_int(2, std::max(2, config.background_burst_max)));
+      }
+      for (int i = 0; i < count; ++i) {
+        TransferSpec spec;
+        spec.src = {&nersc, bg_rng.bernoulli(0.5) ? IoMode::kDiskRead : IoMode::kMemory};
+        spec.dst = {&ornl, IoMode::kMemory};
+        spec.path = bg_path;
+        spec.rtt = bg_rtt;
+        spec.size = static_cast<Bytes>(std::max(
+            1.0, bg_rng.exponential(static_cast<double>(config.background_mean_size))));
+        spec.streams = 4;
+        spec.remote_host = "background";
+        engine.submit(spec);
+      }
+      (*schedule_background)();
+    });
+  };
+  (*schedule_background)();
+
+  // The 334 tests, uniformly spread over the horizon in a shuffled type
+  // order.
+  std::vector<AnlTestType> plan;
+  plan.insert(plan.end(), config.mem_mem, AnlTestType::kMemMem);
+  plan.insert(plan.end(), config.mem_disk, AnlTestType::kMemDisk);
+  plan.insert(plan.end(), config.disk_mem, AnlTestType::kDiskMem);
+  plan.insert(plan.end(), config.disk_disk, AnlTestType::kDiskDisk);
+  GRIDVC_REQUIRE(!plan.empty(), "no ANL-NERSC tests requested");
+  Rng plan_rng = root.fork(3);
+  for (std::size_t i = plan.size(); i > 1; --i) {  // Fisher-Yates
+    const std::size_t j =
+        static_cast<std::size_t>(plan_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(plan[i - 1], plan[j]);
+  }
+
+  struct Tagged {
+    AnlTestType type;
+    gridftp::TransferRecord record;
+  };
+  auto tagged = std::make_shared<std::vector<Tagged>>();
+  const Seconds spacing = horizon / static_cast<double>(plan.size() + 1);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const Seconds when =
+        spacing * static_cast<double>(i + 1) + plan_rng.uniform(0.0, spacing * 0.5);
+    const AnlTestType type = plan[i];
+    sim.schedule_at(when, [&, type, tagged] {
+      TransferSpec spec;
+      const bool src_disk =
+          type == AnlTestType::kDiskMem || type == AnlTestType::kDiskDisk;
+      const bool dst_disk =
+          type == AnlTestType::kMemDisk || type == AnlTestType::kDiskDisk;
+      spec.src = {&anl, src_disk ? IoMode::kDiskRead : IoMode::kMemory};
+      spec.dst = {&nersc, dst_disk ? IoMode::kDiskWrite : IoMode::kMemory};
+      spec.path = test_path;
+      spec.rtt = test_rtt;
+      spec.size = config.transfer_size;
+      spec.streams = config.streams;
+      spec.type = TransferType::kStore;  // file arrives at NERSC
+      spec.remote_host = "anl-test";
+      engine.submit(spec, [tagged, type](const gridftp::TransferRecord& r) {
+        tagged->push_back(Tagged{type, r});
+      });
+    });
+  }
+
+  sim.run_until(horizon + kDay);
+
+  // Assemble the full NERSC-side log (tests + background) and locate each
+  // test class inside it.
+  AnlNerscResult result;
+  result.all_log = collector.take_log();
+  gridftp::sort_by_start(result.all_log);
+
+  const auto find_index = [&](const gridftp::TransferRecord& r) -> std::size_t {
+    for (std::size_t i = 0; i < result.all_log.size(); ++i) {
+      const auto& c = result.all_log[i];
+      if (c.start_time == r.start_time && c.size == r.size &&
+          c.duration == r.duration && c.remote_host == r.remote_host) {
+        return i;
+      }
+    }
+    throw NotFoundError("test transfer missing from the collected log");
+  };
+  for (const auto& t : *tagged) {
+    const std::size_t idx = find_index(t.record);
+    switch (t.type) {
+      case AnlTestType::kMemMem: result.mem_mem.push_back(idx); break;
+      case AnlTestType::kMemDisk: result.mem_disk.push_back(idx); break;
+      case AnlTestType::kDiskMem: result.disk_mem.push_back(idx); break;
+      case AnlTestType::kDiskDisk: result.disk_disk.push_back(idx); break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gridvc::workload

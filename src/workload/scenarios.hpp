@@ -1,0 +1,133 @@
+// Full event-driven scenarios for the test-transfer datasets.
+//
+// Two of the paper's datasets are *administrator test transfers*, and
+// their analyses need data only the event-driven simulator can provide:
+//
+//   * NERSC–ORNL (Table V, Fig 6, Tables X-XIII): 145 transfers of 32 GB
+//     launched at 2 AM / 8 AM daily, with SNMP 30-second byte counters on
+//     the five monitored backbone interfaces and light general-purpose
+//     cross traffic on the path.
+//   * ANL–NERSC (Table VI, Figs 1, 7, 8): 334 test transfers in four
+//     types (mem→mem / mem→disk / disk→mem / disk→disk) sharing the NERSC
+//     DTN with a stream of background GridFTP transfers, producing the
+//     concurrency structure eq. (2) is evaluated on.
+//
+// Both scenarios are deterministic in (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "net/snmp.hpp"
+
+namespace gridvc::workload {
+
+// ---------------------------------------------------------------------------
+// NERSC–ORNL 32 GB test transfers
+// ---------------------------------------------------------------------------
+
+struct NerscOrnlConfig {
+  std::size_t transfer_count = 145;
+  Bytes transfer_size = 32 * GiB;
+  /// Relative half-width of the per-test size jitter (the paper's "32GB"
+  /// test files vary slightly; exact-constant sizes would make the
+  /// byte-correlation analyses of Tables XI/XII degenerate).
+  double size_spread = 0.12;
+  int streams = 8;  ///< §VII-C: all 32 GB tests used 8 streams, 1 stripe
+  int stripes = 1;
+  /// Fraction of RETR (NERSC->ORNL) vs STOR (ORNL->NERSC) operations.
+  double retrieve_fraction = 0.5;
+  std::size_t days = 30;
+  /// Launch hours (the paper's tests all started at 2 AM or 8 AM).
+  std::vector<int> launch_hours{2, 8};
+
+  /// DTN ceilings: tuned so throughput lands in Table V's range
+  /// (min ~0.76 Gbps, max ~3.6 Gbps, IQR ~0.7 Gbps).
+  BitsPerSecond nersc_nic = gbps(3.8);
+  BitsPerSecond ornl_nic = gbps(4.2);
+  double server_noise_sigma = 0.42;
+
+  /// Background transfers sharing the NERSC DTN (server contention).
+  Seconds background_mean_interarrival = 700.0;
+  Bytes background_mean_size = 4 * GiB;
+
+  /// Aggregate general-purpose cross traffic per backbone direction:
+  /// mean rate and resample period of the time-varying aggregate.
+  BitsPerSecond cross_traffic_mean = mbps(180.0);
+  Seconds cross_traffic_resample = 300.0;
+
+  Seconds snmp_bin_seconds = 30.0;
+};
+
+struct NerscOrnlResult {
+  /// The test transfers only (145 records).
+  gridftp::TransferLog log;
+  /// Monitored router labels rt1..rt5.
+  std::vector<std::string> router_names;
+  /// Per monitored router: SNMP series of the NERSC->ORNL egress
+  /// interface and of the reverse direction.
+  std::vector<net::SnmpSeries> forward_series;
+  std::vector<net::SnmpSeries> reverse_series;
+};
+
+NerscOrnlResult run_nersc_ornl_tests(const NerscOrnlConfig& config, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// ANL–NERSC four-type test matrix
+// ---------------------------------------------------------------------------
+
+struct AnlNerscConfig {
+  /// Test counts by type, matching §VI-B: mm 84, md 78, dm 87, dd 85.
+  std::size_t mem_mem = 84;
+  std::size_t mem_disk = 78;
+  std::size_t disk_mem = 87;
+  std::size_t disk_disk = 85;
+  Bytes transfer_size = 8 * GiB;
+  int streams = 8;
+  std::size_t days = 10;
+
+  BitsPerSecond nersc_nic = gbps(2.6);
+  BitsPerSecond nersc_disk_read = gbps(1.9);
+  /// The NERSC disk *write* path is the observed bottleneck (Fig 1).
+  BitsPerSecond nersc_disk_write = gbps(1.35);
+  BitsPerSecond anl_nic = gbps(2.6);
+  BitsPerSecond anl_disk_read = gbps(1.9);
+  BitsPerSecond anl_disk_write = gbps(1.5);
+  double server_noise_sigma = 0.40;
+  /// Slow drift of the NERSC DTN's deliverable capacity: every
+  /// `capacity_drift_period` seconds the ceiling is resampled around its
+  /// base with this log-sigma. Eq. (2) assumes a constant R, so this
+  /// drift is exactly the unexplained variance that caps the paper's
+  /// rho at ~0.62.
+  double capacity_drift_sigma = 0.22;
+  Seconds capacity_drift_period = 3600.0;
+
+  /// Background GridFTP load on the NERSC DTN: mean inter-arrival, mean
+  /// size, and the probability an arrival is a burst of several starts
+  /// (bursts produce Fig 7's high-concurrency intervals).
+  Seconds background_mean_interarrival = 55.0;
+  Bytes background_mean_size = 3 * GiB;
+  double background_burst_probability = 0.15;
+  int background_burst_max = 6;
+};
+
+/// Transfer-type labels for the four test classes.
+enum class AnlTestType : std::uint8_t { kMemMem, kMemDisk, kDiskMem, kDiskDisk };
+
+struct AnlNerscResult {
+  /// Every transfer the NERSC DTN served (tests + background), sorted by
+  /// start time — the input the concurrency analysis needs.
+  gridftp::TransferLog all_log;
+  /// Indices into all_log for each test class.
+  std::vector<std::size_t> mem_mem;
+  std::vector<std::size_t> mem_disk;
+  std::vector<std::size_t> disk_mem;
+  std::vector<std::size_t> disk_disk;
+};
+
+AnlNerscResult run_anl_nersc_tests(const AnlNerscConfig& config, std::uint64_t seed);
+
+}  // namespace gridvc::workload

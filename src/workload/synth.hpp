@@ -1,0 +1,37 @@
+// Fast trace synthesis for the large log datasets.
+//
+// The NCAR–NICS (52 K transfers) and SLAC–BNL (1.02 M transfers) analyses
+// consume only the usage-statistics log, so regenerating them does not
+// need the event-driven network: the synthesizer lays out batches of
+// transfers on a timeline and prices each transfer's duration with the
+// same analytic TCP model the full simulator uses
+// (net::TcpModel::transfer_duration over a sampled bottleneck share).
+// This keeps the million-transfer benches sub-second while remaining
+// mechanically consistent with the event-driven path.
+//
+// Structure produced per batch (one user script invocation):
+//   * `files_per_batch` files, on `batch_concurrency` parallel lanes
+//     (lanes yield overlapping transfers, hence negative gaps);
+//   * intra-batch think-time gaps from the profile's mixture;
+//   * a per-batch share factor (server load of that hour) times a
+//     per-transfer share sample;
+//   * per-batch streams/stripes configuration (scripts pin these flags).
+#pragma once
+
+#include "common/rng.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "workload/profiles.hpp"
+
+namespace gridvc::workload {
+
+/// Synthesizes a transfer log for `profile`. Deterministic in (profile,
+/// seed). The result is sorted by start time.
+gridftp::TransferLog synthesize_trace(const SessionTraceProfile& profile,
+                                      std::uint64_t seed);
+
+/// Calendar year of a timestamp under a profile with year_profiles
+/// (year = first_year + floor(t / year_length)); profiles without year
+/// structure map everything to year 0's label.
+int year_of(const SessionTraceProfile& profile, Seconds t);
+
+}  // namespace gridvc::workload

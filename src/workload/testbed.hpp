@@ -1,0 +1,43 @@
+// The simulated multi-site testbed.
+//
+// A stand-in for the real-world infrastructure of the paper's study:
+// seven DOE/NSF site DTNs (NERSC, SLAC, NCAR, NICS, ORNL, ANL, BNL)
+// attached through site edge routers to an ESnet-like 10 Gbps backbone.
+// Link delays are set so the four studied paths have round-trip times
+// consistent with the paper (SLAC–BNL ≈ 80 ms — the BDP calculation of
+// §VII-B — NCAR–NICS notably shorter, NERSC–ORNL in between), and the
+// NERSC–ORNL path crosses five core routers whose egress interfaces are
+// the monitored "rt1..rt5" of Tables X–XIII.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace gridvc::workload {
+
+struct Testbed {
+  net::Topology topo;
+
+  // Host (DTN) node ids.
+  net::NodeId ncar = 0, nics = 0, slac = 0, bnl = 0, nersc = 0, ornl = 0, anl = 0;
+
+  /// Least-delay path between two hosts. Throws NotFoundError when
+  /// disconnected (never, in the built testbed).
+  net::Path path(net::NodeId src, net::NodeId dst) const;
+
+  /// Round-trip time of the least-delay path (both directions).
+  Seconds rtt(net::NodeId src, net::NodeId dst) const;
+
+  /// The router->router (backbone egress-interface) links along the
+  /// src->dst path — the interfaces an SNMP study would poll.
+  std::vector<net::LinkId> backbone_links(net::NodeId src, net::NodeId dst) const;
+};
+
+/// Build the seven-site, six-core-router ESnet-like testbed. All links
+/// are 10 Gbps duplex.
+Testbed build_esnet_testbed();
+
+}  // namespace gridvc::workload

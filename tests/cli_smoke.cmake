@@ -1,0 +1,22 @@
+# Smoke test of the CLI tools: synthesize a small log, analyze it, and
+# check the outputs look sane.
+execute_process(
+  COMMAND ${SYNTH} --profile slac --scale 0.002 --seed 3 --out ${WORKDIR}/cli_smoke.csv
+  RESULT_VARIABLE synth_rc)
+if(NOT synth_rc EQUAL 0)
+  message(FATAL_ERROR "gridvc-synth failed: ${synth_rc}")
+endif()
+
+execute_process(
+  COMMAND ${ANALYZE} --classes ${WORKDIR}/cli_smoke.csv
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE analyze_rc)
+if(NOT analyze_rc EQUAL 0)
+  message(FATAL_ERROR "gridvc-analyze failed: ${analyze_rc}")
+endif()
+foreach(needle "transfers read" "VC suitability" "alphas")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "gridvc-analyze output missing '${needle}':\n${out}")
+  endif()
+endforeach()

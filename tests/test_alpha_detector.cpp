@@ -1,0 +1,117 @@
+#include "vc/alpha_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gridvc::vc {
+namespace {
+
+AlphaDetectorConfig fast_config() {
+  AlphaDetectorConfig c;
+  c.min_bytes = 100 * MiB;
+  c.min_rate = mbps(500);
+  c.window = 10.0;
+  return c;
+}
+
+// Feed a constant-rate flow: `rate` bits/s sampled every `step` seconds
+// for `total` seconds.
+void feed(AlphaDetector& d, AlphaDetector::FlowKey key, BitsPerSecond rate,
+          Seconds total, Seconds step = 1.0) {
+  for (Seconds t = 0.0; t <= total; t += step) {
+    d.observe(key, static_cast<Bytes>(rate * t / 8.0), t);
+  }
+}
+
+TEST(AlphaDetector, PromotesBigFastFlow) {
+  AlphaDetector d(fast_config());
+  feed(d, 1, gbps(2), 30.0);  // 2 Gbps for 30 s = 7.5 GB
+  EXPECT_TRUE(d.is_alpha(1));
+  EXPECT_EQ(d.promoted_count(), 1u);
+}
+
+TEST(AlphaDetector, IgnoresSmallFlow) {
+  AlphaDetector d(fast_config());
+  // Fast but tiny: 1 Gbps for 0.5 s = 62 MB < min_bytes.
+  feed(d, 1, gbps(1), 0.5, 0.1);
+  EXPECT_FALSE(d.is_alpha(1));
+}
+
+TEST(AlphaDetector, IgnoresSlowFlow) {
+  AlphaDetector d(fast_config());
+  // Huge but slow: 100 Mbps for 200 s = 2.5 GB, below the rate bar.
+  feed(d, 1, mbps(100), 200.0);
+  EXPECT_FALSE(d.is_alpha(1));
+  EXPECT_EQ(d.promoted_count(), 0u);
+}
+
+TEST(AlphaDetector, NeedsAFullWindowOfEvidence) {
+  AlphaDetector d(fast_config());
+  // Fast and already big, but only observed for 3 s (< window).
+  d.observe(1, 0, 0.0);
+  d.observe(1, 500 * MiB, 3.0);
+  EXPECT_FALSE(d.is_alpha(1));
+  // After the window elapses, the same flow qualifies.
+  d.observe(1, 2000 * MiB, 12.0);
+  EXPECT_TRUE(d.is_alpha(1));
+}
+
+TEST(AlphaDetector, PromotionCallbackFiresOnce) {
+  int calls = 0;
+  AlphaDetector d(fast_config(), [&](AlphaDetector::FlowKey key, BitsPerSecond rate) {
+    ++calls;
+    EXPECT_EQ(key, 7u);
+    EXPECT_GE(rate, mbps(500));
+  });
+  feed(d, 7, gbps(1), 60.0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(AlphaDetector, StalledFlowMustReEarnTheBar) {
+  AlphaDetector d(fast_config());
+  // Big volume accumulated slowly, then a burst shorter than the window:
+  // the rate check restarts, so no promotion without sustained speed.
+  feed(d, 1, mbps(50), 60.0);  // 375 MB over a minute, slow
+  EXPECT_FALSE(d.is_alpha(1));
+  // Burst: +200 MB in 2 s, but the window restarted at t=60 needs 10 s of
+  // evidence.
+  d.observe(1, static_cast<Bytes>(mbps(50) * 60.0 / 8.0) + 200 * MiB, 62.0);
+  EXPECT_FALSE(d.is_alpha(1));
+}
+
+TEST(AlphaDetector, TracksFlowsIndependently) {
+  AlphaDetector d(fast_config());
+  feed(d, 1, gbps(2), 30.0);
+  feed(d, 2, mbps(10), 30.0);
+  EXPECT_TRUE(d.is_alpha(1));
+  EXPECT_FALSE(d.is_alpha(2));
+  EXPECT_EQ(d.tracked_flows(), 2u);
+}
+
+TEST(AlphaDetector, ForgetDropsState) {
+  AlphaDetector d(fast_config());
+  feed(d, 1, gbps(2), 30.0);
+  d.forget(1);
+  EXPECT_FALSE(d.is_alpha(1));
+  EXPECT_EQ(d.tracked_flows(), 0u);
+}
+
+TEST(AlphaDetector, RejectsOutOfOrderObservations) {
+  AlphaDetector d(fast_config());
+  d.observe(1, 100, 10.0);
+  EXPECT_THROW(d.observe(1, 200, 5.0), gridvc::PreconditionError);
+  EXPECT_THROW(d.observe(1, 50, 11.0), gridvc::PreconditionError);
+}
+
+TEST(AlphaDetector, RejectsBadConfig) {
+  AlphaDetectorConfig c;
+  c.min_bytes = 0;
+  EXPECT_THROW(AlphaDetector{c}, gridvc::PreconditionError);
+  AlphaDetectorConfig c2;
+  c2.window = 0.0;
+  EXPECT_THROW(AlphaDetector{c2}, gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::vc

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stream_analysis.hpp"
+#include "analysis/throughput_analysis.hpp"
+#include "analysis/timeofday_analysis.hpp"
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+namespace {
+
+using gridftp::TransferLog;
+using gridftp::TransferRecord;
+
+TransferRecord make(Bytes size, double throughput_mbps, int streams = 1, int stripes = 1,
+                    double start = 0.0) {
+  TransferRecord r;
+  r.size = size;
+  r.start_time = start;
+  r.duration = static_cast<double>(size) * 8.0 / mbps(throughput_mbps);
+  r.server_host = "srv";
+  r.remote_host = "remote";
+  r.streams = streams;
+  r.stripes = stripes;
+  return r;
+}
+
+TEST(ThroughputAnalysis, SummaryInMbps) {
+  TransferLog log{make(GiB, 100), make(GiB, 300)};
+  const auto s = throughput_summary_mbps(log);
+  EXPECT_NEAR(s.min, 100.0, 0.01);
+  EXPECT_NEAR(s.max, 300.0, 0.01);
+  EXPECT_NEAR(s.mean, 200.0, 0.01);
+}
+
+TEST(ThroughputAnalysis, DurationSummary) {
+  TransferLog log{make(GiB, 100), make(GiB, 200)};
+  const auto s = duration_summary_seconds(log);
+  EXPECT_GT(s.max, s.min);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(ThroughputAnalysis, EmptyLogThrows) {
+  EXPECT_THROW(throughput_summary_mbps({}), gridvc::PreconditionError);
+}
+
+TEST(ThroughputAnalysis, FilterBySize) {
+  TransferLog log{make(MiB, 100), make(4 * GiB + MiB, 100), make(16 * GiB + MiB, 100)};
+  const auto mid = filter_by_size(log, 4 * GiB, 5 * GiB);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].size, 4 * GiB + MiB);
+  EXPECT_THROW(filter_by_size(log, GiB, GiB), gridvc::PreconditionError);
+}
+
+TEST(ThroughputAnalysis, FilterByPredicate) {
+  TransferLog log{make(MiB, 100, 1), make(MiB, 100, 8)};
+  const auto eight = filter(log, [](const TransferRecord& r) { return r.streams == 8; });
+  ASSERT_EQ(eight.size(), 1u);
+  EXPECT_EQ(eight[0].streams, 8);
+}
+
+TEST(ThroughputAnalysis, GroupByStripes) {
+  TransferLog log{make(GiB, 100, 1, 1), make(GiB, 110, 1, 1), make(GiB, 300, 1, 3),
+                  make(GiB, 320, 1, 3), make(GiB, 999, 1, 7)};
+  const auto groups = throughput_by_stripes(log, 2);
+  ASSERT_EQ(groups.size(), 2u);  // the lone 7-stripe transfer is dropped
+  EXPECT_NEAR(groups.at(1).median, 105.0, 0.01);
+  EXPECT_NEAR(groups.at(3).median, 310.0, 0.01);
+}
+
+TEST(ThroughputAnalysis, GroupByYear) {
+  TransferLog log{make(GiB, 100, 1, 1, 0.0), make(GiB, 120, 1, 1, 10.0),
+                  make(GiB, 300, 1, 1, 1000.0), make(GiB, 280, 1, 1, 1010.0)};
+  const auto groups = throughput_by_year(
+      log, [](Seconds t) { return t < 500.0 ? 2009 : 2010; });
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_GT(groups.at(2010).median, groups.at(2009).median);
+}
+
+TEST(StreamAnalysis, SeparatesGroupsByBin) {
+  TransferLog log;
+  // 10 MiB files: 1-stream at 50 Mbps, 8-stream at 150 Mbps; 2 GiB files:
+  // both 200 Mbps.
+  for (int i = 0; i < 5; ++i) {
+    log.push_back(make(10 * MiB + static_cast<Bytes>(i), 50, 1));
+    log.push_back(make(10 * MiB + static_cast<Bytes>(i), 150, 8));
+    log.push_back(make(2 * GiB + static_cast<Bytes>(i), 200, 1));
+    log.push_back(make(2 * GiB + static_cast<Bytes>(i), 200, 8));
+  }
+  const auto cmp = compare_streams(log);
+  ASSERT_FALSE(cmp.group_a.points.empty());
+  ASSERT_FALSE(cmp.group_b.points.empty());
+  // Small-file bin: 8 streams ahead.
+  EXPECT_NEAR(cmp.group_a.points[0].median, 50.0, 0.1);
+  EXPECT_NEAR(cmp.group_b.points[0].median, 150.0, 0.1);
+  // Large-file bin: parity.
+  EXPECT_NEAR(cmp.group_a.points.back().median, cmp.group_b.points.back().median, 0.1);
+  EXPECT_EQ(cmp.unmatched, 0u);
+}
+
+TEST(StreamAnalysis, CountsAndUnmatched) {
+  TransferLog log{make(MiB, 10, 1), make(MiB, 10, 4), make(MiB, 10, 8)};
+  const auto cmp = compare_streams(log);
+  EXPECT_EQ(cmp.unmatched, 1u);  // the 4-stream transfer
+  EXPECT_EQ(cmp.group_a.points[0].count, 1u);
+}
+
+TEST(StreamAnalysis, MaxSizeFilters) {
+  TransferLog log{make(MiB, 10, 1), make(8 * GiB, 10, 1)};
+  StreamAnalysisOptions opt;
+  const auto cmp = compare_streams(log, opt);
+  std::size_t total = 0;
+  for (const auto& p : cmp.group_a.points) total += p.count;
+  EXPECT_EQ(total, 1u);  // the 8 GiB transfer is out of range
+}
+
+TEST(StreamAnalysis, ConvergenceDetection) {
+  TransferLog log;
+  // Diverge below 512 MiB, converge above.
+  for (int i = 0; i < 3; ++i) {
+    log.push_back(make(100 * MiB, 50, 1));
+    log.push_back(make(100 * MiB, 150, 8));
+    log.push_back(make(900 * MiB, 200, 1));
+    log.push_back(make(900 * MiB, 205, 8));
+    log.push_back(make(2 * GiB, 210, 1));
+    log.push_back(make(2 * GiB, 212, 8));
+  }
+  const auto cmp = compare_streams(log);
+  const double conv = convergence_size_mb(cmp);
+  EXPECT_GT(conv, 500.0);
+  EXPECT_LT(conv, 1000.0);
+}
+
+TEST(StreamAnalysis, IdenticalGroupsRejected) {
+  StreamAnalysisOptions opt;
+  opt.streams_a = opt.streams_b = 4;
+  EXPECT_THROW(compare_streams({}, opt), gridvc::PreconditionError);
+}
+
+TEST(TimeOfDay, HourMapping) {
+  EXPECT_EQ(hour_of_day(0.0), 0);
+  EXPECT_EQ(hour_of_day(2.0 * kHour), 2);
+  EXPECT_EQ(hour_of_day(kDay + 8.0 * kHour + 100.0), 8);
+  EXPECT_EQ(hour_of_day(5.0 * kDay + 23.99 * kHour), 23);
+}
+
+TEST(TimeOfDay, ScatterPoints) {
+  TransferLog log{make(GiB, 100, 1, 1, 2 * kHour), make(GiB, 200, 1, 1, kDay + 8 * kHour)};
+  const auto pts = time_of_day_scatter(log);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_NEAR(pts[0].hour, 2.0, 1e-9);
+  EXPECT_NEAR(pts[1].hour, 8.0, 1e-9);
+  EXPECT_NEAR(pts[0].throughput_mbps, 100.0, 0.01);
+}
+
+TEST(TimeOfDay, GroupsByStartHour) {
+  TransferLog log;
+  for (int d = 0; d < 4; ++d) {
+    log.push_back(make(GiB, 300, 1, 1, d * kDay + 2 * kHour));
+    log.push_back(make(GiB, 200, 1, 1, d * kDay + 8 * kHour));
+  }
+  const auto groups = throughput_by_start_hour(log);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_GT(groups.at(2).median, groups.at(8).median);
+  EXPECT_EQ(groups.at(2).count, 4u);
+}
+
+}  // namespace
+}  // namespace gridvc::analysis

@@ -1,0 +1,186 @@
+#include "vc/bandwidth_calendar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridvc::vc {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using net::NodeKind;
+using net::Path;
+using net::Topology;
+
+TEST(BandwidthProfile, AddAndQuery) {
+  BandwidthProfile p;
+  p.add(10.0, 20.0, mbps(100));
+  EXPECT_DOUBLE_EQ(p.at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(10.0), mbps(100));
+  EXPECT_DOUBLE_EQ(p.at(19.9), mbps(100));
+  EXPECT_DOUBLE_EQ(p.at(20.0), 0.0);
+}
+
+TEST(BandwidthProfile, PeakOverlap) {
+  BandwidthProfile p;
+  p.add(0.0, 100.0, mbps(100));
+  p.add(50.0, 150.0, mbps(200));
+  EXPECT_DOUBLE_EQ(p.peak(0.0, 50.0), mbps(100));
+  EXPECT_DOUBLE_EQ(p.peak(0.0, 150.0), mbps(300));
+  EXPECT_DOUBLE_EQ(p.peak(100.0, 150.0), mbps(200));
+  EXPECT_DOUBLE_EQ(p.peak(200.0, 300.0), 0.0);
+}
+
+TEST(BandwidthProfile, PeakWindowEntirelyInsideOneBlock) {
+  BandwidthProfile p;
+  p.add(0.0, 100.0, mbps(500));
+  EXPECT_DOUBLE_EQ(p.peak(40.0, 60.0), mbps(500));
+}
+
+TEST(BandwidthProfile, EntryLevelNotStale) {
+  // A block that ends before the window must not leak into the peak.
+  BandwidthProfile p;
+  p.add(0.0, 10.0, mbps(900));
+  p.add(20.0, 30.0, mbps(100));
+  EXPECT_DOUBLE_EQ(p.peak(15.0, 40.0), mbps(100));
+  EXPECT_DOUBLE_EQ(p.peak(12.0, 18.0), 0.0);
+}
+
+TEST(BandwidthProfile, RemoveRestores) {
+  BandwidthProfile p;
+  p.add(0.0, 10.0, mbps(100));
+  p.remove(0.0, 10.0, mbps(100));
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.peak(0.0, 10.0), 0.0);
+}
+
+TEST(BandwidthProfile, InvalidWindowsThrow) {
+  BandwidthProfile p;
+  EXPECT_THROW(p.add(10.0, 10.0, 1.0), gridvc::PreconditionError);
+  EXPECT_THROW(p.add(10.0, 5.0, 1.0), gridvc::PreconditionError);
+  EXPECT_THROW(p.add(0.0, 1.0, 0.0), gridvc::PreconditionError);
+}
+
+struct CalFixture {
+  Topology topo;
+  LinkId ab, bc;
+  CalFixture() {
+    const NodeId a = topo.add_node("a", NodeKind::kHost);
+    const NodeId b = topo.add_node("b", NodeKind::kRouter);
+    const NodeId c = topo.add_node("c", NodeKind::kHost);
+    ab = topo.add_link(a, b, gbps(10), 0.001);
+    bc = topo.add_link(b, c, gbps(10), 0.001);
+  }
+};
+
+TEST(BandwidthCalendar, FullCapacityAvailableInitially) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 1000.0), gbps(10));
+}
+
+TEST(BandwidthCalendar, ReservableFractionCapsAvailability) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo, 0.5);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 1000.0), gbps(5));
+}
+
+TEST(BandwidthCalendar, BookReducesAvailabilityOnlyInWindow) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  cal.book({f.ab, f.bc}, 100.0, 200.0, gbps(4));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 100.0, 200.0), gbps(6));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 100.0), gbps(10));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 200.0, 300.0), gbps(10));
+  EXPECT_DOUBLE_EQ(cal.available(f.bc, 150.0, 160.0), gbps(6));
+}
+
+TEST(BandwidthCalendar, FitsChecksWholePath) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  cal.book({f.bc}, 0.0, 100.0, gbps(8));
+  EXPECT_TRUE(cal.fits({f.ab}, 0.0, 100.0, gbps(8)));
+  EXPECT_FALSE(cal.fits({f.ab, f.bc}, 0.0, 100.0, gbps(8)));
+  EXPECT_TRUE(cal.fits({f.ab, f.bc}, 0.0, 100.0, gbps(2)));
+}
+
+TEST(BandwidthCalendar, NonFittingBookThrows) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  cal.book({f.ab}, 0.0, 100.0, gbps(9));
+  EXPECT_THROW(cal.book({f.ab}, 50.0, 80.0, gbps(2)), gridvc::PreconditionError);
+}
+
+TEST(BandwidthCalendar, ReleaseRestoresCapacity) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const auto id = cal.book({f.ab}, 0.0, 100.0, gbps(9));
+  cal.release(id);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 100.0), gbps(10));
+  EXPECT_EQ(cal.active_bookings(), 0u);
+  EXPECT_THROW(cal.release(id), gridvc::PreconditionError);
+}
+
+TEST(BandwidthCalendar, TruncateFreesTail) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const auto id = cal.book({f.ab}, 0.0, 100.0, gbps(9));
+  cal.truncate(id, 40.0);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 40.0), gbps(1));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 40.0, 100.0), gbps(10));
+}
+
+TEST(BandwidthCalendar, TruncateToStartReleases) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const auto id = cal.book({f.ab}, 10.0, 100.0, gbps(9));
+  cal.truncate(id, 10.0);
+  EXPECT_EQ(cal.active_bookings(), 0u);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 10.0, 100.0), gbps(10));
+}
+
+TEST(BandwidthCalendar, BackToBackWindowsDoNotConflict) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  cal.book({f.ab}, 0.0, 100.0, gbps(10));
+  EXPECT_TRUE(cal.fits({f.ab}, 100.0, 200.0, gbps(10)));
+  cal.book({f.ab}, 100.0, 200.0, gbps(10));
+}
+
+// Property: random book/release sequences never leave negative
+// availability and end balanced after all releases.
+class CalendarProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalendarProperty, RandomOpsStayConsistent) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  gridvc::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  std::vector<ReservationId> live;
+  for (int op = 0; op < 200; ++op) {
+    const double t0 = rng.uniform(0.0, 1000.0);
+    const double t1 = t0 + rng.uniform(1.0, 200.0);
+    const double rate = mbps(rng.uniform(10.0, 4000.0));
+    const Path path = rng.bernoulli(0.5) ? Path{f.ab} : Path{f.ab, f.bc};
+    if (cal.fits(path, t0, t1, rate)) {
+      live.push_back(cal.book(path, t0, t1, rate));
+    } else if (!live.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      cal.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    // Availability is never negative anywhere we can observe.
+    ASSERT_GE(cal.available(f.ab, 0.0, 1200.0), 0.0);
+    ASSERT_GE(cal.available(f.bc, 0.0, 1200.0), 0.0);
+  }
+  for (ReservationId id : live) cal.release(id);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 1200.0), gbps(10));
+  EXPECT_DOUBLE_EQ(cal.available(f.bc, 0.0, 1200.0), gbps(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOps, CalendarProperty, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace gridvc::vc

@@ -1,0 +1,104 @@
+#include "analysis/burstiness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+namespace {
+
+using gridftp::TransferLog;
+using gridftp::TransferRecord;
+
+TransferRecord transfer(double start, double duration, double rate_mbps) {
+  TransferRecord r;
+  r.start_time = start;
+  r.duration = duration;
+  r.size = static_cast<Bytes>(mbps(rate_mbps) * duration / 8.0);
+  r.server_host = "s";
+  r.remote_host = "r";
+  return r;
+}
+
+Session session_over(const TransferLog& log) {
+  const auto sessions = group_sessions(log, {.gap = 1e9});
+  EXPECT_EQ(sessions.size(), 1u);
+  return sessions.front();
+}
+
+TEST(Burstiness, ConstantRateSessionHasIndexOne) {
+  // One transfer at 100 Mbps for 120 s: every 30 s window sees 100 Mbps.
+  TransferLog log{transfer(0, 120, 100)};
+  const auto s = session_over(log);
+  const auto profile = session_rate_profile(log, s, 30.0);
+  ASSERT_EQ(profile.rate_bps.size(), 4u);
+  for (double r : profile.rate_bps) EXPECT_NEAR(r, mbps(100), 1.0);
+  EXPECT_NEAR(profile.burstiness(), 1.0, 1e-9);
+}
+
+TEST(Burstiness, IdleGapRaisesIndex) {
+  // Active 30 s at 100 Mbps, idle 30 s, active 30 s: mean = 2/3 peak.
+  TransferLog log{transfer(0, 30, 100), transfer(60, 30, 100)};
+  const auto s = session_over(log);
+  const auto profile = session_rate_profile(log, s, 30.0);
+  ASSERT_EQ(profile.rate_bps.size(), 3u);
+  EXPECT_NEAR(profile.rate_bps[1], 0.0, 1.0);
+  EXPECT_NEAR(profile.burstiness(), 1.5, 1e-6);
+}
+
+TEST(Burstiness, ConcurrentTransfersSuperpose) {
+  TransferLog log{transfer(0, 60, 100), transfer(0, 30, 300)};
+  const auto s = session_over(log);
+  const auto profile = session_rate_profile(log, s, 30.0);
+  ASSERT_EQ(profile.rate_bps.size(), 2u);
+  EXPECT_NEAR(profile.rate_bps[0], mbps(400), 10.0);
+  EXPECT_NEAR(profile.rate_bps[1], mbps(100), 10.0);
+}
+
+TEST(Burstiness, EdgeWindowsProRated) {
+  // Transfer covers [15, 45): half of window 0, half of window 1.
+  TransferLog log{transfer(15, 30, 200), transfer(0, 60, 1)};  // tiny anchor transfer
+  const auto s = session_over(log);
+  const auto profile = session_rate_profile(log, s, 30.0);
+  ASSERT_EQ(profile.rate_bps.size(), 2u);
+  EXPECT_NEAR(profile.rate_bps[0], mbps(100) + mbps(1), mbps(1));
+  EXPECT_NEAR(profile.rate_bps[1], mbps(100) + mbps(1), mbps(1));
+}
+
+TEST(Burstiness, ProfileBytesConserved) {
+  // Sum(window rate * window) == total bytes * 8 when the grid covers
+  // every transfer entirely.
+  TransferLog log{transfer(0, 47, 130), transfer(13, 80, 220), transfer(40, 55, 75)};
+  const auto s = session_over(log);
+  const auto profile = session_rate_profile(log, s, 10.0);
+  double bits = 0.0;
+  for (double r : profile.rate_bps) bits += r * profile.window;
+  double expected = 0.0;
+  for (const auto& r : log) expected += static_cast<double>(r.size) * 8.0;
+  EXPECT_NEAR(bits / expected, 1.0, 1e-6);
+}
+
+TEST(Burstiness, PerSessionVectorAndShortSessions) {
+  TransferLog log;
+  log.push_back(transfer(0, 5, 100));        // shorter than the window
+  log.push_back(transfer(100000, 30, 100));  // second session, bursty
+  log.push_back(transfer(100090, 30, 100));
+  const auto sessions = group_sessions(log, {.gap = 60.0});
+  ASSERT_EQ(sessions.size(), 2u);
+  const auto b = session_burstiness(log, sessions, 30.0);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);  // sub-window session defined as constant
+  EXPECT_GT(b[1], 1.5);         // idle hole in the middle
+}
+
+TEST(Burstiness, Preconditions) {
+  TransferLog log{transfer(0, 10, 100)};
+  const auto s = session_over(log);
+  EXPECT_THROW(session_rate_profile(log, s, 0.0), gridvc::PreconditionError);
+  Session broken = s;
+  broken.transfer_indices = {42};
+  EXPECT_THROW(session_rate_profile(log, broken, 30.0), gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::analysis

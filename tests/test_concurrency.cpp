@@ -1,0 +1,145 @@
+#include "analysis/concurrency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridvc::analysis {
+namespace {
+
+using gridftp::TransferLog;
+using gridftp::TransferRecord;
+
+TransferRecord transfer(double start, double duration, double throughput_mbps = 100.0) {
+  TransferRecord r;
+  r.start_time = start;
+  r.duration = duration;
+  r.size = static_cast<Bytes>(mbps(throughput_mbps) * duration / 8.0);
+  return r;
+}
+
+TEST(ConcurrencyTimeline, LoneTransferIsOneInterval) {
+  TransferLog log{transfer(0, 10)};
+  const auto t = concurrency_timeline(log, 0);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0].duration, 10.0);
+  EXPECT_EQ(t[0].concurrent, 1u);
+}
+
+TEST(ConcurrencyTimeline, OverlapSplitsIntervals) {
+  // Target [0, 10); other [4, 8): intervals [0,4) x1, [4,8) x2, [8,10) x1.
+  TransferLog log{transfer(0, 10), transfer(4, 4)};
+  const auto t = concurrency_timeline(log, 0);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0].duration, 4.0);
+  EXPECT_EQ(t[0].concurrent, 1u);
+  EXPECT_DOUBLE_EQ(t[1].duration, 4.0);
+  EXPECT_EQ(t[1].concurrent, 2u);
+  EXPECT_DOUBLE_EQ(t[2].duration, 2.0);
+  EXPECT_EQ(t[2].concurrent, 1u);
+}
+
+TEST(ConcurrencyTimeline, DurationsSumToTargetDuration) {
+  gridvc::Rng rng(9);
+  TransferLog log;
+  log.push_back(transfer(100, 50));
+  for (int i = 0; i < 30; ++i) {
+    log.push_back(transfer(rng.uniform(0.0, 200.0), rng.uniform(1.0, 60.0)));
+  }
+  const auto t = concurrency_timeline(log, 0);
+  double total = 0.0;
+  for (const auto& iv : t) {
+    total += iv.duration;
+    EXPECT_GE(iv.concurrent, 1u);  // target itself always counted
+  }
+  EXPECT_NEAR(total, 50.0, 1e-9);
+}
+
+TEST(ConcurrencyTimeline, ThroughputSumsIncludeAllConcurrent) {
+  TransferLog log{transfer(0, 10, 100), transfer(0, 10, 300)};
+  const auto t = concurrency_timeline(log, 0);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_NEAR(to_mbps(t[0].concurrent_throughput_sum), 400.0, 0.01);
+}
+
+TEST(ConcurrencyTimeline, BadIndexThrows) {
+  TransferLog log{transfer(0, 10)};
+  EXPECT_THROW(concurrency_timeline(log, 5), gridvc::PreconditionError);
+}
+
+TEST(PredictThroughput, LoneTransferPredictsR) {
+  TransferLog log{transfer(0, 10, 100)};
+  ConcurrencyOptions opt;
+  opt.fixed_r = mbps(500);
+  const auto p = predict_throughput(log, {0}, opt);
+  ASSERT_EQ(p.predicted.size(), 1u);
+  // No competition: prediction = R.
+  EXPECT_NEAR(to_mbps(p.predicted[0]), 500.0, 1e-6);
+}
+
+TEST(PredictThroughput, CompetitionLowersPrediction) {
+  // Target [0,10) overlapped for half its life by a 200 Mbps transfer.
+  TransferLog log{transfer(0, 10, 100), transfer(5, 5, 200)};
+  ConcurrencyOptions opt;
+  opt.fixed_r = mbps(500);
+  const auto p = predict_throughput(log, {0}, opt);
+  // First half: 500; second half: 500-200=300 -> average 400.
+  EXPECT_NEAR(to_mbps(p.predicted[0]), 400.0, 1e-6);
+}
+
+TEST(PredictThroughput, ResidualClampedAtZero) {
+  TransferLog log{transfer(0, 10, 100), transfer(0, 10, 900)};
+  ConcurrencyOptions opt;
+  opt.fixed_r = mbps(500);
+  const auto p = predict_throughput(log, {0}, opt);
+  EXPECT_DOUBLE_EQ(p.predicted[0], 0.0);
+}
+
+TEST(PredictThroughput, DefaultRUsesQuantile) {
+  TransferLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.push_back(transfer(i * 1000.0, 10, 100.0 + 10.0 * i));
+  }
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < log.size(); ++i) targets.push_back(i);
+  const auto p = predict_throughput(log, targets, {.r_quantile = 0.90});
+  // R = 90th percentile of 100..190 = 181 Mbps.
+  EXPECT_NEAR(to_mbps(p.r), 181.0, 0.01);
+}
+
+TEST(PredictThroughput, PositiveCorrelationWhenContentionDrivesActuals) {
+  // Construct a log where actual throughput is exactly the residual
+  // capacity: prediction should correlate strongly.
+  TransferLog log;
+  gridvc::Rng rng(11);
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    const bool contended = rng.bernoulli(0.5);
+    const double actual = contended ? 100.0 : 400.0;
+    log.push_back(transfer(t, 10, actual));
+    if (contended) {
+      log.push_back(transfer(t, 10, 300.0));  // competitor eats 300
+    }
+    t += 100.0;
+  }
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (to_mbps(log[i].throughput()) == 100.0 || to_mbps(log[i].throughput()) == 400.0) {
+      targets.push_back(i);
+    }
+  }
+  ConcurrencyOptions opt;
+  opt.fixed_r = mbps(400);
+  const auto p = predict_throughput(log, targets, opt);
+  EXPECT_GT(p.rho, 0.95);
+  EXPECT_EQ(p.rho_by_quartile.size(), 4u);
+}
+
+TEST(PredictThroughput, EmptyTargetsThrow) {
+  TransferLog log{transfer(0, 10)};
+  EXPECT_THROW(predict_throughput(log, {}, {}), gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::analysis

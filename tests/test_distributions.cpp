@@ -1,0 +1,170 @@
+#include "common/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gridvc {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(d.sample(rng));
+  return out;
+}
+
+TEST(Constant, AlwaysReturnsValue) {
+  Constant c(3.25);
+  for (double v : draw(c, 100)) EXPECT_EQ(v, 3.25);
+}
+
+TEST(Uniform, StaysInRange) {
+  Uniform u(2.0, 9.0);
+  for (double v : draw(u, 5000)) {
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 9.0);
+  }
+}
+
+TEST(Uniform, RejectsInvertedRange) { EXPECT_THROW(Uniform(3.0, 1.0), PreconditionError); }
+
+TEST(Exponential, MeanMatches) {
+  Exponential e(4.0);
+  const auto v = draw(e, 100000);
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  EXPECT_NEAR(sum / static_cast<double>(v.size()), 4.0, 0.1);
+}
+
+TEST(Exponential, RejectsNonPositiveMean) {
+  EXPECT_THROW(Exponential(0.0), PreconditionError);
+}
+
+TEST(TruncatedLogNormal, MedianAndSupport) {
+  TruncatedLogNormal d(100.0, 1.0, 1.0, 10000.0);
+  auto v = draw(d, 20001);
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[v.size() / 2], 100.0, 10.0);
+  EXPECT_GE(v.front(), 1.0);
+  EXPECT_LE(v.back(), 10000.0);
+}
+
+TEST(TruncatedLogNormal, TightTruncationStillTerminates) {
+  // Nearly all mass outside [99, 101]: sampling must fall back to the
+  // clamped median instead of looping forever.
+  TruncatedLogNormal d(1.0, 3.0, 99.0, 101.0);
+  for (double v : draw(d, 200)) {
+    ASSERT_GE(v, 99.0);
+    ASSERT_LE(v, 101.0);
+  }
+}
+
+TEST(TruncatedLogNormal, RejectsBadParameters) {
+  EXPECT_THROW(TruncatedLogNormal(0.0, 1.0, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(TruncatedLogNormal(1.0, -1.0, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(TruncatedLogNormal(1.0, 1.0, 2.0, 1.0), PreconditionError);
+}
+
+TEST(TruncatedPareto, Support) {
+  TruncatedPareto d(1.2, 5.0, 500.0);
+  auto v = draw(d, 20000);
+  for (double x : v) {
+    ASSERT_GE(x, 5.0);
+    ASSERT_LE(x, 500.0);
+  }
+}
+
+TEST(TruncatedPareto, HeavyTailOrdering) {
+  // A smaller alpha has a heavier tail: its 99th percentile exceeds the
+  // larger alpha's.
+  TruncatedPareto heavy(0.6, 1.0, 100000.0);
+  TruncatedPareto light(2.5, 1.0, 100000.0);
+  auto hv = draw(heavy, 20001, 5);
+  auto lv = draw(light, 20001, 5);
+  std::sort(hv.begin(), hv.end());
+  std::sort(lv.begin(), lv.end());
+  EXPECT_GT(hv[static_cast<std::size_t>(0.99 * hv.size())],
+            lv[static_cast<std::size_t>(0.99 * lv.size())]);
+}
+
+TEST(TruncatedPareto, RejectsBadParameters) {
+  EXPECT_THROW(TruncatedPareto(0.0, 1.0, 2.0), PreconditionError);
+  EXPECT_THROW(TruncatedPareto(1.0, 2.0, 2.0), PreconditionError);
+  EXPECT_THROW(TruncatedPareto(1.0, 0.0, 2.0), PreconditionError);
+}
+
+TEST(EmpiricalQuantile, ExactAtAnchors) {
+  EmpiricalQuantile d({{0.0, 10.0}, {0.25, 20.0}, {0.5, 30.0}, {0.75, 50.0}, {1.0, 100.0}});
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.75), 50.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+}
+
+TEST(EmpiricalQuantile, LinearBetweenAnchors) {
+  EmpiricalQuantile d({{0.0, 0.0}, {1.0, 10.0}});
+  EXPECT_DOUBLE_EQ(d.quantile(0.3), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.85), 8.5);
+}
+
+TEST(EmpiricalQuantile, SampledQuartilesMatchAnchors) {
+  EmpiricalQuantile d({{0.0, 0.0}, {0.5, 100.0}, {1.0, 200.0}});
+  auto v = draw(d, 40001);
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[v.size() / 2], 100.0, 3.0);
+}
+
+TEST(EmpiricalQuantile, RejectsMalformedAnchors) {
+  using A = std::vector<std::pair<double, double>>;
+  EXPECT_THROW(EmpiricalQuantile(A{{0.0, 1.0}}), PreconditionError);
+  EXPECT_THROW(EmpiricalQuantile(A{{0.1, 1.0}, {1.0, 2.0}}), PreconditionError);
+  EXPECT_THROW(EmpiricalQuantile(A{{0.0, 1.0}, {0.9, 2.0}}), PreconditionError);
+  EXPECT_THROW(EmpiricalQuantile(A{{0.0, 2.0}, {1.0, 1.0}}), PreconditionError);
+}
+
+TEST(Mixture, RespectsWeights) {
+  auto lo = std::make_shared<Constant>(1.0);
+  auto hi = std::make_shared<Constant>(2.0);
+  Mixture m({0.8, 0.2}, {lo, hi});
+  int ones = 0;
+  const auto v = draw(m, 50000);
+  for (double x : v) {
+    if (x == 1.0) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / static_cast<double>(v.size()), 0.8, 0.01);
+}
+
+TEST(Mixture, RejectsMismatchedInputs) {
+  auto c = std::make_shared<Constant>(1.0);
+  EXPECT_THROW(Mixture({1.0, 1.0}, {c}), PreconditionError);
+  EXPECT_THROW(Mixture({}, {}), PreconditionError);
+  EXPECT_THROW(Mixture({0.0}, {c}), PreconditionError);
+  EXPECT_THROW(Mixture({-1.0, 2.0}, {c, c}), PreconditionError);
+}
+
+TEST(Discrete, OnlyListedValues) {
+  Discrete d({2.0, 4.0, 8.0}, {1.0, 1.0, 2.0});
+  int eights = 0;
+  const auto v = draw(d, 40000);
+  for (double x : v) {
+    ASSERT_TRUE(x == 2.0 || x == 4.0 || x == 8.0);
+    if (x == 8.0) ++eights;
+  }
+  EXPECT_NEAR(static_cast<double>(eights) / static_cast<double>(v.size()), 0.5, 0.02);
+}
+
+TEST(Discrete, RejectsMismatchedInputs) {
+  EXPECT_THROW(Discrete({1.0}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(Discrete({}, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc

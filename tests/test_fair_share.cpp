@@ -1,0 +1,182 @@
+#include "net/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gridvc::net {
+namespace {
+
+constexpr double kTol = 1e-2;  // bits/s tolerance for float accumulation
+
+// One shared 10G link between two hosts plus a second 10G link, so flows
+// can have 1- or 2-hop paths.
+struct Fixture {
+  Topology topo;
+  LinkId l0, l1;
+  Fixture() {
+    const NodeId a = topo.add_node("a", NodeKind::kHost);
+    const NodeId b = topo.add_node("b", NodeKind::kRouter);
+    const NodeId c = topo.add_node("c", NodeKind::kHost);
+    l0 = topo.add_link(a, b, gbps(10), 0.001);
+    l1 = topo.add_link(b, c, gbps(10), 0.001);
+  }
+};
+
+TEST(FairShare, EmptyInput) {
+  Fixture f;
+  const auto alloc = max_min_allocate(f.topo, {});
+  EXPECT_TRUE(alloc.rates.empty());
+}
+
+TEST(FairShare, SingleFlowGetsLinkCapacity) {
+  Fixture f;
+  const auto alloc = max_min_allocate(f.topo, {{Path{f.l0}, 0.0, 0.0}});
+  ASSERT_EQ(alloc.rates.size(), 1u);
+  EXPECT_NEAR(alloc.rates[0], gbps(10), kTol);
+}
+
+TEST(FairShare, CapLimitsSingleFlow) {
+  Fixture f;
+  const auto alloc = max_min_allocate(f.topo, {{Path{f.l0}, mbps(500), 0.0}});
+  EXPECT_NEAR(alloc.rates[0], mbps(500), kTol);
+}
+
+TEST(FairShare, EqualSplitOnBottleneck) {
+  Fixture f;
+  const std::vector<FlowDemand> flows{
+      {Path{f.l0}, 0.0, 0.0}, {Path{f.l0}, 0.0, 0.0}, {Path{f.l0}, 0.0, 0.0}};
+  const auto alloc = max_min_allocate(f.topo, flows);
+  for (double r : alloc.rates) EXPECT_NEAR(r, gbps(10) / 3.0, 1.0);
+}
+
+TEST(FairShare, CappedFlowReleasesShareToOthers) {
+  Fixture f;
+  const std::vector<FlowDemand> flows{
+      {Path{f.l0}, gbps(1), 0.0}, {Path{f.l0}, 0.0, 0.0}};
+  const auto alloc = max_min_allocate(f.topo, flows);
+  EXPECT_NEAR(alloc.rates[0], gbps(1), kTol);
+  EXPECT_NEAR(alloc.rates[1], gbps(9), 1.0);
+}
+
+TEST(FairShare, MultiHopBottleneck) {
+  Fixture f;
+  // Flow A spans both links; flow B uses only l1. They split l1; A's
+  // extra l0 capacity goes unused.
+  const std::vector<FlowDemand> flows{
+      {Path{f.l0, f.l1}, 0.0, 0.0}, {Path{f.l1}, 0.0, 0.0}};
+  const auto alloc = max_min_allocate(f.topo, flows);
+  EXPECT_NEAR(alloc.rates[0], gbps(5), 1.0);
+  EXPECT_NEAR(alloc.rates[1], gbps(5), 1.0);
+}
+
+TEST(FairShare, GuaranteeIsHonoredUnderContention) {
+  Fixture f;
+  // VC flow guaranteed 8G vs 3 best-effort flows: VC gets >= 8G, the rest
+  // share the remainder.
+  const std::vector<FlowDemand> flows{
+      {Path{f.l0}, 0.0, gbps(8)},
+      {Path{f.l0}, 0.0, 0.0},
+      {Path{f.l0}, 0.0, 0.0},
+      {Path{f.l0}, 0.0, 0.0}};
+  const auto alloc = max_min_allocate(f.topo, flows);
+  EXPECT_GE(alloc.rates[0], gbps(8) - kTol);
+  for (int i = 1; i < 4; ++i) EXPECT_LT(alloc.rates[i], gbps(1));
+}
+
+TEST(FairShare, GuaranteedFlowCanUseIdleHeadroom) {
+  Fixture f;
+  // Alone on the link, a VC flow is not limited to its guarantee.
+  const auto alloc = max_min_allocate(f.topo, {{Path{f.l0}, 0.0, gbps(2)}});
+  EXPECT_NEAR(alloc.rates[0], gbps(10), kTol);
+}
+
+TEST(FairShare, GuaranteeClippedByCap) {
+  Fixture f;
+  const auto alloc = max_min_allocate(f.topo, {{Path{f.l0}, mbps(100), gbps(5)}});
+  EXPECT_NEAR(alloc.rates[0], mbps(100), kTol);
+}
+
+TEST(FairShare, OversubscribedGuaranteesScaledProportionally) {
+  Fixture f;
+  // Two 8G guarantees on a 10G link: scaled to 5G each, then no residual.
+  const std::vector<FlowDemand> flows{
+      {Path{f.l0}, gbps(5), gbps(8)}, {Path{f.l0}, gbps(5), gbps(8)}};
+  const auto alloc = max_min_allocate(f.topo, flows);
+  EXPECT_NEAR(alloc.rates[0], gbps(5), gbps(0.01));
+  EXPECT_NEAR(alloc.rates[1], gbps(5), gbps(0.01));
+}
+
+// Property suite: random flow sets must satisfy the allocation invariants.
+class FairShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareProperty, ConservationAndCapRespect) {
+  gridvc::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Random chain topology of 3-6 links.
+  Topology topo;
+  const int hops = static_cast<int>(rng.uniform_int(3, 6));
+  std::vector<NodeId> nodes;
+  for (int i = 0; i <= hops; ++i) {
+    nodes.push_back(topo.add_node("n" + std::to_string(i),
+                                  i == 0 || i == hops ? NodeKind::kHost
+                                                      : NodeKind::kRouter));
+  }
+  std::vector<LinkId> chain;
+  for (int i = 0; i < hops; ++i) {
+    chain.push_back(topo.add_link(nodes[static_cast<std::size_t>(i)],
+                                  nodes[static_cast<std::size_t>(i) + 1],
+                                  gbps(rng.uniform(1.0, 10.0)), 0.001));
+  }
+
+  // Random flows over random sub-chains, random caps/guarantees.
+  std::vector<FlowDemand> flows;
+  const int nflows = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < nflows; ++i) {
+    const int from = static_cast<int>(rng.uniform_int(0, hops - 1));
+    const int to = static_cast<int>(rng.uniform_int(from + 1, hops));
+    Path p(chain.begin() + from, chain.begin() + to);
+    FlowDemand d;
+    d.path = std::move(p);
+    d.cap = rng.bernoulli(0.5) ? mbps(rng.uniform(50.0, 5000.0)) : 0.0;
+    d.guarantee = rng.bernoulli(0.3) ? mbps(rng.uniform(10.0, 800.0)) : 0.0;
+    flows.push_back(std::move(d));
+  }
+
+  const auto alloc = max_min_allocate(topo, flows);
+  ASSERT_EQ(alloc.rates.size(), flows.size());
+
+  // (1) No link is oversubscribed.
+  std::vector<double> load(topo.link_count(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_GE(alloc.rates[i], -kTol);
+    for (LinkId l : flows[i].path) load[l] += alloc.rates[i];
+  }
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    EXPECT_LE(load[l], topo.link(static_cast<LinkId>(l)).capacity + 1.0);
+  }
+
+  // (2) Caps are respected.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].cap > 0.0) EXPECT_LE(alloc.rates[i], flows[i].cap + kTol);
+  }
+
+  // (3) Pareto efficiency for uncapped flows: every uncapped flow has at
+  // least one saturated link on its path (otherwise filling would have
+  // continued).
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].cap > 0.0 && alloc.rates[i] >= flows[i].cap - 1.0) continue;
+    bool saturated = false;
+    for (LinkId l : flows[i].path) {
+      if (load[l] >= topo.link(l).capacity - 1.0) saturated = true;
+    }
+    EXPECT_TRUE(saturated) << "flow " << i << " is starved below its cap "
+                           << "with spare capacity on every link";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, FairShareProperty, ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace gridvc::net

@@ -1,0 +1,127 @@
+#include "analysis/flow_classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridvc::analysis {
+namespace {
+
+using gridftp::TransferLog;
+using gridftp::TransferRecord;
+
+TransferRecord make(Bytes size, double duration) {
+  TransferRecord r;
+  r.size = size;
+  r.duration = duration;
+  return r;
+}
+
+// A log of 100 ordinary transfers plus crafted outliers.
+TransferLog base_log(gridvc::Rng& rng) {
+  TransferLog log;
+  for (int i = 0; i < 100; ++i) {
+    // ~100 MB in ~10 s -> ~80 Mbps, mild spread.
+    log.push_back(make(static_cast<Bytes>(rng.uniform(8e7, 1.2e8)),
+                       rng.uniform(8.0, 12.0)));
+  }
+  return log;
+}
+
+TEST(FlowClassification, QuantileThresholdsMatchQuantiles) {
+  gridvc::Rng rng(1);
+  const auto log = base_log(rng);
+  const auto t = quantile_thresholds(log, 0.9);
+  std::size_t over = 0;
+  for (const auto& r : log) {
+    if (static_cast<double>(r.size) >= t.size_bytes) ++over;
+  }
+  EXPECT_NEAR(static_cast<double>(over) / static_cast<double>(log.size()), 0.1, 0.03);
+}
+
+TEST(FlowClassification, ClassifiesCraftedOutliers) {
+  gridvc::Rng rng(2);
+  auto log = base_log(rng);
+  log.push_back(make(100 * GiB, 10.0));   // elephant + cheetah (alpha)
+  log.push_back(make(100 * MiB, 9000.0)); // tortoise
+  const auto t = quantile_thresholds(log, 0.95);
+  const auto masks = classify(log, t);
+  EXPECT_TRUE(masks[100] & kElephant);
+  EXPECT_TRUE(masks[100] & kCheetah);
+  EXPECT_FALSE(masks[100] & kTortoise);
+  EXPECT_TRUE(masks[101] & kTortoise);
+  EXPECT_FALSE(masks[101] & kCheetah);
+}
+
+TEST(FlowClassification, LogSpaceThresholdsExcludeUniformPopulation) {
+  // A tight population has small log-sd: mean+3sd sits just above the
+  // population, so nothing is flagged.
+  TransferLog log;
+  for (int i = 0; i < 50; ++i) log.push_back(make(100 * MiB + i, 10.0));
+  const auto t = log_space_thresholds(log, 3.0);
+  const auto masks = classify(log, t);
+  for (auto m : masks) EXPECT_EQ(m & kElephant, 0);
+}
+
+TEST(FlowClassification, LogSpaceFlagsTrueOutlier) {
+  TransferLog log;
+  gridvc::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    log.push_back(make(static_cast<Bytes>(1e8 * rng.lognormal(0.0, 0.3)), 10.0));
+  }
+  log.push_back(make(1000 * GiB, 10.0));
+  const auto t = log_space_thresholds(log, 3.0);
+  const auto masks = classify(log, t);
+  EXPECT_TRUE(masks.back() & kElephant);
+}
+
+TEST(FlowClassification, SummaryCountsAndOverlap) {
+  gridvc::Rng rng(4);
+  auto log = base_log(rng);
+  // Three alphas: large AND fast.
+  for (int i = 0; i < 3; ++i) log.push_back(make(50 * GiB, 20.0));
+  const auto t = quantile_thresholds(log, 0.95);
+  const auto masks = classify(log, t);
+  const auto s = summarize_classification(log, masks);
+  EXPECT_EQ(s.total, log.size());
+  EXPECT_GE(s.alphas, 3u);
+  EXPECT_GE(s.elephants, 3u);
+  // Diagonal of the overlap matrix is 1 for populated classes.
+  EXPECT_DOUBLE_EQ(s.overlap[0][0], 1.0);
+  // All crafted elephants are cheetahs here: P(cheetah | elephant) high.
+  EXPECT_GT(s.overlap[0][2], 0.4);
+  // Alphas carry nearly all bytes (150 GB vs ~10 GB of background).
+  EXPECT_GT(s.alpha_byte_fraction, 0.9);
+}
+
+TEST(FlowClassification, OverlapProbabilitiesAreConsistent) {
+  // P(A|B)·|B| == P(B|A)·|A| == |A ∩ B|.
+  gridvc::Rng rng(5);
+  auto log = base_log(rng);
+  for (int i = 0; i < 10; ++i) log.push_back(make(10 * GiB, rng.uniform(10.0, 5000.0)));
+  const auto t = quantile_thresholds(log, 0.9);
+  const auto masks = classify(log, t);
+  const auto s = summarize_classification(log, masks);
+  const double joint_ec = s.overlap[0][2] * static_cast<double>(s.elephants);
+  const double joint_ce = s.overlap[2][0] * static_cast<double>(s.cheetahs);
+  EXPECT_NEAR(joint_ec, joint_ce, 1e-9);
+}
+
+TEST(FlowClassification, Preconditions) {
+  EXPECT_THROW(quantile_thresholds({}, 0.95), gridvc::PreconditionError);
+  gridvc::Rng rng(6);
+  const auto log = base_log(rng);
+  EXPECT_THROW(quantile_thresholds(log, 0.0), gridvc::PreconditionError);
+  EXPECT_THROW(quantile_thresholds(log, 1.0), gridvc::PreconditionError);
+  EXPECT_THROW(log_space_thresholds({}, 3.0), gridvc::PreconditionError);
+  const auto t = quantile_thresholds(log, 0.9);
+  auto masks = classify(log, t);
+  masks.pop_back();
+  EXPECT_THROW(summarize_classification(log, masks), gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::analysis

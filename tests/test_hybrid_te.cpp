@@ -1,0 +1,123 @@
+#include "vc/hybrid_te.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace gridvc::vc {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  net::Topology topo;
+  net::LinkId ab;
+  std::unique_ptr<net::Network> net;
+
+  Fixture() {
+    const auto a = topo.add_node("a", net::NodeKind::kHost);
+    const auto b = topo.add_node("b", net::NodeKind::kHost);
+    ab = topo.add_link(a, b, gbps(10), 0.001);
+    net = std::make_unique<net::Network>(sim, topo);
+  }
+
+  HybridTeConfig config() {
+    HybridTeConfig c;
+    c.detector.min_bytes = 100 * MiB;
+    c.detector.min_rate = mbps(500);
+    c.detector.window = 10.0;
+    c.poll_period = 2.0;
+    c.circuit_pool = gbps(6);
+    c.per_flow_guarantee = gbps(3);
+    return c;
+  }
+};
+
+TEST(HybridTe, RedirectsOnlyTheAlphaFlow) {
+  Fixture f;
+  HybridTrafficEngineer te(*f.net, f.config());
+  // Four slow mice (capped below the rate bar) and one 20 GB alpha flow.
+  for (int i = 0; i < 4; ++i) {
+    net::FlowOptions mouse;
+    mouse.cap = mbps(400);
+    f.net->start_flow({f.ab}, static_cast<Bytes>(1) << 50, mouse, nullptr);
+  }
+  net::FlowRecord alpha_record{};
+  const auto alpha =
+      f.net->start_flow({f.ab}, 20'000'000'000ULL, {},
+                        [&](const net::FlowRecord& r) { alpha_record = r; });
+  f.sim.run_until(16.0);
+  EXPECT_EQ(te.stats().flows_redirected, 1u);
+  EXPECT_EQ(te.stats().redirections_denied, 0u);
+  EXPECT_GE(f.net->current_rate(alpha), gbps(3) - 1.0);
+  EXPECT_DOUBLE_EQ(te.pool_in_use(), gbps(3));
+  f.sim.run_until(200.0);
+  // The alpha flow finished; its grant must have been returned.
+  EXPECT_GT(alpha_record.end_time, 0.0);
+  f.sim.run_until(210.0);  // one more poll to sweep
+  EXPECT_DOUBLE_EQ(te.pool_in_use(), 0.0);
+  EXPECT_GT(te.stats().redirected_bytes, 1e9);
+}
+
+TEST(HybridTe, LeavesMiceAlone) {
+  Fixture f;
+  HybridTrafficEngineer te(*f.net, f.config());
+  // A slow small flow: capped at 50 Mbps.
+  net::FlowOptions opts;
+  opts.cap = mbps(50);
+  f.net->start_flow({f.ab}, 500'000'000, opts, nullptr);
+  f.sim.run_until(60.0);
+  EXPECT_EQ(te.stats().flows_redirected, 0u);
+  EXPECT_GE(te.stats().flows_observed, 1u);
+}
+
+TEST(HybridTe, PoolExhaustionDeniesRedirection) {
+  Fixture f;
+  auto cfg = f.config();
+  cfg.circuit_pool = gbps(3);  // room for exactly one grant
+  HybridTrafficEngineer te(*f.net, cfg);
+  // Two alpha flows, no competition: each runs at 5 Gbps.
+  f.net->start_flow({f.ab}, 60'000'000'000ULL, {}, nullptr);
+  f.net->start_flow({f.ab}, 60'000'000'000ULL, {}, nullptr);
+  f.sim.run_until(40.0);
+  EXPECT_EQ(te.stats().flows_redirected, 1u);
+  EXPECT_EQ(te.stats().redirections_denied, 1u);
+  EXPECT_DOUBLE_EQ(te.pool_in_use(), gbps(3));
+}
+
+TEST(HybridTe, GrantClippedToPoolHeadroom) {
+  Fixture f;
+  auto cfg = f.config();
+  cfg.circuit_pool = gbps(4);
+  cfg.per_flow_guarantee = gbps(3);
+  HybridTrafficEngineer te(*f.net, cfg);
+  f.net->start_flow({f.ab}, 60'000'000'000ULL, {}, nullptr);
+  f.net->start_flow({f.ab}, 60'000'000'000ULL, {}, nullptr);
+  f.sim.run_until(40.0);
+  // First grant 3G, second clipped to the remaining 1G.
+  EXPECT_EQ(te.stats().flows_redirected, 2u);
+  EXPECT_NEAR(te.pool_in_use(), gbps(4), 1.0);
+}
+
+TEST(HybridTe, StopHaltsPolling) {
+  Fixture f;
+  HybridTrafficEngineer te(*f.net, f.config());
+  te.stop();
+  f.net->start_flow({f.ab}, 60'000'000'000ULL, {}, nullptr);
+  f.sim.run_until(60.0);
+  EXPECT_EQ(te.stats().flows_observed, 0u);
+}
+
+TEST(HybridTe, RejectsBadConfig) {
+  Fixture f;
+  auto cfg = f.config();
+  cfg.poll_period = 0.0;
+  EXPECT_THROW(HybridTrafficEngineer(*f.net, cfg), gridvc::PreconditionError);
+  auto cfg2 = f.config();
+  cfg2.circuit_pool = 0.0;
+  EXPECT_THROW(HybridTrafficEngineer(*f.net, cfg2), gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::vc

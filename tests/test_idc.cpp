@@ -1,0 +1,238 @@
+#include "vc/idc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace gridvc::vc {
+namespace {
+
+using net::NodeId;
+using net::NodeKind;
+using net::Topology;
+
+struct Fixture {
+  sim::Simulator sim;
+  Topology topo;
+  NodeId a, b, c;
+
+  Fixture() {
+    a = topo.add_node("a", NodeKind::kHost, "left");
+    const NodeId r1 = topo.add_node("r1", NodeKind::kRouter, "core");
+    const NodeId r2 = topo.add_node("r2", NodeKind::kRouter, "core");
+    b = topo.add_node("b", NodeKind::kHost, "right");
+    c = topo.add_node("c", NodeKind::kHost, "right");
+    topo.add_duplex_link(a, r1, gbps(10), 0.001);
+    topo.add_duplex_link(r1, r2, gbps(10), 0.010);
+    topo.add_duplex_link(r2, b, gbps(10), 0.001);
+    topo.add_duplex_link(r2, c, gbps(10), 0.001);
+  }
+
+  ReservationRequest request(Seconds start, Seconds end, BitsPerSecond bw = gbps(2)) {
+    ReservationRequest r;
+    r.src = a;
+    r.dst = b;
+    r.bandwidth = bw;
+    r.start_time = start;
+    r.end_time = end;
+    return r;
+  }
+};
+
+TEST(Idc, AdvanceReservationActivatesAtStartTime) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  Seconds activated = -1.0;
+  const auto result = idc.create_reservation(
+      f.request(500.0, 900.0), [&](const Circuit& c) { activated = c.active_at; });
+  ASSERT_TRUE(result.accepted());
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(activated, 500.0);
+  EXPECT_EQ(idc.circuit(*result.circuit_id).state, CircuitState::kReleased);
+}
+
+TEST(Idc, BatchedImmediateHasAtLeastOneMinuteSetup) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kBatchedAutomatic;
+  cfg.batch_interval = 60.0;
+  Idc idc(f.sim, f.topo, cfg);
+  // Submit at t=10 for immediate use: earliest batch boundary at least
+  // one full interval later is t=120.
+  f.sim.schedule_at(10.0, [&] {
+    const auto r = idc.request_immediate(f.a, f.b, gbps(1), 300.0);
+    ASSERT_TRUE(r.accepted());
+  });
+  f.sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(idc.predicted_activation(10.0, 10.0), 120.0);
+  EXPECT_GE(idc.predicted_activation(10.0, 10.0) - 10.0, 60.0);
+}
+
+TEST(Idc, BatchedSetupDelayBounds) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kBatchedAutomatic;
+  Idc idc(f.sim, f.topo, cfg);
+  // For any submit time, the immediate-use delay lies in [60, 120).
+  for (double t : {0.0, 1.0, 59.9, 60.0, 61.0, 119.0, 3601.5}) {
+    const double delay = idc.predicted_activation(t, t) - t;
+    EXPECT_GE(delay, 60.0 - 1e-9) << "submit at " << t;
+    EXPECT_LT(delay, 120.0) << "submit at " << t;
+  }
+}
+
+TEST(Idc, ImmediateSignalingUses50ms) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  cfg.immediate_setup_delay = 0.05;
+  Idc idc(f.sim, f.topo, cfg);
+  Seconds activated = -1.0;
+  const auto r = idc.request_immediate(f.a, f.b, gbps(1), 100.0,
+                                       [&](const Circuit& c) { activated = c.active_at; });
+  ASSERT_TRUE(r.accepted());
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(activated, 0.05);
+}
+
+TEST(Idc, ReleasesAtEndTime) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  Seconds released = -1.0;
+  idc.create_reservation(f.request(10.0, 50.0), nullptr,
+                         [&](const Circuit& c) { released = c.released_at; });
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(released, 50.0);
+}
+
+TEST(Idc, RejectsWhenBandwidthExhausted) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto first = idc.create_reservation(f.request(100.0, 200.0, gbps(7)));
+  ASSERT_TRUE(first.accepted());
+  const auto second = idc.create_reservation(f.request(150.0, 250.0, gbps(7)));
+  EXPECT_FALSE(second.accepted());
+  EXPECT_EQ(second.reason, RejectReason::kInsufficientBandwidth);
+  // Disjoint window is fine.
+  const auto third = idc.create_reservation(f.request(200.0, 300.0, gbps(7)));
+  EXPECT_TRUE(third.accepted());
+}
+
+TEST(Idc, RejectsDisconnectedEndpoints) {
+  Fixture f;
+  const NodeId island = f.topo.add_node("island", NodeKind::kHost, "x");
+  Idc idc(f.sim, f.topo);
+  ReservationRequest r = f.request(0.0, 100.0);
+  r.dst = island;
+  const auto result = idc.create_reservation(r);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.reason, RejectReason::kNoRoute);
+}
+
+TEST(Idc, RejectsInvalidRequests) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  EXPECT_EQ(idc.create_reservation(f.request(100.0, 100.0)).reason,
+            RejectReason::kInvalidRequest);
+  EXPECT_EQ(idc.create_reservation(f.request(0.0, 100.0, 0.0)).reason,
+            RejectReason::kInvalidRequest);
+  ReservationRequest same = f.request(0.0, 100.0);
+  same.dst = same.src;
+  EXPECT_EQ(idc.create_reservation(same).reason, RejectReason::kInvalidRequest);
+}
+
+TEST(Idc, RejectsWindowShorterThanSetup) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kBatchedAutomatic;
+  Idc idc(f.sim, f.topo, cfg);
+  // Wants the circuit to end before the batch boundary could set it up.
+  EXPECT_EQ(idc.create_reservation(f.request(0.0, 30.0)).reason,
+            RejectReason::kInvalidRequest);
+}
+
+TEST(Idc, CancelBeforeActivationFreesBandwidth) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto r = idc.create_reservation(f.request(100.0, 200.0, gbps(8)));
+  ASSERT_TRUE(r.accepted());
+  idc.cancel(*r.circuit_id);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kCancelled);
+  EXPECT_TRUE(idc.create_reservation(f.request(100.0, 200.0, gbps(8))).accepted());
+}
+
+TEST(Idc, CancelAfterActivationThrows) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  const auto r = idc.create_reservation(f.request(1.0, 500.0));
+  f.sim.run_until(10.0);
+  EXPECT_THROW(idc.cancel(*r.circuit_id), gridvc::PreconditionError);
+}
+
+TEST(Idc, ReleaseNowFreesTailForOthers) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  const auto r = idc.create_reservation(f.request(1.0, 1000.0, gbps(8)));
+  ASSERT_TRUE(r.accepted());
+  f.sim.run_until(100.0);
+  idc.release_now(*r.circuit_id);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kReleased);
+  EXPECT_TRUE(idc.create_reservation(f.request(200.0, 400.0, gbps(8))).accepted());
+}
+
+TEST(Idc, StatsTrackOutcomes) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  idc.create_reservation(f.request(100.0, 200.0, gbps(7)));
+  idc.create_reservation(f.request(100.0, 200.0, gbps(7)));  // rejected
+  idc.create_reservation(f.request(0.0, 0.0));               // invalid
+  const auto& s = idc.stats();
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.rejected_no_bandwidth, 1u);
+  EXPECT_EQ(s.rejected_invalid, 1u);
+  EXPECT_NEAR(s.blocking_probability(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Idc, PathAvoidsCongestedLink) {
+  // Two disjoint routes a->b; fill one with a reservation and verify the
+  // next circuit takes the other.
+  sim::Simulator sim;
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kHost);
+  const NodeId r1 = topo.add_node("r1", NodeKind::kRouter);
+  const NodeId r2 = topo.add_node("r2", NodeKind::kRouter);
+  const NodeId b = topo.add_node("b", NodeKind::kHost);
+  topo.add_duplex_link(a, r1, gbps(10), 0.001);
+  topo.add_duplex_link(a, r2, gbps(10), 0.002);
+  topo.add_duplex_link(r1, b, gbps(10), 0.001);
+  topo.add_duplex_link(r2, b, gbps(10), 0.002);
+  Idc idc(sim, topo);
+
+  ReservationRequest req;
+  req.src = a;
+  req.dst = b;
+  req.bandwidth = gbps(6);
+  req.start_time = 100.0;
+  req.end_time = 200.0;
+  const auto first = idc.create_reservation(req);
+  ASSERT_TRUE(first.accepted());
+  const auto second = idc.create_reservation(req);
+  ASSERT_TRUE(second.accepted());
+  // Paths must be link-disjoint (each route has only 4 Gbps left).
+  const auto& p1 = idc.circuit(*first.circuit_id).path;
+  const auto& p2 = idc.circuit(*second.circuit_id).path;
+  for (net::LinkId l1 : p1) {
+    for (net::LinkId l2 : p2) EXPECT_NE(l1, l2);
+  }
+}
+
+}  // namespace
+}  // namespace gridvc::vc

@@ -1,0 +1,183 @@
+// OSCARS extension features: modifyReservation and link-failure
+// re-pathing.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "vc/idc.hpp"
+
+namespace gridvc::vc {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using net::NodeKind;
+using net::Topology;
+
+// Diamond: a -> r1 -> b (short) and a -> r2 -> b (longer), all 10G.
+struct Fixture {
+  sim::Simulator sim;
+  Topology topo;
+  NodeId a, b;
+  LinkId a_r1, r1_b, a_r2, r2_b;
+
+  Fixture() {
+    a = topo.add_node("a", NodeKind::kHost);
+    const NodeId r1 = topo.add_node("r1", NodeKind::kRouter);
+    const NodeId r2 = topo.add_node("r2", NodeKind::kRouter);
+    b = topo.add_node("b", NodeKind::kHost);
+    a_r1 = topo.add_link(a, r1, gbps(10), 0.001);
+    r1_b = topo.add_link(r1, b, gbps(10), 0.001);
+    a_r2 = topo.add_link(a, r2, gbps(10), 0.005);
+    r2_b = topo.add_link(r2, b, gbps(10), 0.005);
+  }
+
+  ReservationRequest request(Seconds start, Seconds end, BitsPerSecond bw) {
+    ReservationRequest r;
+    r.src = a;
+    r.dst = b;
+    r.bandwidth = bw;
+    r.start_time = start;
+    r.end_time = end;
+    return r;
+  }
+};
+
+TEST(IdcModify, GrowBandwidthWithinCapacity) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto r = idc.create_reservation(f.request(100, 200, gbps(2)));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_TRUE(idc.modify_reservation(*r.circuit_id, gbps(8), 200.0));
+  EXPECT_DOUBLE_EQ(idc.circuit(*r.circuit_id).request.bandwidth, gbps(8));
+}
+
+TEST(IdcModify, GrowBeyondCapacityRejectedAndOldBookingIntact) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto first = idc.create_reservation(f.request(100, 200, gbps(6)));
+  const auto second = idc.create_reservation(f.request(100, 200, gbps(6)));
+  ASSERT_TRUE(first.accepted());
+  ASSERT_TRUE(second.accepted());  // takes the other branch of the diamond
+  // Growing the first to 12G cannot fit anywhere.
+  EXPECT_FALSE(idc.modify_reservation(*first.circuit_id, gbps(12), 200.0));
+  // The original booking survived: a 4G companion still fits beside it...
+  EXPECT_DOUBLE_EQ(idc.circuit(*first.circuit_id).request.bandwidth, gbps(6));
+  // ...and a third 6G circuit is still rejected (both branches hold 6G).
+  EXPECT_FALSE(idc.create_reservation(f.request(100, 200, gbps(6))).accepted());
+}
+
+TEST(IdcModify, ExtendEndTime) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto r = idc.create_reservation(f.request(100, 200, gbps(4)));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_TRUE(idc.modify_reservation(*r.circuit_id, gbps(4), 500.0));
+  EXPECT_DOUBLE_EQ(idc.circuit(*r.circuit_id).request.end_time, 500.0);
+  // The extension is booked: an overlapping 8G circuit on the same branch
+  // at t=300 must avoid it or fail. (The other branch still has room.)
+  const auto other = idc.create_reservation(f.request(300, 400, gbps(8)));
+  ASSERT_TRUE(other.accepted());
+  for (net::LinkId l : idc.circuit(*other.circuit_id).path) {
+    for (net::LinkId mine : idc.circuit(*r.circuit_id).path) EXPECT_NE(l, mine);
+  }
+}
+
+TEST(IdcModify, ShrinkAlwaysFits) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto r = idc.create_reservation(f.request(100, 200, gbps(9)));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_TRUE(idc.modify_reservation(*r.circuit_id, gbps(1), 150.0));
+  // Freed capacity is immediately available.
+  EXPECT_TRUE(idc.create_reservation(f.request(100, 200, gbps(8))).accepted());
+}
+
+TEST(IdcModify, RejectsDegenerateWindowAndWrongState) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  const auto r = idc.create_reservation(f.request(10, 200, gbps(2)));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_FALSE(idc.modify_reservation(*r.circuit_id, gbps(2), 5.0));  // ends pre-setup
+  f.sim.run_until(50.0);  // circuit is now active
+  EXPECT_THROW(idc.modify_reservation(*r.circuit_id, gbps(2), 300.0),
+               gridvc::PreconditionError);
+}
+
+TEST(IdcFailure, RepathsScheduledCircuitAroundFailedLink) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto r = idc.create_reservation(f.request(100, 200, gbps(4)));
+  ASSERT_TRUE(r.accepted());
+  // The circuit chose the short branch (a_r1, r1_b). Fail r1_b.
+  const auto& before = idc.circuit(*r.circuit_id).path;
+  ASSERT_EQ(before, (net::Path{f.a_r1, f.r1_b}));
+  EXPECT_EQ(idc.handle_link_failure(f.r1_b), 1u);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).path, (net::Path{f.a_r2, f.r2_b}));
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kScheduled);
+}
+
+TEST(IdcFailure, ActiveCircuitRepathedKeepsLifecycle) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  bool released = false;
+  const auto r = idc.create_reservation(f.request(1, 300, gbps(4)), nullptr,
+                                        [&](const Circuit&) { released = true; });
+  f.sim.run_until(50.0);
+  ASSERT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kActive);
+  EXPECT_EQ(idc.handle_link_failure(f.r1_b), 1u);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kActive);
+  f.sim.run();
+  EXPECT_TRUE(released);  // still released at its end time
+}
+
+TEST(IdcFailure, UnroutableCircuitTornDown) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  bool released = false;
+  const auto active = idc.create_reservation(f.request(1, 300, gbps(4)), nullptr,
+                                             [&](const Circuit&) { released = true; });
+  const auto scheduled = idc.create_reservation(f.request(400, 500, gbps(4)));
+  f.sim.run_until(50.0);
+  // Fail both branches' a-side links: nothing can be re-pathed.
+  idc.handle_link_failure(f.a_r1);
+  EXPECT_EQ(idc.handle_link_failure(f.a_r2), 0u);
+  EXPECT_EQ(idc.circuit(*active.circuit_id).state, CircuitState::kReleased);
+  EXPECT_TRUE(released);
+  EXPECT_EQ(idc.circuit(*scheduled.circuit_id).state, CircuitState::kCancelled);
+}
+
+TEST(IdcFailure, FailedLinkAvoidedByNewReservationsUntilRestored) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  idc.handle_link_failure(f.a_r1);
+  const auto r = idc.create_reservation(f.request(100, 200, gbps(4)));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(idc.circuit(*r.circuit_id).path, (net::Path{f.a_r2, f.r2_b}));
+  idc.restore_link(f.a_r1);
+  const auto r2 = idc.create_reservation(f.request(100, 200, gbps(4)));
+  ASSERT_TRUE(r2.accepted());
+  EXPECT_EQ(idc.circuit(*r2.circuit_id).path, (net::Path{f.a_r1, f.r1_b}));
+}
+
+TEST(IdcFailure, RepathedCircuitFreesOldLinks) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  const auto r = idc.create_reservation(f.request(100, 200, gbps(9)));
+  ASSERT_TRUE(r.accepted());
+  idc.handle_link_failure(f.r1_b);
+  // The short branch's a_r1 is healthy and must be free again: restore
+  // r1_b and book a full-rate circuit on the short branch.
+  idc.restore_link(f.r1_b);
+  const auto fresh = idc.create_reservation(f.request(100, 200, gbps(9)));
+  ASSERT_TRUE(fresh.accepted());
+  EXPECT_EQ(idc.circuit(*fresh.circuit_id).path, (net::Path{f.a_r1, f.r1_b}));
+}
+
+}  // namespace
+}  // namespace gridvc::vc

@@ -1,0 +1,145 @@
+#include "vc/interdomain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gridvc::vc {
+namespace {
+
+using net::NodeId;
+using net::NodeKind;
+using net::Topology;
+
+// Two-domain world: host A - [domain west: w1, w2] - [domain east: e1, e2] - host B.
+struct Fixture {
+  sim::Simulator sim;
+  Topology topo;
+  NodeId a, b;
+
+  Fixture() {
+    a = topo.add_node("a", NodeKind::kHost, "west");
+    const NodeId w1 = topo.add_node("w1", NodeKind::kRouter, "west");
+    const NodeId w2 = topo.add_node("w2", NodeKind::kRouter, "west");
+    const NodeId e1 = topo.add_node("e1", NodeKind::kRouter, "east");
+    const NodeId e2 = topo.add_node("e2", NodeKind::kRouter, "east");
+    b = topo.add_node("b", NodeKind::kHost, "east");
+    topo.add_duplex_link(a, w1, gbps(10), 0.001);
+    topo.add_duplex_link(w1, w2, gbps(10), 0.005);
+    topo.add_duplex_link(w2, e1, gbps(10), 0.010);  // inter-domain link
+    topo.add_duplex_link(e1, e2, gbps(10), 0.005);
+    topo.add_duplex_link(e2, b, gbps(10), 0.001);
+  }
+
+  ReservationRequest request(BitsPerSecond bw = gbps(2)) {
+    ReservationRequest r;
+    r.src = a;
+    r.dst = b;
+    r.bandwidth = bw;
+    r.start_time = 100.0;
+    r.end_time = 400.0;
+    return r;
+  }
+};
+
+TEST(Interdomain, SegmentsPathByDomain) {
+  Fixture f;
+  Idc west(f.sim, f.topo);
+  Idc east(f.sim, f.topo);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}, {"east", &east}});
+  const auto path = net::shortest_path(f.topo, f.a, f.b);
+  ASSERT_TRUE(path.has_value());
+  const auto segments = coord.segment_path(*path);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].domain, "west");
+  EXPECT_EQ(segments[1].domain, "east");
+  // Segments partition the path.
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.links.size();
+  EXPECT_EQ(total, path->size());
+}
+
+TEST(Interdomain, BooksBothDomains) {
+  Fixture f;
+  Idc west(f.sim, f.topo);
+  Idc east(f.sim, f.topo);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}, {"east", &east}});
+  const auto result = coord.create_reservation(f.request());
+  ASSERT_TRUE(result.accepted);
+  EXPECT_EQ(result.segments.size(), 2u);
+  EXPECT_EQ(west.stats().accepted, 1u);
+  EXPECT_EQ(east.stats().accepted, 1u);
+  // Advance reservation: activation == requested start.
+  EXPECT_DOUBLE_EQ(result.activation, 100.0);
+}
+
+TEST(Interdomain, EndToEndSetupIsSlowestDomain) {
+  Fixture f;
+  IdcConfig slow;
+  slow.mode = SignalingMode::kBatchedAutomatic;  // >= 60 s for immediate use
+  IdcConfig fast;
+  fast.mode = SignalingMode::kImmediate;
+  Idc west(f.sim, f.topo, fast);
+  Idc east(f.sim, f.topo, slow);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}, {"east", &east}});
+  ReservationRequest r = f.request();
+  r.start_time = 0.0;  // immediate use
+  const auto result = coord.create_reservation(r);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_GE(result.activation, 60.0);  // bound by the batched domain
+}
+
+TEST(Interdomain, RollsBackOnDownstreamRejection) {
+  Fixture f;
+  Idc west(f.sim, f.topo);
+  Idc east(f.sim, f.topo);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}, {"east", &east}});
+
+  // Exhaust only the *east* domain's capacity for the window, directly
+  // against its controller: the coordinator then books west first, east
+  // rejects, and west's provisional segment must be rolled back.
+  const auto e1 = f.topo.find_node("e1");
+  ASSERT_TRUE(e1.has_value());
+  ReservationRequest hog;
+  hog.src = *e1;
+  hog.dst = f.b;
+  hog.bandwidth = gbps(9);
+  hog.start_time = 100.0;
+  hog.end_time = 400.0;
+  ASSERT_TRUE(east.create_reservation(hog).accepted());
+
+  const auto result = coord.create_reservation(f.request(gbps(5)));
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, RejectReason::kInsufficientBandwidth);
+  EXPECT_TRUE(result.segments.empty());
+  EXPECT_EQ(west.stats().cancelled, 1u);
+  // A request that fits the remaining east headroom still goes through,
+  // proving the failed attempt left no residue in the west calendar.
+  EXPECT_TRUE(coord.create_reservation(f.request(gbps(1))).accepted);
+}
+
+TEST(Interdomain, UnknownDomainRejects) {
+  Fixture f;
+  Idc west(f.sim, f.topo);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}});
+  const auto result = coord.create_reservation(f.request());
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, RejectReason::kNoRoute);
+}
+
+TEST(Interdomain, DuplicateDomainThrows) {
+  Fixture f;
+  Idc west(f.sim, f.topo);
+  EXPECT_THROW(
+      InterdomainCoordinator(f.sim, f.topo, {{"west", &west}, {"west", &west}}),
+      gridvc::PreconditionError);
+}
+
+TEST(Interdomain, NullControllerThrows) {
+  Fixture f;
+  EXPECT_THROW(InterdomainCoordinator(f.sim, f.topo, {{"west", nullptr}}),
+               gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::vc

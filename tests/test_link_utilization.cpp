@@ -1,0 +1,142 @@
+#include "analysis/link_utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridvc::analysis {
+namespace {
+
+using gridftp::TransferLog;
+using gridftp::TransferRecord;
+
+net::SnmpSeries series_of(std::vector<double> bins, Seconds bin = 30.0, Seconds first = 0.0) {
+  net::SnmpSeries s;
+  s.link = 0;
+  s.bin_seconds = bin;
+  s.first_bin_start = first;
+  s.bins = std::move(bins);
+  return s;
+}
+
+TransferRecord transfer(double start, double duration, Bytes size) {
+  TransferRecord r;
+  r.size = size;
+  r.start_time = start;
+  r.duration = duration;
+  return r;
+}
+
+TEST(AttributedBytes, WholeBinsOnly) {
+  // Transfer exactly covers bins 1 and 2.
+  const auto s = series_of({100, 200, 300, 400});
+  EXPECT_DOUBLE_EQ(attributed_bytes(s, 30.0, 60.0), 500.0);
+}
+
+TEST(AttributedBytes, EdgeBinsProRated) {
+  // Eq (1): starts mid-bin-0 (15 s in -> half of bin 0) and ends mid-bin-2
+  // (15 s in -> half of bin 2).
+  const auto s = series_of({100, 200, 300});
+  EXPECT_DOUBLE_EQ(attributed_bytes(s, 15.0, 60.0), 50.0 + 200.0 + 150.0);
+}
+
+TEST(AttributedBytes, TransferInsideSingleBin) {
+  const auto s = series_of({300});
+  // 10 s of a 30 s bin -> a third of the bin's bytes.
+  EXPECT_NEAR(attributed_bytes(s, 10.0, 10.0), 100.0, 1e-9);
+}
+
+TEST(AttributedBytes, OutsideSeriesIsZero) {
+  const auto s = series_of({100, 100});
+  EXPECT_DOUBLE_EQ(attributed_bytes(s, 1000.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(attributed_bytes(s, 0.0, 0.0), 0.0);
+}
+
+TEST(AttributedBytes, RespectsFirstBinStartOffset) {
+  const auto s = series_of({120, 240}, 30.0, /*first=*/60.0);
+  // [60, 90) holds 120 bytes; query [75, 90) takes half.
+  EXPECT_DOUBLE_EQ(attributed_bytes(s, 75.0, 15.0), 60.0);
+}
+
+TEST(AttributedBytes, NegativeDurationThrows) {
+  const auto s = series_of({1.0});
+  EXPECT_THROW(attributed_bytes(s, 0.0, -1.0), gridvc::PreconditionError);
+}
+
+TEST(AttributedBytes, ConservationOverDisjointTransfers) {
+  // Disjoint bin-aligned transfers partition the series: their B_i sum to
+  // the total bytes of the covered bins.
+  std::vector<double> bins;
+  gridvc::Rng rng(3);
+  for (int i = 0; i < 40; ++i) bins.push_back(rng.uniform(1e6, 1e8));
+  const auto s = series_of(bins);
+  TransferLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.push_back(transfer(i * 120.0, 120.0, GiB));  // four bins each
+  }
+  const auto per = attributed_bytes_per_transfer(s, log);
+  double sum = 0.0;
+  for (double b : per) sum += b;
+  double expected = 0.0;
+  for (double b : bins) expected += b;
+  EXPECT_NEAR(sum, expected, 1.0);
+}
+
+TEST(CorrelateLink, PerfectWhenTransfersDominate) {
+  // SNMP bins carry exactly the transfers' bytes: corr(gridftp, B_i) = 1
+  // and other-traffic correlation degenerates to 0.
+  TransferLog log;
+  std::vector<double> bins(40, 0.0);
+  gridvc::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Bytes size = static_cast<Bytes>(rng.uniform(1e8, 4e9));
+    log.push_back(transfer(i * 120.0, 120.0, size));
+    for (int b = 0; b < 4; ++b) {
+      bins[static_cast<std::size_t>(i * 4 + b)] = static_cast<double>(size) / 4.0;
+    }
+  }
+  const auto s = series_of(bins);
+  const auto result = correlate_link(s, log);
+  EXPECT_NEAR(result.gridftp_vs_total.overall, 1.0, 1e-9);
+  EXPECT_NEAR(result.gridftp_vs_other.overall, 0.0, 1e-9);
+  EXPECT_EQ(result.load_gbps.count, 10u);
+}
+
+TEST(CorrelateLink, IndependentCrossTrafficDecorrelates) {
+  // Bins = transfer bytes + heavy independent noise: gridftp-vs-total
+  // correlation drops but stays positive; load reflects both components.
+  TransferLog log;
+  std::vector<double> bins(400, 0.0);
+  gridvc::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes size = static_cast<Bytes>(rng.uniform(1e8, 2e9));
+    log.push_back(transfer(i * 120.0, 120.0, size));
+    for (int b = 0; b < 4; ++b) {
+      bins[static_cast<std::size_t>(i * 4 + b)] =
+          static_cast<double>(size) / 4.0 + rng.uniform(0.0, 3e9);
+    }
+  }
+  const auto s = series_of(bins);
+  const auto result = correlate_link(s, log);
+  EXPECT_GT(result.gridftp_vs_total.overall, 0.1);
+  EXPECT_LT(result.gridftp_vs_total.overall, 0.95);
+  // "Other" bytes are pure noise, independent of transfer size.
+  EXPECT_LT(std::abs(result.gridftp_vs_other.overall), 0.25);
+}
+
+TEST(CorrelateLink, LoadInGbps) {
+  TransferLog log{transfer(0.0, 60.0, GiB)};
+  // Two bins of 1 GB each during the transfer: load = 2 GB in 60 s.
+  const auto s = series_of({1e9, 1e9});
+  const auto result = correlate_link(s, log);
+  EXPECT_NEAR(result.load_gbps.mean, 2e9 * 8.0 / 60.0 / 1e9, 1e-9);
+}
+
+TEST(CorrelateLink, EmptyLogThrows) {
+  const auto s = series_of({1.0});
+  EXPECT_THROW(correlate_link(s, {}), gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::analysis

@@ -1,0 +1,94 @@
+#include "vc/queue_isolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "stats/summary.hpp"
+
+namespace gridvc::vc {
+namespace {
+
+InterfaceModel alpha_heavy() {
+  InterfaceModel m;
+  m.capacity = gbps(10);
+  m.gp_utilization = 0.05;
+  m.gp_packet_size = 1500;
+  m.alpha_burst_per_second = 50.0;     // α flow bursts
+  m.alpha_burst_bytes = 4 * MiB;       // large bursts at line rate
+  m.gp_weight = 0.5;
+  return m;
+}
+
+TEST(QueueIsolation, IsolationReducesJitterAnalytically) {
+  QueueIsolationModel model(alpha_heavy());
+  const DelaySummary shared = model.shared_fifo_analytic();
+  const DelaySummary isolated = model.isolated_analytic();
+  EXPECT_LT(isolated.stddev, shared.stddev);
+  EXPECT_LT(isolated.mean, shared.mean);
+  EXPECT_LT(isolated.p99, shared.p99);
+}
+
+TEST(QueueIsolation, NoAlphaTrafficMakesModesEquivalent) {
+  InterfaceModel m = alpha_heavy();
+  m.alpha_burst_per_second = 0.0;
+  m.alpha_burst_bytes = 0;
+  QueueIsolationModel model(m);
+  const DelaySummary shared = model.shared_fifo_analytic();
+  const DelaySummary isolated = model.isolated_analytic();
+  EXPECT_NEAR(shared.mean, isolated.mean, 1e-9);
+  EXPECT_NEAR(shared.stddev, isolated.stddev, 1e-9);
+}
+
+TEST(QueueIsolation, MonteCarloAgreesWithAnalyticOrdering) {
+  QueueIsolationModel model(alpha_heavy());
+  gridvc::Rng rng(11);
+  const auto shared = model.sample_shared_fifo(40000, rng);
+  const auto isolated = model.sample_isolated(40000, rng);
+  const auto s_shared = stats::summarize(shared);
+  const auto s_isolated = stats::summarize(isolated);
+  EXPECT_LT(s_isolated.stddev, s_shared.stddev);
+  EXPECT_LT(s_isolated.mean, s_shared.mean);
+}
+
+TEST(QueueIsolation, MonteCarloMeanTracksAnalytic) {
+  QueueIsolationModel model(alpha_heavy());
+  gridvc::Rng rng(13);
+  const auto samples = model.sample_shared_fifo(200000, rng);
+  double sum = 0.0;
+  for (double d : samples) sum += d;
+  const double mc_mean = sum / static_cast<double>(samples.size());
+  const DelaySummary analytic = model.shared_fifo_analytic();
+  EXPECT_NEAR(mc_mean / analytic.mean, 1.0, 0.05);
+}
+
+TEST(QueueIsolation, DelaysArePositive) {
+  QueueIsolationModel model(alpha_heavy());
+  gridvc::Rng rng(17);
+  for (double d : model.sample_shared_fifo(1000, rng)) ASSERT_GT(d, 0.0);
+  for (double d : model.sample_isolated(1000, rng)) ASSERT_GT(d, 0.0);
+}
+
+TEST(QueueIsolation, HeavierBurstsMeanMoreSharedJitter) {
+  InterfaceModel small = alpha_heavy();
+  small.alpha_burst_bytes = MiB;
+  InterfaceModel large = alpha_heavy();
+  large.alpha_burst_bytes = 16 * MiB;
+  const DelaySummary s = QueueIsolationModel(small).shared_fifo_analytic();
+  const DelaySummary l = QueueIsolationModel(large).shared_fifo_analytic();
+  EXPECT_GT(l.stddev, s.stddev);
+}
+
+TEST(QueueIsolation, InvalidConfigThrows) {
+  InterfaceModel m = alpha_heavy();
+  m.capacity = 0.0;
+  EXPECT_THROW(QueueIsolationModel{m}, gridvc::PreconditionError);
+  InterfaceModel m2 = alpha_heavy();
+  m2.gp_utilization = 1.0;
+  EXPECT_THROW(QueueIsolationModel{m2}, gridvc::PreconditionError);
+  InterfaceModel m3 = alpha_heavy();
+  m3.gp_weight = 0.0;
+  EXPECT_THROW(QueueIsolationModel{m3}, gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::vc

@@ -1,0 +1,149 @@
+#include "analysis/rate_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridvc::analysis {
+namespace {
+
+using gridftp::TransferLog;
+using gridftp::TransferRecord;
+
+TransferRecord transfer(Bytes size, double tput_mbps, int streams = 8, int stripes = 1) {
+  TransferRecord r;
+  r.size = size;
+  r.duration = static_cast<double>(size) * 8.0 / mbps(tput_mbps);
+  r.streams = streams;
+  r.stripes = stripes;
+  return r;
+}
+
+// History: 8-stream 1 GiB-class transfers at 100..300 Mbps, plus a
+// distinct 1-stream population at 20..40 Mbps.
+TransferLog history() {
+  TransferLog log;
+  gridvc::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    log.push_back(transfer(GiB + static_cast<Bytes>(i) * MiB, rng.uniform(100.0, 300.0)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    log.push_back(transfer(GiB, rng.uniform(20.0, 40.0), 1));
+  }
+  return log;
+}
+
+TEST(RateAdvisor, MatchesConfigurationClass) {
+  const auto log = history();
+  RateAdvisor advisor(log);
+  AdviceRequest req;
+  req.size = GiB;
+  req.streams = 8;
+  const auto advice = advisor.advise(req);
+  ASSERT_TRUE(advice.has_value());
+  EXPECT_FALSE(advice->fallback);
+  EXPECT_GE(advice->sample_size, 190u);
+  // Rate: the 75th percentile of U(100, 300) is ~250 Mbps.
+  EXPECT_NEAR(to_mbps(advice->rate), 250.0, 25.0);
+  // Duration covers a 10th-percentile (~120 Mbps) realization.
+  const double implied_mbps = to_megabytes(req.size) * 8.0 * 1.048576 / advice->duration;
+  EXPECT_NEAR(implied_mbps, 120.0, 20.0);
+}
+
+TEST(RateAdvisor, OneStreamClassIsAdvisedFromItsOwnHistory) {
+  const auto log = history();
+  RateAdvisor advisor(log);
+  AdviceRequest req;
+  req.size = GiB;
+  req.streams = 1;
+  const auto advice = advisor.advise(req);
+  ASSERT_TRUE(advice.has_value());
+  EXPECT_FALSE(advice->fallback);
+  EXPECT_LT(to_mbps(advice->rate), 45.0);
+}
+
+TEST(RateAdvisor, FallsBackWhenConfigurationUnseen) {
+  const auto log = history();
+  RateAdvisor advisor(log);
+  AdviceRequest req;
+  req.size = GiB;
+  req.streams = 4;  // never logged
+  const auto advice = advisor.advise(req);
+  ASSERT_TRUE(advice.has_value());
+  EXPECT_TRUE(advice->fallback);
+  EXPECT_GT(advice->sample_size, 200u);  // pooled across configurations
+}
+
+TEST(RateAdvisor, SizeBandFiltersDistantSizes) {
+  TransferLog log;
+  gridvc::Rng rng(7);
+  // Small files are slow, big files fast; the advisor must not mix them.
+  for (int i = 0; i < 50; ++i) log.push_back(transfer(MiB, rng.uniform(5.0, 15.0)));
+  for (int i = 0; i < 50; ++i) {
+    log.push_back(transfer(10 * GiB, rng.uniform(900.0, 1100.0)));
+  }
+  RateAdvisor advisor(log);
+  AdviceRequest big;
+  big.size = 10 * GiB;
+  big.streams = 8;
+  const auto advice = advisor.advise(big);
+  ASSERT_TRUE(advice.has_value());
+  EXPECT_GT(to_mbps(advice->rate), 800.0);
+}
+
+TEST(RateAdvisor, HigherConfidenceMeansLongerDuration) {
+  const auto log = history();
+  RateAdvisor advisor(log);
+  AdviceRequest req;
+  req.size = GiB;
+  req.streams = 8;
+  req.confidence = 0.5;
+  const auto mid = advisor.advise(req);
+  req.confidence = 0.99;
+  const auto safe = advisor.advise(req);
+  ASSERT_TRUE(mid && safe);
+  EXPECT_GT(safe->duration, mid->duration);
+  EXPECT_DOUBLE_EQ(safe->rate, mid->rate);  // rate policy independent of confidence
+}
+
+TEST(RateAdvisor, AdvisedDurationCoversConfidenceFractionOfHistory) {
+  // Backtest on the history itself: the fraction of matched transfers
+  // that would finish within the advised duration ~ confidence.
+  const auto log = history();
+  RateAdvisor advisor(log);
+  AdviceRequest req;
+  req.size = GiB;
+  req.streams = 8;
+  req.confidence = 0.9;
+  const auto advice = advisor.advise(req);
+  ASSERT_TRUE(advice.has_value());
+  std::size_t within = 0, total = 0;
+  for (const auto& r : log) {
+    if (r.streams != 8) continue;
+    ++total;
+    const Seconds would_take =
+        static_cast<double>(req.size) * 8.0 / r.throughput();
+    if (would_take <= advice->duration) ++within;
+  }
+  EXPECT_NEAR(static_cast<double>(within) / static_cast<double>(total), 0.9, 0.05);
+}
+
+TEST(RateAdvisor, Preconditions) {
+  const auto log = history();
+  EXPECT_THROW(RateAdvisor(TransferLog{}), gridvc::PreconditionError);
+  RateAdvisor advisor(log);
+  AdviceRequest bad;
+  bad.size = 0;
+  EXPECT_THROW(advisor.advise(bad), gridvc::PreconditionError);
+  AdviceRequest conf;
+  conf.size = GiB;
+  conf.confidence = 1.0;
+  EXPECT_THROW(advisor.advise(conf), gridvc::PreconditionError);
+  RateAdvisorConfig bad_cfg;
+  bad_cfg.size_band = 1.0;
+  EXPECT_THROW(RateAdvisor(log, bad_cfg), gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::analysis

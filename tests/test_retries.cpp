@@ -1,0 +1,134 @@
+// Failure/retry behavior of the TransferEngine (§II: GridFTP recovers
+// from failures during transfers via restart markers).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gridftp/transfer_engine.hpp"
+#include "net/network.hpp"
+
+namespace gridvc::gridftp {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  net::Topology topo;
+  net::LinkId ab;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<Server> src, dst;
+  UsageStatsCollector collector;
+  std::unique_ptr<TransferEngine> engine;
+
+  explicit Fixture(double failure_probability, Seconds backoff = 5.0) {
+    const auto a = topo.add_node("a", net::NodeKind::kHost);
+    const auto b = topo.add_node("b", net::NodeKind::kHost);
+    ab = topo.add_link(a, b, gbps(10), 0.005);
+    network = std::make_unique<net::Network>(sim, topo);
+    ServerConfig sc;
+    sc.name = "src";
+    sc.nic_rate = gbps(4);
+    src = std::make_unique<Server>(sc);
+    sc.name = "dst";
+    dst = std::make_unique<Server>(sc);
+    TransferEngineConfig cfg;
+    cfg.server_noise_sigma = 0.0;
+    cfg.failure_probability = failure_probability;
+    cfg.retry_backoff = backoff;
+    cfg.tcp.stream_buffer = 64 * MiB;
+    engine = std::make_unique<TransferEngine>(*network, collector, cfg, Rng(11));
+  }
+
+  TransferSpec spec(Bytes size) {
+    TransferSpec s;
+    s.src = {src.get(), IoMode::kMemory};
+    s.dst = {dst.get(), IoMode::kMemory};
+    s.path = {ab};
+    s.rtt = 0.01;
+    s.size = size;
+    s.streams = 8;
+    s.remote_host = "b";
+    return s;
+  }
+};
+
+TEST(Retries, NoFailuresByDefault) {
+  Fixture f(0.0);
+  for (int i = 0; i < 10; ++i) f.engine->submit(f.spec(GiB));
+  f.sim.run();
+  EXPECT_EQ(f.engine->stats().completed, 10u);
+  EXPECT_EQ(f.engine->stats().attempts, 10u);
+  EXPECT_EQ(f.engine->stats().failures, 0u);
+}
+
+TEST(Retries, AlwaysFailingTransferStillCompletes) {
+  Fixture f(1.0);
+  TransferRecord record{};
+  f.engine->submit(f.spec(GiB), [&](const TransferRecord& r) { record = r; });
+  f.sim.run();
+  // With p=1 every attempt but the capped last one fails: exactly
+  // max_attempts attempts, max_attempts-1 failures, and completion.
+  EXPECT_EQ(f.engine->stats().completed, 1u);
+  EXPECT_EQ(f.engine->stats().attempts, 5u);
+  EXPECT_EQ(f.engine->stats().failures, 4u);
+  EXPECT_EQ(record.size, GiB);
+  // The record's duration includes the four backoffs.
+  EXPECT_GT(record.duration, 4 * 5.0);
+}
+
+TEST(Retries, FailedTransfersAreSlowerOnAverage) {
+  std::vector<double> clean, flaky;
+  {
+    Fixture f(0.0);
+    for (int i = 0; i < 20; ++i) {
+      f.engine->submit(f.spec(GiB),
+                       [&](const TransferRecord& r) { clean.push_back(r.duration); });
+      f.sim.run();
+    }
+  }
+  {
+    Fixture f(0.5, /*backoff=*/10.0);
+    for (int i = 0; i < 20; ++i) {
+      f.engine->submit(f.spec(GiB),
+                       [&](const TransferRecord& r) { flaky.push_back(r.duration); });
+      f.sim.run();
+    }
+  }
+  double clean_mean = 0.0, flaky_mean = 0.0;
+  for (double d : clean) clean_mean += d;
+  for (double d : flaky) flaky_mean += d;
+  clean_mean /= static_cast<double>(clean.size());
+  flaky_mean /= static_cast<double>(flaky.size());
+  EXPECT_GT(flaky_mean, clean_mean + 5.0);
+}
+
+TEST(Retries, BytesConservedAcrossAttempts) {
+  Fixture f(0.7);
+  f.engine->submit(f.spec(2 * GiB));
+  f.sim.run();
+  // Every byte crossed the link exactly once: restart markers resume, not
+  // re-send (the fluid model's idealization of partial-file restarts).
+  EXPECT_NEAR(f.network->link_bytes(f.ab), static_cast<double>(2 * GiB), 16.0);
+}
+
+TEST(Retries, ServerSlotsHeldAcrossRetries) {
+  Fixture f(1.0, /*backoff=*/50.0);
+  f.engine->submit(f.spec(GiB));
+  f.sim.run_until(60.0);  // inside a backoff window
+  // The transfer is still registered at both servers while it waits.
+  EXPECT_EQ(f.src->concurrency(), 1u);
+  EXPECT_EQ(f.dst->concurrency(), 1u);
+  f.sim.run();
+  EXPECT_EQ(f.src->concurrency(), 0u);
+  EXPECT_EQ(f.dst->concurrency(), 0u);
+}
+
+TEST(Retries, UsageStatsReportedOncePerTransfer) {
+  Fixture f(0.8);
+  for (int i = 0; i < 5; ++i) f.engine->submit(f.spec(256 * MiB));
+  f.sim.run();
+  EXPECT_EQ(f.collector.received(), 5u);
+}
+
+}  // namespace
+}  // namespace gridvc::gridftp

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "net/cross_traffic.hpp"
+#include "net/network.hpp"
+#include "net/snmp.hpp"
+
+namespace gridvc::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  Topology topo;
+  LinkId ab;
+  std::unique_ptr<Network> net;
+
+  Fixture() {
+    const NodeId a = topo.add_node("a", NodeKind::kHost);
+    const NodeId b = topo.add_node("b", NodeKind::kHost);
+    ab = topo.add_link(a, b, mbps(800), 0.001);
+    net = std::make_unique<Network>(sim, topo);
+  }
+};
+
+TEST(Snmp, BinsSumToFlowBytes) {
+  Fixture f;
+  SnmpCollector snmp(*f.net, {f.ab}, 30.0);
+  f.net->start_flow({f.ab}, 1'000'000'000, {}, nullptr);  // 10 s at 800 Mbps
+  f.sim.run_until(120.0);
+  const auto& s = snmp.series(f.ab);
+  const double total = std::accumulate(s.bins.begin(), s.bins.end(), 0.0);
+  EXPECT_NEAR(total, 1e9, 10.0);
+  EXPECT_EQ(s.bins.size(), 4u);  // 120 s / 30 s
+}
+
+TEST(Snmp, FirstBinHoldsEarlyBytes) {
+  Fixture f;
+  SnmpCollector snmp(*f.net, {f.ab}, 30.0);
+  FlowOptions opts;
+  opts.cap = mbps(8);  // 1 MB/s
+  f.net->start_flow({f.ab}, 100'000'000, opts, nullptr);
+  f.sim.run_until(60.0);
+  const auto& s = snmp.series(f.ab);
+  ASSERT_GE(s.bins.size(), 2u);
+  EXPECT_NEAR(s.bins[0], 30e6, 100.0);
+  EXPECT_NEAR(s.bins[1], 30e6, 100.0);
+}
+
+TEST(Snmp, BinStartTimes) {
+  Fixture f;
+  SnmpCollector snmp(*f.net, {f.ab}, 30.0, 0.0);
+  f.sim.run_until(95.0);
+  const auto& s = snmp.series(f.ab);
+  EXPECT_DOUBLE_EQ(s.bin_start(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.bin_start(2), 60.0);
+  EXPECT_EQ(s.bins.size(), 3u);
+}
+
+TEST(Snmp, StopFreezesSeries) {
+  Fixture f;
+  SnmpCollector snmp(*f.net, {f.ab}, 30.0);
+  f.sim.run_until(60.0);
+  snmp.stop();
+  f.sim.run_until(300.0);
+  EXPECT_EQ(snmp.series(f.ab).bins.size(), 2u);
+}
+
+TEST(Snmp, UnmonitoredLinkThrows) {
+  Fixture f;
+  SnmpCollector snmp(*f.net, {f.ab}, 30.0);
+  EXPECT_THROW(snmp.series(f.ab + 100), gridvc::NotFoundError);
+}
+
+TEST(Snmp, RequiresValidConfig) {
+  Fixture f;
+  EXPECT_THROW(SnmpCollector(*f.net, {}, 30.0), gridvc::PreconditionError);
+  EXPECT_THROW(SnmpCollector(*f.net, {f.ab}, 0.0), gridvc::PreconditionError);
+}
+
+TEST(CrossTraffic, GeneratesFlowsAndBytes) {
+  Fixture f;
+  CrossTrafficConfig cfg;
+  cfg.mean_interarrival = 0.5;
+  cfg.size_distribution = std::make_shared<Constant>(1'000'000.0);
+  CrossTrafficSource src(*f.net, {f.ab}, cfg, Rng(7));
+  f.sim.run_until(100.0);
+  // ~200 arrivals expected.
+  EXPECT_GT(src.flows_started(), 120u);
+  EXPECT_LT(src.flows_started(), 320u);
+  EXPECT_NEAR(src.bytes_offered(), 1e6 * static_cast<double>(src.flows_started()), 1.0);
+  // Everything offered has drained through the link by now (light load).
+  f.sim.run_until(200.0);
+  EXPECT_NEAR(f.net->link_bytes(f.ab), src.bytes_offered(), 2e6);
+}
+
+TEST(CrossTraffic, StopHaltsArrivals) {
+  Fixture f;
+  CrossTrafficConfig cfg;
+  cfg.mean_interarrival = 0.1;
+  CrossTrafficSource src(*f.net, {f.ab}, cfg, Rng(9));
+  f.sim.run_until(10.0);
+  src.stop();
+  const std::size_t at_stop = src.flows_started();
+  f.sim.run_until(50.0);
+  EXPECT_EQ(src.flows_started(), at_stop);
+}
+
+TEST(CrossTraffic, DeterministicAcrossRuns) {
+  std::size_t counts[2];
+  for (int run = 0; run < 2; ++run) {
+    Fixture f;
+    CrossTrafficConfig cfg;
+    cfg.mean_interarrival = 0.3;
+    CrossTrafficSource src(*f.net, {f.ab}, cfg, Rng(42));
+    f.sim.run_until(50.0);
+    counts[run] = src.flows_started();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+}  // namespace
+}  // namespace gridvc::net

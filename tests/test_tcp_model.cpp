@@ -1,0 +1,144 @@
+#include "net/tcp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+namespace {
+
+TEST(TcpModel, WindowCapFormula) {
+  TcpConfig cfg;
+  cfg.stream_buffer = 16 * MiB;
+  TcpModel tcp(cfg);
+  // 1 stream, 80 ms: 16 MiB * 8 / 0.08 = 1.6777e9 bps.
+  EXPECT_NEAR(tcp.window_cap(1, 0.08), 16.0 * 1024 * 1024 * 8 / 0.08, 1.0);
+  EXPECT_NEAR(tcp.window_cap(8, 0.08), 8.0 * tcp.window_cap(1, 0.08), 1.0);
+}
+
+TEST(TcpModel, InvalidInputsThrow) {
+  TcpModel tcp;
+  EXPECT_THROW(tcp.window_cap(0, 0.08), gridvc::PreconditionError);
+  EXPECT_THROW(tcp.window_cap(1, 0.0), gridvc::PreconditionError);
+  EXPECT_THROW(tcp.transfer_duration(1, 1, 0.08, 0.0), gridvc::PreconditionError);
+}
+
+TEST(TcpModel, BadConfigThrows) {
+  TcpConfig cfg;
+  cfg.mss = 0;
+  EXPECT_THROW(TcpModel{cfg}, gridvc::PreconditionError);
+  TcpConfig cfg2;
+  cfg2.loss_probability = 1.5;
+  EXPECT_THROW(TcpModel{cfg2}, gridvc::PreconditionError);
+}
+
+TEST(TcpModel, SlowStartRampSkippedWhenWindowAlreadyLarge) {
+  TcpModel tcp;
+  // Steady rate so low the initial window already covers it.
+  const auto p = tcp.slow_start(8, 0.08, 1000.0);
+  EXPECT_EQ(p.bytes, 0u);
+  EXPECT_DOUBLE_EQ(p.duration, 0.0);
+}
+
+TEST(TcpModel, SlowStartShorterWithMoreStreams) {
+  TcpModel tcp;
+  const auto one = tcp.slow_start(1, 0.08, mbps(200));
+  const auto eight = tcp.slow_start(8, 0.08, mbps(200));
+  EXPECT_GT(one.duration, eight.duration);
+}
+
+TEST(TcpModel, SmallFileFasterWithMoreStreams) {
+  // The Fig 3 effect: an 8-stream transfer of a small file beats 1 stream.
+  TcpModel tcp;
+  const Seconds d1 = tcp.transfer_duration(10 * MiB, 1, 0.08, mbps(200));
+  const Seconds d8 = tcp.transfer_duration(10 * MiB, 8, 0.08, mbps(200));
+  EXPECT_GT(d1, d8);
+  // Effective throughput ratio is material (>20% faster).
+  EXPECT_GT(d1 / d8, 1.2);
+}
+
+TEST(TcpModel, LargeFileStreamCountIrrelevant) {
+  // The Fig 4 effect: for files far beyond the ramp, throughput is share
+  // bound and stream count stops mattering (loss-free regime).
+  TcpModel tcp;
+  const Seconds d1 = tcp.transfer_duration(4 * GiB, 1, 0.08, mbps(200));
+  const Seconds d8 = tcp.transfer_duration(4 * GiB, 8, 0.08, mbps(200));
+  EXPECT_NEAR(d1 / d8, 1.0, 0.02);
+}
+
+TEST(TcpModel, DurationMonotoneInSize) {
+  TcpModel tcp;
+  Seconds prev = 0.0;
+  for (Bytes size = MiB; size <= GiB; size *= 4) {
+    const Seconds d = tcp.transfer_duration(size, 4, 0.05, mbps(500));
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(TcpModel, DurationApproachesFluidLimitForHugeTransfers) {
+  TcpModel tcp;
+  const Bytes size = 64 * GiB;
+  const Seconds d = tcp.transfer_duration(size, 8, 0.08, gbps(1));
+  const Seconds fluid = transfer_time(size, gbps(1));
+  EXPECT_NEAR(d / fluid, 1.0, 0.01);
+}
+
+TEST(TcpModel, SlowStartPenaltyNonNegativeAndConsistent) {
+  TcpModel tcp;
+  for (Bytes size : {Bytes(64 * KiB), Bytes(10 * MiB), Bytes(GiB)}) {
+    for (int streams : {1, 4, 8}) {
+      const Seconds penalty = tcp.slow_start_penalty(size, streams, 0.08, mbps(300));
+      EXPECT_GE(penalty, 0.0);
+      const Seconds full = tcp.transfer_duration(size, streams, 0.08, mbps(300));
+      const BitsPerSecond steady =
+          std::min(mbps(300), tcp.window_cap(streams, 0.08));
+      EXPECT_NEAR(full, penalty + transfer_time(size, steady), 1e-6);
+    }
+  }
+}
+
+TEST(TcpModel, WindowCapBindsWhenShareIsLarge) {
+  TcpConfig cfg;
+  cfg.stream_buffer = MiB;
+  TcpModel tcp(cfg);
+  // 1 stream, 1 MiB buffer, 100 ms: cap = 83.9 Mbps even with 10G share.
+  const Seconds d = tcp.transfer_duration(GiB, 1, 0.1, gbps(10));
+  const BitsPerSecond cap = tcp.window_cap(1, 0.1);
+  EXPECT_GT(d, 0.9 * transfer_time(GiB, cap));
+}
+
+TEST(TcpModel, NoLossMeansUnitFactor) {
+  TcpModel tcp;  // loss_probability = 0
+  gridvc::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(tcp.loss_factor(GiB, 1, 0.08, mbps(200), rng), 1.0);
+  }
+}
+
+TEST(TcpModel, LossHurtsFewerStreamsMore) {
+  TcpConfig cfg;
+  cfg.loss_probability = 1.0;  // force a loss event every transfer
+  TcpModel tcp(cfg);
+  gridvc::Rng rng(2);
+  const double f1 = tcp.loss_factor(100 * MiB, 1, 0.08, mbps(200), rng);
+  const double f8 = tcp.loss_factor(100 * MiB, 8, 0.08, mbps(200), rng);
+  EXPECT_LT(f1, f8);
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LE(f8, 1.0);
+}
+
+TEST(TcpModel, LossFactorBounded) {
+  TcpConfig cfg;
+  cfg.loss_probability = 1.0;
+  TcpModel tcp(cfg);
+  gridvc::Rng rng(3);
+  for (Bytes size : {Bytes(KiB), Bytes(MiB), Bytes(10 * GiB)}) {
+    const double f = tcp.loss_factor(size, 1, 0.08, mbps(100), rng);
+    EXPECT_GE(f, 0.05);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gridvc::net

@@ -1,0 +1,105 @@
+#include "analysis/vc_feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gridvc::analysis {
+namespace {
+
+using gridftp::TransferLog;
+using gridftp::TransferRecord;
+
+TransferRecord make(double start, Bytes size, double throughput_mbps) {
+  TransferRecord r;
+  r.size = size;
+  r.start_time = start;
+  r.duration = static_cast<double>(size) * 8.0 / mbps(throughput_mbps);
+  r.server_host = "srv";
+  r.remote_host = "remote";
+  return r;
+}
+
+// A log whose transfer throughputs are exactly 100..400 Mbps so Q3 is
+// known: quantile(c(100,200,300,400), .75) = 325 Mbps.
+TransferLog known_log() {
+  return TransferLog{make(0, GiB, 100), make(5000, GiB, 200), make(10000, GiB, 300),
+                     make(15000, GiB, 400)};
+}
+
+TEST(VcFeasibility, ReferenceThroughputIsQ3) {
+  const auto log = known_log();
+  const auto sessions = group_sessions(log, {.gap = 60.0});
+  const auto r = analyze_vc_feasibility(sessions, log, {.setup_delay = 60.0});
+  EXPECT_NEAR(to_mbps(r.reference_throughput), 325.0, 1e-6);
+}
+
+TEST(VcFeasibility, MinSuitableSizeMatchesFormula) {
+  const auto log = known_log();
+  const auto sessions = group_sessions(log, {.gap = 60.0});
+  FeasibilityOptions opt;
+  opt.setup_delay = 60.0;
+  opt.overhead_fraction = 0.1;
+  const auto r = analyze_vc_feasibility(sessions, log, opt);
+  // Session must last >= 600 s at 325 Mbps -> >= 24.375 GB.
+  EXPECT_NEAR(static_cast<double>(r.min_suitable_size), 600.0 * mbps(325) / 8.0, 2.0);
+}
+
+TEST(VcFeasibility, CountsSuitableSessionsAndTransfers) {
+  // Two sessions: one tiny (1 MiB), one huge (100 GiB, 3 transfers).
+  TransferLog log;
+  log.push_back(make(0, MiB, 100));
+  log.push_back(make(100000, 40 * GiB, 200));
+  log.push_back(make(100100 + log.back().duration, 40 * GiB, 300));
+  log.back().start_time = log[1].end_time() + 1;
+  log.push_back(make(log.back().end_time() + 1, 20 * GiB, 400));
+  const auto sessions = group_sessions(log, {.gap = 60.0});
+  ASSERT_EQ(sessions.size(), 2u);
+  const auto r = analyze_vc_feasibility(sessions, log, {.setup_delay = 60.0});
+  EXPECT_EQ(r.total_sessions, 2u);
+  EXPECT_EQ(r.suitable_sessions, 1u);
+  EXPECT_EQ(r.total_transfers, 4u);
+  EXPECT_EQ(r.suitable_transfers, 3u);
+  EXPECT_NEAR(r.session_fraction(), 0.5, 1e-12);
+  EXPECT_NEAR(r.transfer_fraction(), 0.75, 1e-12);
+}
+
+TEST(VcFeasibility, LowerSetupDelayAdmitsMoreSessions) {
+  // Sessions spanning a range of sizes; 50 ms setup must admit at least
+  // as many as 60 s setup.
+  TransferLog log;
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    log.push_back(make(t, static_cast<Bytes>(MiB) << i, 200));
+    t += 1e6;
+  }
+  const auto sessions = group_sessions(log, {.gap = 60.0});
+  const auto slow = analyze_vc_feasibility(sessions, log, {.setup_delay = 60.0});
+  const auto fast = analyze_vc_feasibility(sessions, log, {.setup_delay = 0.05});
+  EXPECT_GE(fast.suitable_sessions, slow.suitable_sessions);
+  EXPECT_GT(fast.suitable_sessions, 0u);
+  EXPECT_LT(slow.min_suitable_size * 1, fast.min_suitable_size * 1200 + 1);
+}
+
+TEST(VcFeasibility, ZeroSetupDelayAdmitsEverything) {
+  const auto log = known_log();
+  const auto sessions = group_sessions(log, {.gap = 60.0});
+  const auto r = analyze_vc_feasibility(sessions, log, {.setup_delay = 0.0});
+  EXPECT_EQ(r.suitable_sessions, r.total_sessions);
+  EXPECT_NEAR(r.transfer_fraction(), 1.0, 1e-12);
+}
+
+TEST(VcFeasibility, InvalidOptionsThrow) {
+  const auto log = known_log();
+  const auto sessions = group_sessions(log, {.gap = 60.0});
+  FeasibilityOptions bad;
+  bad.overhead_fraction = 0.0;
+  EXPECT_THROW(analyze_vc_feasibility(sessions, log, bad), gridvc::PreconditionError);
+  FeasibilityOptions neg;
+  neg.setup_delay = -1.0;
+  EXPECT_THROW(analyze_vc_feasibility(sessions, log, neg), gridvc::PreconditionError);
+  EXPECT_THROW(analyze_vc_feasibility(sessions, {}, {}), gridvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::analysis

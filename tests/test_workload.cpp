@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "analysis/session_grouping.hpp"
+#include "workload/profiles.hpp"
+#include "workload/synth.hpp"
+#include "workload/testbed.hpp"
+
+namespace gridvc::workload {
+namespace {
+
+TEST(Testbed, AllSitePairsConnected) {
+  const Testbed tb = build_esnet_testbed();
+  const net::NodeId hosts[] = {tb.ncar, tb.nics, tb.slac, tb.bnl, tb.nersc, tb.ornl, tb.anl};
+  for (net::NodeId a : hosts) {
+    for (net::NodeId b : hosts) {
+      if (a == b) continue;
+      const auto p = tb.path(a, b);
+      EXPECT_FALSE(p.empty());
+      EXPECT_TRUE(tb.topo.is_valid_path(p, a, b));
+    }
+  }
+}
+
+TEST(Testbed, RttsMatchPaperScale) {
+  const Testbed tb = build_esnet_testbed();
+  // SLAC-BNL ~80 ms (the paper's BDP assumption).
+  EXPECT_NEAR(tb.rtt(tb.slac, tb.bnl), 0.080, 0.005);
+  // NCAR-NICS is "the shorter path".
+  EXPECT_LT(tb.rtt(tb.ncar, tb.nics), tb.rtt(tb.slac, tb.bnl));
+  // NERSC-ORNL in between.
+  const Seconds nersc_ornl = tb.rtt(tb.nersc, tb.ornl);
+  EXPECT_GT(nersc_ornl, 0.04);
+  EXPECT_LT(nersc_ornl, 0.09);
+}
+
+TEST(Testbed, NerscOrnlCrossesEnoughRouters) {
+  const Testbed tb = build_esnet_testbed();
+  // "7 routers on the ESnet portion": 2 PEs + core chain; at least 6
+  // router->router hops.
+  EXPECT_GE(tb.backbone_links(tb.nersc, tb.ornl).size(), 6u);
+}
+
+TEST(Testbed, AllLinksTenGig) {
+  const Testbed tb = build_esnet_testbed();
+  for (std::size_t l = 0; l < tb.topo.link_count(); ++l) {
+    EXPECT_DOUBLE_EQ(tb.topo.link(static_cast<net::LinkId>(l)).capacity, gbps(10));
+  }
+}
+
+TEST(Profiles, NcarDefaultsAreSane) {
+  const auto p = ncar_nics_profile();
+  EXPECT_EQ(p.target_transfers, 52454u);
+  EXPECT_FALSE(p.year_profiles.empty());
+  EXPECT_LT(p.rtt, 0.08);
+  ASSERT_TRUE(p.share_mbps != nullptr);
+}
+
+TEST(Profiles, SlacScaleShrinksTarget) {
+  EXPECT_EQ(slac_bnl_profile(1.0).target_transfers, 1021999u);
+  EXPECT_EQ(slac_bnl_profile(0.1).target_transfers, 102199u);
+  EXPECT_EQ(slac_bnl_profile(-1.0).target_transfers, 1021999u);  // clamped
+}
+
+TEST(Synth, ProducesRequestedCountSorted) {
+  auto p = slac_bnl_profile(0.005);  // ~5k transfers
+  const auto log = synthesize_trace(p, 1);
+  EXPECT_EQ(log.size(), p.target_transfers);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    ASSERT_LE(log[i - 1].start_time, log[i].start_time);
+  }
+}
+
+TEST(Synth, DeterministicInSeed) {
+  auto p = slac_bnl_profile(0.002);
+  const auto a = synthesize_trace(p, 7);
+  const auto b = synthesize_trace(p, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i].start_time, b[i].start_time);
+    ASSERT_EQ(a[i].size, b[i].size);
+  }
+  const auto c = synthesize_trace(p, 8);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && i < c.size(); ++i) {
+    if (a[i].size != c[i].size) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synth, FieldsWithinProfileRanges) {
+  auto p = slac_bnl_profile(0.002);
+  const auto log = synthesize_trace(p, 3);
+  for (const auto& r : log) {
+    ASSERT_GT(r.size, 0u);
+    ASSERT_GT(r.duration, 0.0);
+    ASSERT_TRUE(r.streams == 1 || r.streams == 8);
+    ASSERT_EQ(r.stripes, 1);
+    ASSERT_EQ(r.server_host, "slac-dtn");
+    ASSERT_EQ(r.remote_host, "bnl-dtn");
+  }
+}
+
+TEST(Synth, SessionsEmergeAtPaperScale) {
+  auto p = slac_bnl_profile(0.01);  // ~10K transfers
+  const auto log = synthesize_trace(p, 5);
+  const auto sessions = analysis::group_sessions(log, {.gap = 60.0});
+  // ~100 transfers per session on average (paper: 1.02M / 10.2K).
+  const double mean = static_cast<double>(log.size()) / static_cast<double>(sessions.size());
+  EXPECT_GT(mean, 25.0);
+  EXPECT_LT(mean, 400.0);
+}
+
+TEST(Synth, GapParameterChangesSessionCount) {
+  auto p = slac_bnl_profile(0.01);
+  const auto log = synthesize_trace(p, 5);
+  const auto g0 = analysis::group_sessions(log, {.gap = 0.0});
+  const auto g1 = analysis::group_sessions(log, {.gap = 60.0});
+  const auto g2 = analysis::group_sessions(log, {.gap = 120.0});
+  EXPECT_GT(g0.size(), g1.size());
+  EXPECT_GT(g1.size(), g2.size());
+}
+
+TEST(Synth, NcarStripesFollowYears) {
+  auto p = ncar_nics_profile();
+  p.target_transfers = 6000;
+  const auto log = synthesize_trace(p, 11);
+  // 3-stripe transfers only exist in 2009; 2-stripe only 2010/2011.
+  for (const auto& r : log) {
+    const int year = year_of(p, r.start_time);
+    ASSERT_GE(year, 2009);
+    ASSERT_LE(year, 2012);  // batches may spill slightly past a boundary
+    if (r.stripes == 3) {
+      ASSERT_EQ(year, 2009);
+    }
+  }
+}
+
+TEST(Synth, YearOfMapping) {
+  auto p = ncar_nics_profile();
+  EXPECT_EQ(year_of(p, 0.0), 2009);
+  EXPECT_EQ(year_of(p, p.year_length + 1.0), 2010);
+  EXPECT_EQ(year_of(p, 2.5 * p.year_length), 2011);
+  auto s = slac_bnl_profile();
+  EXPECT_EQ(year_of(s, 10.0), 0);
+}
+
+}  // namespace
+}  // namespace gridvc::workload

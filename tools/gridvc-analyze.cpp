@@ -1,0 +1,132 @@
+// gridvc-analyze: run the paper's analyses on a GridFTP log CSV.
+//
+//   gridvc-analyze [--gap SECONDS] [--setup SECONDS] [--classes] FILE
+//
+// Prints: transfer/session characterization (Tables I/II style), the
+// session census (Table III style), VC suitability (Table IV style), and
+// optionally the elephant/tortoise/cheetah classification.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/burstiness.hpp"
+#include "analysis/flow_classification.hpp"
+#include "analysis/report.hpp"
+#include "analysis/session_grouping.hpp"
+#include "analysis/throughput_analysis.hpp"
+#include "analysis/vc_feasibility.hpp"
+#include "common/strings.hpp"
+#include "stats/table.hpp"
+
+using namespace gridvc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--gap SECONDS] [--setup SECONDS] [--classes]\n"
+               "          [--burstiness] FILE\n"
+               "  --gap        session gap parameter g (default 60)\n"
+               "  --setup      VC setup delay to evaluate (default 60)\n"
+               "  --classes    also print the flow-class taxonomy\n"
+               "  --burstiness also print session burstiness statistics\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double gap = 60.0;
+  double setup = 60.0;
+  bool classes = false;
+  bool burstiness = false;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gap" && i + 1 < argc) {
+      gap = std::atof(argv[++i]);
+    } else if (arg == "--setup" && i + 1 < argc) {
+      setup = std::atof(argv[++i]);
+    } else if (arg == "--classes") {
+      classes = true;
+    } else if (arg == "--burstiness") {
+      burstiness = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  gridftp::TransferLog log;
+  try {
+    log = gridftp::read_log(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+  if (log.empty()) {
+    std::fprintf(stderr, "log is empty\n");
+    return 1;
+  }
+  std::printf("%zu transfers read from %s\n\n", log.size(), path.c_str());
+
+  const auto sessions = analysis::group_sessions(log, {.gap = gap});
+  stats::Table characterization("Characterization (g = " + format_fixed(gap, 0) + " s)");
+  characterization.set_header(analysis::summary_header("Quantity"));
+  characterization.add_row(analysis::summary_row(
+      "Session size (MB)", stats::summarize(analysis::session_sizes_megabytes(sessions)),
+      1));
+  characterization.add_row(analysis::summary_row(
+      "Session duration (s)",
+      stats::summarize(analysis::session_durations_seconds(sessions)), 1));
+  characterization.add_row(analysis::summary_row(
+      "Transfer throughput (Mbps)", analysis::throughput_summary_mbps(log), 1));
+  std::printf("%s\n", characterization.render().c_str());
+
+  const auto c = analysis::census(sessions);
+  std::printf("sessions: %zu (%zu single-transfer, %zu multi; largest holds %zu "
+              "transfers; %zu hold >= 100)\n",
+              c.total_sessions(), c.single_transfer_sessions, c.multi_transfer_sessions,
+              c.max_transfers_in_session, c.sessions_with_100_or_more);
+
+  const auto f = analysis::analyze_vc_feasibility(sessions, log, {.setup_delay = setup});
+  std::printf("\nVC suitability at setup = %s s: %s of sessions (%s of transfers) "
+              "qualify; min session size %s MB; Q3 reference throughput %s Mbps\n",
+              format_fixed(setup, setup < 1.0 ? 2 : 0).c_str(),
+              format_percent(f.session_fraction(), 2).c_str(),
+              format_percent(f.transfer_fraction(), 2).c_str(),
+              format_grouped(to_megabytes(f.min_suitable_size), 1).c_str(),
+              format_fixed(to_mbps(f.reference_throughput), 1).c_str());
+
+  if (burstiness) {
+    const auto b = analysis::session_burstiness(log, sessions);
+    const auto summary = stats::summarize(b);
+    std::printf("\nSession burstiness (peak 30s-window rate / mean rate):\n"
+                "  median %.2f, mean %.2f, p75 %.2f, max %.2f\n",
+                summary.median, summary.mean, summary.q3, summary.max);
+  }
+
+  if (classes) {
+    const auto thresholds = analysis::quantile_thresholds(log, 0.95);
+    const auto masks = analysis::classify(log, thresholds);
+    const auto s = analysis::summarize_classification(log, masks);
+    std::printf("\nFlow classes (top-5%% per dimension):\n");
+    std::printf("  elephants (size)    : %zu\n", s.elephants);
+    std::printf("  tortoises (duration): %zu\n", s.tortoises);
+    std::printf("  cheetahs (rate)     : %zu\n", s.cheetahs);
+    std::printf("  alphas (big & fast) : %zu, carrying %s of all bytes\n", s.alphas,
+                format_percent(s.alpha_byte_fraction, 1).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// gridvc-simulate: run one of the full event-driven scenarios and dump
+// its artifacts as CSV.
+//
+//   gridvc-simulate --scenario nersc-ornl|anl-nersc [--seed N]
+//                   [--log FILE] [--snmp FILE]
+//
+// nersc-ornl: the 145x32GB test-transfer study; --snmp dumps the five
+// monitored routers' forward-direction 30-s byte series.
+// anl-nersc: the 334-test matrix; --log holds the full NERSC-side log.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "gridftp/transfer_log.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace gridvc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --scenario nersc-ornl|anl-nersc [--seed N] "
+               "[--log FILE] [--snmp FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool write_log_file(const gridftp::TransferLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  gridftp::write_log(out, log);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario, log_path, snmp_path;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scenario" && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--log" && i + 1 < argc) {
+      log_path = argv[++i];
+    } else if (arg == "--snmp" && i + 1 < argc) {
+      snmp_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (scenario == "nersc-ornl") {
+    std::fprintf(stderr, "running the NERSC-ORNL 32GB test scenario (seed %llu)...\n",
+                 static_cast<unsigned long long>(seed));
+    const auto result = workload::run_nersc_ornl_tests(workload::NerscOrnlConfig{}, seed);
+    std::printf("%zu test transfers simulated; %zu monitored routers\n",
+                result.log.size(), result.router_names.size());
+    if (!log_path.empty()) {
+      if (!write_log_file(result.log, log_path)) {
+        std::fprintf(stderr, "cannot write %s\n", log_path.c_str());
+        return 1;
+      }
+      std::printf("transfer log -> %s\n", log_path.c_str());
+    }
+    if (!snmp_path.empty()) {
+      std::ofstream out(snmp_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", snmp_path.c_str());
+        return 1;
+      }
+      CsvRow header{"bin_start_s"};
+      for (const auto& name : result.router_names) header.push_back(name + "_bytes");
+      out << format_csv_line(header) << '\n';
+      const auto& first = result.forward_series.front();
+      for (std::size_t bin = 0; bin < first.bins.size(); ++bin) {
+        CsvRow row{format_fixed(first.bin_start(bin), 0)};
+        for (const auto& series : result.forward_series) {
+          row.push_back(format_fixed(bin < series.bins.size() ? series.bins[bin] : 0.0, 0));
+        }
+        out << format_csv_line(row) << '\n';
+      }
+      std::printf("SNMP series (%zu bins x %zu routers) -> %s\n", first.bins.size(),
+                  result.forward_series.size(), snmp_path.c_str());
+    }
+    return 0;
+  }
+
+  if (scenario == "anl-nersc") {
+    std::fprintf(stderr, "running the ANL-NERSC test-matrix scenario (seed %llu)...\n",
+                 static_cast<unsigned long long>(seed));
+    const auto result = workload::run_anl_nersc_tests(workload::AnlNerscConfig{}, seed);
+    std::printf("%zu transfers at the NERSC DTN (tests: mm=%zu md=%zu dm=%zu dd=%zu)\n",
+                result.all_log.size(), result.mem_mem.size(), result.mem_disk.size(),
+                result.disk_mem.size(), result.disk_disk.size());
+    if (!log_path.empty()) {
+      if (!write_log_file(result.all_log, log_path)) {
+        std::fprintf(stderr, "cannot write %s\n", log_path.c_str());
+        return 1;
+      }
+      std::printf("transfer log -> %s\n", log_path.c_str());
+    }
+    return 0;
+  }
+
+  return usage(argv[0]);
+}
