@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hybrid_te.dir/bench_ablation_hybrid_te.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid_te.dir/bench_ablation_hybrid_te.cpp.o.d"
+  "bench_ablation_hybrid_te"
+  "bench_ablation_hybrid_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vc_vs_ip.dir/bench_ablation_vc_vs_ip.cpp.o"
+  "CMakeFiles/bench_ablation_vc_vs_ip.dir/bench_ablation_vc_vs_ip.cpp.o.d"
+  "bench_ablation_vc_vs_ip"
+  "bench_ablation_vc_vs_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vc_vs_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_time_of_day.dir/bench_fig6_time_of_day.cpp.o"
+  "CMakeFiles/bench_fig6_time_of_day.dir/bench_fig6_time_of_day.cpp.o.d"
+  "bench_fig6_time_of_day"
+  "bench_fig6_time_of_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_time_of_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_snmp_bins.dir/bench_table10_snmp_bins.cpp.o"
+  "CMakeFiles/bench_table10_snmp_bins.dir/bench_table10_snmp_bins.cpp.o.d"
+  "bench_table10_snmp_bins"
+  "bench_table10_snmp_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_snmp_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_snmp_correlation.dir/bench_table11_snmp_correlation.cpp.o"
+  "CMakeFiles/bench_table11_snmp_correlation.dir/bench_table11_snmp_correlation.cpp.o.d"
+  "bench_table11_snmp_correlation"
+  "bench_table11_snmp_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_snmp_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_cross_traffic.dir/bench_table12_cross_traffic.cpp.o"
+  "CMakeFiles/bench_table12_cross_traffic.dir/bench_table12_cross_traffic.cpp.o.d"
+  "bench_table12_cross_traffic"
+  "bench_table12_cross_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_cross_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_link_load.dir/bench_table13_link_load.cpp.o"
+  "CMakeFiles/bench_table13_link_load.dir/bench_table13_link_load.cpp.o.d"
+  "bench_table13_link_load"
+  "bench_table13_link_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_link_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

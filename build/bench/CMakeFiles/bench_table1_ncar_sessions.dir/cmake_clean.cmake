@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ncar_sessions.dir/bench_table1_ncar_sessions.cpp.o"
+  "CMakeFiles/bench_table1_ncar_sessions.dir/bench_table1_ncar_sessions.cpp.o.d"
+  "bench_table1_ncar_sessions"
+  "bench_table1_ncar_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ncar_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

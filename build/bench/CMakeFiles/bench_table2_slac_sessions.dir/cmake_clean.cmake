@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_slac_sessions.dir/bench_table2_slac_sessions.cpp.o"
+  "CMakeFiles/bench_table2_slac_sessions.dir/bench_table2_slac_sessions.cpp.o.d"
+  "bench_table2_slac_sessions"
+  "bench_table2_slac_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_slac_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gap_parameter.dir/bench_table3_gap_parameter.cpp.o"
+  "CMakeFiles/bench_table3_gap_parameter.dir/bench_table3_gap_parameter.cpp.o.d"
+  "bench_table3_gap_parameter"
+  "bench_table3_gap_parameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gap_parameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

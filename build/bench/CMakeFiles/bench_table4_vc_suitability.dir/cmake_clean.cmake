@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_vc_suitability.dir/bench_table4_vc_suitability.cpp.o"
+  "CMakeFiles/bench_table4_vc_suitability.dir/bench_table4_vc_suitability.cpp.o.d"
+  "bench_table4_vc_suitability"
+  "bench_table4_vc_suitability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_vc_suitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

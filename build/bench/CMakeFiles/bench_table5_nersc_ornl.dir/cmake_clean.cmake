@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_nersc_ornl.dir/bench_table5_nersc_ornl.cpp.o"
+  "CMakeFiles/bench_table5_nersc_ornl.dir/bench_table5_nersc_ornl.cpp.o.d"
+  "bench_table5_nersc_ornl"
+  "bench_table5_nersc_ornl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_nersc_ornl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fig1_anl_nersc.dir/bench_table6_fig1_anl_nersc.cpp.o"
+  "CMakeFiles/bench_table6_fig1_anl_nersc.dir/bench_table6_fig1_anl_nersc.cpp.o.d"
+  "bench_table6_fig1_anl_nersc"
+  "bench_table6_fig1_anl_nersc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fig1_anl_nersc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ncar_variance.dir/bench_table7_ncar_variance.cpp.o"
+  "CMakeFiles/bench_table7_ncar_variance.dir/bench_table7_ncar_variance.cpp.o.d"
+  "bench_table7_ncar_variance"
+  "bench_table7_ncar_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ncar_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gridvc_bench_common.dir/bench_common.cpp.o.d"
+  "libgridvc_bench_common.a"
+  "libgridvc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridvc_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_network.dir/hybrid_network.cpp.o"
+  "CMakeFiles/hybrid_network.dir/hybrid_network.cpp.o.d"
+  "hybrid_network"
+  "hybrid_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

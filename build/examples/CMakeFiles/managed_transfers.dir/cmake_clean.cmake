@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/managed_transfers.dir/managed_transfers.cpp.o"
+  "CMakeFiles/managed_transfers.dir/managed_transfers.cpp.o.d"
+  "managed_transfers"
+  "managed_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/managed_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscars_reservations.dir/oscars_reservations.cpp.o"
+  "CMakeFiles/oscars_reservations.dir/oscars_reservations.cpp.o.d"
+  "oscars_reservations"
+  "oscars_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscars_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

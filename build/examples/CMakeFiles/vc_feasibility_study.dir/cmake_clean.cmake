@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_feasibility_study.dir/vc_feasibility_study.cpp.o"
+  "CMakeFiles/vc_feasibility_study.dir/vc_feasibility_study.cpp.o.d"
+  "vc_feasibility_study"
+  "vc_feasibility_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_feasibility_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

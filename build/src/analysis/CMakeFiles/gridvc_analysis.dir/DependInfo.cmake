@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/burstiness.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/burstiness.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/burstiness.cpp.o.d"
+  "/root/repo/src/analysis/concurrency.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/concurrency.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/concurrency.cpp.o.d"
+  "/root/repo/src/analysis/flow_classification.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/flow_classification.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/flow_classification.cpp.o.d"
+  "/root/repo/src/analysis/link_utilization.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/link_utilization.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/link_utilization.cpp.o.d"
+  "/root/repo/src/analysis/rate_advisor.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/rate_advisor.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/rate_advisor.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/session_grouping.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/session_grouping.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/session_grouping.cpp.o.d"
+  "/root/repo/src/analysis/stream_analysis.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/stream_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/stream_analysis.cpp.o.d"
+  "/root/repo/src/analysis/throughput_analysis.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/throughput_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/throughput_analysis.cpp.o.d"
+  "/root/repo/src/analysis/timeofday_analysis.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/timeofday_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/timeofday_analysis.cpp.o.d"
+  "/root/repo/src/analysis/vc_feasibility.cpp" "src/analysis/CMakeFiles/gridvc_analysis.dir/vc_feasibility.cpp.o" "gcc" "src/analysis/CMakeFiles/gridvc_analysis.dir/vc_feasibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gridvc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/gridvc_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/gridvc_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_analysis.dir/burstiness.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/burstiness.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/concurrency.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/concurrency.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/flow_classification.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/flow_classification.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/link_utilization.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/link_utilization.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/rate_advisor.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/rate_advisor.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/report.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/session_grouping.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/session_grouping.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/stream_analysis.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/stream_analysis.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/throughput_analysis.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/throughput_analysis.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/timeofday_analysis.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/timeofday_analysis.cpp.o.d"
+  "CMakeFiles/gridvc_analysis.dir/vc_feasibility.cpp.o"
+  "CMakeFiles/gridvc_analysis.dir/vc_feasibility.cpp.o.d"
+  "libgridvc_analysis.a"
+  "libgridvc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

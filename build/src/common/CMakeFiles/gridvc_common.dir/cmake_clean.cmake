@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_common.dir/csv.cpp.o"
+  "CMakeFiles/gridvc_common.dir/csv.cpp.o.d"
+  "CMakeFiles/gridvc_common.dir/distributions.cpp.o"
+  "CMakeFiles/gridvc_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/gridvc_common.dir/rng.cpp.o"
+  "CMakeFiles/gridvc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gridvc_common.dir/strings.cpp.o"
+  "CMakeFiles/gridvc_common.dir/strings.cpp.o.d"
+  "libgridvc_common.a"
+  "libgridvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

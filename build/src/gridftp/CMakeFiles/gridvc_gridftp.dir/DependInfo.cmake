@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gridftp/server.cpp" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/server.cpp.o" "gcc" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/server.cpp.o.d"
+  "/root/repo/src/gridftp/session.cpp" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/session.cpp.o" "gcc" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/session.cpp.o.d"
+  "/root/repo/src/gridftp/transfer_engine.cpp" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/transfer_engine.cpp.o" "gcc" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/transfer_engine.cpp.o.d"
+  "/root/repo/src/gridftp/transfer_log.cpp" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/transfer_log.cpp.o" "gcc" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/transfer_log.cpp.o.d"
+  "/root/repo/src/gridftp/transfer_service.cpp" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/transfer_service.cpp.o" "gcc" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/transfer_service.cpp.o.d"
+  "/root/repo/src/gridftp/usage_stats.cpp" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/usage_stats.cpp.o" "gcc" "src/gridftp/CMakeFiles/gridvc_gridftp.dir/usage_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/gridvc_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_gridftp.dir/server.cpp.o"
+  "CMakeFiles/gridvc_gridftp.dir/server.cpp.o.d"
+  "CMakeFiles/gridvc_gridftp.dir/session.cpp.o"
+  "CMakeFiles/gridvc_gridftp.dir/session.cpp.o.d"
+  "CMakeFiles/gridvc_gridftp.dir/transfer_engine.cpp.o"
+  "CMakeFiles/gridvc_gridftp.dir/transfer_engine.cpp.o.d"
+  "CMakeFiles/gridvc_gridftp.dir/transfer_log.cpp.o"
+  "CMakeFiles/gridvc_gridftp.dir/transfer_log.cpp.o.d"
+  "CMakeFiles/gridvc_gridftp.dir/transfer_service.cpp.o"
+  "CMakeFiles/gridvc_gridftp.dir/transfer_service.cpp.o.d"
+  "CMakeFiles/gridvc_gridftp.dir/usage_stats.cpp.o"
+  "CMakeFiles/gridvc_gridftp.dir/usage_stats.cpp.o.d"
+  "libgridvc_gridftp.a"
+  "libgridvc_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

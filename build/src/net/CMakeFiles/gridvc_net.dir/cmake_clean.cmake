@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_net.dir/cross_traffic.cpp.o"
+  "CMakeFiles/gridvc_net.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/gridvc_net.dir/fair_share.cpp.o"
+  "CMakeFiles/gridvc_net.dir/fair_share.cpp.o.d"
+  "CMakeFiles/gridvc_net.dir/network.cpp.o"
+  "CMakeFiles/gridvc_net.dir/network.cpp.o.d"
+  "CMakeFiles/gridvc_net.dir/routing.cpp.o"
+  "CMakeFiles/gridvc_net.dir/routing.cpp.o.d"
+  "CMakeFiles/gridvc_net.dir/snmp.cpp.o"
+  "CMakeFiles/gridvc_net.dir/snmp.cpp.o.d"
+  "CMakeFiles/gridvc_net.dir/tcp_model.cpp.o"
+  "CMakeFiles/gridvc_net.dir/tcp_model.cpp.o.d"
+  "CMakeFiles/gridvc_net.dir/topology.cpp.o"
+  "CMakeFiles/gridvc_net.dir/topology.cpp.o.d"
+  "libgridvc_net.a"
+  "libgridvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

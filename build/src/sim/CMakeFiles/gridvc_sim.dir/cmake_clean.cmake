@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/gridvc_sim.dir/simulator.cpp.o.d"
+  "libgridvc_sim.a"
+  "libgridvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

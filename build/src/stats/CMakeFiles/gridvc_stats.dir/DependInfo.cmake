@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/binning.cpp" "src/stats/CMakeFiles/gridvc_stats.dir/binning.cpp.o" "gcc" "src/stats/CMakeFiles/gridvc_stats.dir/binning.cpp.o.d"
+  "/root/repo/src/stats/boxplot.cpp" "src/stats/CMakeFiles/gridvc_stats.dir/boxplot.cpp.o" "gcc" "src/stats/CMakeFiles/gridvc_stats.dir/boxplot.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/gridvc_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/gridvc_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/gridvc_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/gridvc_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/gridvc_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/gridvc_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/gridvc_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/gridvc_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/gridvc_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/gridvc_stats.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

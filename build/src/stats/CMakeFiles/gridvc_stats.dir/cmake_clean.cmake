@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_stats.dir/binning.cpp.o"
+  "CMakeFiles/gridvc_stats.dir/binning.cpp.o.d"
+  "CMakeFiles/gridvc_stats.dir/boxplot.cpp.o"
+  "CMakeFiles/gridvc_stats.dir/boxplot.cpp.o.d"
+  "CMakeFiles/gridvc_stats.dir/correlation.cpp.o"
+  "CMakeFiles/gridvc_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/gridvc_stats.dir/histogram.cpp.o"
+  "CMakeFiles/gridvc_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/gridvc_stats.dir/quantile.cpp.o"
+  "CMakeFiles/gridvc_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/gridvc_stats.dir/summary.cpp.o"
+  "CMakeFiles/gridvc_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/gridvc_stats.dir/table.cpp.o"
+  "CMakeFiles/gridvc_stats.dir/table.cpp.o.d"
+  "libgridvc_stats.a"
+  "libgridvc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

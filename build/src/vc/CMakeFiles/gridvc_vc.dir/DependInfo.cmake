@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vc/alpha_detector.cpp" "src/vc/CMakeFiles/gridvc_vc.dir/alpha_detector.cpp.o" "gcc" "src/vc/CMakeFiles/gridvc_vc.dir/alpha_detector.cpp.o.d"
+  "/root/repo/src/vc/bandwidth_calendar.cpp" "src/vc/CMakeFiles/gridvc_vc.dir/bandwidth_calendar.cpp.o" "gcc" "src/vc/CMakeFiles/gridvc_vc.dir/bandwidth_calendar.cpp.o.d"
+  "/root/repo/src/vc/hybrid_te.cpp" "src/vc/CMakeFiles/gridvc_vc.dir/hybrid_te.cpp.o" "gcc" "src/vc/CMakeFiles/gridvc_vc.dir/hybrid_te.cpp.o.d"
+  "/root/repo/src/vc/idc.cpp" "src/vc/CMakeFiles/gridvc_vc.dir/idc.cpp.o" "gcc" "src/vc/CMakeFiles/gridvc_vc.dir/idc.cpp.o.d"
+  "/root/repo/src/vc/interdomain.cpp" "src/vc/CMakeFiles/gridvc_vc.dir/interdomain.cpp.o" "gcc" "src/vc/CMakeFiles/gridvc_vc.dir/interdomain.cpp.o.d"
+  "/root/repo/src/vc/path_computation.cpp" "src/vc/CMakeFiles/gridvc_vc.dir/path_computation.cpp.o" "gcc" "src/vc/CMakeFiles/gridvc_vc.dir/path_computation.cpp.o.d"
+  "/root/repo/src/vc/queue_isolation.cpp" "src/vc/CMakeFiles/gridvc_vc.dir/queue_isolation.cpp.o" "gcc" "src/vc/CMakeFiles/gridvc_vc.dir/queue_isolation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridvc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_vc.dir/alpha_detector.cpp.o"
+  "CMakeFiles/gridvc_vc.dir/alpha_detector.cpp.o.d"
+  "CMakeFiles/gridvc_vc.dir/bandwidth_calendar.cpp.o"
+  "CMakeFiles/gridvc_vc.dir/bandwidth_calendar.cpp.o.d"
+  "CMakeFiles/gridvc_vc.dir/hybrid_te.cpp.o"
+  "CMakeFiles/gridvc_vc.dir/hybrid_te.cpp.o.d"
+  "CMakeFiles/gridvc_vc.dir/idc.cpp.o"
+  "CMakeFiles/gridvc_vc.dir/idc.cpp.o.d"
+  "CMakeFiles/gridvc_vc.dir/interdomain.cpp.o"
+  "CMakeFiles/gridvc_vc.dir/interdomain.cpp.o.d"
+  "CMakeFiles/gridvc_vc.dir/path_computation.cpp.o"
+  "CMakeFiles/gridvc_vc.dir/path_computation.cpp.o.d"
+  "CMakeFiles/gridvc_vc.dir/queue_isolation.cpp.o"
+  "CMakeFiles/gridvc_vc.dir/queue_isolation.cpp.o.d"
+  "libgridvc_vc.a"
+  "libgridvc_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

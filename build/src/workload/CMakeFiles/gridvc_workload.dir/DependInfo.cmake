@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/gridvc_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/gridvc_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/workload/CMakeFiles/gridvc_workload.dir/scenarios.cpp.o" "gcc" "src/workload/CMakeFiles/gridvc_workload.dir/scenarios.cpp.o.d"
+  "/root/repo/src/workload/synth.cpp" "src/workload/CMakeFiles/gridvc_workload.dir/synth.cpp.o" "gcc" "src/workload/CMakeFiles/gridvc_workload.dir/synth.cpp.o.d"
+  "/root/repo/src/workload/testbed.cpp" "src/workload/CMakeFiles/gridvc_workload.dir/testbed.cpp.o" "gcc" "src/workload/CMakeFiles/gridvc_workload.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/gridvc_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/gridvc_gridftp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

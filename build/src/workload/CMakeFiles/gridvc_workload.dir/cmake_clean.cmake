@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc_workload.dir/profiles.cpp.o"
+  "CMakeFiles/gridvc_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/gridvc_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/gridvc_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/gridvc_workload.dir/synth.cpp.o"
+  "CMakeFiles/gridvc_workload.dir/synth.cpp.o.d"
+  "CMakeFiles/gridvc_workload.dir/testbed.cpp.o"
+  "CMakeFiles/gridvc_workload.dir/testbed.cpp.o.d"
+  "libgridvc_workload.a"
+  "libgridvc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

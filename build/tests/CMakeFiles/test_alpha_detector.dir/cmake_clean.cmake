@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alpha_detector.dir/test_alpha_detector.cpp.o"
+  "CMakeFiles/test_alpha_detector.dir/test_alpha_detector.cpp.o.d"
+  "test_alpha_detector"
+  "test_alpha_detector.pdb"
+  "test_alpha_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alpha_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

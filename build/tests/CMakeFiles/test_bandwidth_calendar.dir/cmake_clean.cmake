@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_calendar.dir/test_bandwidth_calendar.cpp.o"
+  "CMakeFiles/test_bandwidth_calendar.dir/test_bandwidth_calendar.cpp.o.d"
+  "test_bandwidth_calendar"
+  "test_bandwidth_calendar.pdb"
+  "test_bandwidth_calendar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_te.dir/test_hybrid_te.cpp.o"
+  "CMakeFiles/test_hybrid_te.dir/test_hybrid_te.cpp.o.d"
+  "test_hybrid_te"
+  "test_hybrid_te.pdb"
+  "test_hybrid_te[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

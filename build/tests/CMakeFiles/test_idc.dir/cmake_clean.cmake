@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idc.dir/test_idc.cpp.o"
+  "CMakeFiles/test_idc.dir/test_idc.cpp.o.d"
+  "test_idc"
+  "test_idc.pdb"
+  "test_idc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

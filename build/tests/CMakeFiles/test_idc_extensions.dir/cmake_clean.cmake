@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idc_extensions.dir/test_idc_extensions.cpp.o"
+  "CMakeFiles/test_idc_extensions.dir/test_idc_extensions.cpp.o.d"
+  "test_idc_extensions"
+  "test_idc_extensions.pdb"
+  "test_idc_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idc_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

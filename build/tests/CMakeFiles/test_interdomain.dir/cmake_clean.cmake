@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interdomain.dir/test_interdomain.cpp.o"
+  "CMakeFiles/test_interdomain.dir/test_interdomain.cpp.o.d"
+  "test_interdomain"
+  "test_interdomain.pdb"
+  "test_interdomain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_queue_isolation.cpp" "tests/CMakeFiles/test_queue_isolation.dir/test_queue_isolation.cpp.o" "gcc" "tests/CMakeFiles/test_queue_isolation.dir/test_queue_isolation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gridvc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/gridvc_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/gridvc_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gridvc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gridvc_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

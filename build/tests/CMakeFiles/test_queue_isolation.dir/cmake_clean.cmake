@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_isolation.dir/test_queue_isolation.cpp.o"
+  "CMakeFiles/test_queue_isolation.dir/test_queue_isolation.cpp.o.d"
+  "test_queue_isolation"
+  "test_queue_isolation.pdb"
+  "test_queue_isolation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

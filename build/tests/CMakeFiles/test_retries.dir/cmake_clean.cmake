@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retries.dir/test_retries.cpp.o"
+  "CMakeFiles/test_retries.dir/test_retries.cpp.o.d"
+  "test_retries"
+  "test_retries.pdb"
+  "test_retries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

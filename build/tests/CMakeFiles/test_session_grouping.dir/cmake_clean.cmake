@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_grouping.dir/test_session_grouping.cpp.o"
+  "CMakeFiles/test_session_grouping.dir/test_session_grouping.cpp.o.d"
+  "test_session_grouping"
+  "test_session_grouping.pdb"
+  "test_session_grouping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

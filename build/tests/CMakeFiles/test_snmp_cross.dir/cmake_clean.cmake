@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snmp_cross.dir/test_snmp_cross.cpp.o"
+  "CMakeFiles/test_snmp_cross.dir/test_snmp_cross.cpp.o.d"
+  "test_snmp_cross"
+  "test_snmp_cross.pdb"
+  "test_snmp_cross[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snmp_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strings_csv.dir/test_strings_csv.cpp.o"
+  "CMakeFiles/test_strings_csv.dir/test_strings_csv.cpp.o.d"
+  "test_strings_csv"
+  "test_strings_csv.pdb"
+  "test_strings_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strings_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_engine.dir/test_transfer_engine.cpp.o"
+  "CMakeFiles/test_transfer_engine.dir/test_transfer_engine.cpp.o.d"
+  "test_transfer_engine"
+  "test_transfer_engine.pdb"
+  "test_transfer_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_service.dir/test_transfer_service.cpp.o"
+  "CMakeFiles/test_transfer_service.dir/test_transfer_service.cpp.o.d"
+  "test_transfer_service"
+  "test_transfer_service.pdb"
+  "test_transfer_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc_feasibility.dir/test_vc_feasibility.cpp.o"
+  "CMakeFiles/test_vc_feasibility.dir/test_vc_feasibility.cpp.o.d"
+  "test_vc_feasibility"
+  "test_vc_feasibility.pdb"
+  "test_vc_feasibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc-analyze.dir/gridvc-analyze.cpp.o"
+  "CMakeFiles/gridvc-analyze.dir/gridvc-analyze.cpp.o.d"
+  "gridvc-analyze"
+  "gridvc-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

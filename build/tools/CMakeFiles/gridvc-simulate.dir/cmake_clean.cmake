@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc-simulate.dir/gridvc-simulate.cpp.o"
+  "CMakeFiles/gridvc-simulate.dir/gridvc-simulate.cpp.o.d"
+  "gridvc-simulate"
+  "gridvc-simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc-simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

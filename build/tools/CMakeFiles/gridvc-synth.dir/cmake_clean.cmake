@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridvc-synth.dir/gridvc-synth.cpp.o"
+  "CMakeFiles/gridvc-synth.dir/gridvc-synth.cpp.o.d"
+  "gridvc-synth"
+  "gridvc-synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridvc-synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
