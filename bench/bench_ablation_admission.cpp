@@ -6,6 +6,7 @@
 // probability." We drive the IDC with Poisson circuit requests of varying
 // rate fractions and measure the blocking probability.
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"

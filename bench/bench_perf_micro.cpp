@@ -1,12 +1,18 @@
 // Micro-benchmarks of the hot substrate operations (google-benchmark):
 // the max-min allocator, session grouping, the bandwidth calendar, the
-// TCP model, and trace synthesis throughput.
+// TCP model, trace synthesis throughput, and the simulator/network
+// scheduling path under heavy flow concurrency.
 #include <benchmark/benchmark.h>
 
 #include "analysis/session_grouping.hpp"
+#include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "gridftp/transfer_engine.hpp"
+#include "gridftp/usage_stats.hpp"
 #include "net/fair_share.hpp"
+#include "net/network.hpp"
 #include "net/tcp_model.hpp"
+#include "sim/simulator.hpp"
 #include "vc/bandwidth_calendar.hpp"
 #include "workload/profiles.hpp"
 #include "workload/synth.hpp"
@@ -93,6 +99,98 @@ void BM_TraceSynthesis(benchmark::State& state) {
                           static_cast<std::int64_t>(profile.target_transfers));
 }
 BENCHMARK(BM_TraceSynthesis)->Arg(10000)->Arg(100000);
+
+// Concurrency-heavy scheduling scenario: hundreds of long, overlapping,
+// cap-limited flows on the NERSC-ANL path. This is the regime where the
+// incremental recompute pays off — an arrival or completion leaves most
+// other flows' rates untouched, so their completion events must not be
+// cancelled and re-pushed. The counters report event churn per completed
+// flow; wall time is the google-benchmark measurement.
+void BM_NetworkConcurrentFlows(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tb = workload::build_esnet_testbed();
+  const net::Path path = tb.path(tb.nersc, tb.anl);
+  std::uint64_t scheduled = 0, cancelled = 0, completed = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, tb.topo);
+    Rng rng(bench::kSeed);
+    std::uint64_t done = 0;
+    for (int i = 0; i < n; ++i) {
+      // Arrivals over one minute; 0.5-2 GB at a 10-25 Mbps cap keeps each
+      // flow alive for minutes, so essentially all n flows overlap while
+      // total demand stays below the 10 Gbps backbone.
+      const Seconds at = rng.uniform(0.0, 60.0);
+      const Bytes size = static_cast<Bytes>(rng.uniform(5e8, 2e9));
+      net::FlowOptions opts;
+      opts.cap = mbps(rng.uniform(10.0, 25.0));
+      sim.schedule_at(at, [&network, &done, &path, size, opts] {
+        network.start_flow(path, size, opts,
+                           [&done](const net::FlowRecord&) { ++done; });
+      });
+    }
+    sim.run();
+    scheduled += sim.scheduled();
+    cancelled += sim.cancelled();
+    completed += done;
+  }
+  state.counters["sched_per_flow"] =
+      static_cast<double>(scheduled) / static_cast<double>(completed);
+  state.counters["cancel_per_flow"] =
+      static_cast<double>(cancelled) / static_cast<double>(completed);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NetworkConcurrentFlows)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+// The same regime through the full GridFTP engine: server shares shrink
+// and grow as transfers register/deregister, so every submit/finish pushes
+// refreshed caps into the network — the recompute storm the incremental
+// diff exists to absorb.
+void BM_EngineConcurrentTransfers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tb = workload::build_esnet_testbed();
+  std::uint64_t scheduled = 0, cancelled = 0, completed = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, tb.topo);
+    gridftp::ServerConfig sc;
+    sc.nic_rate = gbps(10);
+    sc.pool_size = 4;
+    sc.name = "nersc-dtn";
+    gridftp::Server src(sc);
+    sc.name = "anl-dtn";
+    gridftp::Server dst(sc);
+    gridftp::UsageStatsCollector collector;
+    gridftp::TransferEngineConfig cfg;
+    cfg.server_noise_sigma = 0.25;
+    gridftp::TransferEngine engine(network, collector, cfg, Rng(bench::kSeed));
+    gridftp::TransferSpec proto;
+    proto.src = {&src, gridftp::IoMode::kMemory};
+    proto.dst = {&dst, gridftp::IoMode::kMemory};
+    proto.path = tb.path(tb.nersc, tb.anl);
+    proto.rtt = tb.rtt(tb.nersc, tb.anl);
+    proto.streams = 4;
+    proto.remote_host = "anl";
+    Rng rng(bench::kSeed ^ 1);
+    for (int i = 0; i < n; ++i) {
+      gridftp::TransferSpec s = proto;
+      const Seconds at = rng.uniform(0.0, 120.0);
+      s.size = static_cast<Bytes>(rng.uniform(1e8, 4e9));
+      s.stripes = static_cast<int>(rng.uniform_int(1, 4));
+      sim.schedule_at(at, [&engine, s] { engine.submit(s); });
+    }
+    sim.run();
+    scheduled += sim.scheduled();
+    cancelled += sim.cancelled();
+    completed += engine.stats().completed;
+  }
+  state.counters["sched_per_flow"] =
+      static_cast<double>(scheduled) / static_cast<double>(completed);
+  state.counters["cancel_per_flow"] =
+      static_cast<double>(cancelled) / static_cast<double>(completed);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineConcurrentTransfers)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

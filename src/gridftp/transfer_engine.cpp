@@ -61,7 +61,7 @@ std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
   const BitsPerSecond expected = std::max(1.0, transfer_cap(active));
   active.loss_factor =
       tcp_.loss_factor(spec.size, spec.streams, spec.rtt, expected, rng_);
-  const Bytes per_stripe = spec.size / static_cast<Bytes>(spec.stripes) + 1;
+  const Bytes per_stripe = stripe_chunk(spec.size, spec.stripes);
   const Seconds penalty = tcp_.slow_start_penalty(
       per_stripe, spec.streams, spec.rtt,
       std::max(1.0, expected / static_cast<double>(spec.stripes)));
@@ -102,8 +102,7 @@ void TransferEngine::begin_attempt(std::uint64_t id) {
 
   const BitsPerSecond cap = transfer_cap(t);
   const int stripes = t.spec.stripes;
-  const Bytes per_stripe = (t.attempt_bytes + static_cast<Bytes>(stripes) - 1) /
-                           static_cast<Bytes>(stripes);
+  const Bytes per_stripe = stripe_chunk(t.attempt_bytes, stripes);
   t.flows.clear();
   t.flows_remaining = static_cast<std::size_t>(stripes);
   for (int s = 0; s < stripes; ++s) {
@@ -137,7 +136,7 @@ void TransferEngine::attempt_complete(std::uint64_t id) {
   ++stats_.failures;
   const Bytes remaining = t.spec.size - t.bytes_done;
   const Seconds penalty = tcp_.slow_start_penalty(
-      std::max<Bytes>(remaining / static_cast<Bytes>(t.spec.stripes), 1),
+      std::max<Bytes>(stripe_chunk(remaining, t.spec.stripes), 1),
       t.spec.streams, t.spec.rtt,
       std::max(1.0, transfer_cap(t) / static_cast<double>(t.spec.stripes)));
   t.injection = network_.simulator().schedule_in(
@@ -185,13 +184,17 @@ void TransferEngine::refresh_caps() {
   // own submit/finish paths; the guard prevents re-entrant refresh storms.
   if (refreshing_) return;
   refreshing_ = true;
+  // One batched push: a registration change moves every transfer's share,
+  // and update_caps runs a single allocator pass for the whole batch.
+  std::vector<std::pair<net::FlowId, BitsPerSecond>> caps;
   for (auto& [id, t] : transfers_) {
     if (t.flows.empty()) continue;
     const BitsPerSecond cap = transfer_cap(t);
     for (net::FlowId fid : t.flows) {
-      network_.update_cap(fid, cap / static_cast<double>(t.flows.size()));
+      caps.emplace_back(fid, cap / static_cast<double>(t.flows.size()));
     }
   }
+  network_.update_caps(caps);
   refreshing_ = false;
 }
 

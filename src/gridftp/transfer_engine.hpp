@@ -57,6 +57,14 @@ struct TransferSpec {
   BitsPerSecond guarantee = 0.0;      ///< VC rate guarantee (0 = best effort)
 };
 
+/// Ceil-division split of a byte count across stripes: every stripe
+/// carries ceil(size/stripes) so no byte is dropped; the engine uses this
+/// everywhere a per-stripe size is needed (injection penalty, flow sizes,
+/// retry penalty).
+constexpr Bytes stripe_chunk(Bytes size, int stripes) {
+  return (size + static_cast<Bytes>(stripes) - 1) / static_cast<Bytes>(stripes);
+}
+
 struct TransferEngineConfig {
   net::TcpConfig tcp;
   /// Log-space sigma of the per-transfer server-share noise (CPU/disk
@@ -102,6 +110,11 @@ class TransferEngine {
     std::uint64_t failures = 0;  ///< attempts that ended in a mid-transfer failure
   };
   const Stats& stats() const { return stats_; }
+
+  /// Scheduler churn of the underlying simulator (events scheduled,
+  /// cancelled, dispatched, live). Benches divide these by completed
+  /// transfers to report events-per-flow.
+  sim::Simulator::Counters sim_counters() const { return network_.simulator().counters(); }
 
  private:
   struct Active {

@@ -43,6 +43,7 @@ void TransferService::maybe_start_next() {
     if (task.status.state == TaskState::kCancelled) continue;  // cancelled while queued
     task.status.state = TaskState::kActive;
     task.status.started_at = sim_.now();
+    task.counters_at_start = sim_.counters();
     ++active_;
     pump(id);
   }
@@ -78,6 +79,10 @@ void TransferService::on_transfer_done(std::uint64_t task_id, const TransferReco
 void TransferService::finish_task(Task& task, TaskState state) {
   task.status.state = state;
   task.status.finished_at = sim_.now();
+  const sim::Simulator::Counters now = sim_.counters();
+  task.status.events_scheduled = now.scheduled - task.counters_at_start.scheduled;
+  task.status.events_cancelled = now.cancelled - task.counters_at_start.cancelled;
+  task.status.events_dispatched = now.dispatched - task.counters_at_start.dispatched;
   GRIDVC_REQUIRE(active_ > 0, "active task underflow");
   --active_;
   if (task.on_done) task.on_done(task.status);

@@ -47,6 +47,13 @@ struct TaskStatus {
   Seconds submitted_at = 0.0;
   Seconds started_at = 0.0;
   Seconds finished_at = 0.0;
+  /// Scheduler churn over the task's active window: simulator counter
+  /// deltas between start and finish. Zero until the task finishes;
+  /// overlapping tasks share the simulator, so attribution is approximate
+  /// when tasks run concurrently.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t events_dispatched = 0;
 
   double progress() const {
     return bytes_total > 0
@@ -89,6 +96,7 @@ class TransferService {
     std::size_t next_file = 0;
     std::size_t in_flight = 0;
     bool cancelled = false;
+    sim::Simulator::Counters counters_at_start;
     TaskDoneFn on_done;
   };
 

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -10,6 +11,17 @@ namespace {
 // Completions within this many bytes are treated as done; absorbs fluid
 // floating-point residue.
 constexpr double kByteEps = 0.5;
+
+// Allocator outputs within this relative tolerance count as "rate
+// unchanged": the flow's already-scheduled completion event stands. While
+// a rate holds, progress is linear and the absolute ETA is invariant, so
+// skipping the reschedule is exact, not an approximation.
+constexpr double kRateEps = 1e-9;
+
+bool rate_changed(BitsPerSecond old_rate, BitsPerSecond new_rate) {
+  const double scale = std::max({1.0, std::abs(old_rate), std::abs(new_rate)});
+  return std::abs(old_rate - new_rate) > kRateEps * scale;
+}
 }  // namespace
 
 Network::Network(sim::Simulator& sim, Topology topology)
@@ -32,6 +44,7 @@ FlowId Network::start_flow(Path path, Bytes size, FlowOptions options,
   f.cap = options.cap;
   f.guarantee = options.guarantee;
   f.start_time = sim_.now();
+  f.last_update = sim_.now();
   f.on_complete = std::move(on_complete);
   flows_.emplace(id, std::move(f));
   recompute();
@@ -46,6 +59,18 @@ void Network::update_cap(FlowId id, BitsPerSecond cap) {
   recompute();
 }
 
+void Network::update_caps(const std::vector<std::pair<FlowId, BitsPerSecond>>& caps) {
+  bool changed = false;
+  for (const auto& [id, cap] : caps) {
+    const auto it = flows_.find(id);
+    GRIDVC_REQUIRE(it != flows_.end(), "update_caps on unknown flow");
+    if (it->second.cap == cap) continue;
+    it->second.cap = cap;
+    changed = true;
+  }
+  if (changed) recompute();
+}
+
 void Network::update_guarantee(FlowId id, BitsPerSecond guarantee) {
   const auto it = flows_.find(id);
   GRIDVC_REQUIRE(it != flows_.end(), "update_guarantee on unknown flow");
@@ -58,7 +83,7 @@ void Network::update_guarantee(FlowId id, BitsPerSecond guarantee) {
 void Network::abort_flow(FlowId id) {
   const auto it = flows_.find(id);
   GRIDVC_REQUIRE(it != flows_.end(), "abort_flow on unknown flow");
-  settle();
+  settle_flow(it->second, sim_.now());
   it->second.completion.cancel();
   flows_.erase(it);
   recompute();
@@ -71,16 +96,16 @@ BitsPerSecond Network::current_rate(FlowId id) const {
 }
 
 Bytes Network::remaining_bytes(FlowId id) {
-  settle();
   const auto it = flows_.find(id);
   GRIDVC_REQUIRE(it != flows_.end(), "remaining_bytes on unknown flow");
+  settle_flow(it->second, sim_.now());
   return static_cast<Bytes>(std::max(0.0, it->second.bytes_remaining));
 }
 
 Bytes Network::sent_bytes(FlowId id) {
-  settle();
   const auto it = flows_.find(id);
   GRIDVC_REQUIRE(it != flows_.end(), "sent_bytes on unknown flow");
+  settle_flow(it->second, sim_.now());
   const double sent = static_cast<double>(it->second.size) - it->second.bytes_remaining;
   return static_cast<Bytes>(std::max(0.0, sent));
 }
@@ -104,20 +129,23 @@ double Network::link_bytes(LinkId id) {
   return link_bytes_[id];
 }
 
+void Network::settle_flow(ActiveFlow& f, Seconds now) {
+  const Seconds elapsed = now - f.last_update;
+  if (elapsed <= 0.0) return;
+  f.last_update = now;
+  const double sent = std::min(f.bytes_remaining, f.rate * elapsed / 8.0);
+  if (sent <= 0.0) return;
+  f.bytes_remaining -= sent;
+  for (LinkId l : f.path) link_bytes_[l] += sent;
+}
+
 void Network::settle() {
   const Seconds now = sim_.now();
-  const Seconds elapsed = now - last_settle_;
-  if (elapsed <= 0.0) return;
-  for (auto& [id, f] : flows_) {
-    const double sent = std::min(f.bytes_remaining, f.rate * elapsed / 8.0);
-    f.bytes_remaining -= sent;
-    for (LinkId l : f.path) link_bytes_[l] += sent;
-  }
-  last_settle_ = now;
+  for (auto& [id, f] : flows_) settle_flow(f, now);
 }
 
 void Network::recompute() {
-  settle();
+  const Seconds now = sim_.now();
 
   std::vector<FlowDemand> demands;
   std::vector<FlowId> order;
@@ -131,7 +159,14 @@ void Network::recompute() {
 
   for (std::size_t i = 0; i < order.size(); ++i) {
     ActiveFlow& f = flows_.at(order[i]);
-    f.rate = alloc.rates[i];
+    const BitsPerSecond new_rate = alloc.rates[i];
+    if (!rate_changed(f.rate, new_rate)) {
+      // Unchanged rate: the scheduled completion (if any) is still exact.
+      // A stalled flow (rate 0) stays stalled with no event either way.
+      if (f.completion.pending() || f.rate <= 0.0) continue;
+    }
+    settle_flow(f, now);  // progress so far happened at the old rate
+    f.rate = new_rate;
     f.completion.cancel();
     if (f.bytes_remaining <= kByteEps) {
       // Finished (or within fluid rounding of finished): complete now.
@@ -150,9 +185,15 @@ void Network::recompute() {
 void Network::complete_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;  // aborted concurrently
-  settle();
+  settle_flow(it->second, sim_.now());
   if (it->second.bytes_remaining > kByteEps) {
-    // A rate change outran this event; recompute() already rescheduled it.
+    // Fluid rounding left a residue at the scheduled ETA; drain it at the
+    // current rate rather than dropping the flow on the floor.
+    ActiveFlow& f = it->second;
+    if (f.rate > 0.0) {
+      const Seconds eta = f.bytes_remaining * 8.0 / f.rate;
+      f.completion = sim_.schedule_in(eta, [this, id] { complete_flow(id); });
+    }
     return;
   }
   FlowRecord record;

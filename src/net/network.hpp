@@ -2,11 +2,15 @@
 //
 // The engine simulates elastic data flows over the Topology in a
 // discrete-event fashion: whenever the flow set changes (arrival,
-// completion, abort, or a cap/guarantee update), it settles per-flow byte
-// progress and per-link byte counters, recomputes the max-min fair
-// allocation (fair_share.hpp), and reschedules every flow's completion
-// event for its new rate. Per-link cumulative byte counters feed the SNMP
-// collector, which is how Tables X–XIII are regenerated.
+// completion, abort, or a cap/guarantee update), it recomputes the
+// max-min fair allocation (fair_share.hpp) and diffs it against the old
+// one: only flows whose rate actually changed are settled (byte progress
+// and per-link byte counters) and have their completion event cancelled
+// and rescheduled. A flow whose rate is untouched keeps its already
+// scheduled completion — its absolute ETA is invariant while the rate
+// holds — so an arrival or completion costs O(affected flows) event
+// churn, not O(all flows). Per-link cumulative byte counters feed the
+// SNMP collector, which is how Tables X–XIII are regenerated.
 //
 // This is the standard fluid approximation for WAN-scale transfer studies:
 // packet-level effects enter only through the TCP model's demand caps and
@@ -16,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -53,6 +58,7 @@ class Network {
 
   const Topology& topology() const { return topo_; }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
 
   /// Inject a flow of `size` bytes along `path`. `on_complete` (may be
   /// null) fires when the last byte is delivered. Requires a non-empty
@@ -62,6 +68,12 @@ class Network {
   /// Change a flow's demand cap (e.g. the sending server's per-transfer
   /// share changed). <= 0 removes the cap.
   void update_cap(FlowId id, BitsPerSecond cap);
+
+  /// Batched form of update_cap: apply every (flow, cap) pair, then run a
+  /// single recompute if anything changed. Server registration changes
+  /// shift the share of *every* in-flight transfer at once; pushing those
+  /// caps one by one would pay one allocator pass per flow.
+  void update_caps(const std::vector<std::pair<FlowId, BitsPerSecond>>& caps);
 
   /// Change a flow's reserved rate (e.g. its VC was set up or torn down
   /// mid-flow).
@@ -104,10 +116,15 @@ class Network {
     BitsPerSecond guarantee = 0.0;
     BitsPerSecond rate = 0.0;
     Seconds start_time = 0.0;
+    Seconds last_update = 0.0;  ///< bytes_remaining is settled to this time
     CompletionFn on_complete;
     sim::EventHandle completion;
   };
 
+  // Advance one flow's byte progress (and its links' counters) to `now`.
+  // Flows settle lazily at their own pace: progress is linear while the
+  // rate holds, so only rate changes and reads force a settle.
+  void settle_flow(ActiveFlow& f, Seconds now);
   void recompute();
   void complete_flow(FlowId id);
 
@@ -116,7 +133,6 @@ class Network {
   // std::map keeps iteration in FlowId order -> deterministic allocation.
   std::map<FlowId, ActiveFlow> flows_;
   std::vector<double> link_bytes_;
-  Seconds last_settle_ = 0.0;
   FlowId next_id_ = 1;
 };
 

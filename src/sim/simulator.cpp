@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -7,17 +8,52 @@
 namespace gridvc::sim {
 
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (sim_) sim_->cancel_event(slot_, generation_);
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+bool EventHandle::pending() const { return sim_ && sim_->event_pending(slot_, generation_); }
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.generation;  // invalidates stale heap entries and handles
+  s.fn = nullptr;
+  s.repeat = nullptr;
+  s.live = false;
+  s.periodic = false;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::push_entry(Seconds when, std::uint32_t slot, std::uint64_t generation) {
+  heap_.push_back(QueuedEvent{when, next_seq_++, slot, generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++scheduled_;
+}
+
+bool Simulator::entry_live(const QueuedEvent& e) const {
+  const Slot& s = slots_[e.slot];
+  return s.live && s.generation == e.generation;
+}
 
 EventHandle Simulator::schedule_at(Seconds when, Callback fn) {
   GRIDVC_REQUIRE(when >= now_, "cannot schedule an event in the past");
   GRIDVC_REQUIRE(fn != nullptr, "cannot schedule a null callback");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Scheduled{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  ++live_;
+  push_entry(when, slot, s.generation);
+  return EventHandle(this, slot, s.generation);
 }
 
 EventHandle Simulator::schedule_in(Seconds delay, Callback fn) {
@@ -29,38 +65,86 @@ EventHandle Simulator::schedule_periodic(Seconds start, Seconds period,
                                          std::function<bool()> fn) {
   GRIDVC_REQUIRE(period > 0.0, "periodic event needs a positive period");
   GRIDVC_REQUIRE(fn != nullptr, "cannot schedule a null callback");
-  // The outer handle controls the whole periodic series: the wrapper
-  // re-schedules itself under the same cancellation flag.
-  auto cancelled = std::make_shared<bool>(false);
-  auto tick = std::make_shared<std::function<void(Seconds)>>();
-  *tick = [this, period, fn = std::move(fn), cancelled, tick](Seconds when) {
-    if (*cancelled) return;
-    if (!fn()) {
-      *cancelled = true;
-      return;
-    }
-    const Seconds next = when + period;
-    queue_.push(Scheduled{next, next_seq_++, [tick, next] { (*tick)(next); }, cancelled});
-  };
-  queue_.push(Scheduled{start, next_seq_++, [tick, start] { (*tick)(start); }, cancelled});
-  return EventHandle(std::move(cancelled));
+  // One slot carries the whole series: each firing re-arms the same slot
+  // under the same generation, so the handle stays valid throughout.
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.repeat = std::move(fn);
+  s.period = period;
+  s.live = true;
+  s.periodic = true;
+  ++live_;
+  push_entry(start, slot, s.generation);
+  return EventHandle(this, slot, s.generation);
+}
+
+void Simulator::cancel_event(std::uint32_t slot, std::uint64_t generation) {
+  if (slot >= slots_.size()) return;
+  const Slot& s = slots_[slot];
+  if (!s.live || s.generation != generation) return;  // already fired/cancelled
+  release_slot(slot);
+  ++cancelled_;
+  --live_;
+  maybe_compact();
+}
+
+bool Simulator::event_pending(std::uint32_t slot, std::uint64_t generation) const {
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  return s.live && s.generation == generation;
 }
 
 void Simulator::drop_dead_events() {
-  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+void Simulator::maybe_compact() {
+  // Rebuild only when tombstones exceed half the heap; the rebuild is
+  // O(heap) and amortizes against the cancels that created the garbage.
+  if (heap_.size() < 64 || heap_.size() <= live_ * 2) return;
+  std::erase_if(heap_, [this](const QueuedEvent& e) { return !entry_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool Simulator::step() {
-  drop_dead_events();
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the event is copied out so the callback
-  // may schedule/cancel freely while running.
-  Scheduled ev = queue_.top();
-  queue_.pop();
-  now_ = ev.when;
-  ++dispatched_;
-  ev.fn();
-  return true;
+  while (!heap_.empty()) {
+    const QueuedEvent top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    if (!entry_live(top)) continue;  // tombstone
+    now_ = top.when;
+    ++dispatched_;
+    if (!slots_[top.slot].periodic) {
+      // Move the callback out and free the slot *before* running it: the
+      // handle reads as consumed inside the callback, and the callback may
+      // schedule/cancel freely (including reusing this slot).
+      Callback fn = std::move(slots_[top.slot].fn);
+      release_slot(top.slot);
+      --live_;
+      fn();
+    } else {
+      std::function<bool()> fn = std::move(slots_[top.slot].repeat);
+      const Seconds period = slots_[top.slot].period;
+      const bool keep_going = fn();
+      // Re-fetch: the callback may have grown the slab or cancelled the
+      // series (which bumps the generation).
+      Slot& s = slots_[top.slot];
+      if (s.live && s.generation == top.generation) {
+        if (keep_going) {
+          s.repeat = std::move(fn);
+          push_entry(top.when + period, top.slot, top.generation);
+        } else {
+          release_slot(top.slot);
+          --live_;
+        }
+      }
+    }
+    return true;
+  }
+  return false;
 }
 
 void Simulator::run() {
@@ -72,21 +156,10 @@ void Simulator::run_until(Seconds deadline) {
   GRIDVC_REQUIRE(deadline >= now_, "run_until deadline is in the past");
   while (true) {
     drop_dead_events();
-    if (queue_.empty() || queue_.top().when > deadline) break;
+    if (heap_.empty() || heap_.front().when > deadline) break;
     step();
   }
   now_ = deadline;
-}
-
-bool Simulator::idle() const {
-  // Cheap check: scan a copy-free heap is not possible with
-  // priority_queue, so idle() conservatively reports the queue state
-  // after dead-event removal done by const_cast-free means: we only look
-  // at emptiness here; callers that need exactness should use step().
-  if (queue_.empty()) return true;
-  // The top may be a cancelled tombstone; treat any live entry as busy.
-  // (We cannot iterate a priority_queue, so this errs on the busy side.)
-  return false;
 }
 
 }  // namespace gridvc::sim

@@ -7,21 +7,26 @@
 //
 // Scheduled events can be cancelled through the returned EventHandle —
 // flow completions are rescheduled every time the fair-share allocator
-// changes a flow's rate, so cancellation is on the hot path.
+// changes a flow's rate, so schedule/cancel is the hot path. Event
+// records live in a slab: the binary heap holds only small POD entries
+// {when, seq, slot, generation}, a cancel is a generation bump (no heap
+// surgery), and stale heap entries are skipped at pop time and compacted
+// away in bulk once dead entries outnumber live ones.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace gridvc::sim {
 
+class Simulator;
+
 /// Cancellation token for a scheduled event. Copyable; all copies refer to
-/// the same scheduled occurrence.
+/// the same scheduled occurrence. Handles must not outlive the Simulator
+/// that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -29,19 +34,32 @@ class EventHandle {
   /// Prevent the event from firing. Idempotent; safe after the event fired.
   void cancel();
 
-  /// True if the event has neither fired nor been cancelled.
+  /// True if the event has neither fired nor been cancelled. For periodic
+  /// events, true until the series is cancelled or its callback stops it.
   bool pending() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 /// The event loop.
 class Simulator {
  public:
   using Callback = std::function<void()>;
+
+  /// Lifetime scheduling/dispatch totals (diagnostics; benches and tests
+  /// assert on churn through these).
+  struct Counters {
+    std::uint64_t scheduled = 0;   ///< queue pushes, including periodic re-arms
+    std::uint64_t cancelled = 0;   ///< events killed before firing
+    std::uint64_t dispatched = 0;  ///< callbacks actually run
+    std::size_t live = 0;          ///< events currently awaiting dispatch
+  };
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -73,30 +91,72 @@ class Simulator {
   /// Number of events dispatched so far (diagnostics).
   std::uint64_t dispatched() const { return dispatched_; }
 
-  /// True when no live (non-cancelled) events remain.
-  bool idle() const;
+  /// Number of queue pushes so far, periodic re-arms included.
+  std::uint64_t scheduled() const { return scheduled_; }
+
+  /// Number of events cancelled before they could fire.
+  std::uint64_t cancelled() const { return cancelled_; }
+
+  /// Events currently scheduled and neither fired nor cancelled.
+  std::size_t live_events() const { return live_; }
+
+  /// Snapshot of all lifetime counters.
+  Counters counters() const { return Counters{scheduled_, cancelled_, dispatched_, live_}; }
+
+  /// True when no live (non-cancelled) events remain. Exact: cancelled
+  /// tombstones still sitting in the heap do not count as busy.
+  bool idle() const { return live_ == 0; }
 
  private:
-  struct Scheduled {
+  friend class EventHandle;
+
+  /// One slab record. A slot is live while its event awaits dispatch (or,
+  /// for periodic series, for the whole series); the generation is bumped
+  /// on every release so stale heap entries and stale handles miss.
+  struct Slot {
+    std::uint64_t generation = 1;
+    Callback fn;                   // one-shot payload
+    std::function<bool()> repeat;  // periodic payload
+    Seconds period = 0.0;
+    bool live = false;
+    bool periodic = false;
+  };
+
+  /// Heap entry: POD only; the callback stays in the slab.
+  struct QueuedEvent {
     Seconds when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    Callback fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint64_t generation;
   };
   struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  // Pops cancelled entries off the top of the heap.
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void push_entry(Seconds when, std::uint32_t slot, std::uint64_t generation);
+  bool entry_live(const QueuedEvent& e) const;
+  // Pops stale entries (released or re-armed-elsewhere slots) off the top.
   void drop_dead_events();
+  // Rebuilds the heap without tombstones once they outnumber live events.
+  void maybe_compact();
 
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  void cancel_event(std::uint32_t slot, std::uint64_t generation);
+  bool event_pending(std::uint32_t slot, std::uint64_t generation) const;
+
+  std::vector<QueuedEvent> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace gridvc::sim

@@ -130,11 +130,13 @@ NerscOrnlResult run_nersc_ornl_tests(const NerscOrnlConfig& config, std::uint64_
   const Seconds bg_rtt = tb.rtt(tb.nersc, tb.anl);
   Rng bg_rng = root.fork(3);
   const Seconds horizon = static_cast<double>(config.days) * kDay;
-  auto schedule_background = std::make_shared<std::function<void()>>();
-  *schedule_background = [&, schedule_background] {
+  // Stack-allocated self-recursion: the simulation runs and drains inside
+  // this scope, so the callbacks' references stay valid, and no
+  // shared_ptr cycle is created (the old idiom leaked every chain).
+  std::function<void()> schedule_background = [&] {
     const Seconds next = sim.now() + bg_rng.exponential(config.background_mean_interarrival);
     if (next >= horizon) return;
-    sim.schedule_at(next, [&, schedule_background] {
+    sim.schedule_at(next, [&] {
       TransferSpec spec;
       spec.src = {&nersc, IoMode::kMemory};
       spec.dst = {&anl, IoMode::kMemory};
@@ -145,10 +147,10 @@ NerscOrnlResult run_nersc_ornl_tests(const NerscOrnlConfig& config, std::uint64_
       spec.streams = 4;
       spec.remote_host = "background";
       engine.submit(spec);
-      (*schedule_background)();
+      schedule_background();
     });
   };
-  (*schedule_background)();
+  schedule_background();
 
   // The 145 test transfers: spread over `days` days at the launch hours,
   // heavier slots first (25 slots of 3 + 35 of 2 in the default config).
@@ -265,11 +267,12 @@ AnlNerscResult run_anl_nersc_tests(const AnlNerscConfig& config, std::uint64_t s
   // Background load at the NERSC DTN, with occasional bursts of several
   // simultaneous starts (Fig 7's high-concurrency intervals).
   Rng bg_rng = root.fork(2);
-  auto schedule_background = std::make_shared<std::function<void()>>();
-  *schedule_background = [&, schedule_background] {
+  // Stack-allocated self-recursion; see run_nersc_ornl_scenario for why
+  // this must not be a shared_ptr cycle.
+  std::function<void()> schedule_background = [&] {
     const Seconds next = sim.now() + bg_rng.exponential(config.background_mean_interarrival);
     if (next >= horizon) return;
-    sim.schedule_at(next, [&, schedule_background] {
+    sim.schedule_at(next, [&] {
       int count = 1;
       if (bg_rng.bernoulli(config.background_burst_probability)) {
         count = static_cast<int>(
@@ -287,10 +290,10 @@ AnlNerscResult run_anl_nersc_tests(const AnlNerscConfig& config, std::uint64_t s
         spec.remote_host = "background";
         engine.submit(spec);
       }
-      (*schedule_background)();
+      schedule_background();
     });
   };
-  (*schedule_background)();
+  schedule_background();
 
   // The 334 tests, uniformly spread over the horizon in a shuffled type
   // order.

@@ -160,6 +160,67 @@ TEST(Network, InvalidFlowsRejected) {
   EXPECT_THROW(f.net->abort_flow(999), gridvc::PreconditionError);
 }
 
+// The incremental recompute: cap-limited flows are untouched by their
+// neighbours' arrivals and completions, so total event churn stays O(N) —
+// one completion event per flow plus one per arrival — instead of the
+// O(N^2) a reschedule-everything recompute pays.
+TEST(Network, CapLimitedChurnStaysLinear) {
+  Fixture f;
+  const int n = 50;
+  int done = 0;
+  for (int i = 0; i < n; ++i) {
+    FlowOptions opts;
+    opts.cap = mbps(10);  // 50 * 10 Mbps = 500 < 800 Mbps: never link-limited
+    const Bytes size = 1'000'000 * static_cast<Bytes>(i + 1);  // staggered finishes
+    f.net->start_flow({f.ab}, size, opts, [&](const FlowRecord&) { ++done; });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, n);
+  // Exactly one completion event per flow; nothing is ever rescheduled.
+  EXPECT_EQ(f.sim.scheduled(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(f.sim.cancelled(), 0u);
+}
+
+// When the bottleneck *does* bind, rates genuinely change and flows must
+// still be rescheduled — churn is bounded by O(N) per arrival/completion,
+// and the fluid completion times stay exact.
+TEST(Network, SharedBottleneckStillExact) {
+  Fixture f;
+  const int n = 8;
+  std::vector<double> done_times;
+  for (int i = 0; i < n; ++i) {
+    f.net->start_flow({f.ab}, 100'000'000, {},
+                      [&](const FlowRecord& r) { done_times.push_back(r.end_time); });
+  }
+  f.sim.run();
+  ASSERT_EQ(done_times.size(), static_cast<std::size_t>(n));
+  // 8 equal flows on 800 Mbps: all finish together at 8 s.
+  for (double t : done_times) EXPECT_NEAR(t, 8.0, 1e-6);
+  EXPECT_LE(f.sim.scheduled(), static_cast<std::uint64_t>(n * n + n));
+}
+
+TEST(Network, BatchedCapUpdateRecomputesOnce) {
+  Fixture f;
+  std::vector<double> done(2, 0.0);
+  FlowOptions opts;
+  opts.cap = mbps(100);
+  const FlowId a = f.net->start_flow({f.ab}, 100'000'000, opts,
+                                     [&](const FlowRecord& r) { done[0] = r.end_time; });
+  const FlowId b = f.net->start_flow({f.ab}, 100'000'000, opts,
+                                     [&](const FlowRecord& r) { done[1] = r.end_time; });
+  // After 4 s (50 MB in each), lift both caps to 400 Mbps in one batch:
+  // the remaining 50 MB then moves at 400 Mbps -> both done at 5 s.
+  f.sim.schedule_at(4.0, [&] {
+    f.net->update_caps({{a, mbps(400)}, {b, mbps(400)}});
+  });
+  f.sim.run();
+  EXPECT_NEAR(done[0], 5.0, 1e-6);
+  EXPECT_NEAR(done[1], 5.0, 1e-6);
+  // Schedule budget: 2 initial completions + 1 timer + 2 reschedules.
+  EXPECT_EQ(f.sim.scheduled(), 5u);
+  EXPECT_EQ(f.sim.cancelled(), 2u);
+}
+
 TEST(Network, ManySequentialFlowsConserveBytes) {
   Fixture f;
   double total = 0.0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
@@ -139,6 +140,129 @@ TEST(Simulator, DispatchedCounter) {
   for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
   sim.run();
   EXPECT_EQ(sim.dispatched(), 7u);
+}
+
+// Regression: pending() must flip to false the moment the event fires —
+// the handle's contract is "neither fired nor been cancelled".
+TEST(Simulator, HandleConsumedAtDispatch) {
+  Simulator sim;
+  EventHandle h;
+  bool pending_inside = true;
+  h = sim.schedule_at(1.0, [&] { pending_inside = h.pending(); });
+  EXPECT_TRUE(h.pending());
+  sim.run();
+  EXPECT_FALSE(pending_inside);  // consumed before the callback runs
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // safe no-op after firing
+  EXPECT_EQ(sim.cancelled(), 0u);
+}
+
+// Regression: a handle to a fired event must not cancel an unrelated
+// event that later reuses the same slab slot.
+TEST(Simulator, StaleHandleDoesNotAffectReusedSlot) {
+  Simulator sim;
+  auto h1 = sim.schedule_at(1.0, [] {});
+  sim.run();
+  bool fired = false;
+  auto h2 = sim.schedule_at(2.0, [&] { fired = true; });
+  h1.cancel();  // stale generation: must miss
+  EXPECT_TRUE(h2.pending());
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+// Regression: idle() must report exact idleness even while the heap still
+// holds cancelled tombstones.
+TEST(Simulator, IdleIgnoresCancelledTombstones) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(sim.schedule_at(1.0 + i, [] {}));
+  EXPECT_FALSE(sim.idle());
+  for (auto& h : handles) h.cancel();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.live_events(), 0u);
+  EXPECT_FALSE(sim.step());  // tombstones are skipped, nothing fires
+  EXPECT_EQ(sim.dispatched(), 0u);
+}
+
+TEST(Simulator, CountersTrackChurn) {
+  Simulator sim;
+  auto a = sim.schedule_at(1.0, [] {});
+  auto b = sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.scheduled(), 3u);
+  EXPECT_EQ(sim.live_events(), 3u);
+  b.cancel();
+  EXPECT_EQ(sim.cancelled(), 1u);
+  EXPECT_EQ(sim.live_events(), 2u);
+  sim.run();
+  const auto c = sim.counters();
+  EXPECT_EQ(c.scheduled, 3u);
+  EXPECT_EQ(c.cancelled, 1u);
+  EXPECT_EQ(c.dispatched, 2u);
+  EXPECT_EQ(c.live, 0u);
+  (void)a;
+}
+
+// Mass cancellation triggers tombstone compaction; the surviving events
+// must still fire in order.
+TEST(Simulator, CompactionPreservesLiveEvents) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(sim.schedule_at(1.0 + i, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    if (i % 4 != 0) handles[i].cancel();  // kill 150 of 200
+  }
+  EXPECT_EQ(sim.live_events(), 50u);
+  sim.run();
+  ASSERT_EQ(fired.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sim.dispatched(), 50u);
+  EXPECT_EQ(sim.cancelled(), 150u);
+}
+
+TEST(Simulator, PeriodicCancelFromOwnCallback) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h;
+  h = sim.schedule_periodic(1.0, 1.0, [&] {
+    if (++fired == 2) h.cancel();
+    return true;
+  });
+  EXPECT_TRUE(h.pending());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, PeriodicHandleConsumedWhenSeriesEnds) {
+  Simulator sim;
+  int fired = 0;
+  auto h = sim.schedule_periodic(1.0, 1.0, [&] { return ++fired < 3; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(h.pending());  // series still live mid-way
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunUntilAtExactEventTimestamp) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(5.0, [&] { fired.push_back(1); });
+  sim.schedule_at(5.0, [&] { fired.push_back(2); });
+  sim.schedule_at(5.0 + 1e-9, [&] { fired.push_back(3); });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // boundary events fire, FIFO
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
 }
 
 TEST(Simulator, StepProcessesOneEvent) {

@@ -191,6 +191,65 @@ TEST(TransferEngine, NoiseProducesVariance) {
   EXPECT_GT(hi / lo, 1.3);  // visible spread from lognormal noise
 }
 
+// Regression: submit() used size/stripes + 1 for the slow-start stripe
+// size while begin_attempt used ceil-division; both now share
+// stripe_chunk, whose contract is plain ceil-div.
+TEST(TransferEngine, StripeChunkIsCeilDivision) {
+  EXPECT_EQ(stripe_chunk(1000, 4), 250u);  // evenly divisible: no +1 slack
+  EXPECT_EQ(stripe_chunk(1001, 4), 251u);
+  EXPECT_EQ(stripe_chunk(1, 4), 1u);
+  EXPECT_EQ(stripe_chunk(7, 1), 7u);
+}
+
+// Scheduler-churn regression: N overlapping window-capped transfers must
+// stay O(N) in scheduled/cancelled events. The TCP window cap is a
+// per-transfer constant, so neither arrivals nor completions change
+// anyone else's rate and no completion is ever rescheduled.
+TEST(TransferEngine, OverlappingTransfersChurnStaysLinear) {
+  sim::Simulator sim;
+  net::Topology topo;
+  const auto a = topo.add_node("a", net::NodeKind::kHost);
+  const auto b = topo.add_node("b", net::NodeKind::kHost);
+  auto [fwd, rev] = topo.add_duplex_link(a, b, gbps(10), 0.005);
+  (void)rev;
+  net::Network network(sim, topo);
+
+  ServerConfig sc;
+  sc.name = "src";
+  sc.nic_rate = gbps(100);  // shares never bind
+  Server src(sc);
+  sc.name = "dst";
+  Server dst(sc);
+
+  TransferEngineConfig cfg;
+  cfg.server_noise_sigma = 0.0;
+  cfg.tcp.loss_probability = 0.0;
+  cfg.tcp.stream_buffer = 512 * KiB;  // window cap ~419 Mbps at 10 ms RTT
+  UsageStatsCollector collector;
+  TransferEngine engine(network, collector, cfg, Rng(5));
+
+  const std::uint64_t n = 10;  // 10 * 419 Mbps < 10 Gbps: link never binds
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TransferSpec s;
+    s.src = {&src, IoMode::kMemory};
+    s.dst = {&dst, IoMode::kMemory};
+    s.path = {fwd};
+    s.rtt = 0.01;
+    s.size = 100'000'000 + 10'000'000 * i;  // staggered completions
+    s.streams = 1;
+    s.remote_host = "b";
+    engine.submit(s);
+  }
+  sim.run();
+  EXPECT_EQ(engine.stats().completed, n);
+  const auto c = engine.sim_counters();
+  // Per transfer: one injection event + one flow completion; allow a
+  // small constant of slack but nothing resembling O(N^2).
+  EXPECT_LE(c.scheduled, 4 * n);
+  EXPECT_LE(c.cancelled, n);
+  EXPECT_EQ(c.live, 0u);
+}
+
 TEST(SessionRunner, SequentialSessionBackToBack) {
   Fixture f;
   SessionRunner runner(f.sim, *f.engine);
