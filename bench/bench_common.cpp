@@ -46,6 +46,17 @@ std::vector<double> directional_attributed_bytes(const workload::NerscOrnlResult
   return out;
 }
 
+ObsDeltas read_obs_deltas(const sim::Simulator& sim) {
+  const obs::MetricsSnapshot snap = sim.obs().registry().snapshot();
+  ObsDeltas d;
+  d.scheduled = snap.value("gridvc_sim_events_scheduled");
+  d.cancelled = snap.value("gridvc_sim_events_cancelled");
+  d.dispatched = snap.value("gridvc_sim_events_dispatched");
+  d.recomputes = snap.value("gridvc_net_recomputes");
+  d.rate_changes = snap.value("gridvc_net_rate_changes");
+  return d;
+}
+
 void print_exhibit_header(const std::string& exhibit, const std::string& paper_reference) {
   std::printf("================================================================\n");
   std::printf("%s\n", exhibit.c_str());

@@ -13,6 +13,7 @@
 
 #include "analysis/link_utilization.hpp"
 #include "gridftp/transfer_log.hpp"
+#include "sim/simulator.hpp"
 #include "stats/summary.hpp"
 #include "workload/scenarios.hpp"
 
@@ -41,6 +42,20 @@ const workload::AnlNerscResult& anl_nersc_result();
 /// RETR = NERSC->ORNL, reverse for STOR).
 std::vector<double> directional_attributed_bytes(const workload::NerscOrnlResult& result,
                                                  std::size_t router_idx);
+
+/// Counter deltas a run left in a simulator's metrics registry: event
+/// churn plus the network-layer recompute work. Benches divide these by
+/// completed flows and publish them through state.counters, so perf
+/// regressions in the scheduling path show up as counter drift even when
+/// wall time is noisy.
+struct ObsDeltas {
+  double scheduled = 0;
+  double cancelled = 0;
+  double dispatched = 0;
+  double recomputes = 0;
+  double rate_changes = 0;
+};
+ObsDeltas read_obs_deltas(const sim::Simulator& sim);
 
 /// Print a header naming the exhibit and, when known, the paper's values.
 void print_exhibit_header(const std::string& exhibit, const std::string& paper_reference);

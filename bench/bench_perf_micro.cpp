@@ -12,6 +12,7 @@
 #include "net/fair_share.hpp"
 #include "net/network.hpp"
 #include "net/tcp_model.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "vc/bandwidth_calendar.hpp"
 #include "workload/profiles.hpp"
@@ -110,7 +111,7 @@ void BM_NetworkConcurrentFlows(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto tb = workload::build_esnet_testbed();
   const net::Path path = tb.path(tb.nersc, tb.anl);
-  std::uint64_t scheduled = 0, cancelled = 0, completed = 0;
+  std::uint64_t scheduled = 0, cancelled = 0, recomputes = 0, completed = 0;
   for (auto _ : state) {
     sim::Simulator sim;
     net::Network network(sim, tb.topo);
@@ -130,14 +131,18 @@ void BM_NetworkConcurrentFlows(benchmark::State& state) {
       });
     }
     sim.run();
-    scheduled += sim.scheduled();
-    cancelled += sim.cancelled();
+    const bench::ObsDeltas d = bench::read_obs_deltas(sim);
+    scheduled += static_cast<std::uint64_t>(d.scheduled);
+    cancelled += static_cast<std::uint64_t>(d.cancelled);
+    recomputes += static_cast<std::uint64_t>(d.recomputes);
     completed += done;
   }
   state.counters["sched_per_flow"] =
       static_cast<double>(scheduled) / static_cast<double>(completed);
   state.counters["cancel_per_flow"] =
       static_cast<double>(cancelled) / static_cast<double>(completed);
+  state.counters["recompute_per_flow"] =
+      static_cast<double>(recomputes) / static_cast<double>(completed);
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_NetworkConcurrentFlows)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
@@ -146,12 +151,20 @@ BENCHMARK(BM_NetworkConcurrentFlows)->Arg(100)->Arg(400)->Unit(benchmark::kMilli
 // and grow as transfers register/deregister, so every submit/finish pushes
 // refreshed caps into the network — the recompute storm the incremental
 // diff exists to absorb.
-void BM_EngineConcurrentTransfers(benchmark::State& state) {
+// `traced` attaches a ring-buffer trace sink, measuring the
+// observability overhead against the untraced run (the acceptance bar is
+// <5%; compiling with GRIDVC_OBS_NO_TRACE removes even the null-pointer
+// branch and is the true no-op baseline).
+void run_engine_concurrent(benchmark::State& state, bool traced) {
   const int n = static_cast<int>(state.range(0));
   const auto tb = workload::build_esnet_testbed();
-  std::uint64_t scheduled = 0, cancelled = 0, completed = 0;
+  bench::ObsDeltas deltas;
+  std::uint64_t completed = 0;
+  std::uint64_t trace_events = 0;
   for (auto _ : state) {
     sim::Simulator sim;
+    obs::RingBufferTraceSink ring(1024);
+    if (traced) sim.obs().set_trace_sink(&ring);
     net::Network network(sim, tb.topo);
     gridftp::ServerConfig sc;
     sc.nic_rate = gbps(10);
@@ -180,17 +193,37 @@ void BM_EngineConcurrentTransfers(benchmark::State& state) {
       sim.schedule_at(at, [&engine, s] { engine.submit(s); });
     }
     sim.run();
-    scheduled += sim.scheduled();
-    cancelled += sim.cancelled();
+    const bench::ObsDeltas d = bench::read_obs_deltas(sim);
+    deltas.scheduled += d.scheduled;
+    deltas.cancelled += d.cancelled;
+    deltas.recomputes += d.recomputes;
+    deltas.rate_changes += d.rate_changes;
     completed += engine.stats().completed;
+    trace_events += ring.total_emitted();
   }
-  state.counters["sched_per_flow"] =
-      static_cast<double>(scheduled) / static_cast<double>(completed);
-  state.counters["cancel_per_flow"] =
-      static_cast<double>(cancelled) / static_cast<double>(completed);
+  const double done = static_cast<double>(completed);
+  state.counters["sched_per_flow"] = deltas.scheduled / done;
+  state.counters["cancel_per_flow"] = deltas.cancelled / done;
+  state.counters["recompute_per_flow"] = deltas.recomputes / done;
+  state.counters["rate_chg_per_flow"] = deltas.rate_changes / done;
+  if (traced) {
+    state.counters["trace_ev_per_flow"] = static_cast<double>(trace_events) / done;
+  }
   state.SetItemsProcessed(state.iterations() * n);
 }
+
+void BM_EngineConcurrentTransfers(benchmark::State& state) {
+  run_engine_concurrent(state, /*traced=*/false);
+}
 BENCHMARK(BM_EngineConcurrentTransfers)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_EngineConcurrentTransfersTraced(benchmark::State& state) {
+  run_engine_concurrent(state, /*traced=*/true);
+}
+BENCHMARK(BM_EngineConcurrentTransfersTraced)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -5,6 +5,8 @@
 //      network between two DTNs.
 //   3. Collect the usage-statistics log, group it into sessions, and
 //      print the characterization tables.
+//   4. Dump the run's metrics-registry snapshot — every layer that
+//      touched the simulator left its counters there.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -17,6 +19,7 @@
 #include "gridftp/session.hpp"
 #include "gridftp/transfer_engine.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"
 #include "workload/testbed.hpp"
 
@@ -79,5 +82,14 @@ int main() {
                                       analysis::duration_summary_seconds(log), 2));
   std::printf("%s", table.render().c_str());
   std::printf("sessions found at g = 1 min: %zu\n", sessions.size());
+
+  // 5. What the observability layer recorded, for free, along the way.
+  const obs::MetricsSnapshot snap = sim.obs().registry().snapshot();
+  std::printf("\nmetrics snapshot (%zu metrics; counters/gauges shown):\n",
+              snap.entries.size());
+  for (const auto& entry : snap.entries) {
+    if (entry.kind == obs::MetricKind::kHistogram) continue;
+    std::printf("  %-36s %.0f\n", entry.name.c_str(), entry.value);
+  }
   return 0;
 }

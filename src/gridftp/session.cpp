@@ -18,6 +18,9 @@ std::uint64_t SessionRunner::run(SessionScript script, SessionDoneFn on_done) {
   s.summary.session_id = id;
   s.summary.start_time = sim_.now();
   s.on_done = std::move(on_done);
+  sim_.obs().emit({sim_.now(), obs::TraceEventType::kSessionOpened, id,
+                   static_cast<std::uint64_t>(s.script.file_sizes.size()),
+                   static_cast<double>(s.script.concurrency), 0.0});
   sessions_.emplace(id, std::move(s));
   pump(id);
   return id;
@@ -65,6 +68,9 @@ void SessionRunner::on_transfer_done(std::uint64_t session_id) {
     SessionSummary summary = s.summary;
     SessionDoneFn callback = std::move(s.on_done);
     sessions_.erase(it);
+    sim_.obs().emit({sim_.now(), obs::TraceEventType::kSessionClosed,
+                     summary.session_id, summary.transfers, summary.duration(),
+                     static_cast<double>(summary.total_bytes)});
     if (callback) callback(summary);
   }
 }

@@ -15,6 +15,30 @@ TransferEngine::TransferEngine(net::Network& network, UsageStatsCollector& colle
       tcp_(config.tcp),
       rng_(rng) {
   GRIDVC_REQUIRE(config_.server_noise_sigma >= 0.0, "noise sigma must be non-negative");
+
+  obs::MetricsRegistry& reg = network_.simulator().obs().registry();
+  id_submitted_ = reg.counter("gridvc_gridftp_transfers_submitted",
+                              "Transfers accepted by the engine");
+  id_completed_ = reg.counter("gridvc_gridftp_transfers_completed",
+                              "Transfers that delivered every byte");
+  id_attempts_ = reg.counter("gridvc_gridftp_attempts",
+                             "Transfer attempts, restarts included");
+  id_failures_ = reg.counter("gridvc_gridftp_failures",
+                             "Attempts that died mid-transfer and were retried");
+  id_bytes_moved_ = reg.counter("gridvc_gridftp_bytes_moved",
+                                "Payload bytes of completed transfers");
+  id_active_ = reg.gauge("gridvc_gridftp_active_transfers",
+                         "Transfers currently in flight");
+  id_stripes_hist_ = reg.histogram("gridvc_gridftp_stripes", {1, 2, 4, 8, 16},
+                                   "Stripe count per submitted transfer");
+  id_streams_hist_ = reg.histogram("gridvc_gridftp_streams", {1, 2, 4, 8, 16, 32},
+                                   "Parallel TCP streams per submitted transfer");
+  id_start_delay_hist_ = reg.histogram(
+      "gridvc_gridftp_start_delay_seconds", {0.1, 0.5, 1, 5, 15, 60, 300},
+      "Submit -> first bytes on the wire (slow-start ramp, queueing)");
+  id_duration_hist_ = reg.histogram(
+      "gridvc_gridftp_transfer_seconds", {1, 10, 60, 300, 1800, 7200, 43200},
+      "Submit -> last byte, retries included");
 }
 
 void TransferEngine::attach_listener(Server* server) {
@@ -36,6 +60,7 @@ std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
   t.id = id;
   t.spec = spec;
   t.submit_time = network_.simulator().now();
+  t.lifetime = obs::SimSpan::begin(t.submit_time);
   // Lognormal efficiency factor clamped at 1: CPU/disk jitter can only
   // degrade a transfer below the configured hardware ceilings, never
   // exceed them.
@@ -66,6 +91,15 @@ std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
       per_stripe, spec.streams, spec.rtt,
       std::max(1.0, expected / static_cast<double>(spec.stripes)));
 
+  obs::Observability& obs = network_.simulator().obs();
+  obs.registry().add(id_submitted_);
+  obs.registry().set(id_active_, static_cast<double>(transfers_.size()));
+  obs.registry().observe(id_stripes_hist_, static_cast<double>(spec.stripes));
+  obs.registry().observe(id_streams_hist_, static_cast<double>(spec.streams));
+  obs.emit({active.submit_time, obs::TraceEventType::kTransferSubmitted, id,
+            static_cast<std::uint64_t>(spec.stripes), static_cast<double>(spec.size),
+            static_cast<double>(spec.streams)});
+
   active.injection =
       network_.simulator().schedule_in(penalty, [this, id] { begin_attempt(id); });
   return id;
@@ -86,6 +120,16 @@ void TransferEngine::begin_attempt(std::uint64_t id) {
   const Bytes remaining = t.spec.size - t.bytes_done;
   ++t.attempts;
   ++stats_.attempts;
+
+  obs::Observability& obs = network_.simulator().obs();
+  obs.registry().add(id_attempts_);
+  if (!t.started) {
+    t.started = true;
+    const Seconds wait = network_.simulator().now() - t.submit_time;
+    obs.registry().observe(id_start_delay_hist_, wait);
+    obs.emit({network_.simulator().now(), obs::TraceEventType::kTransferStarted, id, 0,
+              wait, 0.0});
+  }
 
   // Decide up front whether this attempt dies partway; the final allowed
   // attempt always goes through (GridFTP clients retry until done).
@@ -119,7 +163,11 @@ void TransferEngine::begin_attempt(std::uint64_t id) {
 void TransferEngine::on_flow_complete(std::uint64_t id) {
   Active& t = transfers_.at(id);
   GRIDVC_REQUIRE(t.flows_remaining > 0, "flow completion underflow");
-  if (--t.flows_remaining == 0) attempt_complete(id);
+  --t.flows_remaining;
+  network_.simulator().obs().emit(
+      {network_.simulator().now(), obs::TraceEventType::kTransferStripeCompleted, id,
+       t.flows_remaining, 0.0, 0.0});
+  if (t.flows_remaining == 0) attempt_complete(id);
 }
 
 void TransferEngine::attempt_complete(std::uint64_t id) {
@@ -134,6 +182,10 @@ void TransferEngine::attempt_complete(std::uint64_t id) {
   // (plus a fresh Slow Start ramp for the new connections).
   GRIDVC_REQUIRE(t.attempt_fails, "attempt fell short without a failure");
   ++stats_.failures;
+  network_.simulator().obs().registry().add(id_failures_);
+  network_.simulator().obs().emit(
+      {network_.simulator().now(), obs::TraceEventType::kTransferRetry, id,
+       static_cast<std::uint64_t>(t.attempts), static_cast<double>(t.bytes_done), 0.0});
   const Bytes remaining = t.spec.size - t.bytes_done;
   const Seconds penalty = tcp_.slow_start_penalty(
       std::max<Bytes>(stripe_chunk(remaining, t.spec.stripes), 1),
@@ -165,6 +217,14 @@ void TransferEngine::finish(std::uint64_t id) {
   t.spec.dst.server->remove_transfer(id);
 
   ++stats_.completed;
+  obs::Observability& obs = network_.simulator().obs();
+  obs.registry().add(id_completed_);
+  obs.registry().add(id_bytes_moved_, t.spec.size);
+  obs.registry().set(id_active_, static_cast<double>(transfers_.size()));
+  t.lifetime.end_observe(obs.registry(), id_duration_hist_, now);
+  obs.emit({now, obs::TraceEventType::kTransferFinished, id,
+            static_cast<std::uint64_t>(t.attempts), record.duration,
+            static_cast<double>(t.spec.size)});
   collector_.report(record);
   if (t.on_done) t.on_done(record);
 }

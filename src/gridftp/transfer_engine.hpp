@@ -29,6 +29,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/span.hpp"
 #include "gridftp/server.hpp"
 #include "gridftp/transfer_log.hpp"
 #include "gridftp/usage_stats.hpp"
@@ -121,6 +122,8 @@ class TransferEngine {
     std::uint64_t id = 0;
     TransferSpec spec;
     Seconds submit_time = 0.0;
+    obs::SimSpan lifetime;     ///< submit -> finish (gridvc_gridftp_transfer_seconds)
+    bool started = false;      ///< first attempt has put bytes on the wire
     double noise = 1.0;        ///< lognormal server-share factor
     double loss_factor = 1.0;  ///< TCP loss haircut
     Bytes bytes_done = 0;      ///< delivered by completed attempts
@@ -153,6 +156,16 @@ class TransferEngine {
   std::uint64_t next_id_ = 1;
   bool refreshing_ = false;
   Stats stats_;
+  obs::MetricId id_submitted_;
+  obs::MetricId id_completed_;
+  obs::MetricId id_attempts_;
+  obs::MetricId id_failures_;
+  obs::MetricId id_bytes_moved_;
+  obs::MetricId id_active_;
+  obs::MetricId id_stripes_hist_;
+  obs::MetricId id_streams_hist_;
+  obs::MetricId id_start_delay_hist_;
+  obs::MetricId id_duration_hist_;
 };
 
 }  // namespace gridvc::gridftp

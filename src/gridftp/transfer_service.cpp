@@ -12,6 +12,21 @@ TransferService::TransferService(sim::Simulator& sim, TransferEngine& engine,
   GRIDVC_REQUIRE(config_.max_active_tasks >= 1, "service needs at least one task slot");
   GRIDVC_REQUIRE(config_.per_task_concurrency >= 1,
                  "service needs at least one transfer lane per task");
+
+  obs::MetricsRegistry& reg = sim_.obs().registry();
+  id_tasks_submitted_ = reg.counter("gridvc_gridftp_tasks_submitted",
+                                    "Tasks queued with the managed service");
+  id_tasks_completed_ = reg.counter("gridvc_gridftp_tasks_completed",
+                                    "Tasks that moved every file");
+  id_tasks_cancelled_ = reg.counter("gridvc_gridftp_tasks_cancelled",
+                                    "Tasks cancelled before completion");
+  id_queued_gauge_ = reg.gauge("gridvc_gridftp_tasks_queued",
+                               "Tasks waiting for an active slot");
+  id_active_gauge_ = reg.gauge("gridvc_gridftp_tasks_active",
+                               "Tasks currently holding an active slot");
+  id_queue_wait_hist_ = reg.histogram(
+      "gridvc_gridftp_task_queue_wait_seconds", {0.1, 1, 10, 60, 300, 1800, 7200},
+      "Task submit -> first transfer start (slot wait)");
 }
 
 std::uint64_t TransferService::submit(std::string label, std::vector<Bytes> files,
@@ -29,8 +44,14 @@ std::uint64_t TransferService::submit(std::string label, std::vector<Bytes> file
   task.files = std::move(files);
   task.transfer_template = std::move(transfer_template);
   task.on_done = std::move(on_done);
+  obs::Observability& obs = sim_.obs();
+  obs.registry().add(id_tasks_submitted_);
+  obs.emit({sim_.now(), obs::TraceEventType::kTaskSubmitted, id,
+            static_cast<std::uint64_t>(task.status.files_total),
+            static_cast<double>(task.status.bytes_total), 0.0});
   tasks_.emplace(id, std::move(task));
   queue_.push_back(id);
+  obs.registry().set(id_queued_gauge_, static_cast<double>(queue_.size()));
   maybe_start_next();
   return id;
 }
@@ -45,6 +66,12 @@ void TransferService::maybe_start_next() {
     task.status.started_at = sim_.now();
     task.counters_at_start = sim_.counters();
     ++active_;
+    obs::Observability& obs = sim_.obs();
+    const Seconds wait = task.status.started_at - task.status.submitted_at;
+    obs.registry().observe(id_queue_wait_hist_, wait);
+    obs.registry().set(id_queued_gauge_, static_cast<double>(queue_.size()));
+    obs.registry().set(id_active_gauge_, static_cast<double>(active_));
+    obs.emit({sim_.now(), obs::TraceEventType::kTaskStarted, id, 0, wait, 0.0});
     pump(id);
   }
 }
@@ -85,6 +112,14 @@ void TransferService::finish_task(Task& task, TaskState state) {
   task.status.events_dispatched = now.dispatched - task.counters_at_start.dispatched;
   GRIDVC_REQUIRE(active_ > 0, "active task underflow");
   --active_;
+  obs::Observability& obs = sim_.obs();
+  obs.registry().add(state == TaskState::kSucceeded ? id_tasks_completed_
+                                                    : id_tasks_cancelled_);
+  obs.registry().set(id_active_gauge_, static_cast<double>(active_));
+  obs.emit({sim_.now(), obs::TraceEventType::kTaskFinished, task.status.id,
+            static_cast<std::uint64_t>(task.status.files_done),
+            task.status.finished_at - task.status.submitted_at,
+            static_cast<double>(task.status.bytes_done)});
   if (task.on_done) task.on_done(task.status);
   maybe_start_next();
 }
@@ -98,6 +133,9 @@ bool TransferService::cancel(std::uint64_t task_id) {
       task.status.state = TaskState::kCancelled;
       task.status.finished_at = sim_.now();
       task.cancelled = true;
+      sim_.obs().registry().add(id_tasks_cancelled_);
+      sim_.obs().emit({sim_.now(), obs::TraceEventType::kTaskFinished, task.status.id,
+                       0, 0.0, 0.0});
       if (task.on_done) task.on_done(task.status);
       return true;
     case TaskState::kActive:

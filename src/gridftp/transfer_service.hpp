@@ -112,6 +112,12 @@ class TransferService {
   std::deque<std::uint64_t> queue_;
   std::size_t active_ = 0;
   std::uint64_t next_id_ = 1;
+  obs::MetricId id_tasks_submitted_;
+  obs::MetricId id_tasks_completed_;
+  obs::MetricId id_tasks_cancelled_;
+  obs::MetricId id_queued_gauge_;
+  obs::MetricId id_active_gauge_;
+  obs::MetricId id_queue_wait_hist_;
 };
 
 }  // namespace gridvc::gridftp

@@ -25,7 +25,27 @@ bool rate_changed(BitsPerSecond old_rate, BitsPerSecond new_rate) {
 }  // namespace
 
 Network::Network(sim::Simulator& sim, Topology topology)
-    : sim_(sim), topo_(std::move(topology)), link_bytes_(topo_.link_count(), 0.0) {}
+    : sim_(sim),
+      topo_(std::move(topology)),
+      link_bytes_(topo_.link_count(), 0.0),
+      link_rate_scratch_(topo_.link_count(), 0.0) {
+  obs::MetricsRegistry& reg = sim_.obs().registry();
+  id_recomputes_ = reg.counter("gridvc_net_recomputes",
+                               "Fair-share allocator passes");
+  id_rate_changes_ = reg.counter("gridvc_net_rate_changes",
+                                 "Flows whose allocated rate changed in a recompute");
+  id_flows_started_ = reg.counter("gridvc_net_flows_started", "Flows injected");
+  id_flows_completed_ = reg.counter("gridvc_net_flows_completed",
+                                    "Flows that delivered their last byte");
+  id_flows_aborted_ = reg.counter("gridvc_net_flows_aborted",
+                                  "Flows removed before completion");
+  id_active_flows_ = reg.gauge("gridvc_net_active_flows", "Flows currently in flight");
+  id_link_utilization_ = reg.histogram(
+      "gridvc_net_link_utilization",
+      {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0},
+      "Per-link allocated-rate / capacity, sampled at each recompute over "
+      "links carrying traffic");
+}
 
 FlowId Network::start_flow(Path path, Bytes size, FlowOptions options,
                            CompletionFn on_complete) {
@@ -47,6 +67,8 @@ FlowId Network::start_flow(Path path, Bytes size, FlowOptions options,
   f.last_update = sim_.now();
   f.on_complete = std::move(on_complete);
   flows_.emplace(id, std::move(f));
+  sim_.obs().registry().add(id_flows_started_);
+  sim_.obs().registry().set(id_active_flows_, static_cast<double>(flows_.size()));
   recompute();
   return id;
 }
@@ -86,6 +108,8 @@ void Network::abort_flow(FlowId id) {
   settle_flow(it->second, sim_.now());
   it->second.completion.cancel();
   flows_.erase(it);
+  sim_.obs().registry().add(id_flows_aborted_);
+  sim_.obs().registry().set(id_active_flows_, static_cast<double>(flows_.size()));
   recompute();
 }
 
@@ -157,10 +181,16 @@ void Network::recompute() {
   }
   const Allocation alloc = max_min_allocate(topo_, demands);
 
+  obs::MetricsRegistry& reg = sim_.obs().registry();
+  reg.add(id_recomputes_);
+  std::uint64_t changed = 0;
+
   for (std::size_t i = 0; i < order.size(); ++i) {
     ActiveFlow& f = flows_.at(order[i]);
     const BitsPerSecond new_rate = alloc.rates[i];
-    if (!rate_changed(f.rate, new_rate)) {
+    const bool this_changed = rate_changed(f.rate, new_rate);
+    if (this_changed) ++changed;
+    if (!this_changed) {
       // Unchanged rate: the scheduled completion (if any) is still exact.
       // A stalled flow (rate 0) stays stalled with no event either way.
       if (f.completion.pending() || f.rate <= 0.0) continue;
@@ -180,6 +210,30 @@ void Network::recompute() {
     // rate == 0: the flow is stalled; it will be rescheduled by the next
     // recompute that gives it bandwidth.
   }
+
+  if (changed > 0) reg.add(id_rate_changes_, changed);
+
+  // Utilization sample: the allocation just computed is exact until the
+  // next recompute, so one sample per pass per loaded link captures the
+  // full utilization trajectory.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const ActiveFlow& f = flows_.at(order[i]);
+    for (LinkId l : f.path) link_rate_scratch_[l] += alloc.rates[i];
+  }
+  double peak_utilization = 0.0;
+  for (LinkId l = 0; l < static_cast<LinkId>(link_rate_scratch_.size()); ++l) {
+    if (link_rate_scratch_[l] <= 0.0) continue;
+    const BitsPerSecond capacity = topo_.link(l).capacity;
+    if (capacity > 0.0) {
+      const double u = link_rate_scratch_[l] / capacity;
+      reg.observe(id_link_utilization_, u);
+      peak_utilization = std::max(peak_utilization, u);
+    }
+    link_rate_scratch_[l] = 0.0;
+  }
+
+  sim_.obs().emit({sim_.now(), obs::TraceEventType::kNetRecompute, 0, changed,
+                   static_cast<double>(flows_.size()), peak_utilization});
 }
 
 void Network::complete_flow(FlowId id) {
@@ -203,6 +257,8 @@ void Network::complete_flow(FlowId id) {
   record.end_time = sim_.now();
   CompletionFn callback = std::move(it->second.on_complete);
   flows_.erase(it);
+  sim_.obs().registry().add(id_flows_completed_);
+  sim_.obs().registry().set(id_active_flows_, static_cast<double>(flows_.size()));
   recompute();
   if (callback) callback(record);
 }

@@ -133,7 +133,15 @@ class Network {
   // std::map keeps iteration in FlowId order -> deterministic allocation.
   std::map<FlowId, ActiveFlow> flows_;
   std::vector<double> link_bytes_;
+  std::vector<double> link_rate_scratch_;  ///< reused per recompute
   FlowId next_id_ = 1;
+  obs::MetricId id_recomputes_;
+  obs::MetricId id_rate_changes_;
+  obs::MetricId id_flows_started_;
+  obs::MetricId id_flows_completed_;
+  obs::MetricId id_flows_aborted_;
+  obs::MetricId id_active_flows_;
+  obs::MetricId id_link_utilization_;
 };
 
 }  // namespace gridvc::net

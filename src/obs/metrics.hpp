@@ -1,0 +1,130 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Built for the simulation hot path: a metric is registered once (a map
+// lookup, returning a stable MetricId handle) and updated through plain
+// array indexing — an increment is one add into a contiguous uint64_t /
+// double slot, no hashing, no locks (the simulator is single-threaded),
+// no virtual dispatch. Registering the same name twice returns the same
+// handle, so independent components can share a metric without
+// coordination.
+//
+// Naming convention: gridvc_<layer>_<name>, layer one of sim / net /
+// gridftp / vc (see DESIGN.md "Observability").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gridvc::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Stable handle to one registered metric. Cheap to copy; valid for the
+/// lifetime of the registry that issued it.
+struct MetricId {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  std::uint32_t slot = kNone;  ///< index into the kind-specific slot array
+  bool valid() const { return slot != kNone; }
+};
+
+/// Point-in-time copy of every registered metric, detached from the
+/// registry (scenario results carry one across the owning simulator's
+/// destruction).
+struct MetricsSnapshot {
+  struct Histogram {
+    std::vector<double> bounds;          ///< bucket upper edges, ascending
+    std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (+Inf bucket)
+    double sum = 0.0;
+    std::uint64_t total = 0;
+  };
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;  ///< counter or gauge value
+    Histogram histogram; ///< filled for kHistogram entries
+  };
+
+  std::vector<Entry> entries;
+
+  const Entry* find(const std::string& name) const;
+  /// Counter/gauge value by name; 0 when absent.
+  double value(const std::string& name) const;
+};
+
+/// Prometheus text exposition (# HELP / # TYPE / samples).
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+/// Flat CSV: metric,kind,label,value — histograms expand to one row per
+/// bucket plus _sum and _count.
+void write_csv(std::ostream& out, const MetricsSnapshot& snapshot);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) a metric. Re-registration under the same name
+  /// must agree on the kind (and, for histograms, is free to differ in
+  /// bounds — the first registration's bounds win). Throws
+  /// PreconditionError on a kind clash.
+  MetricId counter(const std::string& name, const std::string& help = "");
+  MetricId gauge(const std::string& name, const std::string& help = "");
+  MetricId histogram(const std::string& name, std::vector<double> bucket_bounds,
+                     const std::string& help = "");
+
+  // --- hot path -----------------------------------------------------------
+  void add(MetricId id, std::uint64_t delta = 1) { counters_[id.slot] += delta; }
+  void set(MetricId id, double value) { gauges_[id.slot] = value; }
+  void observe(MetricId id, double value) { histograms_[id.slot].observe(value); }
+
+  // --- reads --------------------------------------------------------------
+  std::uint64_t counter_value(MetricId id) const { return counters_[id.slot]; }
+  double gauge_value(MetricId id) const { return gauges_[id.slot]; }
+
+  /// Handle of an already-registered metric; invalid id when absent or of
+  /// a different kind.
+  MetricId find(const std::string& name, MetricKind kind) const;
+
+  std::size_t size() const { return metas_.size(); }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct HistogramSlots {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1
+    double sum = 0.0;
+    std::uint64_t total = 0;
+
+    void observe(double v) {
+      std::size_t i = 0;
+      while (i < bounds.size() && v > bounds[i]) ++i;
+      ++counts[i];
+      sum += v;
+      ++total;
+    }
+  };
+  struct Meta {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::uint32_t slot;
+  };
+
+  MetricId register_metric(const std::string& name, MetricKind kind,
+                           const std::string& help, std::vector<double> bounds);
+
+  std::vector<Meta> metas_;                  // registration order
+  std::map<std::string, std::size_t> by_name_;  // name -> index into metas_
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<HistogramSlots> histograms_;
+};
+
+}  // namespace gridvc::obs

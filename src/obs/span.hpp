@@ -1,0 +1,53 @@
+// Sim-time span helpers.
+//
+// A SimSpan brackets a wall-free interval (queue wait, VC setup delay,
+// transfer time) between two sim-time instants and lands the duration in
+// a histogram, so per-request latency attribution costs two timestamps
+// and one bucket increment. Spans are plain values — copying a struct
+// that holds one is fine, and an unstarted or already-ended span ends as
+// a no-op, which makes teardown paths simple.
+#pragma once
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace gridvc::obs {
+
+class SimSpan {
+ public:
+  SimSpan() = default;
+
+  /// Start (or restart) the span at sim time `now`.
+  static SimSpan begin(Seconds now) {
+    SimSpan s;
+    s.start_ = now;
+    s.running_ = true;
+    return s;
+  }
+
+  bool running() const { return running_; }
+  Seconds start_time() const { return start_; }
+
+  /// End the span and return its duration; 0 if it never started or
+  /// already ended.
+  Seconds end(Seconds now) {
+    if (!running_) return 0.0;
+    running_ = false;
+    return now - start_;
+  }
+
+  /// End the span and record the duration into `histogram`; returns the
+  /// duration (0 and no observation if the span was not running).
+  Seconds end_observe(MetricsRegistry& registry, MetricId histogram, Seconds now) {
+    if (!running_) return 0.0;
+    const Seconds d = end(now);
+    registry.observe(histogram, d);
+    return d;
+  }
+
+ private:
+  Seconds start_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace gridvc::obs

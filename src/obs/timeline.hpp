@@ -1,0 +1,62 @@
+// Per-transfer and per-circuit timeline reconstruction from a trace.
+//
+// Given the event stream a run emitted (from a JSONL file or a ring
+// buffer), rebuild each transfer's submit -> start -> finish timeline
+// with queue-wait attribution, and each circuit's request -> grant ->
+// activate -> release lifecycle with setup-delay attribution. This is
+// the "why was this transfer slow / this circuit rejected" query the
+// paper answers from GridFTP logs and SNMP counters, asked of our own
+// runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/trace.hpp"
+
+namespace gridvc::obs {
+
+struct TransferTimeline {
+  std::uint64_t id = 0;
+  bool submitted = false, started = false, finished = false;
+  Seconds submit_time = 0.0;
+  Seconds start_time = 0.0;   ///< first bytes on the wire
+  Seconds finish_time = 0.0;
+  Seconds queue_wait = 0.0;   ///< submit -> start (slow-start ramp + service queue)
+  Bytes bytes = 0;
+  std::uint64_t stripes = 0;
+  std::uint64_t streams = 0;
+  std::uint64_t stripes_completed = 0;
+  std::uint64_t retries = 0;
+
+  Seconds duration() const { return finished ? finish_time - submit_time : 0.0; }
+  bool complete() const { return submitted && started && finished; }
+};
+
+struct CircuitTimeline {
+  std::uint64_t id = 0;
+  bool requested = false, granted = false, rejected = false;
+  bool activated = false, released = false, cancelled = false;
+  Seconds request_time = 0.0;
+  Seconds activate_time = 0.0;
+  Seconds release_time = 0.0;
+  Seconds predicted_setup_delay = 0.0;  ///< grant-time estimate
+  Seconds setup_delay = 0.0;            ///< observed request -> active
+  std::uint64_t reject_reason = 0;      ///< vc::RejectReason as integer
+  BitsPerSecond bandwidth = 0.0;
+};
+
+struct Timelines {
+  std::map<std::uint64_t, TransferTimeline> transfers;
+  std::map<std::uint64_t, CircuitTimeline> circuits;
+
+  std::size_t finished_transfers() const;
+};
+
+/// Fold an event stream (chronological order expected) into timelines.
+/// Unknown-to-timeline event types (recomputes, task events) are ignored.
+Timelines build_timelines(const std::vector<TraceEvent>& events);
+
+}  // namespace gridvc::obs

@@ -1,0 +1,236 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gridvc::obs {
+
+namespace {
+
+struct NameEntry {
+  TraceEventType type;
+  const char* name;
+};
+
+constexpr NameEntry kNames[] = {
+    {TraceEventType::kTransferSubmitted, "transfer_submitted"},
+    {TraceEventType::kTransferStarted, "transfer_started"},
+    {TraceEventType::kTransferStripeCompleted, "transfer_stripe_completed"},
+    {TraceEventType::kTransferRetry, "transfer_retry"},
+    {TraceEventType::kTransferFinished, "transfer_finished"},
+    {TraceEventType::kTaskSubmitted, "task_submitted"},
+    {TraceEventType::kTaskStarted, "task_started"},
+    {TraceEventType::kTaskFinished, "task_finished"},
+    {TraceEventType::kSessionOpened, "session_opened"},
+    {TraceEventType::kSessionClosed, "session_closed"},
+    {TraceEventType::kVcRequested, "vc_requested"},
+    {TraceEventType::kVcGranted, "vc_granted"},
+    {TraceEventType::kVcRejected, "vc_rejected"},
+    {TraceEventType::kVcActivated, "vc_activated"},
+    {TraceEventType::kVcReleased, "vc_released"},
+    {TraceEventType::kVcCancelled, "vc_cancelled"},
+    {TraceEventType::kNetRecompute, "net_recompute"},
+};
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* trace_event_name(TraceEventType type) {
+  for (const auto& e : kNames) {
+    if (e.type == type) return e.name;
+  }
+  return "unknown";
+}
+
+bool parse_trace_event_name(const std::string& name, TraceEventType& out) {
+  for (const auto& e : kNames) {
+    if (name == e.name) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  out_ << "{\"t\":" << fmt_double(event.time) << ",\"ev\":\""
+       << trace_event_name(event.type) << "\",\"id\":" << event.id;
+  if (event.aux != 0) out_ << ",\"aux\":" << event.aux;
+  if (event.value != 0.0) out_ << ",\"v\":" << fmt_double(event.value);
+  if (event.value2 != 0.0) out_ << ",\"v2\":" << fmt_double(event.value2);
+  out_ << "}\n";
+}
+
+RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity) : capacity_(capacity) {
+  GRIDVC_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  buffer_.reserve(capacity);
+}
+
+void RingBufferTraceSink::emit(const TraceEvent& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> RingBufferTraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+// Minimal parser for the flat one-line JSON objects JsonlTraceSink
+// writes: string or number values only, no nesting, no escapes beyond
+// what our own event names need. Strict by design — the schema checker
+// should reject anything the library did not write.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& line) : s_(line) {}
+
+  void parse(TraceEvent& out, bool& saw_t, bool& saw_ev, bool& saw_id) {
+    skip_ws();
+    expect('{');
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        expect(',');
+        skip_ws();
+      }
+      first = false;
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "ev") {
+        const std::string name = parse_string();
+        if (!parse_trace_event_name(name, out.type)) {
+          throw ParseError("unknown trace event name '" + name + "'");
+        }
+        saw_ev = true;
+      } else {
+        const double v = parse_number();
+        if (key == "t") {
+          out.time = v;
+          saw_t = true;
+        } else if (key == "id") {
+          out.id = static_cast<std::uint64_t>(v);
+          saw_id = true;
+        } else if (key == "aux") {
+          out.aux = static_cast<std::uint64_t>(v);
+        } else if (key == "v") {
+          out.value = v;
+        } else if (key == "v2") {
+          out.value2 = v;
+        } else {
+          throw ParseError("unexpected trace key '" + key + "'");
+        }
+      }
+    }
+    skip_ws();
+    if (pos_ != s_.size()) throw ParseError("trailing bytes after trace object");
+  }
+
+ private:
+  char peek() const {
+    if (pos_ >= s_.size()) throw ParseError("truncated trace line");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw ParseError(std::string("expected '") + c + "' at offset " +
+                       std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      if (s_[pos_] == '\\') throw ParseError("escapes not supported in trace strings");
+      out.push_back(s_[pos_++]);
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw ParseError("expected a number at offset " +
+                                        std::to_string(start));
+    char* end = nullptr;
+    const std::string text = s_.substr(start, pos_ - start);
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0') throw ParseError("malformed number '" + text + "'");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_trace_line(const std::string& line, TraceEvent& out) {
+  std::size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  if (i == line.size()) return false;  // blank line
+
+  TraceEvent event;
+  bool saw_t = false, saw_ev = false, saw_id = false;
+  FlatJsonParser parser(line);
+  parser.parse(event, saw_t, saw_ev, saw_id);
+  if (!saw_t || !saw_ev || !saw_id) {
+    throw ParseError("trace line missing a required key (t/ev/id)");
+  }
+  out = event;
+  return true;
+}
+
+std::vector<TraceEvent> read_trace_jsonl(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    try {
+      TraceEvent e;
+      if (parse_trace_line(line, e)) events.push_back(e);
+    } catch (const ParseError& err) {
+      throw ParseError("trace line " + std::to_string(lineno) + ": " + err.what());
+    }
+  }
+  return events;
+}
+
+}  // namespace gridvc::obs

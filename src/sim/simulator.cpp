@@ -13,6 +13,20 @@ void EventHandle::cancel() {
 
 bool EventHandle::pending() const { return sim_ && sim_->event_pending(slot_, generation_); }
 
+Simulator::Simulator() {
+  obs::MetricsRegistry& reg = obs_.registry();
+  id_scheduled_ = reg.counter("gridvc_sim_events_scheduled",
+                              "Queue pushes, periodic re-arms included");
+  id_cancelled_ = reg.counter("gridvc_sim_events_cancelled",
+                              "Events killed before firing");
+  id_dispatched_ = reg.counter("gridvc_sim_events_dispatched",
+                               "Callbacks actually run");
+  id_compactions_ = reg.counter("gridvc_sim_heap_compactions",
+                                "Tombstone-purging heap rebuilds");
+  id_live_ = reg.gauge("gridvc_sim_events_live",
+                       "Events currently awaiting dispatch");
+}
+
 std::uint32_t Simulator::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
@@ -36,7 +50,7 @@ void Simulator::release_slot(std::uint32_t slot) {
 void Simulator::push_entry(Seconds when, std::uint32_t slot, std::uint64_t generation) {
   heap_.push_back(QueuedEvent{when, next_seq_++, slot, generation});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++scheduled_;
+  obs_.registry().add(id_scheduled_);
 }
 
 bool Simulator::entry_live(const QueuedEvent& e) const {
@@ -51,7 +65,7 @@ EventHandle Simulator::schedule_at(Seconds when, Callback fn) {
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   s.live = true;
-  ++live_;
+  set_live(live_ + 1);
   push_entry(when, slot, s.generation);
   return EventHandle(this, slot, s.generation);
 }
@@ -73,7 +87,7 @@ EventHandle Simulator::schedule_periodic(Seconds start, Seconds period,
   s.period = period;
   s.live = true;
   s.periodic = true;
-  ++live_;
+  set_live(live_ + 1);
   push_entry(start, slot, s.generation);
   return EventHandle(this, slot, s.generation);
 }
@@ -83,8 +97,8 @@ void Simulator::cancel_event(std::uint32_t slot, std::uint64_t generation) {
   const Slot& s = slots_[slot];
   if (!s.live || s.generation != generation) return;  // already fired/cancelled
   release_slot(slot);
-  ++cancelled_;
-  --live_;
+  obs_.registry().add(id_cancelled_);
+  set_live(live_ - 1);
   maybe_compact();
 }
 
@@ -107,6 +121,7 @@ void Simulator::maybe_compact() {
   if (heap_.size() < 64 || heap_.size() <= live_ * 2) return;
   std::erase_if(heap_, [this](const QueuedEvent& e) { return !entry_live(e); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
+  obs_.registry().add(id_compactions_);
 }
 
 bool Simulator::step() {
@@ -116,14 +131,14 @@ bool Simulator::step() {
     heap_.pop_back();
     if (!entry_live(top)) continue;  // tombstone
     now_ = top.when;
-    ++dispatched_;
+    obs_.registry().add(id_dispatched_);
     if (!slots_[top.slot].periodic) {
       // Move the callback out and free the slot *before* running it: the
       // handle reads as consumed inside the callback, and the callback may
       // schedule/cancel freely (including reusing this slot).
       Callback fn = std::move(slots_[top.slot].fn);
       release_slot(top.slot);
-      --live_;
+      set_live(live_ - 1);
       fn();
     } else {
       std::function<bool()> fn = std::move(slots_[top.slot].repeat);
@@ -138,7 +153,7 @@ bool Simulator::step() {
           push_entry(top.when + period, top.slot, top.generation);
         } else {
           release_slot(top.slot);
-          --live_;
+          set_live(live_ - 1);
         }
       }
     }

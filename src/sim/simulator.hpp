@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/observability.hpp"
 
 namespace gridvc::sim {
 
@@ -53,7 +54,10 @@ class Simulator {
   using Callback = std::function<void()>;
 
   /// Lifetime scheduling/dispatch totals (diagnostics; benches and tests
-  /// assert on churn through these).
+  /// assert on churn through these). Since the observability layer landed
+  /// this is a read shim over the metrics registry (gridvc_sim_*): the
+  /// counters live in registry slots and this struct is assembled on
+  /// demand, so existing call sites keep compiling unchanged.
   struct Counters {
     std::uint64_t scheduled = 0;   ///< queue pushes, including periodic re-arms
     std::uint64_t cancelled = 0;   ///< events killed before firing
@@ -61,9 +65,15 @@ class Simulator {
     std::size_t live = 0;          ///< events currently awaiting dispatch
   };
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The simulation's observability context (metrics registry + trace
+  /// sink). Every subsystem that holds the simulator instruments itself
+  /// through this.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
 
   /// Current simulation time (seconds since epoch 0).
   Seconds now() const { return now_; }
@@ -89,19 +99,21 @@ class Simulator {
   bool step();
 
   /// Number of events dispatched so far (diagnostics).
-  std::uint64_t dispatched() const { return dispatched_; }
+  std::uint64_t dispatched() const { return obs_.registry().counter_value(id_dispatched_); }
 
   /// Number of queue pushes so far, periodic re-arms included.
-  std::uint64_t scheduled() const { return scheduled_; }
+  std::uint64_t scheduled() const { return obs_.registry().counter_value(id_scheduled_); }
 
   /// Number of events cancelled before they could fire.
-  std::uint64_t cancelled() const { return cancelled_; }
+  std::uint64_t cancelled() const { return obs_.registry().counter_value(id_cancelled_); }
 
   /// Events currently scheduled and neither fired nor cancelled.
   std::size_t live_events() const { return live_; }
 
-  /// Snapshot of all lifetime counters.
-  Counters counters() const { return Counters{scheduled_, cancelled_, dispatched_, live_}; }
+  /// Snapshot of all lifetime counters (registry reads; see Counters).
+  Counters counters() const {
+    return Counters{scheduled(), cancelled(), dispatched(), live_};
+  }
 
   /// True when no live (non-cancelled) events remain. Exact: cancelled
   /// tombstones still sitting in the heap do not count as busy.
@@ -148,14 +160,22 @@ class Simulator {
   void cancel_event(std::uint32_t slot, std::uint64_t generation);
   bool event_pending(std::uint32_t slot, std::uint64_t generation) const;
 
+  void set_live(std::size_t live) {
+    live_ = live;
+    obs_.registry().set(id_live_, static_cast<double>(live));
+  }
+
+  obs::Observability obs_;  // first: metric ids below are registered from it
+  obs::MetricId id_scheduled_;
+  obs::MetricId id_cancelled_;
+  obs::MetricId id_dispatched_;
+  obs::MetricId id_compactions_;
+  obs::MetricId id_live_;
   std::vector<QueuedEvent> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t scheduled_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t dispatched_ = 0;
   std::size_t live_ = 0;
 };
 

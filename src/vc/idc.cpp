@@ -18,6 +18,60 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
       }) {
   GRIDVC_REQUIRE(config_.batch_interval > 0.0, "batch interval must be positive");
   GRIDVC_REQUIRE(config_.immediate_setup_delay >= 0.0, "negative signaling delay");
+
+  obs::MetricsRegistry& reg = sim_.obs().registry();
+  id_requests_ = reg.counter("gridvc_vc_requests", "createReservation calls received");
+  id_accepted_ = reg.counter("gridvc_vc_accepted", "Reservations admitted to the calendar");
+  id_rejected_no_bandwidth_ = reg.counter(
+      "gridvc_vc_rejected_no_bandwidth", "First rejections: no path with enough headroom");
+  id_rejected_no_route_ = reg.counter("gridvc_vc_rejected_no_route",
+                                      "First rejections: endpoints not connected");
+  id_rejected_invalid_ = reg.counter("gridvc_vc_rejected_invalid",
+                                     "First rejections: malformed window or rate");
+  id_rejected_retries_ = reg.counter(
+      "gridvc_vc_rejected_retries",
+      "Re-rejections of requests marked is_retry (not independent blocks)");
+  id_released_ = reg.counter("gridvc_vc_released", "Circuits torn down after activation");
+  id_cancelled_ = reg.counter("gridvc_vc_cancelled", "Reservations cancelled before activation");
+  id_repathed_ = reg.counter("gridvc_vc_repathed",
+                             "Circuits re-homed around a failed link");
+  id_active_gauge_ = reg.gauge("gridvc_vc_active_circuits",
+                               "Circuits whose guarantee is currently in force");
+  id_bookings_gauge_ = reg.gauge("gridvc_vc_calendar_bookings",
+                                 "Live bookings in the bandwidth calendar");
+  id_setup_delay_hist_ = reg.histogram(
+      "gridvc_vc_setup_delay_seconds", {0.05, 0.1, 1, 10, 30, 60, 120, 300},
+      "Observed activation - requested start (the paper's VC setup delay)");
+}
+
+void Idc::count_rejection(const ReservationRequest& request, RejectReason reason) {
+  obs::MetricsRegistry& reg = sim_.obs().registry();
+  if (request.is_retry) {
+    // A retried demand was already counted when it first blocked; folding
+    // the retry into the per-reason counters would double-count it.
+    ++stats_.rejected_retries;
+    reg.add(id_rejected_retries_);
+    return;
+  }
+  switch (reason) {
+    case RejectReason::kInsufficientBandwidth:
+      ++stats_.rejected_no_bandwidth;
+      reg.add(id_rejected_no_bandwidth_);
+      break;
+    case RejectReason::kNoRoute:
+      ++stats_.rejected_no_route;
+      reg.add(id_rejected_no_route_);
+      break;
+    case RejectReason::kInvalidRequest:
+      ++stats_.rejected_invalid;
+      reg.add(id_rejected_invalid_);
+      break;
+  }
+}
+
+void Idc::sync_calendar_gauge() {
+  sim_.obs().registry().set(id_bookings_gauge_,
+                            static_cast<double>(calendar_.active_bookings()));
 }
 
 Seconds Idc::predicted_activation(Seconds submit_time, Seconds start_time) const {
@@ -43,21 +97,34 @@ Seconds Idc::predicted_activation(Seconds submit_time, Seconds start_time) const
 
 Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
                                           CircuitFn on_active, CircuitFn on_release) {
-  SubmitResult result;
+  // Ids are allocated per *request*, so rejected requests and the circuit
+  // they would have become share one id in the trace stream.
+  const std::uint64_t id = next_id_++;
+  obs::Observability& obs = sim_.obs();
+  obs.registry().add(id_requests_);
+  obs.emit({sim_.now(), obs::TraceEventType::kVcRequested, id,
+            request.is_retry ? 1u : 0u, request.bandwidth,
+            request.end_time - request.start_time});
+
+  const auto reject = [&](RejectReason reason) {
+    SubmitResult result;
+    result.reason = reason;
+    count_rejection(request, reason);
+    obs.emit({sim_.now(), obs::TraceEventType::kVcRejected, id,
+              static_cast<std::uint64_t>(reason), 0.0, 0.0});
+    return result;
+  };
+
   if (request.bandwidth <= 0.0 || request.end_time <= request.start_time ||
       request.src >= topo_.node_count() || request.dst >= topo_.node_count() ||
       request.src == request.dst) {
-    result.reason = RejectReason::kInvalidRequest;
-    ++stats_.rejected_invalid;
-    return result;
+    return reject(RejectReason::kInvalidRequest);
   }
 
   const Seconds activation = predicted_activation(sim_.now(), request.start_time);
   if (activation >= request.end_time) {
     // The circuit would expire before it could be set up.
-    result.reason = RejectReason::kInvalidRequest;
-    ++stats_.rejected_invalid;
-    return result;
+    return reject(RejectReason::kInvalidRequest);
   }
 
   const auto path = paths_.compute(request.src, request.dst, request.bandwidth,
@@ -65,17 +132,11 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
   if (!path) {
     // Distinguish "no connectivity at all" from "connected but full".
     const bool any_route = net::shortest_path(topo_, request.src, request.dst).has_value();
-    result.reason =
-        any_route ? RejectReason::kInsufficientBandwidth : RejectReason::kNoRoute;
-    if (any_route) {
-      ++stats_.rejected_no_bandwidth;
-    } else {
-      ++stats_.rejected_no_route;
-    }
-    return result;
+    return reject(any_route ? RejectReason::kInsufficientBandwidth
+                            : RejectReason::kNoRoute);
   }
 
-  const std::uint64_t id = next_id_++;
+  SubmitResult result;
   Entry entry;
   entry.circuit.id = id;
   entry.circuit.request = request;
@@ -88,6 +149,10 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
   entry.activate_event = sim_.schedule_at(activation, [this, id] { activate(id); });
   entries_.emplace(id, std::move(entry));
   ++stats_.accepted;
+  obs.registry().add(id_accepted_);
+  sync_calendar_gauge();
+  obs.emit({sim_.now(), obs::TraceEventType::kVcGranted, id, 0,
+            activation - request.start_time, request.bandwidth});
   result.circuit_id = id;
   return result;
 }
@@ -113,6 +178,12 @@ void Idc::activate(std::uint64_t id) {
   entry.circuit.active_at = sim_.now();
   entry.release_event =
       sim_.schedule_at(entry.circuit.request.end_time, [this, id] { release(id); });
+  ++active_circuits_;
+  obs::Observability& obs = sim_.obs();
+  obs.registry().observe(id_setup_delay_hist_, entry.circuit.setup_delay());
+  obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
+  obs.emit({sim_.now(), obs::TraceEventType::kVcActivated, id, 0,
+            entry.circuit.setup_delay(), entry.circuit.request.bandwidth});
   if (entry.on_active) entry.on_active(entry.circuit);
 }
 
@@ -125,6 +196,15 @@ void Idc::release(std::uint64_t id) {
   // booking record so active_bookings() reflects live circuits only.
   calendar_.release(entry.booking);
   entry.booking = 0;
+  GRIDVC_REQUIRE(active_circuits_ > 0, "active circuit underflow");
+  --active_circuits_;
+  obs::Observability& obs = sim_.obs();
+  obs.registry().add(id_released_);
+  obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
+  sync_calendar_gauge();
+  obs.emit({sim_.now(), obs::TraceEventType::kVcReleased, id, 0,
+            entry.circuit.released_at - entry.circuit.active_at,
+            entry.circuit.request.bandwidth});
   if (entry.on_release) entry.on_release(entry.circuit);
 }
 
@@ -138,6 +218,9 @@ void Idc::cancel(std::uint64_t circuit_id) {
   calendar_.release(entry.booking);
   entry.circuit.state = CircuitState::kCancelled;
   ++stats_.cancelled;
+  sim_.obs().registry().add(id_cancelled_);
+  sync_calendar_gauge();
+  sim_.obs().emit({sim_.now(), obs::TraceEventType::kVcCancelled, circuit_id, 0, 0.0, 0.0});
 }
 
 void Idc::release_now(std::uint64_t circuit_id) {
@@ -154,6 +237,15 @@ void Idc::release_now(std::uint64_t circuit_id) {
   // freeing the (already elapsed) head has no effect on future admission.
   calendar_.release(entry.booking);
   entry.booking = 0;
+  GRIDVC_REQUIRE(active_circuits_ > 0, "active circuit underflow");
+  --active_circuits_;
+  obs::Observability& obs = sim_.obs();
+  obs.registry().add(id_released_);
+  obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
+  sync_calendar_gauge();
+  obs.emit({sim_.now(), obs::TraceEventType::kVcReleased, circuit_id, 0,
+            entry.circuit.released_at - entry.circuit.active_at,
+            entry.circuit.request.bandwidth});
   if (entry.on_release) entry.on_release(entry.circuit);
 }
 
@@ -182,6 +274,7 @@ bool Idc::modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwid
       calendar_.book(entry.circuit.path, activation, new_end_time, new_bandwidth);
   entry.circuit.request.bandwidth = new_bandwidth;
   entry.circuit.request.end_time = new_end_time;
+  sync_calendar_gauge();
   return true;
 }
 
@@ -214,21 +307,32 @@ std::size_t Idc::handle_link_failure(net::LinkId failed_link) {
       entry.booking =
           calendar_.book(*replacement, start, c.request.end_time, c.request.bandwidth);
       ++repathed;
+      sim_.obs().registry().add(id_repathed_);
       continue;
     }
     // No alternative: tear the circuit down.
     entry.activate_event.cancel();
     entry.release_event.cancel();
+    obs::Observability& obs = sim_.obs();
     if (c.state == CircuitState::kActive) {
       c.state = CircuitState::kReleased;
       c.released_at = sim_.now();
       ++stats_.released;
+      GRIDVC_REQUIRE(active_circuits_ > 0, "active circuit underflow");
+      --active_circuits_;
+      obs.registry().add(id_released_);
+      obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
+      obs.emit({sim_.now(), obs::TraceEventType::kVcReleased, id, 0,
+                c.released_at - c.active_at, c.request.bandwidth});
       if (entry.on_release) entry.on_release(c);
     } else {
       c.state = CircuitState::kCancelled;
       ++stats_.cancelled;
+      obs.registry().add(id_cancelled_);
+      obs.emit({sim_.now(), obs::TraceEventType::kVcCancelled, id, 0, 0.0, 0.0});
     }
   }
+  sync_calendar_gauge();
   return repathed;
 }
 

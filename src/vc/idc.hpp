@@ -108,11 +108,17 @@ class Idc {
   Seconds predicted_activation(Seconds submit_time, Seconds start_time) const;
 
   /// Counters for blocking-probability studies (Ablation D).
+  ///
+  /// A request marked ReservationRequest::is_retry that is rejected again
+  /// lands in `rejected_retries` only: the per-reason counters and
+  /// blocking_probability() see each blocked demand exactly once, however
+  /// many times the caller retries it.
   struct Stats {
     std::uint64_t accepted = 0;
     std::uint64_t rejected_no_bandwidth = 0;
     std::uint64_t rejected_no_route = 0;
     std::uint64_t rejected_invalid = 0;
+    std::uint64_t rejected_retries = 0;  ///< re-rejections of retried requests
     std::uint64_t released = 0;
     std::uint64_t cancelled = 0;
 
@@ -138,6 +144,10 @@ class Idc {
 
   void activate(std::uint64_t id);
   void release(std::uint64_t id);
+  /// Record a rejection in stats/metrics, honouring the is_retry rule.
+  void count_rejection(const ReservationRequest& request, RejectReason reason);
+  /// Refresh the calendar-bookings gauge after any book/release.
+  void sync_calendar_gauge();
 
   sim::Simulator& sim_;
   const net::Topology& topo_;
@@ -149,6 +159,19 @@ class Idc {
   std::map<std::uint64_t, Entry> entries_;
   std::uint64_t next_id_ = 1;
   Stats stats_;
+  std::size_t active_circuits_ = 0;
+  obs::MetricId id_requests_;
+  obs::MetricId id_accepted_;
+  obs::MetricId id_rejected_no_bandwidth_;
+  obs::MetricId id_rejected_no_route_;
+  obs::MetricId id_rejected_invalid_;
+  obs::MetricId id_rejected_retries_;
+  obs::MetricId id_released_;
+  obs::MetricId id_cancelled_;
+  obs::MetricId id_repathed_;
+  obs::MetricId id_active_gauge_;
+  obs::MetricId id_bookings_gauge_;
+  obs::MetricId id_setup_delay_hist_;
 };
 
 }  // namespace gridvc::vc

@@ -32,6 +32,12 @@ struct ReservationRequest {
   Seconds start_time = 0.0;  ///< requested circuit start (absolute sim time)
   Seconds end_time = 0.0;    ///< requested circuit end
   std::string description;   ///< free-form, for logs
+  /// Marks a resubmission of a request the IDC already rejected (e.g. the
+  /// same demand retried with lower bandwidth or a shifted window). The
+  /// IDC books a retried rejection under Stats::rejected_retries instead
+  /// of the per-reason counters, so one blocked demand never counts as
+  /// two independent rejections in blocking-probability studies.
+  bool is_retry = false;
 };
 
 enum class CircuitState : std::uint8_t {

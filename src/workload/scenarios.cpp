@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "gridftp/server.hpp"
 #include "gridftp/transfer_engine.hpp"
+#include "gridftp/transfer_service.hpp"
 #include "gridftp/usage_stats.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "vc/idc.hpp"
 #include "workload/testbed.hpp"
 
 namespace gridvc::workload {
@@ -71,6 +74,7 @@ NerscOrnlResult run_nersc_ornl_tests(const NerscOrnlConfig& config, std::uint64_
   Rng root(seed);
   Testbed tb = build_esnet_testbed();
   sim::Simulator sim;
+  sim.obs().set_trace_sink(config.trace_sink);
   net::Network network(sim, tb.topo);
 
   ServerConfig nersc_cfg;
@@ -210,6 +214,7 @@ NerscOrnlResult run_nersc_ornl_tests(const NerscOrnlConfig& config, std::uint64_
     result.reverse_series.push_back(snmp.series(rev_links[k]));
   }
   gridftp::sort_by_start(result.log);
+  result.metrics = sim.obs().registry().snapshot();
   return result;
 }
 
@@ -217,6 +222,7 @@ AnlNerscResult run_anl_nersc_tests(const AnlNerscConfig& config, std::uint64_t s
   Rng root(seed);
   Testbed tb = build_esnet_testbed();
   sim::Simulator sim;
+  sim.obs().set_trace_sink(config.trace_sink);
   net::Network network(sim, tb.topo);
 
   ServerConfig nersc_cfg;
@@ -367,6 +373,126 @@ AnlNerscResult run_anl_nersc_tests(const AnlNerscConfig& config, std::uint64_t s
       case AnlTestType::kDiskDisk: result.disk_disk.push_back(idx); break;
     }
   }
+  result.metrics = sim.obs().registry().snapshot();
+  return result;
+}
+
+ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed) {
+  GRIDVC_REQUIRE(config.task_count > 0, "no tasks requested");
+  GRIDVC_REQUIRE(config.files_per_task > 0, "tasks need at least one file");
+  GRIDVC_REQUIRE(config.file_size > 0, "file size must be positive");
+
+  Rng root(seed);
+  Testbed tb = build_esnet_testbed();
+  sim::Simulator sim;
+  sim.obs().set_trace_sink(config.trace_sink);
+  net::Network network(sim, tb.topo);
+
+  ServerConfig sc;
+  sc.name = "ncar-dtn";
+  sc.nic_rate = gbps(5.0);
+  Server ncar(sc);
+  sc.name = "nics-dtn";
+  Server nics(sc);
+
+  gridftp::UsageStatsCollector collector;
+  TransferEngineConfig engine_cfg;
+  engine_cfg.tcp.stream_buffer = 64 * MiB;
+  engine_cfg.server_noise_sigma = 0.15;
+  engine_cfg.failure_probability = config.failure_probability;
+  TransferEngine engine(network, collector, engine_cfg, root.fork(1));
+
+  gridftp::TransferServiceConfig service_cfg;
+  service_cfg.max_active_tasks = 2;
+  service_cfg.per_task_concurrency = 2;
+  gridftp::TransferService service(sim, engine, service_cfg);
+
+  vc::IdcConfig idc_cfg;
+  idc_cfg.mode = config.immediate_signaling ? vc::SignalingMode::kImmediate
+                                            : vc::SignalingMode::kBatchedAutomatic;
+  vc::Idc idc(sim, tb.topo, idc_cfg);
+
+  // A standing best-effort hog on the same path makes the circuits worth
+  // requesting (and keeps the fair-share allocator busy).
+  const net::Path path = tb.path(tb.ncar, tb.nics);
+  network.start_flow(path, static_cast<Bytes>(1) << 55, {}, nullptr);
+
+  TransferSpec tmpl;
+  tmpl.src = {&ncar, IoMode::kDiskRead};
+  tmpl.dst = {&nics, IoMode::kMemory};
+  tmpl.path = path;
+  tmpl.rtt = tb.rtt(tb.ncar, tb.nics);
+  tmpl.streams = config.streams;
+  tmpl.remote_host = "nics-dtn";
+
+  ManagedVcResult result;
+  const Bytes task_bytes =
+      config.file_size * static_cast<Bytes>(config.files_per_task);
+
+  const auto submit_task = [&](const std::string& label, BitsPerSecond guarantee,
+                               std::optional<std::uint64_t> circuit_id) {
+    const std::vector<Bytes> files(config.files_per_task, config.file_size);
+    TransferSpec spec = tmpl;
+    spec.guarantee = guarantee;
+    service.submit(label, files, spec,
+                   [&result, &idc, circuit_id](const gridftp::TaskStatus& s) {
+                     if (s.state == gridftp::TaskState::kSucceeded) {
+                       ++result.tasks_completed;
+                       result.transfers_completed += s.files_done;
+                     }
+                     if (circuit_id) idc.release_now(*circuit_id);
+                   });
+  };
+
+  for (std::size_t k = 0; k < config.task_count; ++k) {
+    const Seconds when = static_cast<double>(k) * config.task_interarrival;
+    const std::string label = "dataset-" + std::to_string(k + 1);
+    sim.schedule_at(when, [&, label] {
+      // Rate/duration estimation per §VII: size the circuit to the
+      // application's own ceiling, padded for contention and retries.
+      const Seconds estimated =
+          transfer_time(task_bytes, config.circuit_rate) * 1.5 + 120.0;
+
+      const auto on_active = [&, label](const vc::Circuit& c) {
+        submit_task(label, c.request.bandwidth, c.id);
+      };
+      const auto granted =
+          idc.request_immediate(tb.ncar, tb.nics, config.circuit_rate, estimated,
+                                on_active);
+      if (granted.accepted()) {
+        ++result.circuits_granted;
+        return;
+      }
+      ++result.circuits_rejected;
+
+      // One retry at half rate, flagged is_retry so the blocked demand is
+      // counted once in the IDC's blocking stats.
+      vc::ReservationRequest retry;
+      retry.src = tb.ncar;
+      retry.dst = tb.nics;
+      retry.bandwidth = config.circuit_rate / 2.0;
+      retry.start_time = sim.now();
+      retry.end_time = idc.predicted_activation(sim.now(), sim.now()) + estimated;
+      retry.description = label + " (retry)";
+      retry.is_retry = true;
+      ++result.circuit_retries;
+      const auto retried = idc.create_reservation(retry, on_active);
+      if (retried.accepted()) {
+        ++result.circuits_granted;
+      } else {
+        // Hybrid reality: circuits are an optimization, not a gate.
+        submit_task(label, 0.0, std::nullopt);
+      }
+    });
+  }
+
+  const Seconds horizon =
+      static_cast<double>(config.task_count) * config.task_interarrival + 8.0 * kHour;
+  sim.run_until(horizon);
+
+  result.end_time = sim.now();
+  result.blocking_probability = idc.stats().blocking_probability();
+  result.metrics = sim.obs().registry().snapshot();
   return result;
 }
 

@@ -22,6 +22,8 @@
 #include "common/units.hpp"
 #include "gridftp/transfer_log.hpp"
 #include "net/snmp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gridvc::workload {
 
@@ -60,6 +62,10 @@ struct NerscOrnlConfig {
   Seconds cross_traffic_resample = 300.0;
 
   Seconds snmp_bin_seconds = 30.0;
+
+  /// Optional structured-trace destination (non-owning; must outlive the
+  /// run). Null disables tracing — emission is then one branch.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 struct NerscOrnlResult {
@@ -71,6 +77,9 @@ struct NerscOrnlResult {
   /// interface and of the reverse direction.
   std::vector<net::SnmpSeries> forward_series;
   std::vector<net::SnmpSeries> reverse_series;
+  /// End-of-run metrics (the scenario's registry dies with its simulator;
+  /// this copy survives).
+  obs::MetricsSnapshot metrics;
 };
 
 NerscOrnlResult run_nersc_ornl_tests(const NerscOrnlConfig& config, std::uint64_t seed);
@@ -112,6 +121,9 @@ struct AnlNerscConfig {
   Bytes background_mean_size = 3 * GiB;
   double background_burst_probability = 0.15;
   int background_burst_max = 6;
+
+  /// Optional structured-trace destination (non-owning).
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Transfer-type labels for the four test classes.
@@ -126,8 +138,49 @@ struct AnlNerscResult {
   std::vector<std::size_t> mem_disk;
   std::vector<std::size_t> disk_mem;
   std::vector<std::size_t> disk_disk;
+  /// End-of-run metrics snapshot.
+  obs::MetricsSnapshot metrics;
 };
 
 AnlNerscResult run_anl_nersc_tests(const AnlNerscConfig& config, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Managed VC transfer service (all four layers)
+// ---------------------------------------------------------------------------
+
+/// The §VII closing loop as a scenario: tasks queue in the
+/// TransferService, each task requests a circuit from the IDC sized to
+/// its estimated rate/duration, rejected requests retry once at half
+/// rate (marked is_retry, so blocking stats count the demand once), and
+/// transfers ride the granted guarantee. Exercises every instrumented
+/// layer — sim, net, gridftp (engine + service), vc — in one run.
+struct ManagedVcConfig {
+  std::size_t task_count = 6;
+  std::size_t files_per_task = 8;
+  Bytes file_size = 2 * GiB;
+  Seconds task_interarrival = 900.0;
+  int streams = 8;
+  /// Circuit rate the application asks for per task.
+  BitsPerSecond circuit_rate = gbps(4);
+  /// Mid-transfer failure probability (exercises restart-marker retries).
+  double failure_probability = 0.05;
+  /// kBatchedAutomatic (1-min IDC) when false, kImmediate when true.
+  bool immediate_signaling = false;
+  /// Optional structured-trace destination (non-owning).
+  obs::TraceSink* trace_sink = nullptr;
+};
+
+struct ManagedVcResult {
+  std::size_t tasks_completed = 0;
+  std::size_t transfers_completed = 0;
+  std::size_t circuits_granted = 0;
+  std::size_t circuits_rejected = 0;   ///< first rejections (not retries)
+  std::size_t circuit_retries = 0;     ///< retry submissions after a rejection
+  Seconds end_time = 0.0;
+  double blocking_probability = 0.0;
+  obs::MetricsSnapshot metrics;
+};
+
+ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed);
 
 }  // namespace gridvc::workload

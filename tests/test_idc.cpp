@@ -234,5 +234,40 @@ TEST(Idc, PathAvoidsCongestedLink) {
   }
 }
 
+// Regression: a rejected demand that is retried and rejected again must
+// count as ONE blocked demand, not two. The retry's rejection lands in
+// rejected_retries only; per-reason counters and blocking_probability()
+// are unchanged by it.
+TEST(Idc, RetriedRejectionDoesNotDoubleCountBlocking) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  // Saturate the a->b window, then ask for more than the headroom.
+  ASSERT_TRUE(idc.create_reservation(f.request(0.0, 1000.0, gbps(9))).accepted());
+  auto demand = f.request(0.0, 1000.0, gbps(5));
+  const auto first = idc.create_reservation(demand);
+  ASSERT_FALSE(first.accepted());
+  EXPECT_EQ(first.reason, RejectReason::kInsufficientBandwidth);
+  EXPECT_EQ(idc.stats().rejected_no_bandwidth, 1u);
+  EXPECT_EQ(idc.stats().rejected_retries, 0u);
+  const double blocking_after_first = idc.stats().blocking_probability();
+
+  // Retry the same demand (still too big): the true reason is still
+  // reported to the caller, but the blocked-demand accounting is frozen.
+  demand.is_retry = true;
+  const auto second = idc.create_reservation(demand);
+  ASSERT_FALSE(second.accepted());
+  EXPECT_EQ(second.reason, RejectReason::kInsufficientBandwidth);
+  EXPECT_EQ(idc.stats().rejected_no_bandwidth, 1u);
+  EXPECT_EQ(idc.stats().rejected_retries, 1u);
+  EXPECT_DOUBLE_EQ(idc.stats().blocking_probability(), blocking_after_first);
+
+  // A successful retry at a feasible rate counts as an accept as usual.
+  demand.bandwidth = gbps(1);
+  const auto third = idc.create_reservation(demand);
+  ASSERT_TRUE(third.accepted());
+  EXPECT_EQ(idc.stats().accepted, 2u);
+  EXPECT_EQ(idc.stats().rejected_retries, 1u);
+}
+
 }  // namespace
 }  // namespace gridvc::vc

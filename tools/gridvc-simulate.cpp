@@ -1,21 +1,34 @@
 // gridvc-simulate: run one of the full event-driven scenarios and dump
-// its artifacts as CSV.
+// its artifacts.
 //
-//   gridvc-simulate --scenario nersc-ornl|anl-nersc [--seed N]
-//                   [--log FILE] [--snmp FILE]
+//   gridvc-simulate --scenario nersc-ornl|anl-nersc|managed-vc [--seed N]
+//                   [--days N] [--tasks N] [--log FILE] [--snmp FILE]
+//                   [--metrics-out FILE] [--trace-out FILE.jsonl]
 //
 // nersc-ornl: the 145x32GB test-transfer study; --snmp dumps the five
 // monitored routers' forward-direction 30-s byte series.
 // anl-nersc: the 334-test matrix; --log holds the full NERSC-side log.
+// managed-vc: the VC-aware managed transfer service (exercises all four
+// instrumented layers: sim, net, gridftp, vc).
+//
+// --metrics-out writes the end-of-run metrics snapshot in Prometheus
+// text exposition format, or as flat CSV when FILE ends in ".csv".
+// --trace-out streams every structured trace event as JSONL
+// (replayable via `gridvc-analyze --trace FILE`, checkable via
+// gridvc-trace-check).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "gridftp/transfer_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/scenarios.hpp"
 
 using namespace gridvc;
@@ -24,8 +37,13 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --scenario nersc-ornl|anl-nersc [--seed N] "
-               "[--log FILE] [--snmp FILE]\n",
+               "usage: %s --scenario nersc-ornl|anl-nersc|managed-vc [--seed N]\n"
+               "          [--days N] [--tasks N] [--log FILE] [--snmp FILE]\n"
+               "          [--metrics-out FILE] [--trace-out FILE.jsonl]\n"
+               "  --days         scenario horizon in days (nersc-ornl, anl-nersc)\n"
+               "  --tasks        task count (managed-vc)\n"
+               "  --metrics-out  Prometheus text snapshot (CSV when FILE ends .csv)\n"
+               "  --trace-out    structured trace events as JSONL\n",
                argv0);
   return 2;
 }
@@ -37,11 +55,51 @@ bool write_log_file(const gridftp::TransferLog& log, const std::string& path) {
   return true;
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int write_metrics_file(const obs::MetricsSnapshot& snapshot, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  if (ends_with(path, ".csv")) {
+    obs::write_csv(out, snapshot);
+  } else {
+    obs::write_prometheus(out, snapshot);
+  }
+  std::printf("metrics snapshot (%zu metrics) -> %s\n", snapshot.entries.size(),
+              path.c_str());
+  return 0;
+}
+
+/// Holds the --trace-out stream + sink; null members when tracing is off.
+struct TraceOut {
+  std::ofstream stream;
+  std::unique_ptr<obs::JsonlTraceSink> sink;
+
+  static bool open(const std::string& path, TraceOut& out) {
+    if (path.empty()) return true;
+    out.stream.open(path);
+    if (!out.stream) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out.sink = std::make_unique<obs::JsonlTraceSink>(out.stream);
+    return true;
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string scenario, log_path, snmp_path;
+  std::string scenario, log_path, snmp_path, metrics_path, trace_path;
   std::uint64_t seed = 1;
+  std::size_t days = 0;   // 0 = scenario default
+  std::size_t tasks = 0;  // 0 = scenario default
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,19 +107,39 @@ int main(int argc, char** argv) {
       scenario = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--days" && i + 1 < argc) {
+      days = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--tasks" && i + 1 < argc) {
+      tasks = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--log" && i + 1 < argc) {
       log_path = argv[++i];
     } else if (arg == "--snmp" && i + 1 < argc) {
       snmp_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
 
+  TraceOut trace;
+  if (!TraceOut::open(trace_path, trace)) return 1;
+
   if (scenario == "nersc-ornl") {
     std::fprintf(stderr, "running the NERSC-ORNL 32GB test scenario (seed %llu)...\n",
                  static_cast<unsigned long long>(seed));
-    const auto result = workload::run_nersc_ornl_tests(workload::NerscOrnlConfig{}, seed);
+    workload::NerscOrnlConfig config;
+    if (days > 0) {
+      config.days = days;
+      // Keep slots non-degenerate on short horizons.
+      config.transfer_count =
+          std::min<std::size_t>(config.transfer_count,
+                                days * config.launch_hours.size() * 3);
+    }
+    config.trace_sink = trace.sink.get();
+    const auto result = workload::run_nersc_ornl_tests(config, seed);
     std::printf("%zu test transfers simulated; %zu monitored routers\n",
                 result.log.size(), result.router_names.size());
     if (!log_path.empty()) {
@@ -91,13 +169,32 @@ int main(int argc, char** argv) {
       std::printf("SNMP series (%zu bins x %zu routers) -> %s\n", first.bins.size(),
                   result.forward_series.size(), snmp_path.c_str());
     }
+    if (!metrics_path.empty()) return write_metrics_file(result.metrics, metrics_path);
     return 0;
   }
 
   if (scenario == "anl-nersc") {
     std::fprintf(stderr, "running the ANL-NERSC test-matrix scenario (seed %llu)...\n",
                  static_cast<unsigned long long>(seed));
-    const auto result = workload::run_anl_nersc_tests(workload::AnlNerscConfig{}, seed);
+    workload::AnlNerscConfig config;
+    if (days > 0) {
+      // Scale the test matrix with the horizon so short runs stay short.
+      const double scale =
+          static_cast<double>(days) / static_cast<double>(config.days);
+      config.days = days;
+      if (scale < 1.0) {
+        config.mem_mem = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(config.mem_mem) * scale));
+        config.mem_disk = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(config.mem_disk) * scale));
+        config.disk_mem = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(config.disk_mem) * scale));
+        config.disk_disk = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(config.disk_disk) * scale));
+      }
+    }
+    config.trace_sink = trace.sink.get();
+    const auto result = workload::run_anl_nersc_tests(config, seed);
     std::printf("%zu transfers at the NERSC DTN (tests: mm=%zu md=%zu dm=%zu dd=%zu)\n",
                 result.all_log.size(), result.mem_mem.size(), result.mem_disk.size(),
                 result.disk_mem.size(), result.disk_disk.size());
@@ -108,6 +205,24 @@ int main(int argc, char** argv) {
       }
       std::printf("transfer log -> %s\n", log_path.c_str());
     }
+    if (!metrics_path.empty()) return write_metrics_file(result.metrics, metrics_path);
+    return 0;
+  }
+
+  if (scenario == "managed-vc") {
+    std::fprintf(stderr, "running the managed-VC service scenario (seed %llu)...\n",
+                 static_cast<unsigned long long>(seed));
+    workload::ManagedVcConfig config;
+    if (tasks > 0) config.task_count = tasks;
+    config.trace_sink = trace.sink.get();
+    const auto result = workload::run_managed_vc(config, seed);
+    std::printf("%zu tasks done (%zu transfers); circuits: %zu granted, %zu rejected, "
+                "%zu retried; blocking %s\n",
+                result.tasks_completed, result.transfers_completed,
+                result.circuits_granted, result.circuits_rejected,
+                result.circuit_retries,
+                format_percent(result.blocking_probability, 1).c_str());
+    if (!metrics_path.empty()) return write_metrics_file(result.metrics, metrics_path);
     return 0;
   }
 

@@ -1,0 +1,68 @@
+// gridvc-trace-check: schema validator for JSONL trace files.
+//
+//   gridvc-trace-check FILE.jsonl
+//
+// Verifies that every line is a flat JSON object the trace parser
+// accepts (required keys t/ev/id, known event names, no trailing junk)
+// and that timestamps are monotone non-decreasing — the invariant the
+// timeline reconstruction in gridvc-analyze depends on. Exits 0 with a
+// per-event-type census on success, 1 on the first violation (with the
+// offending line number), 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+
+using namespace gridvc;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s FILE.jsonl\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, std::size_t> census;
+  std::size_t line_number = 0;
+  std::size_t events = 0;
+  double last_time = 0.0;
+  bool have_time = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    obs::TraceEvent event;
+    try {
+      if (!obs::parse_trace_line(line, event)) continue;  // blank line
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_number, e.what());
+      return 1;
+    }
+    if (have_time && event.time < last_time) {
+      std::fprintf(stderr,
+                   "%s:%zu: timestamp went backwards (%.9g after %.9g)\n",
+                   path.c_str(), line_number, event.time, last_time);
+      return 1;
+    }
+    last_time = event.time;
+    have_time = true;
+    ++events;
+    ++census[obs::trace_event_name(event.type)];
+  }
+
+  if (events == 0) {
+    std::fprintf(stderr, "%s: no events\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: OK, %zu events, %zu types\n", path.c_str(), events, census.size());
+  for (const auto& [name, count] : census) {
+    std::printf("  %-24s %zu\n", name.c_str(), count);
+  }
+  return 0;
+}
