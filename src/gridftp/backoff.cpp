@@ -1,0 +1,42 @@
+#include "gridftp/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridvc::gridftp {
+
+Seconds BackoffPolicy::delay(int attempt, Rng& rng) const {
+  GRIDVC_REQUIRE(attempt >= 1, "backoff attempt index is 1-based");
+  GRIDVC_REQUIRE(base >= 0.0, "backoff base must be non-negative");
+  GRIDVC_REQUIRE(jitter >= 0.0 && jitter < 1.0, "backoff jitter must be in [0, 1)");
+  Seconds d = base;
+  if (kind == Kind::kExponential) {
+    GRIDVC_REQUIRE(multiplier >= 1.0, "backoff multiplier must be >= 1");
+    GRIDVC_REQUIRE(cap >= 0.0, "backoff cap must be non-negative");
+    d = std::min(cap, base * std::pow(multiplier, static_cast<double>(attempt - 1)));
+  }
+  if (jitter > 0.0) d *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  return d;
+}
+
+BackoffPolicy BackoffPolicy::fixed(Seconds base) {
+  BackoffPolicy p;
+  p.kind = Kind::kFixed;
+  p.base = base;
+  return p;
+}
+
+BackoffPolicy BackoffPolicy::exponential(Seconds base, double multiplier, Seconds cap,
+                                         double jitter) {
+  BackoffPolicy p;
+  p.kind = Kind::kExponential;
+  p.base = base;
+  p.multiplier = multiplier;
+  p.cap = cap;
+  p.jitter = jitter;
+  return p;
+}
+
+}  // namespace gridvc::gridftp

@@ -1,0 +1,42 @@
+// Retry backoff policies.
+//
+// GridFTP clients pause between a mid-transfer failure and the restart
+// from the last marker. The original engine hard-coded a fixed pause;
+// real deployments (globus-url-copy, the hosted service) use exponential
+// backoff with a cap and jitter so that a flapping link does not get
+// hammered by synchronized retries. The policy is a plain value: the
+// engine asks it for the delay after the Nth failed attempt, drawing any
+// jitter from the engine's deterministic RNG stream.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace gridvc::gridftp {
+
+struct BackoffPolicy {
+  enum class Kind : std::uint8_t {
+    kFixed,        ///< the same pause after every failure
+    kExponential,  ///< base * multiplier^(attempt-1), capped
+  };
+
+  Kind kind = Kind::kFixed;
+  Seconds base = 5.0;       ///< first pause
+  double multiplier = 2.0;  ///< growth per failed attempt (exponential only)
+  Seconds cap = 300.0;      ///< ceiling on the deterministic part
+  /// Uniform jitter fraction in [0, 1): the computed delay is scaled by a
+  /// factor drawn from [1 - jitter, 1 + jitter). Zero means deterministic.
+  double jitter = 0.0;
+
+  /// Pause before retrying after the `attempt`-th attempt failed
+  /// (1-based). Draws from `rng` only when jitter > 0.
+  Seconds delay(int attempt, Rng& rng) const;
+
+  static BackoffPolicy fixed(Seconds base);
+  static BackoffPolicy exponential(Seconds base, double multiplier = 2.0,
+                                   Seconds cap = 300.0, double jitter = 0.0);
+};
+
+}  // namespace gridvc::gridftp

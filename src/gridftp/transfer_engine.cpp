@@ -25,6 +25,10 @@ TransferEngine::TransferEngine(net::Network& network, UsageStatsCollector& colle
                              "Transfer attempts, restarts included");
   id_failures_ = reg.counter("gridvc_gridftp_failures",
                              "Attempts that died mid-transfer and were retried");
+  id_aborted_ = reg.counter("gridvc_gridftp_aborted_attempts",
+                            "Attempts killed by a link failure on the path");
+  id_failed_ = reg.counter("gridvc_gridftp_transfers_failed",
+                           "Transfers abandoned after max_aborts link-failure aborts");
   id_bytes_moved_ = reg.counter("gridvc_gridftp_bytes_moved",
                                 "Payload bytes of completed transfers");
   id_active_ = reg.gauge("gridvc_gridftp_active_transfers",
@@ -148,51 +152,85 @@ void TransferEngine::begin_attempt(std::uint64_t id) {
   const int stripes = t.spec.stripes;
   const Bytes per_stripe = stripe_chunk(t.attempt_bytes, stripes);
   t.flows.clear();
-  t.flows_remaining = static_cast<std::size_t>(stripes);
+  t.attempt_delivered = 0;
+  t.attempt_aborted = false;
   for (int s = 0; s < stripes; ++s) {
     net::FlowOptions opts;
     opts.cap = cap / static_cast<double>(stripes);
     opts.guarantee = t.spec.guarantee / static_cast<double>(stripes);
+    opts.fail_on_link_down = true;  // data channels see the outage as an error
     const net::FlowId fid = network_.start_flow(
         t.spec.path, per_stripe, opts,
-        [this, id](const net::FlowRecord&) { on_flow_complete(id); });
+        [this, id](const net::FlowRecord& flow) { on_flow_complete(id, flow); });
     t.flows.push_back(fid);
   }
 }
 
-void TransferEngine::on_flow_complete(std::uint64_t id) {
+void TransferEngine::on_flow_complete(std::uint64_t id, const net::FlowRecord& flow) {
   Active& t = transfers_.at(id);
-  GRIDVC_REQUIRE(t.flows_remaining > 0, "flow completion underflow");
-  --t.flows_remaining;
-  network_.simulator().obs().emit(
-      {network_.simulator().now(), obs::TraceEventType::kTransferStripeCompleted, id,
-       t.flows_remaining, 0.0, 0.0});
-  if (t.flows_remaining == 0) attempt_complete(id);
+  const auto it = std::find(t.flows.begin(), t.flows.end(), flow.id);
+  GRIDVC_REQUIRE(it != t.flows.end(), "flow completion for unknown stripe");
+  t.flows.erase(it);
+  t.attempt_delivered += flow.delivered;
+  if (flow.outcome == net::FlowOutcome::kFailed) {
+    t.attempt_aborted = true;
+  } else {
+    network_.simulator().obs().emit(
+        {network_.simulator().now(), obs::TraceEventType::kTransferStripeCompleted, id,
+         static_cast<std::uint64_t>(t.flows.size()), 0.0, 0.0});
+  }
+  if (t.flows.empty()) attempt_complete(id);
 }
 
 void TransferEngine::attempt_complete(std::uint64_t id) {
   Active& t = transfers_.at(id);
-  t.bytes_done += t.attempt_bytes;
-  t.flows.clear();
+  // Restart-marker semantics: bytes any stripe delivered survive the
+  // attempt, whether it completed, was cut short by the stochastic
+  // failure model, or died with the link. Credit at most the planned
+  // attempt size so stripe ceil-padding never inflates logical progress.
+  t.bytes_done += std::min(t.attempt_delivered, t.attempt_bytes);
+  const bool aborted = t.attempt_aborted;
   if (t.bytes_done >= t.spec.size) {
     finish(id);
+    return;
+  }
+  obs::Observability& obs = network_.simulator().obs();
+  if (aborted) {
+    ++t.aborts;
+    ++stats_.aborted_attempts;
+    obs.registry().add(id_aborted_);
+    const bool terminal = config_.max_aborts > 0 && t.aborts >= config_.max_aborts;
+    obs.emit({network_.simulator().now(), obs::TraceEventType::kTransferAborted, id,
+              static_cast<std::uint64_t>(t.attempts), static_cast<double>(t.bytes_done),
+              terminal ? 1.0 : 0.0});
+    if (terminal) {
+      fail_permanently(id);
+      return;
+    }
+    schedule_retry(id);
     return;
   }
   // This attempt failed partway: restart from the marker after a backoff
   // (plus a fresh Slow Start ramp for the new connections).
   GRIDVC_REQUIRE(t.attempt_fails, "attempt fell short without a failure");
   ++stats_.failures;
-  network_.simulator().obs().registry().add(id_failures_);
-  network_.simulator().obs().emit(
-      {network_.simulator().now(), obs::TraceEventType::kTransferRetry, id,
-       static_cast<std::uint64_t>(t.attempts), static_cast<double>(t.bytes_done), 0.0});
+  obs.registry().add(id_failures_);
+  obs.emit({network_.simulator().now(), obs::TraceEventType::kTransferRetry, id,
+            static_cast<std::uint64_t>(t.attempts), static_cast<double>(t.bytes_done),
+            0.0});
+  schedule_retry(id);
+}
+
+void TransferEngine::schedule_retry(std::uint64_t id) {
+  Active& t = transfers_.at(id);
   const Bytes remaining = t.spec.size - t.bytes_done;
   const Seconds penalty = tcp_.slow_start_penalty(
       std::max<Bytes>(stripe_chunk(remaining, t.spec.stripes), 1),
       t.spec.streams, t.spec.rtt,
       std::max(1.0, transfer_cap(t) / static_cast<double>(t.spec.stripes)));
-  t.injection = network_.simulator().schedule_in(
-      config_.retry_backoff + penalty, [this, id] { begin_attempt(id); });
+  const Seconds backoff = config_.backoff.delay(std::max(t.attempts, 1), rng_);
+  t.injection = network_.simulator().schedule_in(backoff + penalty,
+                                                 [this, id] { begin_attempt(id); });
 }
 
 void TransferEngine::finish(std::uint64_t id) {
@@ -229,13 +267,51 @@ void TransferEngine::finish(std::uint64_t id) {
   if (t.on_done) t.on_done(record);
 }
 
+void TransferEngine::fail_permanently(std::uint64_t id) {
+  auto node = transfers_.extract(id);
+  Active& t = node.mapped();
+  const Seconds now = network_.simulator().now();
+  GRIDVC_REQUIRE(t.flows.empty(), "permanent failure with flows still in flight");
+
+  TransferRecord record;
+  record.type = t.spec.type;
+  record.size = t.spec.size;
+  record.start_time = t.submit_time;
+  record.duration = now - t.submit_time;
+  record.server_host = t.spec.type == TransferType::kRetrieve ? t.spec.src.server->name()
+                                                              : t.spec.dst.server->name();
+  record.remote_host = t.spec.remote_host;
+  record.streams = t.spec.streams;
+  record.stripes = t.spec.stripes;
+  record.tcp_buffer = tcp_.config().stream_buffer;
+  record.block_size = t.spec.block_size;
+  record.failed = true;
+
+  t.spec.src.server->remove_transfer(id);
+  t.spec.dst.server->remove_transfer(id);
+
+  ++stats_.failed_transfers;
+  obs::Observability& obs = network_.simulator().obs();
+  obs.registry().add(id_failed_);
+  obs.registry().set(id_active_, static_cast<double>(transfers_.size()));
+  collector_.report(record);
+  if (t.on_done) t.on_done(record);
+}
+
 void TransferEngine::set_guarantee(std::uint64_t transfer_id, BitsPerSecond guarantee) {
   const auto it = transfers_.find(transfer_id);
-  GRIDVC_REQUIRE(it != transfers_.end(), "set_guarantee on unknown transfer");
+  // Circuit callbacks legitimately outlive the transfers they fed (the
+  // transfer finished or failed while its circuit was still active).
+  if (it == transfers_.end()) return;
   Active& t = it->second;
   t.spec.guarantee = guarantee;
+  // During a retry backoff there are no flows; the stored spec value
+  // applies when the next attempt starts. Otherwise split across the
+  // attempt's live flows — completed stripes have already left t.flows.
+  if (t.flows.empty()) return;
+  const BitsPerSecond share = guarantee / static_cast<double>(t.flows.size());
   for (net::FlowId fid : t.flows) {
-    network_.update_guarantee(fid, guarantee / static_cast<double>(t.flows.size()));
+    network_.update_guarantee(fid, share);
   }
 }
 

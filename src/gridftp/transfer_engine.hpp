@@ -30,6 +30,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "obs/span.hpp"
+#include "gridftp/backoff.hpp"
 #include "gridftp/server.hpp"
 #include "gridftp/transfer_log.hpp"
 #include "gridftp/usage_stats.hpp"
@@ -79,8 +80,15 @@ struct TransferEngineConfig {
   /// Attempts after which the transfer is forced through (the operator's
   /// patience); the final attempt never fails.
   int max_attempts = 5;
-  /// Pause between a failure and the restart.
-  Seconds retry_backoff = 5.0;
+  /// Pause between a failure (or a link-failure abort) and the restart.
+  /// Defaults to a fixed 5 s; see BackoffPolicy for exponential/jitter.
+  BackoffPolicy backoff;
+  /// Link-failure aborts after which the transfer is declared permanently
+  /// failed (reported with TransferRecord::failed set). Unlike the
+  /// stochastic attempt failures above, aborts come from real outages and
+  /// can recur indefinitely, so the engine gives up rather than retrying
+  /// forever. <= 0 means never give up.
+  int max_aborts = 8;
 };
 
 class TransferEngine {
@@ -97,18 +105,27 @@ class TransferEngine {
   std::uint64_t submit(const TransferSpec& spec, DoneFn on_done = nullptr);
 
   /// Attach or replace the rate guarantee of an in-flight transfer (its
-  /// circuit activated mid-transfer).
+  /// circuit activated mid-transfer, or was lost — guarantee 0 degrades
+  /// to best-effort). The new value is split across the attempt's *live*
+  /// stripe flows; during a retry backoff (no flows in flight) it is
+  /// stored and applied to the next attempt. Unknown ids are ignored:
+  /// circuit callbacks legitimately outlive the transfers they fed.
   void set_guarantee(std::uint64_t transfer_id, BitsPerSecond guarantee);
 
   std::size_t active_transfers() const { return transfers_.size(); }
 
   const net::TcpModel& tcp_model() const { return tcp_; }
 
-  /// Failure/retry accounting across the engine's lifetime.
+  /// Failure/retry accounting across the engine's lifetime. Every attempt
+  /// ends exactly one way, so
+  ///   attempts == completed-transfer attempts + failures + aborted_attempts
+  /// holds at quiescence.
   struct Stats {
     std::uint64_t completed = 0;
     std::uint64_t attempts = 0;
     std::uint64_t failures = 0;  ///< attempts that ended in a mid-transfer failure
+    std::uint64_t aborted_attempts = 0;  ///< attempts killed by a link failure
+    std::uint64_t failed_transfers = 0;  ///< gave up after max_aborts aborts
   };
   const Stats& stats() const { return stats_; }
 
@@ -126,21 +143,28 @@ class TransferEngine {
     bool started = false;      ///< first attempt has put bytes on the wire
     double noise = 1.0;        ///< lognormal server-share factor
     double loss_factor = 1.0;  ///< TCP loss haircut
-    Bytes bytes_done = 0;      ///< delivered by completed attempts
-    Bytes attempt_bytes = 0;   ///< size of the in-flight attempt
+    Bytes bytes_done = 0;        ///< delivered by completed attempts
+    Bytes attempt_bytes = 0;     ///< planned size of the in-flight attempt
+    Bytes attempt_delivered = 0; ///< bytes its flows actually moved
     bool attempt_fails = false;
+    bool attempt_aborted = false;  ///< a stripe died with a link failure
     int attempts = 0;
+    int aborts = 0;  ///< link-failure aborts across all attempts
+    /// Flows of the in-flight attempt that have not finished yet; stripes
+    /// are removed as they complete so guarantee/cap splits always divide
+    /// across live flows only.
     std::vector<net::FlowId> flows;
-    std::size_t flows_remaining = 0;
     DoneFn on_done;
     sim::EventHandle injection;
   };
 
   void attach_listener(Server* server);
   void begin_attempt(std::uint64_t id);
-  void on_flow_complete(std::uint64_t id);
+  void on_flow_complete(std::uint64_t id, const net::FlowRecord& flow);
   void attempt_complete(std::uint64_t id);
+  void schedule_retry(std::uint64_t id);
   void finish(std::uint64_t id);
+  void fail_permanently(std::uint64_t id);
   /// Aggregate demand cap of a transfer right now.
   BitsPerSecond transfer_cap(const Active& t) const;
   /// Push refreshed caps into the network for every in-flight transfer.
@@ -160,6 +184,8 @@ class TransferEngine {
   obs::MetricId id_completed_;
   obs::MetricId id_attempts_;
   obs::MetricId id_failures_;
+  obs::MetricId id_aborted_;
+  obs::MetricId id_failed_;
   obs::MetricId id_bytes_moved_;
   obs::MetricId id_active_;
   obs::MetricId id_stripes_hist_;

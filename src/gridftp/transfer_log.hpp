@@ -40,6 +40,11 @@ struct TransferRecord {
   int stripes = 1;          ///< striped servers
   Bytes tcp_buffer = 0;
   Bytes block_size = 0;
+  /// The transfer was abandoned after repeated link-failure aborts.
+  /// Engine-side state, not part of the paper's CSV schema: write_log
+  /// never serializes it, and failed records are kept out of the
+  /// usage-stats log (UsageStatsCollector counts them separately).
+  bool failed = false;
 
   Seconds end_time() const { return start_time + duration; }
   BitsPerSecond throughput() const { return achieved_rate(size, duration); }

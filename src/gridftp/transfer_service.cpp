@@ -98,8 +98,12 @@ void TransferService::on_transfer_done(std::uint64_t task_id, const TransferReco
   Task& task = tasks_.at(task_id);
   GRIDVC_REQUIRE(task.in_flight > 0, "task in-flight underflow");
   --task.in_flight;
-  ++task.status.files_done;
-  task.status.bytes_done += record.size;
+  if (record.failed) {
+    ++task.status.files_failed;
+  } else {
+    ++task.status.files_done;
+    task.status.bytes_done += record.size;
+  }
   pump(task_id);
 }
 

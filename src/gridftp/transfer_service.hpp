@@ -42,6 +42,7 @@ struct TaskStatus {
   TaskState state = TaskState::kQueued;
   std::size_t files_total = 0;
   std::size_t files_done = 0;
+  std::size_t files_failed = 0;  ///< permanently-failed transfers (not in files_done)
   Bytes bytes_total = 0;
   Bytes bytes_done = 0;
   Seconds submitted_at = 0.0;

@@ -13,6 +13,10 @@ UsageStatsCollector::UsageStatsCollector(double drop_probability, Rng rng)
 }
 
 void UsageStatsCollector::report(const TransferRecord& record) {
+  if (record.failed) {
+    ++failed_;
+    return;
+  }
   if (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_)) {
     ++dropped_;
     return;

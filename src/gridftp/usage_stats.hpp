@@ -30,11 +30,17 @@ class UsageStatsCollector {
   std::size_t received() const { return log_.size(); }
   std::size_t dropped() const { return dropped_; }
 
+  /// Permanently-failed transfers reported by the engine. Counted here,
+  /// never appended to the log: the paper's analyses (throughput CDFs,
+  /// session grouping) are defined over completed transfers only.
+  std::size_t failed() const { return failed_; }
+
  private:
   double drop_probability_;
   Rng rng_;
   TransferLog log_;
   std::size_t dropped_ = 0;
+  std::size_t failed_ = 0;
 };
 
 }  // namespace gridvc::gridftp

@@ -13,8 +13,15 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows) {
+  return max_min_allocate(topo, flows, {});
+}
+
+Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows,
+                            const std::vector<char>& link_up) {
   const std::size_t nflows = flows.size();
   const std::size_t nlinks = topo.link_count();
+  GRIDVC_REQUIRE(link_up.empty() || link_up.size() == nlinks,
+                 "link_up must be empty or one entry per link");
   Allocation out;
   out.rates.assign(nflows, 0.0);
   if (nflows == 0) return out;
@@ -29,7 +36,8 @@ Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>&
 
   std::vector<double> residual(nlinks);
   for (std::size_t l = 0; l < nlinks; ++l) {
-    residual[l] = topo.link(static_cast<LinkId>(l)).capacity;
+    const bool up = link_up.empty() || link_up[l] != 0;
+    residual[l] = up ? topo.link(static_cast<LinkId>(l)).capacity : 0.0;
   }
 
   // Phase 1: rate guarantees. If a link is oversubscribed by guarantees

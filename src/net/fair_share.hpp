@@ -46,4 +46,11 @@ struct Allocation {
 /// receive equal increments until they hit their cap or a saturated link.
 Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows);
 
+/// As above, with per-link up/down state: `link_up` holds one entry per
+/// link (nonzero = up). A down link contributes zero capacity, so crossing
+/// flows freeze at rate 0 and any guarantees over it scale to nothing. An
+/// empty vector means every link is up.
+Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows,
+                            const std::vector<char>& link_up);
+
 }  // namespace gridvc::net

@@ -1,0 +1,61 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gridvc::net {
+
+FaultInjector::FaultInjector(Network& network, FaultInjectorConfig config, Rng rng,
+                             LinkFn on_link_down, LinkFn on_link_up)
+    : network_(network),
+      config_(std::move(config)),
+      rng_(rng),
+      on_link_down_(std::move(on_link_down)),
+      on_link_up_(std::move(on_link_up)) {
+  if (config_.mtbf <= 0.0 || config_.targets.empty()) return;  // disabled
+  GRIDVC_REQUIRE(config_.mttr > 0.0, "fault injector mttr must be positive");
+  GRIDVC_REQUIRE(config_.horizon > config_.start_after,
+                 "fault injector horizon must lie past start_after");
+  for (LinkId l : config_.targets) {
+    GRIDVC_REQUIRE(l < network_.topology().link_count(),
+                   "fault injector target references unknown link");
+  }
+  pending_.resize(config_.targets.size());
+  for (std::size_t i = 0; i < config_.targets.size(); ++i) {
+    schedule_failure(i, config_.start_after);
+  }
+}
+
+void FaultInjector::schedule_failure(std::size_t target_index, Seconds not_before) {
+  const Seconds when =
+      std::max(not_before, network_.simulator().now()) + rng_.exponential(config_.mtbf);
+  if (when >= config_.horizon) return;  // series ends; queue can drain
+  pending_[target_index] =
+      network_.simulator().schedule_at(when, [this, target_index] {
+        fail_link(target_index);
+      });
+}
+
+void FaultInjector::fail_link(std::size_t target_index) {
+  const LinkId link = config_.targets[target_index];
+  ++stats_.failures;
+  network_.set_link_state(link, false);
+  if (on_link_down_) on_link_down_(link);
+  const Seconds outage = rng_.exponential(config_.mttr);
+  pending_[target_index] =
+      network_.simulator().schedule_in(outage, [this, target_index] {
+        repair_link(target_index);
+      });
+}
+
+void FaultInjector::repair_link(std::size_t target_index) {
+  const LinkId link = config_.targets[target_index];
+  ++stats_.repairs;
+  network_.set_link_state(link, true);
+  if (on_link_up_) on_link_up_(link);
+  schedule_failure(target_index, network_.simulator().now());
+}
+
+}  // namespace gridvc::net

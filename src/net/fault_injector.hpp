@@ -1,0 +1,72 @@
+// Stochastic link fault injection.
+//
+// The paper's motivation for circuits includes surviving the WAN's
+// operational reality: links flap. The injector drives Network's link
+// up/down state from per-link exponential failure/repair processes
+// (MTBF/MTTR), the standard availability model for optical WAN spans.
+// Everything downstream — flow aborts, circuit failure and re-signaling,
+// GridFTP restart markers — reacts through the normal event path, so a
+// faulty run is exactly reproducible from its seed.
+//
+// Failures are only scheduled before `horizon`; repairs always run, so
+// every injected outage heals and the event queue drains naturally once
+// the workload finishes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace gridvc::net {
+
+struct FaultInjectorConfig {
+  std::vector<LinkId> targets;  ///< links subject to failure
+  Seconds mtbf = 0.0;           ///< mean time between failures; <= 0 disables
+  Seconds mttr = 60.0;          ///< mean time to repair; must be > 0
+  Seconds start_after = 0.0;    ///< no failures before this time
+  Seconds horizon = 0.0;        ///< no failures at or after this time
+};
+
+/// Schedules failure/repair cycles on a set of links. Construction arms
+/// the first failure per target; the injector must outlive the run.
+class FaultInjector {
+ public:
+  using LinkFn = std::function<void(LinkId)>;
+
+  struct Stats {
+    std::uint64_t failures = 0;
+    std::uint64_t repairs = 0;
+  };
+
+  /// `on_link_down` / `on_link_up` (either may be null) fire after the
+  /// Network's state change, so callbacks observe the post-failure world —
+  /// this is where the IDC's handle_link_failure/restore_link hook in.
+  FaultInjector(Network& network, FaultInjectorConfig config, Rng rng,
+                LinkFn on_link_down = nullptr, LinkFn on_link_up = nullptr);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const Stats& stats() const { return stats_; }
+  const FaultInjectorConfig& config() const { return config_; }
+
+ private:
+  void schedule_failure(std::size_t target_index, Seconds not_before);
+  void fail_link(std::size_t target_index);
+  void repair_link(std::size_t target_index);
+
+  Network& network_;
+  FaultInjectorConfig config_;
+  Rng rng_;
+  LinkFn on_link_down_;
+  LinkFn on_link_up_;
+  Stats stats_;
+  std::vector<sim::EventHandle> pending_;  ///< one in-flight event per target
+};
+
+}  // namespace gridvc::net

@@ -28,7 +28,9 @@ Network::Network(sim::Simulator& sim, Topology topology)
     : sim_(sim),
       topo_(std::move(topology)),
       link_bytes_(topo_.link_count(), 0.0),
-      link_rate_scratch_(topo_.link_count(), 0.0) {
+      link_rate_scratch_(topo_.link_count(), 0.0),
+      link_up_(topo_.link_count(), 1),
+      link_down_since_(topo_.link_count(), 0.0) {
   obs::MetricsRegistry& reg = sim_.obs().registry();
   id_recomputes_ = reg.counter("gridvc_net_recomputes",
                                "Fair-share allocator passes");
@@ -39,7 +41,15 @@ Network::Network(sim::Simulator& sim, Topology topology)
                                     "Flows that delivered their last byte");
   id_flows_aborted_ = reg.counter("gridvc_net_flows_aborted",
                                   "Flows removed before completion");
+  id_flows_failed_ = reg.counter("gridvc_net_flows_failed",
+                                 "Flows killed mid-flight by a link failure");
   id_active_flows_ = reg.gauge("gridvc_net_active_flows", "Flows currently in flight");
+  id_link_failures_ = reg.counter("gridvc_net_link_failures", "Links taken down");
+  id_link_repairs_ = reg.counter("gridvc_net_link_repairs", "Links brought back up");
+  id_link_downtime_ = reg.histogram(
+      "gridvc_net_link_downtime_seconds",
+      {1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0},
+      "Outage duration per link failure/repair cycle");
   id_link_utilization_ = reg.histogram(
       "gridvc_net_link_utilization",
       {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0},
@@ -63,6 +73,7 @@ FlowId Network::start_flow(Path path, Bytes size, FlowOptions options,
   f.bytes_remaining = static_cast<double>(size);
   f.cap = options.cap;
   f.guarantee = options.guarantee;
+  f.fail_on_link_down = options.fail_on_link_down;
   f.start_time = sim_.now();
   f.last_update = sim_.now();
   f.on_complete = std::move(on_complete);
@@ -111,6 +122,67 @@ void Network::abort_flow(FlowId id) {
   sim_.obs().registry().add(id_flows_aborted_);
   sim_.obs().registry().set(id_active_flows_, static_cast<double>(flows_.size()));
   recompute();
+}
+
+bool Network::link_up(LinkId id) const {
+  GRIDVC_REQUIRE(id < link_up_.size(), "link id out of range");
+  return link_up_[id] != 0;
+}
+
+void Network::set_link_state(LinkId id, bool up) {
+  GRIDVC_REQUIRE(id < link_up_.size(), "link id out of range");
+  if ((link_up_[id] != 0) == up) return;
+  obs::MetricsRegistry& reg = sim_.obs().registry();
+  const Seconds now = sim_.now();
+  if (!up) {
+    link_up_[id] = 0;
+    link_down_since_[id] = now;
+    reg.add(id_link_failures_);
+
+    // Pull out every opted-in flow crossing the dead link. Settle first so
+    // the record carries the bytes delivered before the cut; defer the
+    // callbacks until after the survivors' recompute so re-entrant
+    // start_flow calls see a consistent allocation.
+    std::vector<std::pair<FlowRecord, CompletionFn>> failed;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      ActiveFlow& f = it->second;
+      const bool crosses =
+          std::find(f.path.begin(), f.path.end(), id) != f.path.end();
+      if (!f.fail_on_link_down || !crosses) {
+        ++it;
+        continue;
+      }
+      settle_flow(f, now);
+      f.completion.cancel();
+      FlowRecord record;
+      record.id = it->first;
+      record.size = f.size;
+      record.delivered = static_cast<Bytes>(
+          std::max(0.0, static_cast<double>(f.size) - f.bytes_remaining));
+      record.start_time = f.start_time;
+      record.end_time = now;
+      record.outcome = FlowOutcome::kFailed;
+      failed.emplace_back(std::move(record), std::move(f.on_complete));
+      it = flows_.erase(it);
+    }
+    if (!failed.empty()) {
+      reg.add(id_flows_failed_, static_cast<double>(failed.size()));
+      reg.set(id_active_flows_, static_cast<double>(flows_.size()));
+    }
+    sim_.obs().emit({now, obs::TraceEventType::kLinkDown, id,
+                     static_cast<std::uint64_t>(failed.size()), 0.0, 0.0});
+    recompute();  // survivors re-allocate around the dead link
+    for (auto& [record, callback] : failed) {
+      if (callback) callback(record);
+    }
+  } else {
+    link_up_[id] = 1;
+    const Seconds downtime = now - link_down_since_[id];
+    reg.add(id_link_repairs_);
+    reg.observe(id_link_downtime_, downtime);
+    sim_.obs().emit({now, obs::TraceEventType::kLinkUp, id, 0, downtime, 0.0});
+    recompute();  // stalled flows pick their rates back up
+  }
 }
 
 BitsPerSecond Network::current_rate(FlowId id) const {
@@ -179,7 +251,7 @@ void Network::recompute() {
     demands.push_back(FlowDemand{f.path, f.cap, f.guarantee});
     order.push_back(id);
   }
-  const Allocation alloc = max_min_allocate(topo_, demands);
+  const Allocation alloc = max_min_allocate(topo_, demands, link_up_);
 
   obs::MetricsRegistry& reg = sim_.obs().registry();
   reg.add(id_recomputes_);
@@ -253,6 +325,7 @@ void Network::complete_flow(FlowId id) {
   FlowRecord record;
   record.id = id;
   record.size = it->second.size;
+  record.delivered = it->second.size;
   record.start_time = it->second.start_time;
   record.end_time = sim_.now();
   CompletionFn callback = std::move(it->second.on_complete);

@@ -32,12 +32,20 @@ namespace gridvc::net {
 
 using FlowId = std::uint64_t;
 
+/// How a flow left the network.
+enum class FlowOutcome : std::uint8_t {
+  kCompleted,  ///< delivered every byte
+  kFailed,     ///< killed mid-flight by a link failure (fail_on_link_down)
+};
+
 /// Summary of a finished flow, passed to its completion callback.
 struct FlowRecord {
   FlowId id = 0;
   Bytes size = 0;
+  Bytes delivered = 0;  ///< bytes on the wire before completion or failure
   Seconds start_time = 0.0;
   Seconds end_time = 0.0;
+  FlowOutcome outcome = FlowOutcome::kCompleted;
   /// Average achieved rate, size / (end - start).
   BitsPerSecond average_rate() const { return achieved_rate(size, end_time - start_time); }
 };
@@ -46,6 +54,12 @@ struct FlowRecord {
 struct FlowOptions {
   BitsPerSecond cap = 0.0;        ///< demand ceiling; <= 0 means unbounded
   BitsPerSecond guarantee = 0.0;  ///< reserved VC rate (0 = best effort)
+  /// When true, a link failure on the flow's path aborts the flow and
+  /// fires the completion callback with FlowOutcome::kFailed (GridFTP
+  /// data channels want the error so they can cut a restart marker).
+  /// When false (default) the flow merely stalls at rate 0 until the
+  /// link is repaired — the behavior of long-lived cross traffic.
+  bool fail_on_link_down = false;
 };
 
 class Network {
@@ -82,6 +96,16 @@ class Network {
   /// Remove a flow before completion; no callback fires.
   void abort_flow(FlowId id);
 
+  /// Take a link down or bring it back up. Going down: the link's
+  /// capacity drops to zero, flows that opted into fail_on_link_down and
+  /// cross it are removed with FlowOutcome::kFailed (callback fires with
+  /// the bytes delivered so far), and everything else crossing it stalls.
+  /// Coming up: stalled flows are re-allocated. Idempotent per state.
+  void set_link_state(LinkId id, bool up);
+
+  /// Current up/down state of a link (links start up).
+  bool link_up(LinkId id) const;
+
   /// Instantaneous allocated rate of an active flow.
   BitsPerSecond current_rate(FlowId id) const;
 
@@ -117,6 +141,7 @@ class Network {
     BitsPerSecond rate = 0.0;
     Seconds start_time = 0.0;
     Seconds last_update = 0.0;  ///< bytes_remaining is settled to this time
+    bool fail_on_link_down = false;
     CompletionFn on_complete;
     sim::EventHandle completion;
   };
@@ -134,14 +159,20 @@ class Network {
   std::map<FlowId, ActiveFlow> flows_;
   std::vector<double> link_bytes_;
   std::vector<double> link_rate_scratch_;  ///< reused per recompute
+  std::vector<char> link_up_;              ///< per-link up/down state
+  std::vector<Seconds> link_down_since_;   ///< valid while the link is down
   FlowId next_id_ = 1;
   obs::MetricId id_recomputes_;
   obs::MetricId id_rate_changes_;
   obs::MetricId id_flows_started_;
   obs::MetricId id_flows_completed_;
   obs::MetricId id_flows_aborted_;
+  obs::MetricId id_flows_failed_;
   obs::MetricId id_active_flows_;
   obs::MetricId id_link_utilization_;
+  obs::MetricId id_link_failures_;
+  obs::MetricId id_link_repairs_;
+  obs::MetricId id_link_downtime_;
 };
 
 }  // namespace gridvc::net

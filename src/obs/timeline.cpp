@@ -95,12 +95,28 @@ Timelines build_timelines(const std::vector<TraceEvent>& events) {
         c.cancelled = true;
         break;
       }
+      case TraceEventType::kVcFailed: {
+        CircuitTimeline& c = out.circuits[e.id];
+        c.id = e.id;
+        c.failed = true;
+        c.fail_time = e.time;
+        break;
+      }
+      case TraceEventType::kTransferAborted: {
+        TransferTimeline& t = out.transfers[e.id];
+        t.id = e.id;
+        ++t.aborts;
+        if (e.value2 != 0.0) t.permanently_failed = true;
+        break;
+      }
       case TraceEventType::kTaskSubmitted:
       case TraceEventType::kTaskStarted:
       case TraceEventType::kTaskFinished:
       case TraceEventType::kSessionOpened:
       case TraceEventType::kSessionClosed:
       case TraceEventType::kNetRecompute:
+      case TraceEventType::kLinkDown:
+      case TraceEventType::kLinkUp:
         break;  // not part of the per-transfer/per-circuit timelines
     }
   }

@@ -30,6 +30,8 @@ struct TransferTimeline {
   std::uint64_t streams = 0;
   std::uint64_t stripes_completed = 0;
   std::uint64_t retries = 0;
+  std::uint64_t aborts = 0;        ///< attempts killed by a link failure
+  bool permanently_failed = false; ///< gave up after too many aborts
 
   Seconds duration() const { return finished ? finish_time - submit_time : 0.0; }
   bool complete() const { return submitted && started && finished; }
@@ -39,9 +41,11 @@ struct CircuitTimeline {
   std::uint64_t id = 0;
   bool requested = false, granted = false, rejected = false;
   bool activated = false, released = false, cancelled = false;
+  bool failed = false;             ///< lost its path mid-lifetime (kVcFailed)
   Seconds request_time = 0.0;
   Seconds activate_time = 0.0;
   Seconds release_time = 0.0;
+  Seconds fail_time = 0.0;
   Seconds predicted_setup_delay = 0.0;  ///< grant-time estimate
   Seconds setup_delay = 0.0;            ///< observed request -> active
   std::uint64_t reject_reason = 0;      ///< vc::RejectReason as integer

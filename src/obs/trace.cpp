@@ -34,7 +34,11 @@ constexpr NameEntry kNames[] = {
     {TraceEventType::kVcActivated, "vc_activated"},
     {TraceEventType::kVcReleased, "vc_released"},
     {TraceEventType::kVcCancelled, "vc_cancelled"},
+    {TraceEventType::kVcFailed, "vc_failed"},
     {TraceEventType::kNetRecompute, "net_recompute"},
+    {TraceEventType::kLinkDown, "link_down"},
+    {TraceEventType::kLinkUp, "link_up"},
+    {TraceEventType::kTransferAborted, "transfer_aborted"},
 };
 
 std::string fmt_double(double v) {

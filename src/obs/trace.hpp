@@ -43,8 +43,13 @@ enum class TraceEventType : std::uint8_t {
   kVcActivated,
   kVcReleased,
   kVcCancelled,
+  kVcFailed,
   // network layer
   kNetRecompute,
+  kLinkDown,
+  kLinkUp,
+  // failure semantics (gridftp)
+  kTransferAborted,
 };
 
 /// Stable wire name ("transfer_submitted", ...).

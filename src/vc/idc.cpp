@@ -1,6 +1,8 @@
 #include "vc/idc.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -18,6 +20,11 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
       }) {
   GRIDVC_REQUIRE(config_.batch_interval > 0.0, "batch interval must be positive");
   GRIDVC_REQUIRE(config_.immediate_setup_delay >= 0.0, "negative signaling delay");
+  GRIDVC_REQUIRE(config_.resignal_backoff > 0.0, "resignal backoff must be positive");
+  GRIDVC_REQUIRE(config_.resignal_backoff_multiplier >= 1.0,
+                 "resignal backoff multiplier must be >= 1");
+  GRIDVC_REQUIRE(config_.max_resignal_attempts >= 1,
+                 "need at least one resignal attempt");
 
   obs::MetricsRegistry& reg = sim_.obs().registry();
   id_requests_ = reg.counter("gridvc_vc_requests", "createReservation calls received");
@@ -35,6 +42,10 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
   id_cancelled_ = reg.counter("gridvc_vc_cancelled", "Reservations cancelled before activation");
   id_repathed_ = reg.counter("gridvc_vc_repathed",
                              "Circuits re-homed around a failed link");
+  id_failed_ = reg.counter("gridvc_vc_failed",
+                           "Active circuits that lost a link on their path");
+  id_resignaled_ = reg.counter("gridvc_vc_resignaled",
+                               "Failed circuits successfully re-signaled");
   id_active_gauge_ = reg.gauge("gridvc_vc_active_circuits",
                                "Circuits whose guarantee is currently in force");
   id_bookings_gauge_ = reg.gauge("gridvc_vc_calendar_bookings",
@@ -42,6 +53,9 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
   id_setup_delay_hist_ = reg.histogram(
       "gridvc_vc_setup_delay_seconds", {0.05, 0.1, 1, 10, 30, 60, 120, 300},
       "Observed activation - requested start (the paper's VC setup delay)");
+  id_resignal_delay_hist_ = reg.histogram(
+      "gridvc_vc_resignal_delay_seconds", {0.1, 1, 5, 15, 60, 300},
+      "Failure -> re-activation for circuits re-homed after a link failure");
 }
 
 void Idc::count_rejection(const ReservationRequest& request, RejectReason reason) {
@@ -96,7 +110,8 @@ Seconds Idc::predicted_activation(Seconds submit_time, Seconds start_time) const
 }
 
 Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
-                                          CircuitFn on_active, CircuitFn on_release) {
+                                          CircuitFn on_active, CircuitFn on_release,
+                                          CircuitFn on_failure) {
   // Ids are allocated per *request*, so rejected requests and the circuit
   // they would have become share one id in the trace stream.
   const std::uint64_t id = next_id_++;
@@ -145,6 +160,7 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
   entry.booking = calendar_.book(*path, activation, request.end_time, request.bandwidth);
   entry.on_active = std::move(on_active);
   entry.on_release = std::move(on_release);
+  entry.on_failure = std::move(on_failure);
   entry.circuit.provision_started = sim_.now();
   entry.activate_event = sim_.schedule_at(activation, [this, id] { activate(id); });
   entries_.emplace(id, std::move(entry));
@@ -159,7 +175,8 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
 
 Idc::SubmitResult Idc::request_immediate(net::NodeId src, net::NodeId dst,
                                          BitsPerSecond bandwidth, Seconds duration,
-                                         CircuitFn on_active, CircuitFn on_release) {
+                                         CircuitFn on_active, CircuitFn on_release,
+                                         CircuitFn on_failure) {
   GRIDVC_REQUIRE(duration > 0.0, "circuit duration must be positive");
   const Seconds activation = predicted_activation(sim_.now(), sim_.now());
   ReservationRequest request;
@@ -169,7 +186,8 @@ Idc::SubmitResult Idc::request_immediate(net::NodeId src, net::NodeId dst,
   request.start_time = sim_.now();
   request.end_time = activation + duration;
   request.description = "immediate";
-  return create_reservation(request, std::move(on_active), std::move(on_release));
+  return create_reservation(request, std::move(on_active), std::move(on_release),
+                            std::move(on_failure));
 }
 
 void Idc::activate(std::uint64_t id) {
@@ -206,11 +224,17 @@ void Idc::release(std::uint64_t id) {
             entry.circuit.released_at - entry.circuit.active_at,
             entry.circuit.request.bandwidth});
   if (entry.on_release) entry.on_release(entry.circuit);
+  retire(id);
 }
 
 void Idc::cancel(std::uint64_t circuit_id) {
   const auto it = entries_.find(circuit_id);
-  GRIDVC_REQUIRE(it != entries_.end(), "cancel of unknown circuit");
+  if (it == entries_.end()) {
+    // Terminal circuits are past cancellation; truly unknown ids are a
+    // caller bug.
+    GRIDVC_REQUIRE(terminal_.contains(circuit_id), "cancel of unknown circuit");
+    GRIDVC_REQUIRE(false, "cancel after activation; use release_now");
+  }
   Entry& entry = it->second;
   GRIDVC_REQUIRE(entry.circuit.state == CircuitState::kScheduled,
                  "cancel after activation; use release_now");
@@ -221,12 +245,24 @@ void Idc::cancel(std::uint64_t circuit_id) {
   sim_.obs().registry().add(id_cancelled_);
   sync_calendar_gauge();
   sim_.obs().emit({sim_.now(), obs::TraceEventType::kVcCancelled, circuit_id, 0, 0.0, 0.0});
+  retire(circuit_id);
 }
 
 void Idc::release_now(std::uint64_t circuit_id) {
   const auto it = entries_.find(circuit_id);
-  GRIDVC_REQUIRE(it != entries_.end(), "release_now of unknown circuit");
+  if (it == entries_.end()) {
+    // Already terminal: the caller's teardown raced the circuit's own
+    // lifecycle (end-time release, failure) — nothing left to free.
+    GRIDVC_REQUIRE(terminal_.contains(circuit_id), "release_now of unknown circuit");
+    return;
+  }
   Entry& entry = it->second;
+  if (entry.circuit.state == CircuitState::kFailed) {
+    // The data plane is already gone and the booking freed; drop any
+    // pending re-signal and retire the record.
+    retire(circuit_id);
+    return;
+  }
   GRIDVC_REQUIRE(entry.circuit.state == CircuitState::kActive,
                  "release_now of a circuit that is not active");
   entry.release_event.cancel();
@@ -247,6 +283,7 @@ void Idc::release_now(std::uint64_t circuit_id) {
             entry.circuit.released_at - entry.circuit.active_at,
             entry.circuit.request.bandwidth});
   if (entry.on_release) entry.on_release(entry.circuit);
+  retire(circuit_id);
 }
 
 bool Idc::modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwidth,
@@ -282,23 +319,37 @@ std::size_t Idc::handle_link_failure(net::LinkId failed_link) {
   GRIDVC_REQUIRE(failed_link < topo_.link_count(), "link id out of range");
   failed_links_.insert(failed_link);
 
-  std::size_t repathed = 0;
-  for (auto& [id, entry] : entries_) {
-    Circuit& c = entry.circuit;
+  // Collect first, then process by lookup: failure handling retires
+  // entries and fires callbacks that may mutate entries_ re-entrantly
+  // (new reservations, release_now on other circuits), which would
+  // invalidate an in-place iteration.
+  std::vector<std::uint64_t> affected;
+  for (const auto& [id, entry] : entries_) {
+    const Circuit& c = entry.circuit;
     if (c.state != CircuitState::kScheduled && c.state != CircuitState::kActive) continue;
-    bool affected = false;
-    for (net::LinkId l : c.path) {
-      if (l == failed_link) affected = true;
+    if (std::find(c.path.begin(), c.path.end(), failed_link) != c.path.end()) {
+      affected.push_back(id);
     }
-    if (!affected) continue;
+  }
 
-    // Free the old booking first so the replacement can reuse capacity on
-    // the surviving portion of the path.
+  std::size_t repathed = 0;
+  for (const std::uint64_t id : affected) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // a callback tore it down meanwhile
+    Entry& entry = it->second;
+    Circuit& c = entry.circuit;
+
+    if (c.state == CircuitState::kActive) {
+      fail_active(id, failed_link);
+      continue;
+    }
+    if (c.state != CircuitState::kScheduled) continue;
+
+    // Scheduled: re-admit around the failed link with the old booking out
+    // of the way so the replacement can reuse the surviving portion.
     calendar_.release(entry.booking);
     entry.booking = 0;
-    const Seconds start = c.state == CircuitState::kActive
-                              ? sim_.now()
-                              : predicted_activation(sim_.now(), c.request.start_time);
+    const Seconds start = predicted_activation(sim_.now(), c.request.start_time);
     const auto replacement = paths_.compute(c.request.src, c.request.dst,
                                             c.request.bandwidth, start,
                                             c.request.end_time);
@@ -310,38 +361,128 @@ std::size_t Idc::handle_link_failure(net::LinkId failed_link) {
       sim_.obs().registry().add(id_repathed_);
       continue;
     }
-    // No alternative: tear the circuit down.
+    // No alternative: the reservation cannot be honored.
     entry.activate_event.cancel();
-    entry.release_event.cancel();
-    obs::Observability& obs = sim_.obs();
-    if (c.state == CircuitState::kActive) {
-      c.state = CircuitState::kReleased;
-      c.released_at = sim_.now();
-      ++stats_.released;
-      GRIDVC_REQUIRE(active_circuits_ > 0, "active circuit underflow");
-      --active_circuits_;
-      obs.registry().add(id_released_);
-      obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
-      obs.emit({sim_.now(), obs::TraceEventType::kVcReleased, id, 0,
-                c.released_at - c.active_at, c.request.bandwidth});
-      if (entry.on_release) entry.on_release(c);
-    } else {
-      c.state = CircuitState::kCancelled;
-      ++stats_.cancelled;
-      obs.registry().add(id_cancelled_);
-      obs.emit({sim_.now(), obs::TraceEventType::kVcCancelled, id, 0, 0.0, 0.0});
-    }
+    c.state = CircuitState::kCancelled;
+    ++stats_.cancelled;
+    sim_.obs().registry().add(id_cancelled_);
+    sim_.obs().emit({sim_.now(), obs::TraceEventType::kVcCancelled, id, 0, 0.0, 0.0});
+    retire(id);
   }
   sync_calendar_gauge();
   return repathed;
+}
+
+void Idc::fail_active(std::uint64_t id, net::LinkId failed_link) {
+  Entry& entry = entries_.at(id);
+  Circuit& c = entry.circuit;
+  GRIDVC_REQUIRE(c.state == CircuitState::kActive, "fail_active on non-active circuit");
+
+  // The data plane is gone now: free the booking, stop the scheduled
+  // end-time release, and surface the loss before any re-signal attempt.
+  calendar_.release(entry.booking);
+  entry.booking = 0;
+  entry.release_event.cancel();
+  c.state = CircuitState::kFailed;
+  c.failed_at = sim_.now();
+  ++stats_.failed;
+  GRIDVC_REQUIRE(active_circuits_ > 0, "active circuit underflow");
+  --active_circuits_;
+
+  obs::Observability& obs = sim_.obs();
+  obs.registry().add(id_failed_);
+  obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
+  obs.emit({sim_.now(), obs::TraceEventType::kVcFailed, id, failed_link,
+            c.failed_at - c.active_at, c.request.bandwidth});
+  if (entry.on_failure) entry.on_failure(c);
+
+  // The callback may have torn the circuit down (release_now retires it).
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.circuit.state != CircuitState::kFailed) return;
+  if (config_.resignal_on_failure && sim_.now() < c.request.end_time) {
+    schedule_resignal(id);
+  } else {
+    retire(id);
+  }
+}
+
+void Idc::schedule_resignal(std::uint64_t id) {
+  Entry& entry = entries_.at(id);
+  ++entry.resignal_attempts;
+  const Seconds delay =
+      config_.resignal_backoff *
+      std::pow(config_.resignal_backoff_multiplier,
+               static_cast<double>(entry.resignal_attempts - 1));
+  entry.resignal_event = sim_.schedule_in(delay, [this, id] { try_resignal(id); });
+}
+
+void Idc::try_resignal(std::uint64_t id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;  // released/retired while waiting
+  Entry& entry = it->second;
+  Circuit& c = entry.circuit;
+  if (c.state != CircuitState::kFailed) return;
+
+  const Seconds now = sim_.now();
+  if (now >= c.request.end_time) {
+    retire(id);  // the reservation window ran out during the outage
+    return;
+  }
+  const auto path = paths_.compute(c.request.src, c.request.dst, c.request.bandwidth,
+                                   now, c.request.end_time);
+  if (!path) {
+    if (entry.resignal_attempts >= config_.max_resignal_attempts) {
+      retire(id);  // give up; the circuit stays failed
+      return;
+    }
+    schedule_resignal(id);
+    return;
+  }
+
+  // Re-homed: book the remaining window and bring the guarantee back.
+  c.path = *path;
+  entry.booking = calendar_.book(*path, now, c.request.end_time, c.request.bandwidth);
+  c.state = CircuitState::kActive;
+  c.active_at = now;
+  entry.resignal_attempts = 0;
+  entry.release_event =
+      sim_.schedule_at(c.request.end_time, [this, id] { release(id); });
+  ++active_circuits_;
+  ++stats_.resignaled;
+
+  obs::Observability& obs = sim_.obs();
+  const Seconds outage = now - c.failed_at;
+  obs.registry().add(id_resignaled_);
+  obs.registry().observe(id_resignal_delay_hist_, outage);
+  obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
+  sync_calendar_gauge();
+  // aux=1 marks a re-activation after failure; value is the outage length.
+  obs.emit({now, obs::TraceEventType::kVcActivated, id, 1, outage,
+            c.request.bandwidth});
+  if (entry.on_active) entry.on_active(c);
+}
+
+void Idc::retire(std::uint64_t id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  it->second.activate_event.cancel();
+  it->second.release_event.cancel();
+  it->second.resignal_event.cancel();
+  terminal_.insert_or_assign(id, std::move(it->second.circuit));
+  entries_.erase(it);
+  while (terminal_.size() > kTerminalCapacity) {
+    terminal_.erase(terminal_.begin());  // ids are monotone: begin() is oldest
+  }
 }
 
 void Idc::restore_link(net::LinkId link) { failed_links_.erase(link); }
 
 const Circuit& Idc::circuit(std::uint64_t circuit_id) const {
   const auto it = entries_.find(circuit_id);
-  GRIDVC_REQUIRE(it != entries_.end(), "lookup of unknown circuit");
-  return it->second.circuit;
+  if (it != entries_.end()) return it->second.circuit;
+  const auto term = terminal_.find(circuit_id);
+  GRIDVC_REQUIRE(term != terminal_.end(), "lookup of unknown circuit");
+  return term->second;
 }
 
 }  // namespace gridvc::vc

@@ -41,6 +41,16 @@ struct IdcConfig {
   Seconds immediate_setup_delay = 0.05;
   /// Fraction of each link's capacity the calendar may hand to circuits.
   double reservable_fraction = 1.0;
+  /// When an *active* circuit loses a link it enters CircuitState::kFailed
+  /// and, if this is set, the IDC re-signals it: after a backoff it
+  /// recomputes a path avoiding failed links and, if the calendar admits
+  /// it for the remaining window, re-activates the circuit (on_active
+  /// fires again). Re-signaling gives up after max_resignal_attempts
+  /// failed path computations or when the window expires.
+  bool resignal_on_failure = true;
+  Seconds resignal_backoff = 5.0;          ///< pause before the first re-signal
+  double resignal_backoff_multiplier = 2.0;  ///< growth per failed re-signal
+  int max_resignal_attempts = 3;
 };
 
 class Idc {
@@ -61,10 +71,14 @@ class Idc {
   };
 
   /// Submit an advance reservation. `on_active` fires when the data plane
-  /// guarantee takes effect, `on_release` when the circuit is torn down.
+  /// guarantee takes effect (again after each successful re-signal),
+  /// `on_release` when the circuit is torn down, and `on_failure` when an
+  /// active circuit loses its path — at that point the guarantee is
+  /// already gone, so callers should degrade to best-effort immediately.
   SubmitResult create_reservation(const ReservationRequest& request,
                                   CircuitFn on_active = nullptr,
-                                  CircuitFn on_release = nullptr);
+                                  CircuitFn on_release = nullptr,
+                                  CircuitFn on_failure = nullptr);
 
   /// Convenience for the common data-transfer pattern: a circuit for
   /// immediate use, held for `duration` *after* it activates. The
@@ -72,7 +86,8 @@ class Idc {
   /// [predicted activation, predicted activation + duration).
   SubmitResult request_immediate(net::NodeId src, net::NodeId dst, BitsPerSecond bandwidth,
                                  Seconds duration, CircuitFn on_active = nullptr,
-                                 CircuitFn on_release = nullptr);
+                                 CircuitFn on_release = nullptr,
+                                 CircuitFn on_failure = nullptr);
 
   /// Cancel a reservation that has not yet activated.
   void cancel(std::uint64_t circuit_id);
@@ -85,23 +100,43 @@ class Idc {
   bool modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwidth,
                           Seconds new_end_time);
 
-  /// Control-plane reaction to a link failure: every scheduled or active
-  /// circuit whose path uses `failed_link` is re-pathed around it if the
-  /// calendar allows; circuits that cannot be re-homed are released
-  /// (active) or cancelled (scheduled). Returns the number of circuits
-  /// successfully re-pathed. Subsequent path computation avoids the
-  /// failed link until restore_link() is called.
+  /// Control-plane reaction to a link failure. Scheduled circuits whose
+  /// path uses `failed_link` are re-pathed around it synchronously if the
+  /// calendar allows, and cancelled otherwise; the return value counts
+  /// these synchronous re-paths. Active circuits lose their data plane
+  /// *now*: they transition to CircuitState::kFailed, their booking is
+  /// freed, on_failure fires, and (per IdcConfig::resignal_on_failure)
+  /// an asynchronous re-signal with backoff tries to re-home them.
+  /// Subsequent path computation avoids the failed link until
+  /// restore_link() is called.
   std::size_t handle_link_failure(net::LinkId failed_link);
 
   /// Return a previously failed link to service.
   void restore_link(net::LinkId link);
 
   /// Tear down an active circuit before its endTime; the calendar tail is
-  /// returned to the pool.
+  /// returned to the pool. Lenient on circuits that already reached a
+  /// terminal state (released, cancelled, or failed) — a caller's teardown
+  /// legitimately races the circuit's own lifecycle; a kFailed circuit
+  /// with a pending re-signal has the re-signal dropped and is retired.
   void release_now(std::uint64_t circuit_id);
 
+  /// Lifecycle record of a live or recently-terminal circuit. Terminal
+  /// records (released/cancelled/failed) are kept in a bounded store, so
+  /// very old ids may have been evicted; lookups of those throw.
   const Circuit& circuit(std::uint64_t circuit_id) const;
   const BandwidthCalendar& calendar() const { return calendar_; }
+
+  /// Circuits still carrying live control-plane state (scheduled, active,
+  /// or awaiting re-signal). Terminal circuits are moved to the bounded
+  /// terminal store, so this never grows with run length.
+  std::size_t live_circuit_count() const { return entries_.size(); }
+
+  /// Terminal lifecycle records currently retained (<= kTerminalCapacity).
+  std::size_t terminal_record_count() const { return terminal_.size(); }
+
+  /// Cap on retained terminal records; oldest ids are evicted first.
+  static constexpr std::size_t kTerminalCapacity = 256;
 
   /// The activation time the current signaling mode would give a request
   /// submitted at `submit_time` for a circuit wanted from `start_time`.
@@ -121,6 +156,8 @@ class Idc {
     std::uint64_t rejected_retries = 0;  ///< re-rejections of retried requests
     std::uint64_t released = 0;
     std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;      ///< active circuits that lost their path
+    std::uint64_t resignaled = 0;  ///< failed circuits successfully re-homed
 
     double blocking_probability() const {
       const double total = static_cast<double>(accepted + rejected_no_bandwidth +
@@ -138,12 +175,22 @@ class Idc {
     ReservationId booking = 0;
     CircuitFn on_active;
     CircuitFn on_release;
+    CircuitFn on_failure;
     sim::EventHandle activate_event;
     sim::EventHandle release_event;
+    sim::EventHandle resignal_event;
+    int resignal_attempts = 0;
   };
 
   void activate(std::uint64_t id);
   void release(std::uint64_t id);
+  /// Active circuit lost `failed_link`: kFailed + on_failure + re-signal.
+  void fail_active(std::uint64_t id, net::LinkId failed_link);
+  void schedule_resignal(std::uint64_t id);
+  void try_resignal(std::uint64_t id);
+  /// Move a terminal circuit's record to the bounded terminal store and
+  /// drop its entry (events cancelled). No-op for unknown ids.
+  void retire(std::uint64_t id);
   /// Record a rejection in stats/metrics, honouring the is_retry rule.
   void count_rejection(const ReservationRequest& request, RejectReason reason);
   /// Refresh the calendar-bookings gauge after any book/release.
@@ -157,6 +204,10 @@ class Idc {
   std::set<net::LinkId> failed_links_;
   PathComputer paths_;
   std::map<std::uint64_t, Entry> entries_;
+  /// Bounded record of terminal circuits (kTerminalCapacity newest ids):
+  /// keeps circuit() answerable for recently finished circuits without
+  /// growing entries_ forever.
+  std::map<std::uint64_t, Circuit> terminal_;
   std::uint64_t next_id_ = 1;
   Stats stats_;
   std::size_t active_circuits_ = 0;
@@ -169,9 +220,12 @@ class Idc {
   obs::MetricId id_released_;
   obs::MetricId id_cancelled_;
   obs::MetricId id_repathed_;
+  obs::MetricId id_failed_;
+  obs::MetricId id_resignaled_;
   obs::MetricId id_active_gauge_;
   obs::MetricId id_bookings_gauge_;
   obs::MetricId id_setup_delay_hist_;
+  obs::MetricId id_resignal_delay_hist_;
 };
 
 }  // namespace gridvc::vc

@@ -46,6 +46,7 @@ enum class CircuitState : std::uint8_t {
   kActive,      ///< data plane configured; rate guarantee in force
   kReleased,    ///< torn down (end reached or cancelled after activation)
   kCancelled,   ///< cancelled before activation
+  kFailed,      ///< a link on the path died while active; guarantee lost
 };
 
 /// An accepted reservation and its circuit lifecycle record.
@@ -55,8 +56,9 @@ struct Circuit {
   net::Path path;            ///< explicit path selected by the controller
   CircuitState state = CircuitState::kScheduled;
   Seconds provision_started = 0.0;  ///< when setup signaling began
-  Seconds active_at = 0.0;          ///< when the guarantee took effect
+  Seconds active_at = 0.0;          ///< when the guarantee took effect (last activation)
   Seconds released_at = 0.0;
+  Seconds failed_at = 0.0;          ///< when the path died (kFailed and after)
 
   /// Observed setup delay (active_at - the time the user asked for the
   /// circuit to be usable). Meaningful once kActive.

@@ -10,6 +10,7 @@
 #include "gridftp/transfer_engine.hpp"
 #include "gridftp/transfer_service.hpp"
 #include "gridftp/usage_stats.hpp"
+#include "net/fault_injector.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "vc/idc.hpp"
@@ -492,6 +493,148 @@ ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed
 
   result.end_time = sim.now();
   result.blocking_probability = idc.stats().blocking_probability();
+  result.metrics = sim.obs().registry().snapshot();
+  return result;
+}
+
+FaultyWanResult run_faulty_wan(const FaultyWanConfig& config, std::uint64_t seed) {
+  GRIDVC_REQUIRE(config.transfer_count > 0, "no transfers requested");
+  GRIDVC_REQUIRE(config.transfer_size > 0, "transfer size must be positive");
+
+  Rng root(seed);
+  sim::Simulator sim;
+  sim.obs().set_trace_sink(config.trace_sink);
+
+  // Two-span WAN: the primary span (via r1) carries the data path and the
+  // circuits; the backup span (via r2, higher delay) exists so a failed
+  // circuit has somewhere to re-signal to.
+  net::Topology topo;
+  const auto src = topo.add_node("src-dtn", net::NodeKind::kHost);
+  const auto edge_a = topo.add_node("edge-a", net::NodeKind::kRouter);
+  const auto r1 = topo.add_node("r1", net::NodeKind::kRouter);
+  const auto r2 = topo.add_node("r2", net::NodeKind::kRouter);
+  const auto edge_b = topo.add_node("edge-b", net::NodeKind::kRouter);
+  const auto dst = topo.add_node("dst-dtn", net::NodeKind::kHost);
+  const auto [src_a, a_src] = topo.add_duplex_link(src, edge_a, gbps(10), 0.0005);
+  const auto [a_r1, r1_a] = topo.add_duplex_link(edge_a, r1, gbps(10), 0.002);
+  const auto [r1_b, b_r1] = topo.add_duplex_link(r1, edge_b, gbps(10), 0.002);
+  const auto [a_r2, r2_a] = topo.add_duplex_link(edge_a, r2, gbps(10), 0.008);
+  const auto [r2_b, b_r2] = topo.add_duplex_link(r2, edge_b, gbps(10), 0.008);
+  const auto [b_dst, dst_b] = topo.add_duplex_link(edge_b, dst, gbps(10), 0.0005);
+  (void)a_src; (void)r1_a; (void)b_r1; (void)r2_a; (void)b_r2; (void)dst_b;
+
+  net::Network network(sim, topo);
+
+  ServerConfig sc;
+  sc.name = "src-dtn";
+  sc.nic_rate = gbps(10);
+  Server source(sc);
+  sc.name = "dst-dtn";
+  Server sink(sc);
+
+  gridftp::UsageStatsCollector collector;
+  TransferEngineConfig engine_cfg;
+  engine_cfg.tcp.stream_buffer = 64 * MiB;
+  engine_cfg.server_noise_sigma = 0.1;
+  engine_cfg.backoff = gridftp::BackoffPolicy::exponential(5.0, 2.0, 60.0, 0.1);
+  engine_cfg.max_aborts = config.max_aborts;
+  TransferEngine engine(network, collector, engine_cfg, root.fork(1));
+
+  vc::IdcConfig idc_cfg;
+  idc_cfg.mode = vc::SignalingMode::kImmediate;
+  vc::Idc idc(sim, topo, idc_cfg);
+
+  const net::Path data_path = {src_a, a_r1, r1_b, b_dst};
+  const Seconds rtt = 2.0 * topo.path_delay(data_path);
+
+  FaultyWanResult result;
+
+  // Per-transfer wiring between circuit lifecycle and engine guarantee.
+  struct Slot {
+    std::uint64_t transfer_id = 0;
+    bool submitted = false;
+    std::optional<std::uint64_t> circuit_id;
+  };
+  std::vector<Slot> slots(config.transfer_count);
+
+  const auto submit_transfer = [&](std::size_t k, BitsPerSecond guarantee) {
+    Slot& slot = slots[k];
+    TransferSpec spec;
+    spec.src = {&source, IoMode::kDiskRead};
+    spec.dst = {&sink, IoMode::kDiskWrite};
+    spec.path = data_path;
+    spec.rtt = rtt;
+    spec.size = config.transfer_size;
+    spec.streams = config.streams;
+    spec.remote_host = "dst-dtn";
+    spec.guarantee = guarantee;
+    slot.submitted = true;
+    slot.transfer_id = engine.submit(spec, [&result, &idc, &slot](
+                                               const gridftp::TransferRecord& r) {
+      if (r.failed) {
+        ++result.transfers_failed;
+      } else {
+        ++result.transfers_completed;
+      }
+      if (slot.circuit_id) idc.release_now(*slot.circuit_id);
+    });
+  };
+
+  const Seconds estimated =
+      transfer_time(config.transfer_size, config.circuit_rate) * 2.0 + 240.0;
+  for (std::size_t k = 0; k < config.transfer_count; ++k) {
+    const Seconds when = static_cast<double>(k) * config.transfer_interarrival;
+    sim.schedule_at(when, [&, k] {
+      // First activation launches the transfer under the guarantee;
+      // re-activations (post-failure re-signals) restore it.
+      const auto on_active = [&, k](const vc::Circuit& c) {
+        Slot& slot = slots[k];
+        if (!slot.submitted) {
+          submit_transfer(k, c.request.bandwidth);
+        } else {
+          engine.set_guarantee(slot.transfer_id, c.request.bandwidth);
+        }
+      };
+      // The guarantee is gone *now*: degrade to best-effort while the IDC
+      // tries to re-home the circuit.
+      const auto on_failure = [&, k](const vc::Circuit&) {
+        Slot& slot = slots[k];
+        if (slot.submitted) engine.set_guarantee(slot.transfer_id, 0.0);
+      };
+      const auto granted = idc.request_immediate(src, dst, config.circuit_rate,
+                                                 estimated, on_active, nullptr,
+                                                 on_failure);
+      if (granted.accepted()) {
+        ++result.circuits_granted;
+        slots[k].circuit_id = granted.circuit_id;
+      } else {
+        // Circuits are an optimization, not a gate: run best-effort.
+        submit_transfer(k, 0.0);
+      }
+    });
+  }
+
+  // The fault process targets the primary span's forward links only, so
+  // the backup span is always available for re-signaling.
+  net::FaultInjectorConfig fault_cfg;
+  fault_cfg.targets = {a_r1, r1_b};
+  fault_cfg.mtbf = config.link_mtbf;
+  fault_cfg.mttr = config.link_mttr;
+  fault_cfg.start_after = config.fault_start_after;
+  fault_cfg.horizon = config.fault_horizon;
+  net::FaultInjector injector(
+      network, fault_cfg, root.fork(2),
+      [&idc](net::LinkId link) { idc.handle_link_failure(link); },
+      [&idc](net::LinkId link) { idc.restore_link(link); });
+
+  sim.run();
+
+  result.aborted_attempts = engine.stats().aborted_attempts;
+  result.link_failures = injector.stats().failures;
+  result.link_repairs = injector.stats().repairs;
+  result.circuits_failed = idc.stats().failed;
+  result.circuits_resignaled = idc.stats().resignaled;
+  result.end_time = sim.now();
   result.metrics = sim.obs().registry().snapshot();
   return result;
 }

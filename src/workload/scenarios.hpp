@@ -183,4 +183,51 @@ struct ManagedVcResult {
 
 ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Faulty WAN: circuits and transfers riding a flapping backbone
+// ---------------------------------------------------------------------------
+
+/// Failure-semantics closing loop: bulk transfers cross a two-span WAN
+/// whose primary span flaps under an MTBF/MTTR fault process. Each
+/// transfer requests an immediate circuit; when the primary span dies the
+/// data flows abort (restart-marker retries), active circuits fail and
+/// re-signal onto the backup span, and transfers degrade to best-effort
+/// until their circuit is re-homed. Deterministic in (config, seed).
+struct FaultyWanConfig {
+  std::size_t transfer_count = 8;
+  Bytes transfer_size = 32 * GiB;
+  int streams = 8;
+  Seconds transfer_interarrival = 120.0;
+  /// Circuit rate each transfer requests.
+  BitsPerSecond circuit_rate = gbps(6);
+  /// Fault process on the primary span's forward links. mtbf <= 0
+  /// disables injection (the scenario then runs fault-free).
+  Seconds link_mtbf = 120.0;
+  Seconds link_mttr = 20.0;
+  Seconds fault_start_after = 5.0;
+  /// No new failures at or after this time (repairs always run), so the
+  /// event queue drains once the workload finishes.
+  Seconds fault_horizon = 1800.0;
+  /// Link-failure aborts before a transfer is declared permanently
+  /// failed (TransferEngineConfig::max_aborts).
+  int max_aborts = 8;
+  /// Optional structured-trace destination (non-owning).
+  obs::TraceSink* trace_sink = nullptr;
+};
+
+struct FaultyWanResult {
+  std::size_t transfers_completed = 0;
+  std::size_t transfers_failed = 0;    ///< gave up after max_aborts
+  std::uint64_t aborted_attempts = 0;  ///< attempts killed by an outage
+  std::uint64_t link_failures = 0;
+  std::uint64_t link_repairs = 0;
+  std::size_t circuits_granted = 0;
+  std::uint64_t circuits_failed = 0;      ///< active circuits that lost their path
+  std::uint64_t circuits_resignaled = 0;  ///< re-homed onto the backup span
+  Seconds end_time = 0.0;
+  obs::MetricsSnapshot metrics;
+};
+
+FaultyWanResult run_faulty_wan(const FaultyWanConfig& config, std::uint64_t seed);
+
 }  // namespace gridvc::workload

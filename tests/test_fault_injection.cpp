@@ -1,0 +1,298 @@
+// Link up/down dynamics, down-link allocation, and the stochastic
+// FaultInjector (the failure substrate the circuit/GridFTP failure
+// semantics are built on).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/fair_share.hpp"
+#include "net/fault_injector.hpp"
+#include "net/network.hpp"
+#include "obs/trace.hpp"
+
+namespace gridvc::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  Topology topo;
+  NodeId a, b, c;
+  LinkId ab, bc;
+  std::unique_ptr<Network> network;
+
+  Fixture() {
+    a = topo.add_node("a", NodeKind::kHost);
+    b = topo.add_node("b", NodeKind::kRouter);
+    c = topo.add_node("c", NodeKind::kHost);
+    ab = topo.add_link(a, b, gbps(10), 0.005);
+    bc = topo.add_link(b, c, gbps(10), 0.005);
+    network = std::make_unique<Network>(sim, topo);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Allocator: down links are zero capacity
+// ---------------------------------------------------------------------------
+
+TEST(FaultFairShare, DownLinkGetsZeroAllocation) {
+  Topology topo;
+  const auto a = topo.add_node("a", NodeKind::kHost);
+  const auto b = topo.add_node("b", NodeKind::kHost);
+  const auto c = topo.add_node("c", NodeKind::kHost);
+  const LinkId ab = topo.add_link(a, b, gbps(10), 0.001);
+  const LinkId bc = topo.add_link(b, c, gbps(10), 0.001);
+
+  std::vector<FlowDemand> flows(2);
+  flows[0].path = {ab, bc};  // crosses the dead link
+  flows[1].path = {bc};      // unaffected
+  std::vector<char> link_up = {0, 1};  // ab down
+
+  const Allocation alloc = max_min_allocate(topo, flows, link_up);
+  EXPECT_DOUBLE_EQ(alloc.rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(alloc.rates[1], gbps(10));
+}
+
+TEST(FaultFairShare, DownLinkZeroesGuaranteesToo) {
+  Topology topo;
+  const auto a = topo.add_node("a", NodeKind::kHost);
+  const auto b = topo.add_node("b", NodeKind::kHost);
+  const LinkId ab = topo.add_link(a, b, gbps(10), 0.001);
+
+  std::vector<FlowDemand> flows(1);
+  flows[0].path = {ab};
+  flows[0].guarantee = gbps(4);
+  std::vector<char> link_up = {0};
+
+  const Allocation alloc = max_min_allocate(topo, flows, link_up);
+  EXPECT_DOUBLE_EQ(alloc.rates[0], 0.0);
+}
+
+TEST(FaultFairShare, EmptyLinkStateMeansAllUp) {
+  Topology topo;
+  const auto a = topo.add_node("a", NodeKind::kHost);
+  const auto b = topo.add_node("b", NodeKind::kHost);
+  const LinkId ab = topo.add_link(a, b, gbps(10), 0.001);
+
+  std::vector<FlowDemand> flows(1);
+  flows[0].path = {ab};
+  const Allocation with_empty = max_min_allocate(topo, flows, {});
+  const Allocation two_arg = max_min_allocate(topo, flows);
+  EXPECT_DOUBLE_EQ(with_empty.rates[0], gbps(10));
+  EXPECT_DOUBLE_EQ(two_arg.rates[0], gbps(10));
+}
+
+// ---------------------------------------------------------------------------
+// Network link state
+// ---------------------------------------------------------------------------
+
+TEST(LinkState, FlowStallsAndResumesAcrossOutage) {
+  Fixture f;
+  FlowRecord record{};
+  f.network->start_flow({f.ab, f.bc}, GiB, {},
+                        [&](const FlowRecord& r) { record = r; });
+  f.sim.schedule_at(0.1, [&] { f.network->set_link_state(f.ab, false); });
+  f.sim.schedule_at(0.2, [&] {
+    // Mid-outage: the flow is still active but completely stalled.
+    EXPECT_FALSE(f.network->link_up(f.ab));
+    EXPECT_EQ(f.network->active_flow_count(), 1u);
+    EXPECT_DOUBLE_EQ(f.network->current_rate(1), 0.0);
+  });
+  f.sim.schedule_at(10.1, [&] { f.network->set_link_state(f.ab, true); });
+  f.sim.run();
+
+  EXPECT_TRUE(f.network->link_up(f.ab));
+  EXPECT_EQ(record.outcome, FlowOutcome::kCompleted);
+  EXPECT_EQ(record.delivered, GiB);
+  // GiB at 10G is ~0.86s; the 10s outage pushed completion past it.
+  EXPECT_GT(record.end_time, 10.0);
+}
+
+TEST(LinkState, FlowStartedWhileLinkDownWaitsForRepair) {
+  Fixture f;
+  f.network->set_link_state(f.ab, false);
+  FlowRecord record{};
+  f.network->start_flow({f.ab}, 100 * MiB, {},
+                        [&](const FlowRecord& r) { record = r; });
+  f.sim.schedule_at(5.0, [&] { f.network->set_link_state(f.ab, true); });
+  f.sim.run();
+  EXPECT_EQ(record.outcome, FlowOutcome::kCompleted);
+  EXPECT_GT(record.end_time, 5.0);
+}
+
+TEST(LinkState, OptedInFlowAbortsWithDeliveredBytes) {
+  Fixture f;
+  FlowOptions opts;
+  opts.fail_on_link_down = true;
+  FlowRecord record{};
+  f.network->start_flow({f.ab, f.bc}, GiB, opts,
+                        [&](const FlowRecord& r) { record = r; });
+  // A second, non-opted-in flow on the same path must survive.
+  f.network->start_flow({f.ab, f.bc}, GiB, {}, nullptr);
+  f.sim.schedule_at(0.4, [&] { f.network->set_link_state(f.ab, false); });
+  f.sim.run_until(0.5);
+
+  EXPECT_EQ(record.outcome, FlowOutcome::kFailed);
+  EXPECT_EQ(record.id, 1u);
+  EXPECT_DOUBLE_EQ(record.end_time, 0.4);
+  // 0.4s at a 5G fair share = 250 MB on the wire before the cut.
+  EXPECT_NEAR(static_cast<double>(record.delivered), 0.4 * gbps(5) / 8.0, MiB);
+  EXPECT_LT(record.delivered, record.size);
+  EXPECT_EQ(f.network->active_flow_count(), 1u);  // the stalled survivor
+}
+
+TEST(LinkState, SetLinkStateIsIdempotentPerState) {
+  Fixture f;
+  f.network->set_link_state(f.ab, false);
+  f.network->set_link_state(f.ab, false);  // no double-count
+  f.network->set_link_state(f.ab, true);
+  f.network->set_link_state(f.ab, true);
+  const auto snap = f.sim.obs().registry().snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("gridvc_net_link_failures"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.value("gridvc_net_link_repairs"), 1.0);
+}
+
+TEST(LinkState, DowntimeHistogramRecordsOutage) {
+  Fixture f;
+  f.sim.schedule_at(1.0, [&] { f.network->set_link_state(f.ab, false); });
+  f.sim.schedule_at(31.0, [&] { f.network->set_link_state(f.ab, true); });
+  f.sim.run();
+  const auto snap = f.sim.obs().registry().snapshot();
+  const auto* entry = snap.find("gridvc_net_link_downtime_seconds");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->histogram.total, 1u);
+  EXPECT_DOUBLE_EQ(entry->histogram.sum, 30.0);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, DisabledWhenMtbfNonPositive) {
+  Fixture f;
+  FaultInjectorConfig cfg;
+  cfg.targets = {f.ab};
+  cfg.mtbf = 0.0;
+  FaultInjector injector(*f.network, cfg, Rng(7));
+  f.sim.run();
+  EXPECT_EQ(injector.stats().failures, 0u);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 0.0);  // nothing was ever scheduled
+}
+
+TEST(FaultInjector, EveryFailureHealsAndQueueDrains) {
+  Fixture f;
+  FaultInjectorConfig cfg;
+  cfg.targets = {f.ab, f.bc};
+  cfg.mtbf = 50.0;
+  cfg.mttr = 10.0;
+  cfg.horizon = 1000.0;
+  FaultInjector injector(*f.network, cfg, Rng(7));
+  f.sim.run();  // terminates: no failures scheduled past the horizon
+  EXPECT_GT(injector.stats().failures, 0u);
+  EXPECT_EQ(injector.stats().failures, injector.stats().repairs);
+  EXPECT_TRUE(f.network->link_up(f.ab));
+  EXPECT_TRUE(f.network->link_up(f.bc));
+}
+
+TEST(FaultInjector, DeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Fixture f;
+    obs::RingBufferTraceSink ring(4096);
+    f.sim.obs().set_trace_sink(&ring);
+    FaultInjectorConfig cfg;
+    cfg.targets = {f.ab, f.bc};
+    cfg.mtbf = 40.0;
+    cfg.mttr = 15.0;
+    cfg.horizon = 2000.0;
+    FaultInjector injector(*f.network, cfg, Rng(seed));
+    f.sim.run();
+    std::vector<obs::TraceEvent> flaps;
+    for (const auto& e : ring.events()) {
+      if (e.type == obs::TraceEventType::kLinkDown ||
+          e.type == obs::TraceEventType::kLinkUp) {
+        flaps.push_back(e);
+      }
+    }
+    return std::make_pair(injector.stats(), flaps);
+  };
+  const auto [stats1, flaps1] = run(123);
+  const auto [stats2, flaps2] = run(123);
+  const auto [stats3, flaps3] = run(456);
+
+  EXPECT_EQ(stats1.failures, stats2.failures);
+  ASSERT_EQ(flaps1.size(), flaps2.size());
+  for (std::size_t i = 0; i < flaps1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(flaps1[i].time, flaps2[i].time);
+    EXPECT_EQ(flaps1[i].type, flaps2[i].type);
+    EXPECT_EQ(flaps1[i].id, flaps2[i].id);
+  }
+  // A different seed produces a different fault series.
+  EXPECT_TRUE(stats3.failures != stats1.failures ||
+              flaps3.size() != flaps1.size() ||
+              (!flaps3.empty() && flaps3[0].time != flaps1[0].time));
+}
+
+TEST(FaultInjector, CallbacksSeePostTransitionState) {
+  Fixture f;
+  FaultInjectorConfig cfg;
+  cfg.targets = {f.ab};
+  cfg.mtbf = 30.0;
+  cfg.mttr = 5.0;
+  cfg.horizon = 200.0;
+  int down_calls = 0, up_calls = 0;
+  FaultInjector injector(
+      *f.network, cfg, Rng(3),
+      [&](LinkId link) {
+        ++down_calls;
+        EXPECT_EQ(link, f.ab);
+        EXPECT_FALSE(f.network->link_up(link));  // Network already switched
+      },
+      [&](LinkId link) {
+        ++up_calls;
+        EXPECT_TRUE(f.network->link_up(link));
+      });
+  f.sim.run();
+  EXPECT_EQ(static_cast<std::uint64_t>(down_calls), injector.stats().failures);
+  EXPECT_EQ(static_cast<std::uint64_t>(up_calls), injector.stats().repairs);
+  EXPECT_GT(down_calls, 0);
+}
+
+TEST(FaultInjector, NoFailuresBeforeStartAfter) {
+  Fixture f;
+  obs::RingBufferTraceSink ring(4096);
+  f.sim.obs().set_trace_sink(&ring);
+  FaultInjectorConfig cfg;
+  cfg.targets = {f.ab};
+  cfg.mtbf = 10.0;
+  cfg.mttr = 2.0;
+  cfg.start_after = 100.0;
+  cfg.horizon = 400.0;
+  FaultInjector injector(*f.network, cfg, Rng(9));
+  f.sim.run();
+  EXPECT_GT(injector.stats().failures, 0u);
+  for (const auto& e : ring.events()) {
+    if (e.type == obs::TraceEventType::kLinkDown) EXPECT_GT(e.time, 100.0);
+  }
+}
+
+TEST(FaultInjector, RejectsMalformedConfig) {
+  Fixture f;
+  FaultInjectorConfig cfg;
+  cfg.targets = {f.ab};
+  cfg.mtbf = 10.0;
+  cfg.mttr = 0.0;  // enabled but unrepairable
+  cfg.horizon = 100.0;
+  EXPECT_THROW(FaultInjector(*f.network, cfg, Rng(1)), PreconditionError);
+
+  cfg.mttr = 5.0;
+  cfg.horizon = 0.0;  // enabled but no failure window
+  EXPECT_THROW(FaultInjector(*f.network, cfg, Rng(1)), PreconditionError);
+
+  cfg.horizon = 100.0;
+  cfg.targets = {99};  // out of range
+  EXPECT_THROW(FaultInjector(*f.network, cfg, Rng(1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridvc::net

@@ -118,38 +118,101 @@ TEST(IdcFailure, RepathsScheduledCircuitAroundFailedLink) {
   EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kScheduled);
 }
 
-TEST(IdcFailure, ActiveCircuitRepathedKeepsLifecycle) {
+TEST(IdcFailure, ActiveCircuitFailsThenResignalsAroundOutage) {
   Fixture f;
   IdcConfig cfg;
   cfg.mode = SignalingMode::kImmediate;
   Idc idc(f.sim, f.topo, cfg);
-  bool released = false;
-  const auto r = idc.create_reservation(f.request(1, 300, gbps(4)), nullptr,
-                                        [&](const Circuit&) { released = true; });
+  int activations = 0;
+  bool released = false, failed = false;
+  const auto r = idc.create_reservation(
+      f.request(1, 300, gbps(4)), [&](const Circuit&) { ++activations; },
+      [&](const Circuit&) { released = true; },
+      [&](const Circuit& c) {
+        failed = true;
+        EXPECT_EQ(c.state, CircuitState::kFailed);
+      });
   f.sim.run_until(50.0);
   ASSERT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kActive);
-  EXPECT_EQ(idc.handle_link_failure(f.r1_b), 1u);
+  ASSERT_EQ(idc.circuit(*r.circuit_id).path, (net::Path{f.a_r1, f.r1_b}));
+  // Active circuits are handled asynchronously, so the synchronous
+  // re-path count is zero: the guarantee is gone *now*.
+  EXPECT_EQ(idc.handle_link_failure(f.r1_b), 0u);
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kFailed);
+  // After the re-signal backoff the circuit is re-homed on the far branch.
+  f.sim.run_until(60.0);
   EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kActive);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).path, (net::Path{f.a_r2, f.r2_b}));
+  EXPECT_EQ(activations, 2);  // initial activation + re-signal
   f.sim.run();
   EXPECT_TRUE(released);  // still released at its end time
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kReleased);
+  EXPECT_EQ(idc.stats().failed, 1u);
+  EXPECT_EQ(idc.stats().resignaled, 1u);
+  EXPECT_EQ(idc.stats().released, 1u);
 }
 
-TEST(IdcFailure, UnroutableCircuitTornDown) {
+TEST(IdcFailure, UnroutableCircuitEndsFailedAfterResignalsExhaust) {
   Fixture f;
   IdcConfig cfg;
   cfg.mode = SignalingMode::kImmediate;
   Idc idc(f.sim, f.topo, cfg);
-  bool released = false;
-  const auto active = idc.create_reservation(f.request(1, 300, gbps(4)), nullptr,
-                                             [&](const Circuit&) { released = true; });
+  bool released = false, failed = false;
+  const auto active = idc.create_reservation(
+      f.request(1, 300, gbps(4)), nullptr, [&](const Circuit&) { released = true; },
+      [&](const Circuit&) { failed = true; });
   const auto scheduled = idc.create_reservation(f.request(400, 500, gbps(4)));
   f.sim.run_until(50.0);
   // Fail both branches' a-side links: nothing can be re-pathed.
   idc.handle_link_failure(f.a_r1);
   EXPECT_EQ(idc.handle_link_failure(f.a_r2), 0u);
-  EXPECT_EQ(idc.circuit(*active.circuit_id).state, CircuitState::kReleased);
-  EXPECT_TRUE(released);
+  EXPECT_TRUE(failed);
   EXPECT_EQ(idc.circuit(*scheduled.circuit_id).state, CircuitState::kCancelled);
+  f.sim.run();
+  // Every re-signal found no route; the circuit stays kFailed and the
+  // release callback never fires (the guarantee was never restored).
+  EXPECT_EQ(idc.circuit(*active.circuit_id).state, CircuitState::kFailed);
+  EXPECT_FALSE(released);
+  EXPECT_EQ(idc.stats().failed, 1u);
+  EXPECT_EQ(idc.stats().resignaled, 0u);
+  EXPECT_EQ(idc.live_circuit_count(), 0u);  // retired after exhausting retries
+}
+
+TEST(IdcFailure, ResignalDisabledRetiresFailedCircuitImmediately) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  cfg.resignal_on_failure = false;
+  Idc idc(f.sim, f.topo, cfg);
+  const auto r = idc.create_reservation(f.request(1, 300, gbps(4)));
+  f.sim.run_until(10.0);
+  ASSERT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kActive);
+  idc.handle_link_failure(f.r1_b);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kFailed);
+  EXPECT_EQ(idc.live_circuit_count(), 0u);
+  f.sim.run();
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kFailed);
+}
+
+TEST(IdcFailure, ReleaseNowOnFailedCircuitDropsPendingResignal) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  int activations = 0;
+  const auto r = idc.create_reservation(f.request(1, 300, gbps(4)),
+                                        [&](const Circuit&) { ++activations; });
+  f.sim.run_until(10.0);
+  idc.handle_link_failure(f.r1_b);
+  ASSERT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kFailed);
+  // The caller gave up on the task; the queued re-signal must not revive
+  // the circuit behind its back.
+  idc.release_now(*r.circuit_id);
+  f.sim.run();
+  EXPECT_EQ(activations, 1);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kFailed);
+  EXPECT_EQ(idc.stats().resignaled, 0u);
 }
 
 TEST(IdcFailure, FailedLinkAvoidedByNewReservationsUntilRestored) {
@@ -177,6 +240,52 @@ TEST(IdcFailure, RepathedCircuitFreesOldLinks) {
   const auto fresh = idc.create_reservation(f.request(100, 200, gbps(9)));
   ASSERT_TRUE(fresh.accepted());
   EXPECT_EQ(idc.circuit(*fresh.circuit_id).path, (net::Path{f.a_r1, f.r1_b}));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded lifecycle bookkeeping (the entries_ leak regression)
+// ---------------------------------------------------------------------------
+
+TEST(IdcLifecycleStore, TerminalCircuitsDoNotGrowLiveState) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  // Many short-lived circuits over a long run: released and cancelled
+  // circuits used to stay in the live map forever.
+  constexpr int kRounds = 600;
+  std::uint64_t last_id = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const Seconds start = static_cast<double>(i) * 10.0 + 1.0;
+    const auto r = idc.create_reservation(f.request(start, start + 5.0, gbps(2)));
+    ASSERT_TRUE(r.accepted());
+    last_id = *r.circuit_id;
+    if (i % 3 == 0) idc.cancel(*r.circuit_id);  // mix in pre-activation cancels
+  }
+  f.sim.run();
+  EXPECT_EQ(idc.live_circuit_count(), 0u);
+  EXPECT_LE(idc.terminal_record_count(), Idc::kTerminalCapacity);
+  EXPECT_EQ(idc.stats().released + idc.stats().cancelled,
+            static_cast<std::uint64_t>(kRounds));
+  // Recent ids stay queryable; the oldest were evicted and now throw.
+  EXPECT_EQ(idc.circuit(last_id).state, CircuitState::kReleased);
+  EXPECT_THROW(idc.circuit(1), gridvc::PreconditionError);
+}
+
+TEST(IdcLifecycleStore, ReleasedCircuitQueryableFromTerminalStore) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  Idc idc(f.sim, f.topo, cfg);
+  const auto r = idc.create_reservation(f.request(1, 50, gbps(4)));
+  ASSERT_TRUE(r.accepted());
+  f.sim.run();
+  EXPECT_EQ(idc.live_circuit_count(), 0u);
+  EXPECT_EQ(idc.terminal_record_count(), 1u);
+  const Circuit& c = idc.circuit(*r.circuit_id);
+  EXPECT_EQ(c.state, CircuitState::kReleased);
+  EXPECT_DOUBLE_EQ(c.request.bandwidth, gbps(4));
+  EXPECT_GT(c.released_at, 0.0);
 }
 
 }  // namespace

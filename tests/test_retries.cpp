@@ -1,12 +1,16 @@
 // Failure/retry behavior of the TransferEngine (§II: GridFTP recovers
-// from failures during transfers via restart markers).
+// from failures during transfers via restart markers), the BackoffPolicy
+// that paces those retries, and the link-failure abort path.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
+#include "common/error.hpp"
+#include "gridftp/backoff.hpp"
 #include "gridftp/transfer_engine.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 
 namespace gridvc::gridftp {
 namespace {
@@ -20,21 +24,25 @@ struct Fixture {
   UsageStatsCollector collector;
   std::unique_ptr<TransferEngine> engine;
 
-  explicit Fixture(double failure_probability, Seconds backoff = 5.0) {
+  explicit Fixture(double failure_probability, Seconds backoff = 5.0,
+                   int max_attempts = 5, BitsPerSecond nic = gbps(4),
+                   int max_aborts = 8) {
     const auto a = topo.add_node("a", net::NodeKind::kHost);
     const auto b = topo.add_node("b", net::NodeKind::kHost);
     ab = topo.add_link(a, b, gbps(10), 0.005);
     network = std::make_unique<net::Network>(sim, topo);
     ServerConfig sc;
     sc.name = "src";
-    sc.nic_rate = gbps(4);
+    sc.nic_rate = nic;
     src = std::make_unique<Server>(sc);
     sc.name = "dst";
     dst = std::make_unique<Server>(sc);
     TransferEngineConfig cfg;
     cfg.server_noise_sigma = 0.0;
     cfg.failure_probability = failure_probability;
-    cfg.retry_backoff = backoff;
+    cfg.backoff = BackoffPolicy::fixed(backoff);
+    cfg.max_attempts = max_attempts;
+    cfg.max_aborts = max_aborts;
     cfg.tcp.stream_buffer = 64 * MiB;
     engine = std::make_unique<TransferEngine>(*network, collector, cfg, Rng(11));
   }
@@ -72,8 +80,23 @@ TEST(Retries, AlwaysFailingTransferStillCompletes) {
   EXPECT_EQ(f.engine->stats().attempts, 5u);
   EXPECT_EQ(f.engine->stats().failures, 4u);
   EXPECT_EQ(record.size, GiB);
+  EXPECT_FALSE(record.failed);
   // The record's duration includes the four backoffs.
   EXPECT_GT(record.duration, 4 * 5.0);
+}
+
+TEST(Retries, FinalAttemptNeverFails) {
+  // The "operator's patience" invariant for any cap: with p=1 the engine
+  // makes exactly max_attempts attempts, the last of which goes through.
+  for (int max_attempts : {1, 2, 3, 7}) {
+    Fixture f(1.0, /*backoff=*/1.0, max_attempts);
+    f.engine->submit(f.spec(256 * MiB));
+    f.sim.run();
+    EXPECT_EQ(f.engine->stats().completed, 1u) << "max_attempts=" << max_attempts;
+    EXPECT_EQ(f.engine->stats().attempts, static_cast<std::uint64_t>(max_attempts));
+    EXPECT_EQ(f.engine->stats().failures, static_cast<std::uint64_t>(max_attempts - 1));
+    EXPECT_EQ(f.engine->stats().failed_transfers, 0u);
+  }
 }
 
 TEST(Retries, FailedTransfersAreSlowerOnAverage) {
@@ -128,6 +151,255 @@ TEST(Retries, UsageStatsReportedOncePerTransfer) {
   for (int i = 0; i < 5; ++i) f.engine->submit(f.spec(256 * MiB));
   f.sim.run();
   EXPECT_EQ(f.collector.received(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// set_guarantee across the attempt lifecycle
+// ---------------------------------------------------------------------------
+
+/// Trace sink that attaches a guarantee the moment the first of two
+/// stripes completes (aux == live stripes left == 1) — exactly the racy
+/// instant the mid-transfer circuit-activation bug lived at: the old
+/// engine split the rate over *all* recorded stripe flows, completed ones
+/// included, and pushing a guarantee to a finished flow blew up the
+/// network layer.
+struct GuaranteeOnStripeSink : obs::TraceSink {
+  TransferEngine* engine = nullptr;
+  std::uint64_t transfer_id = 0;
+  BitsPerSecond guarantee = 0.0;
+  int applied = 0;
+
+  void emit(const obs::TraceEvent& e) override {
+    if (e.type == obs::TraceEventType::kTransferStripeCompleted &&
+        e.id == transfer_id && e.aux == 1) {
+      engine->set_guarantee(transfer_id, guarantee);
+      ++applied;
+    }
+  }
+};
+
+TEST(Retries, SetGuaranteeSplitsAcrossLiveFlowsOnly) {
+  Fixture f(0.0);
+  GuaranteeOnStripeSink sink;
+  f.sim.obs().set_trace_sink(&sink);
+  sink.engine = f.engine.get();
+  sink.guarantee = gbps(2);
+
+  TransferSpec s = f.spec(GiB);
+  s.stripes = 2;
+  TransferRecord record{};
+  sink.transfer_id =
+      f.engine->submit(s, [&](const TransferRecord& r) { record = r; });
+  // Pre-fix this threw PreconditionError from inside the network layer
+  // (guarantee pushed to the already-completed stripe's flow id).
+  ASSERT_NO_THROW(f.sim.run());
+  EXPECT_EQ(sink.applied, 1);
+  EXPECT_EQ(f.engine->stats().completed, 1u);
+  EXPECT_EQ(record.size, GiB);
+}
+
+TEST(Retries, SetGuaranteeDuringBackoffAppliesToNextAttempt) {
+  // A competing best-effort hog shares the 10G link, so fair share gives
+  // the transfer ~5G. A guarantee of 8G attached *during the backoff*
+  // (no flows in flight) must be stored and carried into the retry
+  // attempt's flows, which then finish measurably sooner.
+  const auto run_once = [](bool set_during_backoff) {
+    Fixture f(1.0, /*backoff=*/50.0, /*max_attempts=*/2, /*nic=*/gbps(20));
+    f.network->start_flow({f.ab}, static_cast<Bytes>(1) << 55, {}, nullptr);
+    TransferRecord record{};
+    const std::uint64_t id =
+        f.engine->submit(f.spec(4 * GiB), [&](const TransferRecord& r) { record = r; });
+    f.sim.run_until(20.0);
+    // Attempt 1 has failed and the retry is still waiting out the backoff.
+    EXPECT_EQ(f.engine->stats().failures, 1u);
+    EXPECT_EQ(f.engine->stats().attempts, 1u);
+    if (set_during_backoff) {
+      // Pre-fix this pushed the guarantee to the dead attempt's flow ids.
+      f.engine->set_guarantee(id, gbps(8));
+    }
+    f.sim.run();
+    EXPECT_EQ(f.engine->stats().completed, 1u);
+    return record.duration;
+  };
+  const double without = run_once(false);
+  const double with = run_once(true);
+  EXPECT_LT(with, without - 1.0);
+}
+
+TEST(Retries, SetGuaranteeOnUnknownTransferIsIgnored) {
+  Fixture f(0.0);
+  TransferRecord record{};
+  f.engine->submit(f.spec(GiB), [&](const TransferRecord& r) { record = r; });
+  f.sim.run();
+  // Circuit callbacks legitimately outlive the transfers they fed.
+  EXPECT_NO_THROW(f.engine->set_guarantee(12345, gbps(1)));
+  EXPECT_NO_THROW(f.engine->set_guarantee(1, 0.0));  // id 1 already finished
+  EXPECT_FALSE(record.failed);
+}
+
+// ---------------------------------------------------------------------------
+// Link-failure aborts
+// ---------------------------------------------------------------------------
+
+/// Trace sink that flaps a link shortly after a transfer's first bytes hit
+/// the wire: down `down_after` seconds past kTransferStarted, back up
+/// `up_after` seconds past it. Event-driven so the test does not depend on
+/// the slow-start injection delay.
+struct LinkFlapSink : obs::TraceSink {
+  sim::Simulator* sim = nullptr;
+  net::Network* network = nullptr;
+  net::LinkId link = 0;
+  Seconds down_after = 0.5;
+  Seconds up_after = 1.5;
+  bool armed = false;
+
+  void emit(const obs::TraceEvent& e) override {
+    if (e.type != obs::TraceEventType::kTransferStarted || armed) return;
+    armed = true;
+    sim->schedule_in(down_after, [this] { network->set_link_state(link, false); });
+    sim->schedule_in(up_after, [this] { network->set_link_state(link, true); });
+  }
+};
+
+TEST(Retries, LinkFailureAbortFeedsRestartMarkerRetry) {
+  Fixture f(0.0, /*backoff=*/5.0);
+  LinkFlapSink sink;
+  sink.sim = &f.sim;
+  sink.network = f.network.get();
+  sink.link = f.ab;
+  f.sim.obs().set_trace_sink(&sink);
+
+  TransferRecord record{};
+  f.engine->submit(f.spec(2 * GiB), [&](const TransferRecord& r) { record = r; });
+  f.sim.run();
+
+  // The outage killed attempt 1; the retry resumed from the restart
+  // marker and completed.
+  EXPECT_EQ(f.engine->stats().aborted_attempts, 1u);
+  EXPECT_EQ(f.engine->stats().attempts, 2u);
+  EXPECT_EQ(f.engine->stats().completed, 1u);
+  EXPECT_EQ(f.engine->stats().failed_transfers, 0u);
+  EXPECT_FALSE(record.failed);
+  EXPECT_GT(record.duration, 5.0);  // includes the abort backoff
+  // Restart markers: delivered bytes survive the abort, so each byte
+  // crossed the link exactly once.
+  EXPECT_NEAR(f.network->link_bytes(f.ab), static_cast<double>(2 * GiB), 16.0);
+}
+
+TEST(Retries, TransferFailsPermanentlyAfterMaxAborts) {
+  Fixture f(0.0, /*backoff=*/5.0, /*max_attempts=*/5, gbps(4), /*max_aborts=*/1);
+  LinkFlapSink sink;
+  sink.sim = &f.sim;
+  sink.network = f.network.get();
+  sink.link = f.ab;
+  f.sim.obs().set_trace_sink(&sink);
+
+  TransferRecord record{};
+  f.engine->submit(f.spec(2 * GiB), [&](const TransferRecord& r) { record = r; });
+  f.sim.run();
+
+  EXPECT_EQ(f.engine->stats().aborted_attempts, 1u);
+  EXPECT_EQ(f.engine->stats().failed_transfers, 1u);
+  EXPECT_EQ(f.engine->stats().completed, 0u);
+  EXPECT_TRUE(record.failed);
+  EXPECT_EQ(record.size, 2 * GiB);
+  // Failed transfers are counted by the collector but never logged: the
+  // paper's analyses run over completed transfers only.
+  EXPECT_EQ(f.collector.failed(), 1u);
+  EXPECT_EQ(f.collector.received(), 0u);
+  // Servers released their slots despite the failure.
+  EXPECT_EQ(f.src->concurrency(), 0u);
+  EXPECT_EQ(f.dst->concurrency(), 0u);
+  EXPECT_EQ(f.engine->active_transfers(), 0u);
+}
+
+TEST(Retries, AbortEventsCarryTerminalFlag) {
+  obs::RingBufferTraceSink ring(1024);
+  struct Tee : obs::TraceSink {
+    obs::TraceSink* a = nullptr;
+    obs::TraceSink* b = nullptr;
+    void emit(const obs::TraceEvent& e) override {
+      a->emit(e);
+      b->emit(e);
+    }
+  };
+
+  Fixture f(0.0, /*backoff=*/5.0, /*max_attempts=*/5, gbps(4), /*max_aborts=*/1);
+  LinkFlapSink flap;
+  flap.sim = &f.sim;
+  flap.network = f.network.get();
+  flap.link = f.ab;
+  Tee tee;
+  tee.a = &flap;
+  tee.b = &ring;
+  f.sim.obs().set_trace_sink(&tee);
+
+  f.engine->submit(f.spec(2 * GiB));
+  f.sim.run();
+
+  int aborted = 0;
+  for (const auto& e : ring.events()) {
+    if (e.type == obs::TraceEventType::kTransferAborted) {
+      ++aborted;
+      EXPECT_DOUBLE_EQ(e.value2, 1.0);  // terminal: max_aborts reached
+    }
+  }
+  EXPECT_EQ(aborted, 1);
+}
+
+// ---------------------------------------------------------------------------
+// BackoffPolicy
+// ---------------------------------------------------------------------------
+
+TEST(BackoffPolicy, DefaultMatchesLegacyFixedFiveSeconds) {
+  Rng rng(1);
+  BackoffPolicy p;
+  EXPECT_DOUBLE_EQ(p.delay(1, rng), 5.0);
+  EXPECT_DOUBLE_EQ(p.delay(4, rng), 5.0);
+}
+
+TEST(BackoffPolicy, FixedIgnoresAttemptNumber) {
+  Rng rng(1);
+  const BackoffPolicy p = BackoffPolicy::fixed(7.5);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(p.delay(attempt, rng), 7.5);
+  }
+}
+
+TEST(BackoffPolicy, ExponentialGrowsAndCaps) {
+  Rng rng(1);
+  const BackoffPolicy p = BackoffPolicy::exponential(2.0, 2.0, /*cap=*/9.0);
+  EXPECT_DOUBLE_EQ(p.delay(1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(p.delay(2, rng), 4.0);
+  EXPECT_DOUBLE_EQ(p.delay(3, rng), 8.0);
+  EXPECT_DOUBLE_EQ(p.delay(4, rng), 9.0);
+  EXPECT_DOUBLE_EQ(p.delay(10, rng), 9.0);
+}
+
+TEST(BackoffPolicy, JitterStaysBoundedAndIsDeterministic) {
+  const BackoffPolicy p = BackoffPolicy::exponential(10.0, 2.0, 300.0, /*jitter=*/0.5);
+  Rng a(42), b(42);
+  bool varied = false;
+  double previous = -1.0;
+  for (int i = 0; i < 32; ++i) {
+    const double da = p.delay(1, a);
+    const double db = p.delay(1, b);
+    EXPECT_DOUBLE_EQ(da, db);  // same stream, same draws
+    EXPECT_GE(da, 5.0);
+    EXPECT_LT(da, 15.0);
+    if (previous >= 0.0 && da != previous) varied = true;
+    previous = da;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(BackoffPolicy, RejectsMalformedParameters) {
+  Rng rng(1);
+  BackoffPolicy p;
+  p.jitter = 1.5;
+  EXPECT_THROW(p.delay(1, rng), PreconditionError);
+  p.jitter = 0.0;
+  EXPECT_THROW(p.delay(0, rng), PreconditionError);
 }
 
 }  // namespace

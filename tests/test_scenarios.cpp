@@ -162,5 +162,69 @@ TEST(AnlNerscScenario, SortedLog) {
   }
 }
 
+FaultyWanConfig small_faulty() {
+  FaultyWanConfig cfg;
+  cfg.transfer_count = 6;
+  cfg.transfer_size = 16 * GiB;
+  cfg.transfer_interarrival = 60.0;
+  cfg.link_mtbf = 60.0;
+  cfg.link_mttr = 15.0;
+  cfg.fault_horizon = 600.0;
+  return cfg;
+}
+
+TEST(FaultyWanScenario, EveryTransferReachesAnOutcome) {
+  const auto result = run_faulty_wan(small_faulty(), 21);
+  EXPECT_EQ(result.transfers_completed + result.transfers_failed, 6u);
+  EXPECT_EQ(result.circuits_granted, 6u);
+  EXPECT_EQ(result.link_failures, result.link_repairs);
+}
+
+TEST(FaultyWanScenario, FaultsDriveAbortsAndCircuitFailures) {
+  const auto result = run_faulty_wan(small_faulty(), 21);
+  // The fault process is hot enough (MTBF 60s on two links, transfers in
+  // flight most of the run) that this seed produces outages mid-transfer
+  // and mid-circuit.
+  EXPECT_GT(result.link_failures, 0u);
+  EXPECT_GT(result.aborted_attempts, 0u);
+  EXPECT_GT(result.circuits_failed, 0u);
+  EXPECT_GT(result.circuits_resignaled, 0u);
+  // The failure path is visible in the metrics snapshot too.
+  EXPECT_DOUBLE_EQ(result.metrics.value("gridvc_net_link_failures"),
+                   static_cast<double>(result.link_failures));
+  EXPECT_DOUBLE_EQ(result.metrics.value("gridvc_vc_failed"),
+                   static_cast<double>(result.circuits_failed));
+  EXPECT_DOUBLE_EQ(result.metrics.value("gridvc_gridftp_aborted_attempts"),
+                   static_cast<double>(result.aborted_attempts));
+}
+
+TEST(FaultyWanScenario, DeterministicPerSeed) {
+  const auto a = run_faulty_wan(small_faulty(), 9);
+  const auto b = run_faulty_wan(small_faulty(), 9);
+  EXPECT_EQ(a.transfers_completed, b.transfers_completed);
+  EXPECT_EQ(a.transfers_failed, b.transfers_failed);
+  EXPECT_EQ(a.aborted_attempts, b.aborted_attempts);
+  EXPECT_EQ(a.link_failures, b.link_failures);
+  EXPECT_EQ(a.circuits_failed, b.circuits_failed);
+  EXPECT_EQ(a.circuits_resignaled, b.circuits_resignaled);
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.metrics.entries.size(), b.metrics.entries.size());
+  for (std::size_t i = 0; i < a.metrics.entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.metrics.entries[i].value, b.metrics.entries[i].value)
+        << a.metrics.entries[i].name;
+  }
+}
+
+TEST(FaultyWanScenario, FaultFreeWhenInjectionDisabled) {
+  auto cfg = small_faulty();
+  cfg.link_mtbf = 0.0;
+  const auto result = run_faulty_wan(cfg, 21);
+  EXPECT_EQ(result.transfers_completed, 6u);
+  EXPECT_EQ(result.transfers_failed, 0u);
+  EXPECT_EQ(result.link_failures, 0u);
+  EXPECT_EQ(result.aborted_attempts, 0u);
+  EXPECT_EQ(result.circuits_failed, 0u);
+}
+
 }  // namespace
 }  // namespace gridvc::workload

@@ -1,15 +1,21 @@
 // gridvc-simulate: run one of the full event-driven scenarios and dump
 // its artifacts.
 //
-//   gridvc-simulate --scenario nersc-ornl|anl-nersc|managed-vc [--seed N]
-//                   [--days N] [--tasks N] [--log FILE] [--snmp FILE]
-//                   [--metrics-out FILE] [--trace-out FILE.jsonl]
+//   gridvc-simulate --scenario nersc-ornl|anl-nersc|managed-vc|faulty-wan
+//                   [--seed N] [--days N] [--tasks N] [--transfers N]
+//                   [--link-mtbf S] [--link-mttr S] [--log FILE]
+//                   [--snmp FILE] [--metrics-out FILE]
+//                   [--trace-out FILE.jsonl]
 //
 // nersc-ornl: the 145x32GB test-transfer study; --snmp dumps the five
 // monitored routers' forward-direction 30-s byte series.
 // anl-nersc: the 334-test matrix; --log holds the full NERSC-side log.
 // managed-vc: the VC-aware managed transfer service (exercises all four
 // instrumented layers: sim, net, gridftp, vc).
+// faulty-wan: circuits and transfers riding a flapping backbone span
+// (--link-mtbf/--link-mttr tune the fault process; --link-mtbf 0
+// disables it). Exercises the failure semantics end to end: flow aborts,
+// restart-marker retries, circuit failure and re-signaling.
 //
 // --metrics-out writes the end-of-run metrics snapshot in Prometheus
 // text exposition format, or as flat CSV when FILE ends in ".csv".
@@ -37,11 +43,16 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --scenario nersc-ornl|anl-nersc|managed-vc [--seed N]\n"
-               "          [--days N] [--tasks N] [--log FILE] [--snmp FILE]\n"
+               "usage: %s --scenario nersc-ornl|anl-nersc|managed-vc|faulty-wan\n"
+               "          [--seed N] [--days N] [--tasks N] [--transfers N]\n"
+               "          [--link-mtbf S] [--link-mttr S] [--log FILE] [--snmp FILE]\n"
                "          [--metrics-out FILE] [--trace-out FILE.jsonl]\n"
                "  --days         scenario horizon in days (nersc-ornl, anl-nersc)\n"
                "  --tasks        task count (managed-vc)\n"
+               "  --transfers    transfer count (faulty-wan)\n"
+               "  --link-mtbf    mean seconds between link failures (faulty-wan;\n"
+               "                 0 disables fault injection)\n"
+               "  --link-mttr    mean seconds to repair a failed link (faulty-wan)\n"
                "  --metrics-out  Prometheus text snapshot (CSV when FILE ends .csv)\n"
                "  --trace-out    structured trace events as JSONL\n",
                argv0);
@@ -98,8 +109,11 @@ struct TraceOut {
 int main(int argc, char** argv) {
   std::string scenario, log_path, snmp_path, metrics_path, trace_path;
   std::uint64_t seed = 1;
-  std::size_t days = 0;   // 0 = scenario default
-  std::size_t tasks = 0;  // 0 = scenario default
+  std::size_t days = 0;       // 0 = scenario default
+  std::size_t tasks = 0;      // 0 = scenario default
+  std::size_t transfers = 0;  // 0 = scenario default
+  double link_mtbf = -1.0;    // < 0 = scenario default
+  double link_mttr = -1.0;    // < 0 = scenario default
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +125,12 @@ int main(int argc, char** argv) {
       days = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--tasks" && i + 1 < argc) {
       tasks = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--transfers" && i + 1 < argc) {
+      transfers = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--link-mtbf" && i + 1 < argc) {
+      link_mtbf = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--link-mttr" && i + 1 < argc) {
+      link_mttr = std::strtod(argv[++i], nullptr);
     } else if (arg == "--log" && i + 1 < argc) {
       log_path = argv[++i];
     } else if (arg == "--snmp" && i + 1 < argc) {
@@ -222,6 +242,32 @@ int main(int argc, char** argv) {
                 result.circuits_granted, result.circuits_rejected,
                 result.circuit_retries,
                 format_percent(result.blocking_probability, 1).c_str());
+    if (!metrics_path.empty()) return write_metrics_file(result.metrics, metrics_path);
+    return 0;
+  }
+
+  if (scenario == "faulty-wan") {
+    std::fprintf(stderr, "running the faulty-WAN failure scenario (seed %llu)...\n",
+                 static_cast<unsigned long long>(seed));
+    workload::FaultyWanConfig config;
+    if (transfers > 0) config.transfer_count = transfers;
+    if (link_mtbf >= 0.0) config.link_mtbf = link_mtbf;
+    if (link_mttr >= 0.0) config.link_mttr = link_mttr;
+    config.trace_sink = trace.sink.get();
+    const auto result = workload::run_faulty_wan(config, seed);
+    std::printf(
+        "%zu transfers completed, %zu permanently failed; "
+        "%llu attempts aborted by outages\n",
+        result.transfers_completed, result.transfers_failed,
+        static_cast<unsigned long long>(result.aborted_attempts));
+    std::printf(
+        "links: %llu failures / %llu repairs; circuits: %zu granted, "
+        "%llu failed, %llu re-signaled\n",
+        static_cast<unsigned long long>(result.link_failures),
+        static_cast<unsigned long long>(result.link_repairs),
+        result.circuits_granted,
+        static_cast<unsigned long long>(result.circuits_failed),
+        static_cast<unsigned long long>(result.circuits_resignaled));
     if (!metrics_path.empty()) return write_metrics_file(result.metrics, metrics_path);
     return 0;
   }
