@@ -76,7 +76,9 @@ Outcome run(double rate_fraction, double offered_load, bool advance, std::uint64
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "ablation_admission");
+
   bench::print_exhibit_header(
       "Ablation D: circuit admission -- blocking probability vs requested rate",
       "Section II (qualitative): high per-circuit rates need advance "

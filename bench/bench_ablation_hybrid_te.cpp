@@ -101,7 +101,9 @@ Outcome run(bool enable_te, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "ablation_hybrid_te");
+
   bench::print_exhibit_header(
       "Ablation E: HNTES-style automatic alpha-flow redirection",
       "Section IV (qualitative): preconfigured intra-domain circuits +"

@@ -17,7 +17,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "ablation_queue_isolation");
+
   bench::print_exhibit_header(
       "Ablation C: GP-packet delay with vs without alpha-flow queue isolation",
       "Section I, positive #3 (qualitative in the paper): isolation reduces "

@@ -22,7 +22,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "ablation_rate_advisor");
+
   bench::print_exhibit_header(
       "Ablation F: advising circuit rate/duration from transfer history",
       "Section VII (motivation, not evaluated in the paper): 'provide a "

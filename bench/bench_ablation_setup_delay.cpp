@@ -12,7 +12,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "ablation_setup_delay");
+
   bench::print_exhibit_header(
       "Ablation B: VC setup delay sweep vs session suitability (g = 1 min)",
       "Paper anchor points -- SLAC: 12.54% (78.38%) at 1 min, 93.56% (99.73%) "

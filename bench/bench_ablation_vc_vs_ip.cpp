@@ -97,7 +97,9 @@ std::vector<double> run_mode(bool use_circuit, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "ablation_vc_vs_ip");
+
   bench::print_exhibit_header(
       "Ablation A: IP-routed best effort vs rate-guaranteed dynamic circuit",
       "Section I, positive #1: rate guarantees reduce throughput variance for "

@@ -1,9 +1,14 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
 
 #include "common/strings.hpp"
+#include "exec/thread_pool.hpp"
 #include "workload/profiles.hpp"
 #include "workload/synth.hpp"
 
@@ -16,9 +21,16 @@ const gridftp::TransferLog& ncar_log() {
 }
 
 const gridftp::TransferLog& slac_log(double scale) {
-  static const gridftp::TransferLog log =
-      workload::synthesize_trace(workload::slac_bnl_profile(scale), kSeed + 1);
-  return log;
+  // Memoized per scale: a bench that warms up at scale 0.05 and then
+  // asks for 1.0 must not be served the small log again.
+  static std::map<double, gridftp::TransferLog> logs;
+  auto it = logs.find(scale);
+  if (it == logs.end()) {
+    it = logs.emplace(scale, workload::synthesize_trace(workload::slac_bnl_profile(scale),
+                                                        kSeed + 1))
+             .first;
+  }
+  return it->second;
 }
 
 const workload::NerscOrnlResult& nersc_ornl_result() {
@@ -64,6 +76,64 @@ void print_exhibit_header(const std::string& exhibit, const std::string& paper_r
     std::printf("Paper: %s\n", paper_reference.c_str());
   }
   std::printf("================================================================\n");
+}
+
+Harness::Harness(int argc, char** argv, std::string exhibit)
+    : exhibit_(std::move(exhibit)), start_(std::chrono::steady_clock::now()) {
+  json_path_ = "BENCH_" + exhibit_ + ".json";
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--json-out") == 0 && i + 1 < argc) {
+      json_path_ = argv[++i];
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      write_json_ = false;
+    }
+  }
+  if (const char* env = std::getenv("GRIDVC_BENCH_NO_JSON");
+      env != nullptr && *env != '\0' && *env != '0') {
+    write_json_ = false;
+  }
+  if (threads > 0) exec::set_default_threads(threads);
+}
+
+unsigned Harness::threads() const { return exec::default_threads(); }
+
+void Harness::note(const std::string& key, double value) {
+  counters_.emplace_back(key, value);
+}
+
+void Harness::note_metrics(const obs::MetricsSnapshot& snapshot) {
+  for (const char* name :
+       {"gridvc_sim_events_scheduled", "gridvc_sim_events_cancelled",
+        "gridvc_sim_events_dispatched", "gridvc_net_recomputes",
+        "gridvc_net_rate_changes"}) {
+    note(name, snapshot.value(name));
+  }
+}
+
+Harness::~Harness() {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  if (!write_json_) return;
+  std::ofstream out(json_path_);
+  if (!out) {
+    std::fprintf(stderr, "bench harness: cannot write %s\n", json_path_.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"exhibit\": \"" << exhibit_ << "\",\n"
+      << "  \"threads\": " << threads() << ",\n"
+      << "  \"wall_seconds\": " << wall << ",\n"
+      << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << counters_[i].first
+        << "\": " << counters_[i].second;
+  }
+  if (!counters_.empty()) out << "\n  ";
+  out << "}\n}\n";
 }
 
 std::string fmt1(double v) { return format_grouped(v, 1); }

@@ -8,7 +8,9 @@
 // same numbers).
 #pragma once
 
+#include <chrono>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/link_utilization.hpp"
@@ -21,6 +23,43 @@ namespace gridvc::bench {
 
 /// One fixed seed for every bench: runs are exactly reproducible.
 inline constexpr std::uint64_t kSeed = 0x5EED2012ULL;
+
+/// Per-binary bench harness. Construct first thing in main():
+///
+///   int main(int argc, char** argv) {
+///     bench::Harness harness(argc, argv, "table4_vc_suitability");
+///     ...
+///
+/// Parses the shared flags --threads N (execution-pool width; 0 or absent
+/// keeps the hardware default), --json-out PATH, and --no-json, then on
+/// destruction writes BENCH_<exhibit>.json into the working directory:
+/// exhibit name, thread count, wall-clock seconds, and whatever counters
+/// the bench noted. GRIDVC_BENCH_NO_JSON=1 in the environment suppresses
+/// the file (CI smoke runs that only care about stdout).
+class Harness {
+ public:
+  Harness(int argc, char** argv, std::string exhibit);
+  ~Harness();
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// Attach a named counter to the JSON report.
+  void note(const std::string& key, double value);
+
+  /// Record the standard event/recompute counters from a metrics
+  /// snapshot (missing counters read as zero).
+  void note_metrics(const obs::MetricsSnapshot& snapshot);
+
+  /// Execution-pool width in force for this run.
+  unsigned threads() const;
+
+ private:
+  std::string exhibit_;
+  std::string json_path_;
+  bool write_json_ = true;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> counters_;
+};
 
 /// The synthesized NCAR-NICS log (full 52,454 transfers), memoized per
 /// process.

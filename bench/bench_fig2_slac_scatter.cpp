@@ -8,7 +8,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig2_slac_scatter");
+
   bench::print_exhibit_header(
       "Fig 2: Throughput of SLAC-BNL transfers vs file size",
       "Considerable variance among same-size transfers; peak 2.56 Gbps at "

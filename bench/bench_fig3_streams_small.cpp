@@ -9,7 +9,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig3_streams_small");
+
   bench::print_exhibit_header(
       "Fig 3: Throughput of 8-stream and 1-stream transfers of size (0, 1GB)",
       "For small files the 8-stream median beats the 1-stream median (Slow "

@@ -9,7 +9,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig4_streams_large");
+
   bench::print_exhibit_header(
       "Fig 4: Throughput of 8-stream and 1-stream transfers of size (0, 4GB)",
       "For files > 1 GB the two groups' medians are roughly the same -- the "

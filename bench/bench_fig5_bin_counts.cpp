@@ -11,7 +11,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig5_bin_counts");
+
   bench::print_exhibit_header(
       "Fig 5: Number of observations for each file size bin",
       "1-stream counts fall below ~300 per bin for sizes above ~2.3 GB, so "

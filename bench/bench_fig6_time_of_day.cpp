@@ -9,7 +9,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig6_time_of_day");
+
   bench::print_exhibit_header(
       "Fig 6: Throughput of the 32GB NERSC-ORNL transfers vs time of day",
       "All transfers start at 2 AM or 8 AM; some 2 AM transfers reach higher "

@@ -8,7 +8,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig7_concurrency_timeline");
+
   bench::print_exhibit_header(
       "Fig 7: Concurrent transfers within the duration of a particular transfer",
       "Example from the paper: 7 concurrent transfers during the first "

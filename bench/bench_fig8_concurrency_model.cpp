@@ -11,7 +11,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig8_concurrency_model");
+
   bench::print_exhibit_header(
       "Fig 8: Actual and predicted throughput for mem-to-mem ANL->NERSC transfers",
       "rho = 0.6237 with R = 2.19 Gbps (the 90th percentile of observed "

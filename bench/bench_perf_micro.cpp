@@ -4,9 +4,17 @@
 // scheduling path under heavy flow concurrency.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
 #include "analysis/session_grouping.hpp"
 #include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
 #include "gridftp/transfer_engine.hpp"
 #include "gridftp/usage_stats.hpp"
 #include "net/fair_share.hpp"
@@ -18,6 +26,25 @@
 #include "workload/profiles.hpp"
 #include "workload/synth.hpp"
 #include "workload/testbed.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -225,6 +252,109 @@ BENCHMARK(BM_EngineConcurrentTransfersTraced)
     ->Arg(300)
     ->Unit(benchmark::kMillisecond);
 
+
+// Steady-state allocator hot path: caller-owned workspace, borrowed
+// paths. The heap counter must read zero per call once the workspace is
+// warm — that is the whole point of the FlowDemandRef/AllocWorkspace API.
+void BM_MaxMinAllocateWorkspace(benchmark::State& state) {
+  const auto tb = workload::build_esnet_testbed();
+  Rng rng(1);
+  std::vector<net::Path> paths;
+  std::vector<net::FlowDemandRef> demands;
+  const net::NodeId hosts[] = {tb.ncar, tb.nics, tb.slac, tb.bnl, tb.nersc, tb.ornl,
+                               tb.anl};
+  for (int i = 0; i < state.range(0); ++i) {
+    net::NodeId a = hosts[rng.uniform_int(0, 6)];
+    net::NodeId b;
+    do {
+      b = hosts[rng.uniform_int(0, 6)];
+    } while (a == b);
+    paths.push_back(*net::shortest_path(tb.topo, a, b));
+  }
+  for (const auto& p : paths) {
+    net::FlowDemandRef d;
+    d.path = &p;
+    d.cap = rng.bernoulli(0.5) ? mbps(rng.uniform(100.0, 4000.0)) : 0.0;
+    demands.push_back(d);
+  }
+  const std::vector<char> link_up(tb.topo.link_count(), 1);
+  net::AllocWorkspace ws;
+  // Warm-up: first call sizes the workspace vectors.
+  benchmark::DoNotOptimize(net::max_min_allocate(tb.topo, demands, link_up, ws));
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    benchmark::DoNotOptimize(net::max_min_allocate(tb.topo, demands, link_up, ws));
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+  }
+  state.counters["heap_allocs_per_call"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MaxMinAllocateWorkspace)->Arg(64)->Arg(256);
+
+// Synthesis throughput across execution-pool widths. On a multicore
+// machine transfers/s should scale with the Arg; the output is
+// byte-identical at every width (pinned by test_exec).
+void BM_SynthThroughput(benchmark::State& state) {
+  exec::set_default_threads(static_cast<unsigned>(state.range(0)));
+  const auto profile = workload::slac_bnl_profile(20000.0 / 1021999.0);
+  for (auto _ : state) {
+    const auto log = workload::synthesize_trace(profile, 9);
+    benchmark::DoNotOptimize(log.data());
+  }
+  state.counters["threads"] = static_cast<double>(exec::default_threads());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(profile.target_transfers));
+  exec::set_default_threads(0);
+}
+BENCHMARK(BM_SynthThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Calendar point/window queries against a populated profile: these are
+// the binary-search paths the prefix-level cache exists for.
+void BM_CalendarPeakQuery(benchmark::State& state) {
+  const auto tb = workload::build_esnet_testbed();
+  vc::BandwidthCalendar cal(tb.topo);
+  const auto path = *net::shortest_path(tb.topo, tb.nersc, tb.ornl);
+  Rng rng(11);
+  for (int i = 0; i < state.range(0); ++i) {
+    const double t0 = rng.uniform(0.0, 1e6);
+    const double t1 = t0 + rng.uniform(60.0, 3600.0);
+    if (cal.fits(path, t0, t1, mbps(40))) cal.book(path, t0, t1, mbps(40));
+  }
+  const net::LinkId link = path.front();
+  for (auto _ : state) {
+    const double t0 = rng.uniform(0.0, 1e6);
+    benchmark::DoNotOptimize(cal.available(link, t0, t0 + 600.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalendarPeakQuery)->Arg(1000)->Arg(10000);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: --quick caps google-benchmark's sampling time for CI
+// smoke runs, --threads pins the execution pool (BM_SynthThroughput
+// overrides it per-Arg); everything else passes through to benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc) + 1);
+  passthrough.push_back(argv[0]);
+  static char quick_flag[] = "--benchmark_min_time=0.05";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      passthrough.push_back(quick_flag);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      gridvc::exec::set_default_threads(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,7 +9,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table10_snmp_bins");
+
   bench::print_exhibit_header(
       "Table X: SNMP byte counts within the duration of an example 32GB transfer",
       "ESnet routers report byte counts per interface every 30 s; transfer "

@@ -8,7 +8,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table11_snmp_correlation");
+
   bench::print_exhibit_header(
       "Table XI: Correlation between GridFTP bytes and total bytes B_i (NERSC-ORNL)",
       "Paper values (rt1..rt5, per quartile and All) are high -- e.g. 'All' row "

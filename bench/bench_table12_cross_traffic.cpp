@@ -8,7 +8,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table12_cross_traffic");
+
   bench::print_exhibit_header(
       "Table XII: Correlation between GridFTP bytes and bytes from other flows "
       "(NERSC-ORNL)",

@@ -8,7 +8,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table13_link_load");
+
   bench::print_exhibit_header(
       "Table XIII: Average link load (Gbps) during the 32GB transfers",
       "Even the maximum loads are only slightly more than half the 10 Gbps "

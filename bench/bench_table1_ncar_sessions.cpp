@@ -11,7 +11,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table1_ncar_sessions");
+
   bench::print_exhibit_header(
       "Table I: NCAR-NICS sessions and transfers; g = 1 min",
       "52,454 transfers; size max ~2,873,868.5 MB; duration max 48,420 s; "

@@ -9,7 +9,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table2_slac_sessions");
+
   bench::print_exhibit_header(
       "Table II: SLAC-BNL sessions and transfers; g = 1 min",
       "1,021,999 transfers; session size Q1=273 / median=1,195 / mean=24,045 / "

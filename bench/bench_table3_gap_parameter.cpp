@@ -26,7 +26,9 @@ void add_rows(stats::Table& table, const std::string& dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table3_gap_parameter");
+
   bench::print_exhibit_header(
       "Table III: Impact of the g parameter on number of sessions",
       "NCAR g=0: 25,xxx single-transfer sessions; g=1min: ~211 sessions total, "

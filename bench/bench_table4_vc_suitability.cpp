@@ -33,7 +33,9 @@ void add_rows(stats::Table& table, const std::string& dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table4_vc_suitability");
+
   bench::print_exhibit_header(
       "Table IV: Percentage of sessions suitable for using VCs (percentage of "
       "transfers)",

@@ -9,7 +9,10 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table5_nersc_ornl");
+  harness.note_metrics(bench::nersc_ornl_result().metrics);
+
   bench::print_exhibit_header(
       "Table V: The 32GB NERSC-ORNL transfers (145)",
       "Throughput min = 758 Mbps, max = 3,640 Mbps (3.64 Gbps), "

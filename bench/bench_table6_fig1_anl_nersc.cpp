@@ -24,7 +24,10 @@ std::vector<double> throughputs(const gridftp::TransferLog& log,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table6_fig1_anl_nersc");
+  harness.note_metrics(bench::anl_nersc_result().metrics);
+
   bench::print_exhibit_header(
       "Table VI + Fig 1: Throughput of ANL-NERSC transfers (Mbps)",
       "334 tests: mem-mem 84, mem-disk 78, disk-mem 87, disk-disk 85. CVs: "

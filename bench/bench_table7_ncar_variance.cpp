@@ -9,7 +9,9 @@
 
 using namespace gridvc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table7_ncar_variance");
+
   bench::print_exhibit_header(
       "Table VII: Throughput variance of 16GB/4GB transfers in NCAR data set",
       "The [16,17) GB and [4,5) GB transfers constitute 87% of the top-5% "

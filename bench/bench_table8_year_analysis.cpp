@@ -32,7 +32,9 @@ void year_table(const char* label, const gridftp::TransferLog& class_log,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table8_year_analysis");
+
   bench::print_exhibit_header(
       "Table VIII: Throughput of 16GB/4GB transfers in NCAR data set, by year",
       "The NCAR GridFTP cluster capacity fell 3 servers (2009) -> ~2 (2010) -> "

@@ -26,7 +26,9 @@ void stripe_table(const char* label, const gridftp::TransferLog& class_log) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table9_stripe_analysis");
+
   bench::print_exhibit_header(
       "Table IX: Throughput of 16GB/4GB transfers in NCAR data set, by stripes",
       "Median throughput is higher when the number of stripes is higher, for "

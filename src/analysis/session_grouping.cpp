@@ -2,16 +2,28 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace gridvc::analysis {
+
+namespace {
+
+// Below this size the serial path wins; above it the per-partition sort
+// and sweep dominate and parallelize cleanly. The cut only moves work
+// between identical code paths — the output is the same either way.
+constexpr std::size_t kParallelGroupingThreshold = 4096;
+
+}  // namespace
 
 std::vector<Session> group_sessions(const gridftp::TransferLog& log,
                                     const GroupingOptions& options) {
   GRIDVC_REQUIRE(options.gap >= 0.0, "session gap must be non-negative");
 
-  // Partition by endpoint-pair key.
+  // Partition by endpoint-pair key (serial: the map keeps keys ordered,
+  // and indices within a partition stay in log order).
   std::map<std::string, std::vector<std::size_t>> partitions;
   for (std::size_t i = 0; i < log.size(); ++i) {
     const auto& r = log[i];
@@ -22,8 +34,18 @@ std::vector<Session> group_sessions(const gridftp::TransferLog& log,
     partitions[key].push_back(i);
   }
 
-  std::vector<Session> sessions;
-  for (auto& [key, indices] : partitions) {
+  // Sort and sweep each partition independently — in parallel for large
+  // logs — then concatenate in key order. Each partition's sessions
+  // depend only on that partition, so the merge order (and therefore the
+  // output) is independent of the thread count.
+  std::vector<std::pair<const std::string*, std::vector<std::size_t>*>> parts;
+  parts.reserve(partitions.size());
+  for (auto& [key, indices] : partitions) parts.emplace_back(&key, &indices);
+
+  std::vector<std::vector<Session>> per_part(parts.size());
+  const auto sweep_partition = [&](std::size_t p) {
+    const std::string& key = *parts[p].first;
+    std::vector<std::size_t>& indices = *parts[p].second;
     std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
       if (log[a].start_time != log[b].start_time) {
         return log[a].start_time < log[b].start_time;
@@ -31,6 +53,7 @@ std::vector<Session> group_sessions(const gridftp::TransferLog& log,
       return log[a].end_time() < log[b].end_time();
     });
 
+    std::vector<Session>& out = per_part[p];
     Session* current = nullptr;
     for (std::size_t idx : indices) {
       const auto& r = log[idx];
@@ -47,10 +70,24 @@ std::vector<Session> group_sessions(const gridftp::TransferLog& log,
         s.total_bytes = r.size;
         s.start_time = r.start_time;
         s.end_time = r.end_time();
-        sessions.push_back(std::move(s));
-        current = &sessions.back();
+        out.push_back(std::move(s));
+        current = &out.back();
       }
     }
+  };
+
+  if (log.size() >= kParallelGroupingThreshold && parts.size() > 1) {
+    exec::default_pool().parallel_for(parts.size(), sweep_partition);
+  } else {
+    for (std::size_t p = 0; p < parts.size(); ++p) sweep_partition(p);
+  }
+
+  std::size_t total = 0;
+  for (const auto& v : per_part) total += v.size();
+  std::vector<Session> sessions;
+  sessions.reserve(total);
+  for (auto& v : per_part) {
+    for (auto& s : v) sessions.push_back(std::move(s));
   }
 
   std::sort(sessions.begin(), sessions.end(), [](const Session& a, const Session& b) {

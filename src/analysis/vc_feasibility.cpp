@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 #include "stats/quantile.hpp"
 
 namespace gridvc::analysis {
@@ -39,6 +40,29 @@ FeasibilityResult analyze_vc_feasibility(const std::vector<Session>& sessions,
     }
   }
   return result;
+}
+
+std::vector<SuitabilityCell> suitability_sweep(const gridftp::TransferLog& log,
+                                               const std::vector<SuitabilityPoint>& points,
+                                               const FeasibilityOptions& base) {
+  // Each cell regroups and reanalyzes from scratch, so cells share no
+  // state: parallel_map preserves input order and the per-cell work is
+  // deterministic, making the sweep thread-count independent. Nested
+  // parallel constructs inside (group_sessions, quantile) degrade to
+  // inline serial execution on the worker lanes.
+  return exec::default_pool().parallel_map<SuitabilityCell>(
+      points.size(), [&](std::size_t i) {
+        SuitabilityCell cell;
+        cell.point = points[i];
+        GroupingOptions grouping;
+        grouping.gap = points[i].gap;
+        const std::vector<Session> sessions = group_sessions(log, grouping);
+        cell.session_count = sessions.size();
+        FeasibilityOptions options = base;
+        options.setup_delay = points[i].setup_delay;
+        cell.feasibility = analyze_vc_feasibility(sessions, log, options);
+        return cell;
+      });
 }
 
 }  // namespace gridvc::analysis

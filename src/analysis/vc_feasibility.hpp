@@ -64,4 +64,26 @@ FeasibilityResult analyze_vc_feasibility(const std::vector<Session>& sessions,
                                          const gridftp::TransferLog& log,
                                          const FeasibilityOptions& options);
 
+/// One (session gap g, VC setup delay) parameter point of a Table IV-style
+/// sweep over the suitability methodology.
+struct SuitabilityPoint {
+  Seconds gap = 3600.0;
+  Seconds setup_delay = 60.0;
+};
+
+struct SuitabilityCell {
+  SuitabilityPoint point;
+  std::size_t session_count = 0;
+  FeasibilityResult feasibility;
+};
+
+/// Evaluate the Table IV methodology at every parameter point: group the
+/// log with the point's gap, then analyze with the point's setup delay
+/// (other knobs come from `base`). Points are independent, so they run on
+/// the execution pool concurrently; results are returned in input order
+/// and are byte-identical at any thread count.
+std::vector<SuitabilityCell> suitability_sweep(const gridftp::TransferLog& log,
+                                               const std::vector<SuitabilityPoint>& points,
+                                               const FeasibilityOptions& base = {});
+
 }  // namespace gridvc::analysis

@@ -1,0 +1,65 @@
+// Thread-count-independent parallel sorting.
+//
+// Partition + ordered merge: the input is cut into contiguous runs at
+// bounds computed from the input size alone, each run is stable-sorted
+// in parallel, and adjacent runs are merged pairwise (stable) until one
+// remains. Because the run bounds do not depend on the pool size and
+// every merge is stable, the output is exactly std::stable_sort's —
+// byte-identical at any thread count. Million-record session logs and
+// quantile inputs go through here.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace gridvc::exec {
+
+/// Smallest input that leaves the serial path (also the run granularity:
+/// inputs split into ~size/kParallelSortGrain runs, capped at 64).
+inline constexpr std::size_t kParallelSortGrain = 16384;
+
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(std::vector<T>& v, ThreadPool& pool, Compare cmp = Compare()) {
+  const std::size_t n = v.size();
+  if (pool.thread_count() <= 1 || n < 2 * kParallelSortGrain) {
+    std::stable_sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  // Run bounds depend only on n — never on the pool — so the stable
+  // sort/merge tree below produces the same permutation everywhere.
+  const std::size_t runs = std::min<std::size_t>(64, n / kParallelSortGrain);
+  std::vector<std::size_t> bounds(runs + 1);
+  for (std::size_t r = 0; r <= runs; ++r) bounds[r] = n * r / runs;
+
+  pool.parallel_for(runs, [&](std::size_t r) {
+    std::stable_sort(v.begin() + static_cast<std::ptrdiff_t>(bounds[r]),
+                     v.begin() + static_cast<std::ptrdiff_t>(bounds[r + 1]), cmp);
+  });
+
+  while (bounds.size() > 2) {
+    const std::size_t pairs = (bounds.size() - 1) / 2;
+    pool.parallel_for(pairs, [&](std::size_t p) {
+      std::inplace_merge(v.begin() + static_cast<std::ptrdiff_t>(bounds[2 * p]),
+                         v.begin() + static_cast<std::ptrdiff_t>(bounds[2 * p + 1]),
+                         v.begin() + static_cast<std::ptrdiff_t>(bounds[2 * p + 2]),
+                         cmp);
+    });
+    std::vector<std::size_t> merged;
+    merged.reserve(pairs + 2);
+    for (std::size_t i = 0; i < bounds.size(); i += 2) merged.push_back(bounds[i]);
+    if (merged.back() != n) merged.push_back(n);
+    bounds = std::move(merged);
+  }
+}
+
+/// Convenience over the process-default pool.
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(std::vector<T>& v, Compare cmp = Compare()) {
+  parallel_sort(v, default_pool(), cmp);
+}
+
+}  // namespace gridvc::exec

@@ -1,0 +1,46 @@
+// Counter-based RNG stream derivation for deterministic parallelism.
+//
+// Every parallel task draws from a generator derived purely from
+// (seed, stream index) — never from a shared, sequentially-consumed
+// stream — so the set of random numbers a task sees is independent of
+// how tasks are scheduled onto threads. Results are byte-identical at
+// any thread count, which is the contract the whole src/exec/ substrate
+// is built around (pinned by tests/test_exec.cpp).
+//
+// Derivation: the (seed, stream) pair is run through two rounds of
+// splitmix64 finalization keyed on distinct odd constants, giving a
+// 64-bit stream key with full avalanche in both inputs; the key seeds
+// the library's xoshiro256** generator. Adjacent stream indices yield
+// statistically independent generators (same construction as
+// Rng::fork, but stateless/counter-based: stream i's generator never
+// depends on streams 0..i-1 having been instantiated).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace gridvc::exec {
+
+/// 64-bit key for stream `stream` under `seed`. Pure function.
+inline std::uint64_t stream_key(std::uint64_t seed, std::uint64_t stream) {
+  // splitmix64 advances its state argument, so the two draws below come
+  // from consecutive states. The second perturbation uses addition, not
+  // xor: an xor of a stream-derived value against the advanced state can
+  // cancel back to the first draw's state (it did, for seed 0 stream 0),
+  // collapsing the key to zero.
+  std::uint64_t s = seed ^ (stream * 0xd1342543de82ef95ULL);
+  std::uint64_t k = splitmix64(s);
+  s += stream ^ 0x9e3779b97f4a7c15ULL;
+  k ^= splitmix64(s);
+  return k;
+}
+
+/// Generator for stream `stream` under `seed`. Two calls with the same
+/// arguments produce identical generators; distinct streams are
+/// statistically independent.
+inline Rng stream_rng(std::uint64_t seed, std::uint64_t stream) {
+  return Rng(stream_key(seed, stream));
+}
+
+}  // namespace gridvc::exec

@@ -1,0 +1,166 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace gridvc::exec {
+
+namespace {
+// Set while a pool worker (or the caller inside parallel_for) is
+// executing region bodies; nested regions then run inline.
+thread_local bool t_inside_region = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex m;
+  std::condition_variable cv_work;  ///< workers wait here for a job
+  std::condition_variable cv_done;  ///< parallel_for waits here for drain
+
+  // Current job. `job_id` bumps per region so workers can tell a new job
+  // from a spurious wake; `next` is the shared index cursor.
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::uint64_t job_id = 0;
+  std::size_t busy_workers = 0;
+  bool stop = false;
+
+  std::mutex error_m;
+  std::exception_ptr error;
+
+  std::vector<std::thread> workers;
+
+  // Claim and run chunks until the cursor passes n. Returns when this
+  // thread can claim no more work (other threads may still be running
+  // their last chunk).
+  void run_chunks() {
+    t_inside_region = true;
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_m);
+        if (!error) error = std::current_exception();
+        // Short-circuit the remaining index space; the region still
+        // drains normally and rethrows below.
+        next.store(n, std::memory_order_relaxed);
+      }
+    }
+    t_inside_region = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(m);
+        cv_work.wait(lk, [&] { return stop || job_id != seen; });
+        if (stop) return;
+        seen = job_id;
+      }
+      run_chunks();
+      {
+        std::lock_guard<std::mutex> lk(m);
+        if (--busy_workers == 0) cv_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads_ = threads == 0 ? hardware_threads() : threads;
+  if (threads_ <= 1) return;  // inline pool: no workers, no Impl
+  impl_ = std::make_unique<Impl>();
+  impl_->workers.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Inline when the pool has one lane, or when called from inside a
+  // region (nested parallelism runs serially on the calling lane).
+  if (!impl_ || t_inside_region) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->body = &body;
+    impl_->n = n;
+    // ~4 chunks per lane amortizes the cursor while keeping tail latency
+    // bounded; chunk geometry never affects results, only load balance.
+    impl_->chunk = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(threads_) * 4));
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    impl_->busy_workers = impl_->workers.size();
+    ++impl_->job_id;
+  }
+  impl_->cv_work.notify_all();
+  impl_->run_chunks();  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lk(impl_->m);
+    impl_->cv_done.wait(lk, [&] { return impl_->busy_workers == 0; });
+    impl_->body = nullptr;
+  }
+  if (impl_->error) {
+    std::exception_ptr e = impl_->error;
+    impl_->error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+unsigned hardware_threads() {
+  const unsigned h = std::thread::hardware_concurrency();
+  return h == 0 ? 1 : h;
+}
+
+namespace {
+std::mutex g_default_m;
+unsigned g_default_requested = 0;  // 0 = hardware
+std::unique_ptr<ThreadPool> g_default_pool;
+}  // namespace
+
+void set_default_threads(unsigned n) {
+  std::lock_guard<std::mutex> lk(g_default_m);
+  g_default_requested = n;
+  g_default_pool.reset();
+}
+
+unsigned default_threads() {
+  std::lock_guard<std::mutex> lk(g_default_m);
+  return g_default_requested == 0 ? hardware_threads() : g_default_requested;
+}
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lk(g_default_m);
+  if (!g_default_pool) {
+    const unsigned n =
+        g_default_requested == 0 ? hardware_threads() : g_default_requested;
+    g_default_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_default_pool;
+}
+
+}  // namespace gridvc::exec

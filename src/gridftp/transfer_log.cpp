@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/csv.hpp"
+#include "exec/parallel_sort.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 
@@ -75,7 +76,9 @@ TransferLog read_log(std::istream& in) {
 }
 
 void sort_by_start(TransferLog& log) {
-  std::stable_sort(log.begin(), log.end(), [](const TransferRecord& a, const TransferRecord& b) {
+  // Parallel stable sort with thread-count-independent run bounds: the
+  // result is byte-identical to std::stable_sort at any --threads value.
+  exec::parallel_sort(log, [](const TransferRecord& a, const TransferRecord& b) {
     if (a.start_time != b.start_time) return a.start_time < b.start_time;
     return a.end_time() < b.end_time();
   });

@@ -18,121 +18,130 @@ Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>&
 
 Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows,
                             const std::vector<char>& link_up) {
+  std::vector<FlowDemandRef> refs;
+  refs.reserve(flows.size());
+  for (const auto& f : flows) refs.push_back(FlowDemandRef{&f.path, f.cap, f.guarantee});
+  AllocWorkspace ws;
+  Allocation out;
+  out.rates = max_min_allocate(topo, refs, link_up, ws);
+  return out;
+}
+
+const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
+                                                   std::span<const FlowDemandRef> flows,
+                                                   const std::vector<char>& link_up,
+                                                   AllocWorkspace& ws) {
   const std::size_t nflows = flows.size();
   const std::size_t nlinks = topo.link_count();
   GRIDVC_REQUIRE(link_up.empty() || link_up.size() == nlinks,
                  "link_up must be empty or one entry per link");
-  Allocation out;
-  out.rates.assign(nflows, 0.0);
-  if (nflows == 0) return out;
+  ws.rates.assign(nflows, 0.0);
+  if (nflows == 0) return ws.rates;
 
   for (const auto& f : flows) {
-    GRIDVC_REQUIRE(!f.path.empty(), "flow with empty path");
-    for (LinkId l : f.path) {
+    GRIDVC_REQUIRE(f.path != nullptr && !f.path->empty(), "flow with empty path");
+    for (LinkId l : *f.path) {
       GRIDVC_REQUIRE(l < nlinks, "flow path references unknown link");
     }
     GRIDVC_REQUIRE(f.guarantee >= 0.0, "negative guarantee");
   }
 
-  std::vector<double> residual(nlinks);
+  ws.residual.assign(nlinks, 0.0);
   for (std::size_t l = 0; l < nlinks; ++l) {
     const bool up = link_up.empty() || link_up[l] != 0;
-    residual[l] = up ? topo.link(static_cast<LinkId>(l)).capacity : 0.0;
+    ws.residual[l] = up ? topo.link(static_cast<LinkId>(l)).capacity : 0.0;
   }
 
   // Phase 1: rate guarantees. If a link is oversubscribed by guarantees
   // (should not happen under VC admission control) scale each crossing
   // flow's guarantee by the worst per-link factor on its path.
-  std::vector<double> guarantee_load(nlinks, 0.0);
+  ws.guarantee_load.assign(nlinks, 0.0);
   for (const auto& f : flows) {
     const double g = f.cap > 0.0 ? std::min(f.guarantee, f.cap) : f.guarantee;
     if (g <= 0.0) continue;
-    for (LinkId l : f.path) guarantee_load[l] += g;
+    for (LinkId l : *f.path) ws.guarantee_load[l] += g;
   }
-  std::vector<double> link_scale(nlinks, 1.0);
+  ws.link_scale.assign(nlinks, 1.0);
   for (std::size_t l = 0; l < nlinks; ++l) {
-    if (guarantee_load[l] > residual[l]) link_scale[l] = residual[l] / guarantee_load[l];
+    if (ws.guarantee_load[l] > ws.residual[l]) {
+      ws.link_scale[l] = ws.residual[l] / ws.guarantee_load[l];
+    }
   }
-  std::vector<double> base(nflows, 0.0);
   for (std::size_t i = 0; i < nflows; ++i) {
     double g = flows[i].cap > 0.0 ? std::min(flows[i].guarantee, flows[i].cap)
                                   : flows[i].guarantee;
     if (g <= 0.0) continue;
     double scale = 1.0;
-    for (LinkId l : flows[i].path) scale = std::min(scale, link_scale[l]);
-    base[i] = g * scale;
+    for (LinkId l : *flows[i].path) scale = std::min(scale, ws.link_scale[l]);
+    ws.rates[i] = g * scale;
   }
   for (std::size_t i = 0; i < nflows; ++i) {
-    out.rates[i] = base[i];
-    for (LinkId l : flows[i].path) {
-      residual[l] = std::max(0.0, residual[l] - base[i]);
+    if (ws.rates[i] <= 0.0) continue;
+    for (LinkId l : *flows[i].path) {
+      ws.residual[l] = std::max(0.0, ws.residual[l] - ws.rates[i]);
     }
   }
 
-  // Phase 2: progressive filling of the residual capacity.
-  std::vector<bool> active(nflows, true);
+  // Phase 2: progressive filling of the residual capacity. The per-link
+  // count of unfrozen crossing flows is built once and then maintained
+  // incrementally: freezing a flow decrements exactly its own links.
+  ws.active.assign(nflows, 0);
+  ws.active_on_link.assign(nlinks, 0);
+  std::size_t active_count = 0;
   for (std::size_t i = 0; i < nflows; ++i) {
-    if (flows[i].cap > 0.0 && out.rates[i] >= flows[i].cap - kEps) active[i] = false;
+    if (flows[i].cap > 0.0 && ws.rates[i] >= flows[i].cap - kEps) continue;
+    ws.active[i] = 1;
+    ++active_count;
+    for (LinkId l : *flows[i].path) ++ws.active_on_link[l];
   }
-
-  std::vector<std::size_t> active_on_link(nlinks, 0);
-  auto recount = [&] {
-    std::fill(active_on_link.begin(), active_on_link.end(), 0);
-    for (std::size_t i = 0; i < nflows; ++i) {
-      if (!active[i]) continue;
-      for (LinkId l : flows[i].path) ++active_on_link[l];
-    }
-  };
-  recount();
 
   // Each iteration freezes at least one flow (cap hit) or saturates at
   // least one link, so the loop runs at most nflows + nlinks times.
-  for (std::size_t iter = 0; iter < nflows + nlinks + 1; ++iter) {
+  for (std::size_t iter = 0; iter < nflows + nlinks + 1 && active_count > 0; ++iter) {
     double delta = kInf;
     for (std::size_t l = 0; l < nlinks; ++l) {
-      if (active_on_link[l] == 0) continue;
-      delta = std::min(delta, residual[l] / static_cast<double>(active_on_link[l]));
+      if (ws.active_on_link[l] == 0) continue;
+      delta = std::min(delta, ws.residual[l] / static_cast<double>(ws.active_on_link[l]));
     }
-    bool any_active = false;
     for (std::size_t i = 0; i < nflows; ++i) {
-      if (!active[i]) continue;
-      any_active = true;
-      if (flows[i].cap > 0.0) delta = std::min(delta, flows[i].cap - out.rates[i]);
+      if (!ws.active[i]) continue;
+      if (flows[i].cap > 0.0) delta = std::min(delta, flows[i].cap - ws.rates[i]);
     }
-    if (!any_active || delta == kInf) break;
+    if (delta == kInf) break;
     delta = std::max(delta, 0.0);
 
     for (std::size_t i = 0; i < nflows; ++i) {
-      if (!active[i]) continue;
-      out.rates[i] += delta;
-      for (LinkId l : flows[i].path) {
-        residual[l] -= delta;
+      if (!ws.active[i]) continue;
+      ws.rates[i] += delta;
+      for (LinkId l : *flows[i].path) {
+        ws.residual[l] -= delta;
       }
     }
 
     // Freeze flows that hit their cap or a saturated link.
     bool froze = false;
     for (std::size_t i = 0; i < nflows; ++i) {
-      if (!active[i]) continue;
-      bool saturated = flows[i].cap > 0.0 && out.rates[i] >= flows[i].cap - kEps;
+      if (!ws.active[i]) continue;
+      bool saturated = flows[i].cap > 0.0 && ws.rates[i] >= flows[i].cap - kEps;
       if (!saturated) {
-        for (LinkId l : flows[i].path) {
-          if (residual[l] <= kEps) {
+        for (LinkId l : *flows[i].path) {
+          if (ws.residual[l] <= kEps) {
             saturated = true;
             break;
           }
         }
       }
       if (saturated) {
-        active[i] = false;
+        ws.active[i] = 0;
+        --active_count;
+        for (LinkId l : *flows[i].path) --ws.active_on_link[l];
         froze = true;
       }
     }
     if (!froze) break;  // numerical stall guard
-    recount();
   }
 
-  return out;
+  return ws.rates;
 }
 
 }  // namespace gridvc::net

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -31,9 +32,35 @@ struct FlowDemand {
   BitsPerSecond guarantee = 0.0;  ///< reserved VC rate (0 for best-effort)
 };
 
+/// Borrowed-path demand for the zero-allocation hot path: the caller
+/// owns the Path storage and keeps it alive across the call (Network's
+/// ActiveFlow records do exactly that).
+struct FlowDemandRef {
+  const Path* path = nullptr;
+  BitsPerSecond cap = 0.0;
+  BitsPerSecond guarantee = 0.0;
+};
+
 /// Computed allocation, one rate per input flow (same order).
 struct Allocation {
   std::vector<BitsPerSecond> rates;
+};
+
+/// Caller-owned scratch state for max_min_allocate. Every per-link and
+/// per-flow working array lives here and is resized with assign(), so a
+/// reused workspace performs zero heap allocations per call once its
+/// vectors have grown to the steady-state flow/link counts (pinned by
+/// the allocator microbenchmark). Treat the members as opaque except
+/// `rates`, which holds the result of the last call.
+struct AllocWorkspace {
+  std::vector<BitsPerSecond> rates;  ///< output: one rate per input flow
+
+  // Internal scratch (sized per call).
+  std::vector<double> residual;
+  std::vector<double> guarantee_load;
+  std::vector<double> link_scale;
+  std::vector<char> active;
+  std::vector<std::uint32_t> active_on_link;
 };
 
 /// Compute the allocation for `flows` over `topo`.
@@ -52,5 +79,16 @@ Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>&
 /// empty vector means every link is up.
 Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>& flows,
                             const std::vector<char>& link_up);
+
+/// Allocation hot path: identical semantics to the vector overloads, but
+/// paths are borrowed and all scratch state lives in `ws` — zero heap
+/// allocations per call once the workspace is warm. Progressive filling
+/// maintains its per-link active-flow counts incrementally as flows
+/// freeze (decrementing just the frozen flow's links) instead of
+/// recounting every flow's path each iteration. Returns `ws.rates`.
+const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
+                                                   std::span<const FlowDemandRef> flows,
+                                                   const std::vector<char>& link_up,
+                                                   AllocWorkspace& ws);
 
 }  // namespace gridvc::net

@@ -243,15 +243,21 @@ void Network::settle() {
 void Network::recompute() {
   const Seconds now = sim_.now();
 
-  std::vector<FlowDemand> demands;
-  std::vector<FlowId> order;
+  // Borrow each flow's path rather than copying it: the flow records
+  // outlive the allocator call, and the reused scratch vectors make the
+  // whole pass allocation-free at steady state.
+  std::vector<FlowDemandRef>& demands = demand_scratch_;
+  std::vector<FlowId>& order = order_scratch_;
+  demands.clear();
+  order.clear();
   demands.reserve(flows_.size());
   order.reserve(flows_.size());
   for (const auto& [id, f] : flows_) {
-    demands.push_back(FlowDemand{f.path, f.cap, f.guarantee});
+    demands.push_back(FlowDemandRef{&f.path, f.cap, f.guarantee});
     order.push_back(id);
   }
-  const Allocation alloc = max_min_allocate(topo_, demands, link_up_);
+  const std::vector<BitsPerSecond>& rates =
+      max_min_allocate(topo_, demands, link_up_, alloc_ws_);
 
   obs::MetricsRegistry& reg = sim_.obs().registry();
   reg.add(id_recomputes_);
@@ -259,7 +265,7 @@ void Network::recompute() {
 
   for (std::size_t i = 0; i < order.size(); ++i) {
     ActiveFlow& f = flows_.at(order[i]);
-    const BitsPerSecond new_rate = alloc.rates[i];
+    const BitsPerSecond new_rate = rates[i];
     const bool this_changed = rate_changed(f.rate, new_rate);
     if (this_changed) ++changed;
     if (!this_changed) {
@@ -290,7 +296,7 @@ void Network::recompute() {
   // full utilization trajectory.
   for (std::size_t i = 0; i < order.size(); ++i) {
     const ActiveFlow& f = flows_.at(order[i]);
-    for (LinkId l : f.path) link_rate_scratch_[l] += alloc.rates[i];
+    for (LinkId l : f.path) link_rate_scratch_[l] += rates[i];
   }
   double peak_utilization = 0.0;
   for (LinkId l = 0; l < static_cast<LinkId>(link_rate_scratch_.size()); ++l) {

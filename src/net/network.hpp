@@ -159,6 +159,11 @@ class Network {
   std::map<FlowId, ActiveFlow> flows_;
   std::vector<double> link_bytes_;
   std::vector<double> link_rate_scratch_;  ///< reused per recompute
+  // Reused allocator inputs/scratch: recompute() performs zero heap
+  // allocations once these reach the steady-state flow count.
+  AllocWorkspace alloc_ws_;
+  std::vector<FlowDemandRef> demand_scratch_;
+  std::vector<FlowId> order_scratch_;
   std::vector<char> link_up_;              ///< per-link up/down state
   std::vector<Seconds> link_down_since_;   ///< valid while the link is down
   FlowId next_id_ = 1;

@@ -1,7 +1,6 @@
 #include "vc/bandwidth_calendar.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/error.hpp"
 
@@ -15,45 +14,67 @@ constexpr double kRateEps = 1e-3;
 void BandwidthProfile::add(Seconds start, Seconds end, BitsPerSecond rate) {
   GRIDVC_REQUIRE(start < end, "reservation window inverted");
   GRIDVC_REQUIRE(rate > 0.0, "reservation rate must be positive");
-  deltas_[start] += rate;
-  deltas_[end] -= rate;
-  // Drop exact-zero deltas to keep the map compact.
-  if (std::abs(deltas_[start]) < kRateEps) deltas_.erase(start);
-  if (std::abs(deltas_[end]) < kRateEps) deltas_.erase(end);
+  const auto s = deltas_.emplace(start, 0.0).first;
+  s->second += rate;
+  // Erase only on exact cancellation: an |delta| < eps test here would
+  // drop a legitimate tiny residual when accumulated +/-rate pairs land
+  // near but not at zero.
+  if (s->second == 0.0) deltas_.erase(s);
+  const auto e = deltas_.emplace(end, 0.0).first;
+  e->second -= rate;
+  if (e->second == 0.0) deltas_.erase(e);
+  cache_valid_ = false;
 }
 
 void BandwidthProfile::remove(Seconds start, Seconds end, BitsPerSecond rate) {
   GRIDVC_REQUIRE(start < end, "reservation window inverted");
-  deltas_[start] -= rate;
-  deltas_[end] += rate;
-  if (std::abs(deltas_[start]) < kRateEps) deltas_.erase(start);
-  if (std::abs(deltas_[end]) < kRateEps) deltas_.erase(end);
+  const auto s = deltas_.emplace(start, 0.0).first;
+  s->second -= rate;
+  if (s->second == 0.0) deltas_.erase(s);
+  const auto e = deltas_.emplace(end, 0.0).first;
+  e->second += rate;
+  if (e->second == 0.0) deltas_.erase(e);
+  cache_valid_ = false;
+}
+
+void BandwidthProfile::ensure_cache() const {
+  if (cache_valid_) return;
+  cache_times_.clear();
+  cache_levels_.clear();
+  cache_times_.reserve(deltas_.size());
+  cache_levels_.reserve(deltas_.size());
+  double level = 0.0;
+  for (const auto& [when, delta] : deltas_) {
+    level += delta;
+    cache_times_.push_back(when);
+    cache_levels_.push_back(level);
+  }
+  cache_valid_ = true;
 }
 
 BitsPerSecond BandwidthProfile::peak(Seconds start, Seconds end) const {
   GRIDVC_REQUIRE(start <= end, "peak window inverted");
-  // Entry level: all deltas at or before `start` are in force during the
-  // window (a block [start, x) applies from `start` inclusive, and a
-  // block [y, start) has already ended at `start`). Then sweep deltas
-  // strictly inside (start, end).
-  double level = 0.0;
-  auto it = deltas_.begin();
-  for (; it != deltas_.end() && it->first <= start; ++it) level += it->second;
-  double best = level;
-  for (; it != deltas_.end() && it->first < end; ++it) {
-    level += it->second;
-    best = std::max(best, level);
+  ensure_cache();
+  // Entry level: the last change at or before `start` is in force during
+  // the window (a block [start, x) applies from `start` inclusive, and a
+  // block [y, start) has already ended at `start`). Then sweep only the
+  // change points strictly inside (start, end).
+  const auto first_after =
+      std::upper_bound(cache_times_.begin(), cache_times_.end(), start);
+  std::size_t i = static_cast<std::size_t>(first_after - cache_times_.begin());
+  double best = i > 0 ? cache_levels_[i - 1] : 0.0;
+  for (; i < cache_times_.size() && cache_times_[i] < end; ++i) {
+    best = std::max(best, cache_levels_[i]);
   }
   return std::max(best, 0.0);
 }
 
 BitsPerSecond BandwidthProfile::at(Seconds t) const {
-  double level = 0.0;
-  for (const auto& [when, delta] : deltas_) {
-    if (when > t) break;
-    level += delta;
-  }
-  return std::max(level, 0.0);
+  ensure_cache();
+  const auto first_after = std::upper_bound(cache_times_.begin(), cache_times_.end(), t);
+  if (first_after == cache_times_.begin()) return 0.0;
+  const std::size_t i = static_cast<std::size_t>(first_after - cache_times_.begin());
+  return std::max(cache_levels_[i - 1], 0.0);
 }
 
 bool BandwidthProfile::empty() const { return deltas_.empty(); }

@@ -22,6 +22,12 @@ namespace gridvc::vc {
 using ReservationId = std::uint64_t;
 
 /// Piecewise-constant reserved-rate profile of one link.
+///
+/// Mutations maintain a delta map; queries run against a lazily rebuilt
+/// prefix-level cache (sorted change times + cumulative level after each),
+/// so `at()` is one binary search and `peak()` is a binary search plus a
+/// scan of only the deltas inside the queried window — not a sweep of the
+/// whole calendar from t=0 as the map encoding alone would require.
 class BandwidthProfile {
  public:
   /// Add `rate` over [start, end). Requires start < end and rate > 0.
@@ -40,8 +46,18 @@ class BandwidthProfile {
   bool empty() const;
 
  private:
+  void ensure_cache() const;
+
   // Delta encoding: deltas_[t] is the change in reserved rate at time t.
+  // Entries are erased only on *exact* cancellation — an epsilon test
+  // here would silently drop legitimately tiny residual rates.
   std::map<Seconds, BitsPerSecond> deltas_;
+
+  // Query cache: cache_levels_[i] is the reserved rate in force from
+  // cache_times_[i] (inclusive) until the next change time.
+  mutable std::vector<Seconds> cache_times_;
+  mutable std::vector<BitsPerSecond> cache_levels_;
+  mutable bool cache_valid_ = false;
 };
 
 /// Per-topology calendar over all links.

@@ -6,6 +6,8 @@
 
 #include "common/distributions.hpp"
 #include "common/error.hpp"
+#include "exec/rng_stream.hpp"
+#include "exec/thread_pool.hpp"
 #include "net/tcp_model.hpp"
 
 namespace gridvc::workload {
@@ -22,6 +24,168 @@ int sample_mix(const std::vector<IntMix>& mix, Rng& rng) {
     if (u <= 0.0) return m.value;
   }
   return mix.back().value;
+}
+
+// Everything about one transfer that can be decided without knowing when
+// the batch starts. Absolute times are assigned in the serial layout pass.
+struct PlannedTransfer {
+  gridftp::TransferType type = gridftp::TransferType::kRetrieve;
+  Bytes size = 0;
+  Seconds duration = 0.0;
+  Seconds gap = 0.0;  ///< think-time before this file (0 for the lane warm-up)
+};
+
+// One batch's worth of sampled content. Batches are the unit of parallel
+// synthesis: plan_batch(seed, index) depends only on (profile, seed,
+// index) — never on any other batch — so plans can be generated on any
+// number of threads in any order and the result is still byte-identical.
+struct BatchPlan {
+  std::size_t bucket = 0;
+  int concurrency = 1;
+  int streams = 1;
+  int stripes = 1;
+  Seconds lead_in = 0.0;  ///< inter-batch idle before the batch starts
+  std::vector<PlannedTransfer> transfers;
+};
+
+BatchPlan plan_batch(const SessionTraceProfile& profile,
+                     const net::TcpModel& seasoned_tcp, const net::TcpModel& fresh_tcp,
+                     std::uint64_t seed, std::uint64_t index) {
+  // Independent counter-based streams per batch: the draw sequence of one
+  // batch can never shift another batch's samples (which is what makes
+  // mid-run truncation and parallel planning safe).
+  Rng root = exec::stream_rng(seed, index);
+  Rng structure = root.fork(1);
+  Rng sizes = root.fork(2);
+  Rng shares = root.fork(3);
+  Rng timing = root.fork(4);
+  Rng losses = root.fork(5);
+
+  BatchPlan plan;
+
+  // Pick the year bucket by profile weight.
+  const std::size_t year_buckets =
+      profile.year_profiles.empty() ? 1 : profile.year_profiles.size();
+  if (year_buckets > 1) {
+    double total = 0.0;
+    for (const auto& yp : profile.year_profiles) total += yp.weight;
+    double u = structure.uniform() * total;
+    for (std::size_t y = 0; y < year_buckets; ++y) {
+      u -= profile.year_profiles[y].weight;
+      if (u <= 0.0) {
+        plan.bucket = y;
+        break;
+      }
+    }
+  }
+
+  // Directory class first (it scales the batch size), then the count.
+  const Distribution* class_dist = nullptr;
+  double batch_scale = 1.0;
+  std::size_t class_max_files = 0;
+  if (!profile.file_classes.empty()) {
+    double total_weight = 0.0;
+    for (const auto& c : profile.file_classes) total_weight += c.weight;
+    double u = sizes.uniform() * total_weight;
+    const SessionTraceProfile::FileClass* chosen = &profile.file_classes.back();
+    for (const auto& c : profile.file_classes) {
+      u -= c.weight;
+      if (u <= 0.0) {
+        chosen = &c;
+        break;
+      }
+    }
+    class_dist = chosen->size_bytes.get();
+    batch_scale = chosen->batch_scale;
+    class_max_files = chosen->max_files;
+  }
+  std::size_t files = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(profile.files_per_batch->sample(structure) * batch_scale)));
+  if (profile.max_files_per_batch > 0) {
+    files = std::min(files, profile.max_files_per_batch);
+  }
+  if (class_max_files > 0) {
+    files = std::min(files, class_max_files);
+  }
+  plan.concurrency = profile.batch_concurrency_mix.empty()
+                         ? 1
+                         : sample_mix(profile.batch_concurrency_mix, structure);
+  plan.streams =
+      profile.stream_mix.empty() ? 1 : sample_mix(profile.stream_mix, structure);
+  plan.stripes = profile.year_profiles.empty()
+                     ? (profile.stripe_mix.empty()
+                            ? 1
+                            : sample_mix(profile.stripe_mix, structure))
+                     : sample_mix(profile.year_profiles[plan.bucket].stripe_mix, structure);
+
+  // Per-batch server-load factor: transfers of one batch see correlated
+  // conditions.
+  const double sigma_b = profile.batch_share_sigma;
+  const double batch_factor =
+      sigma_b > 0.0 ? shares.lognormal(-sigma_b * sigma_b / 2.0, sigma_b) : 1.0;
+  // Per-batch path state: a fresh path ramps exponentially all the way.
+  const net::TcpModel& tcp = (profile.fresh_path_probability > 0.0 &&
+                              structure.bernoulli(profile.fresh_path_probability))
+                                 ? fresh_tcp
+                                 : seasoned_tcp;
+
+  // Optionally pin the whole batch to one file-size class.
+  const Distribution* file_dist = class_dist;
+  if (file_dist == nullptr) {
+    file_dist = profile.file_size_bytes.get();
+    if (profile.per_batch_file_class) {
+      if (const auto* mixture = dynamic_cast<const Mixture*>(file_dist)) {
+        file_dist = mixture->pick_component(sizes).get();
+      }
+    }
+  }
+
+  plan.lead_in = profile.inter_batch_idle->sample(timing);
+  plan.transfers.reserve(files);
+
+  for (std::size_t f = 0; f < files; ++f) {
+    PlannedTransfer t;
+    t.size = static_cast<Bytes>(std::max(1.0, file_dist->sample(sizes)));
+
+    double share_mbps;
+    if (profile.straggler_probability > 0.0 &&
+        shares.bernoulli(profile.straggler_probability)) {
+      share_mbps = profile.straggler_share_mbps->sample(shares);
+    } else {
+      share_mbps = profile.share_mbps->sample(shares) * batch_factor;
+    }
+    double share = std::max(mbps(share_mbps), 2.0);  // floor: 2 bits/s
+    if (plan.stripes > 1 && profile.per_stripe_gain > 0.0) {
+      share *= 1.0 + profile.per_stripe_gain * static_cast<double>(plan.stripes - 1);
+    }
+    if (profile.share_cap_mbps > 0.0) {
+      share = std::min(share, mbps(profile.share_cap_mbps));
+    }
+    if (profile.max_transfer_duration > 0.0) {
+      // Even a stalled transfer eventually finishes (or is retried):
+      // floor the share so the duration stays bounded.
+      share = std::max(share, static_cast<double>(t.size) * 8.0 /
+                                  profile.max_transfer_duration);
+    }
+
+    Seconds duration = tcp.transfer_duration(t.size, plan.streams, profile.rtt, share);
+    const double loss =
+        tcp.loss_factor(t.size, plan.streams, profile.rtt, share, losses);
+    duration /= loss;
+    if (profile.max_transfer_duration > 0.0) {
+      duration = std::min(duration, profile.max_transfer_duration);
+    }
+    t.duration = std::max(duration, 1e-3);
+
+    if (f >= static_cast<std::size_t>(plan.concurrency)) {
+      t.gap = profile.intra_batch_gap->sample(timing);
+    }
+    t.type = structure.bernoulli(0.7) ? gridftp::TransferType::kRetrieve
+                                      : gridftp::TransferType::kStore;
+    plan.transfers.push_back(t);
+  }
+  return plan;
 }
 
 }  // namespace
@@ -46,13 +210,6 @@ gridftp::TransferLog synthesize_trace(const SessionTraceProfile& profile,
     GRIDVC_REQUIRE(c.weight >= 0.0 && c.batch_scale > 0.0, "bad file class parameters");
   }
 
-  Rng root(seed);
-  Rng structure = root.fork(1);
-  Rng sizes = root.fork(2);
-  Rng shares = root.fork(3);
-  Rng timing = root.fork(4);
-  Rng losses = root.fork(5);
-
   const net::TcpModel seasoned_tcp(profile.tcp);
   net::TcpConfig fresh_cfg = profile.tcp;
   fresh_cfg.ssthresh_per_stream = 0;  // infinite ssthresh: exponential ramp
@@ -72,146 +229,60 @@ gridftp::TransferLog synthesize_trace(const SessionTraceProfile& profile,
   gridftp::TransferLog log;
   log.reserve(profile.target_transfers);
 
-  while (log.size() < profile.target_transfers) {
-    // Pick the year bucket by profile weight.
-    std::size_t bucket = 0;
-    if (year_buckets > 1) {
-      double total = 0.0;
-      for (const auto& yp : profile.year_profiles) total += yp.weight;
-      double u = structure.uniform() * total;
-      for (std::size_t y = 0; y < year_buckets; ++y) {
-        u -= profile.year_profiles[y].weight;
-        if (u <= 0.0) {
-          bucket = y;
-          break;
-        }
+  // Phase A (parallel): plan batches in chunks of consecutive indices.
+  // Phase B (serial, cheap): lay each plan out on the per-bucket timeline
+  // in index order. The kept prefix of batch indices is determined purely
+  // by cumulative transfer counts, so overshooting a chunk discards plans
+  // without changing the output — and the output cannot depend on the
+  // thread count or the chunk size.
+  exec::ThreadPool& pool = exec::default_pool();
+  std::uint64_t next_index = 0;
+  std::size_t chunk = 16;
+  std::vector<Seconds> lanes;
+  bool done = false;
+  while (!done) {
+    const std::uint64_t base = next_index;
+    std::vector<BatchPlan> plans = pool.parallel_map<BatchPlan>(chunk, [&](std::size_t i) {
+      return plan_batch(profile, seasoned_tcp, fresh_tcp, seed,
+                        base + static_cast<std::uint64_t>(i));
+    });
+    next_index += chunk;
+    chunk = std::min<std::size_t>(chunk * 2, 512);  // bounded overshoot
+
+    for (const BatchPlan& plan : plans) {
+      const Seconds batch_start = cursors[plan.bucket] + plan.lead_in;
+      lanes.assign(static_cast<std::size_t>(plan.concurrency), batch_start);
+
+      for (std::size_t f = 0;
+           f < plan.transfers.size() && log.size() < profile.target_transfers; ++f) {
+        const PlannedTransfer& t = plan.transfers[f];
+        // Lane with the earliest cursor takes the next file.
+        const std::size_t lane = static_cast<std::size_t>(
+            std::min_element(lanes.begin(), lanes.end()) - lanes.begin());
+        const Seconds start = lanes[lane] + t.gap;
+
+        gridftp::TransferRecord r;
+        r.type = t.type;
+        r.size = t.size;
+        r.start_time = start;
+        r.duration = t.duration;
+        r.server_host = profile.server_host;
+        r.remote_host = profile.remote_host;
+        r.streams = plan.streams;
+        r.stripes = plan.stripes;
+        r.tcp_buffer = profile.tcp.stream_buffer;
+        r.block_size = 256 * KiB;
+        log.push_back(std::move(r));
+
+        lanes[lane] = start + t.duration;
+      }
+
+      cursors[plan.bucket] = *std::max_element(lanes.begin(), lanes.end());
+      if (log.size() >= profile.target_transfers) {
+        done = true;
+        break;
       }
     }
-
-    // Directory class first (it scales the batch size), then the count.
-    const Distribution* class_dist = nullptr;
-    double batch_scale = 1.0;
-    std::size_t class_max_files = 0;
-    if (!profile.file_classes.empty()) {
-      double total_weight = 0.0;
-      for (const auto& c : profile.file_classes) total_weight += c.weight;
-      double u = sizes.uniform() * total_weight;
-      const SessionTraceProfile::FileClass* chosen = &profile.file_classes.back();
-      for (const auto& c : profile.file_classes) {
-        u -= c.weight;
-        if (u <= 0.0) {
-          chosen = &c;
-          break;
-        }
-      }
-      class_dist = chosen->size_bytes.get();
-      batch_scale = chosen->batch_scale;
-      class_max_files = chosen->max_files;
-    }
-    std::size_t files = std::max<std::size_t>(
-        1, static_cast<std::size_t>(
-               std::llround(profile.files_per_batch->sample(structure) * batch_scale)));
-    if (profile.max_files_per_batch > 0) {
-      files = std::min(files, profile.max_files_per_batch);
-    }
-    if (class_max_files > 0) {
-      files = std::min(files, class_max_files);
-    }
-    const int concurrency =
-        profile.batch_concurrency_mix.empty()
-            ? 1
-            : sample_mix(profile.batch_concurrency_mix, structure);
-    const int streams = profile.stream_mix.empty() ? 1 : sample_mix(profile.stream_mix, structure);
-    const int stripes = profile.year_profiles.empty()
-                            ? (profile.stripe_mix.empty()
-                                   ? 1
-                                   : sample_mix(profile.stripe_mix, structure))
-                            : sample_mix(profile.year_profiles[bucket].stripe_mix, structure);
-
-    // Per-batch server-load factor: transfers of one batch see correlated
-    // conditions.
-    const double sigma_b = profile.batch_share_sigma;
-    const double batch_factor =
-        sigma_b > 0.0 ? shares.lognormal(-sigma_b * sigma_b / 2.0, sigma_b) : 1.0;
-    // Per-batch path state: a fresh path ramps exponentially all the way.
-    const net::TcpModel& tcp = (profile.fresh_path_probability > 0.0 &&
-                                structure.bernoulli(profile.fresh_path_probability))
-                                   ? fresh_tcp
-                                   : seasoned_tcp;
-
-    // Optionally pin the whole batch to one file-size class.
-    const Distribution* file_dist = class_dist;
-    if (file_dist == nullptr) {
-      file_dist = profile.file_size_bytes.get();
-      if (profile.per_batch_file_class) {
-        if (const auto* mixture = dynamic_cast<const Mixture*>(file_dist)) {
-          file_dist = mixture->pick_component(sizes).get();
-        }
-      }
-    }
-
-    Seconds batch_start = cursors[bucket] + profile.inter_batch_idle->sample(timing);
-    std::vector<Seconds> lanes(static_cast<std::size_t>(concurrency), batch_start);
-
-    for (std::size_t f = 0; f < files && log.size() < profile.target_transfers; ++f) {
-      const Bytes size =
-          static_cast<Bytes>(std::max(1.0, file_dist->sample(sizes)));
-
-      double share_mbps;
-      if (profile.straggler_probability > 0.0 &&
-          shares.bernoulli(profile.straggler_probability)) {
-        share_mbps = profile.straggler_share_mbps->sample(shares);
-      } else {
-        share_mbps = profile.share_mbps->sample(shares) * batch_factor;
-      }
-      double share = std::max(mbps(share_mbps), 2.0);  // floor: 2 bits/s
-      if (stripes > 1 && profile.per_stripe_gain > 0.0) {
-        share *= 1.0 + profile.per_stripe_gain * static_cast<double>(stripes - 1);
-      }
-      if (profile.share_cap_mbps > 0.0) {
-        share = std::min(share, mbps(profile.share_cap_mbps));
-      }
-      if (profile.max_transfer_duration > 0.0) {
-        // Even a stalled transfer eventually finishes (or is retried):
-        // floor the share so the duration stays bounded.
-        share = std::max(share, static_cast<double>(size) * 8.0 /
-                                    profile.max_transfer_duration);
-      }
-
-      Seconds duration = tcp.transfer_duration(size, streams, profile.rtt, share);
-      const double loss =
-          tcp.loss_factor(size, streams, profile.rtt, share, losses);
-      duration /= loss;
-      if (profile.max_transfer_duration > 0.0) {
-        duration = std::min(duration, profile.max_transfer_duration);
-      }
-
-      // Lane with the earliest cursor takes the next file.
-      const std::size_t lane = static_cast<std::size_t>(
-          std::min_element(lanes.begin(), lanes.end()) - lanes.begin());
-      Seconds start = lanes[lane];
-      if (f >= static_cast<std::size_t>(concurrency)) {
-        start += profile.intra_batch_gap->sample(timing);
-      }
-
-      gridftp::TransferRecord r;
-      r.type = structure.bernoulli(0.7) ? gridftp::TransferType::kRetrieve
-                                        : gridftp::TransferType::kStore;
-      r.size = size;
-      r.start_time = start;
-      r.duration = std::max(duration, 1e-3);
-      r.server_host = profile.server_host;
-      r.remote_host = profile.remote_host;
-      r.streams = streams;
-      r.stripes = stripes;
-      r.tcp_buffer = profile.tcp.stream_buffer;
-      r.block_size = 256 * KiB;
-      log.push_back(std::move(r));
-
-      lanes[lane] = start + log.back().duration;
-    }
-
-    cursors[bucket] = *std::max_element(lanes.begin(), lanes.end());
   }
 
   gridftp::sort_by_start(log);

@@ -149,6 +149,61 @@ TEST(BandwidthCalendar, BackToBackWindowsDoNotConflict) {
   cal.book({f.ab}, 100.0, 200.0, gbps(10));
 }
 
+// Boundary semantics: windows are [start, end), so reservations touching
+// at an endpoint share the instant without double-counting.
+TEST(BandwidthProfile, TouchingWindowsDoNotDoubleCount) {
+  BandwidthProfile p;
+  p.add(0.0, 50.0, mbps(600));
+  p.add(50.0, 100.0, mbps(600));
+  // At the shared endpoint exactly one block is in force.
+  EXPECT_DOUBLE_EQ(p.at(50.0), mbps(600));
+  EXPECT_DOUBLE_EQ(p.peak(0.0, 100.0), mbps(600));
+  // A window straddling only the junction still sees a single block.
+  EXPECT_DOUBLE_EQ(p.peak(49.0, 51.0), mbps(600));
+}
+
+TEST(BandwidthProfile, TinyResidualRateSurvives) {
+  // Accumulated +/-rate pairs near (but not at) zero must keep the
+  // residual: an epsilon-erase would drop this sub-milli-bit/s level.
+  BandwidthProfile p;
+  const double tiny = 2.5e-4;  // below the old 1e-3 cleanup threshold
+  p.add(0.0, 10.0, tiny);
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(p.at(5.0), tiny);
+  p.add(0.0, 10.0, tiny);
+  p.remove(0.0, 10.0, tiny);
+  EXPECT_DOUBLE_EQ(p.at(5.0), tiny);
+  p.remove(0.0, 10.0, tiny);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(BandwidthCalendar, EndpointTouchingBookingsDoNotDoubleCountInPeak) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  // [a,b) + [b,c) at 6 Gbps each on a 10 Gbps link: if the junction
+  // double-counted, the second booking (and the probe below) would fail.
+  const auto r1 = cal.book({f.ab}, 0.0, 60.0, gbps(6));
+  const auto r2 = cal.book({f.ab}, 60.0, 120.0, gbps(6));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 120.0), gbps(4));
+  EXPECT_TRUE(cal.fits({f.ab}, 0.0, 120.0, gbps(4)));
+  cal.release(r1);
+  cal.release(r2);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 120.0), gbps(10));
+}
+
+TEST(BandwidthCalendar, TruncateToStartReleasesCleanly) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const auto id = cal.book({f.ab, f.bc}, 100.0, 200.0, gbps(8));
+  ASSERT_EQ(cal.active_bookings(), 1u);
+  cal.truncate(id, 100.0);  // new_end == start: the whole window releases
+  EXPECT_EQ(cal.active_bookings(), 0u);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 300.0), gbps(10));
+  EXPECT_DOUBLE_EQ(cal.available(f.bc, 0.0, 300.0), gbps(10));
+  // The booking is gone: releasing it again throws.
+  EXPECT_THROW(cal.release(id), gridvc::PreconditionError);
+}
+
 // Property: random book/release sequences never leave negative
 // availability and end balanced after all releases.
 class CalendarProperty : public ::testing::TestWithParam<int> {};

@@ -32,6 +32,7 @@
 #include "analysis/throughput_analysis.hpp"
 #include "analysis/vc_feasibility.hpp"
 #include "common/strings.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -45,8 +46,10 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--gap SECONDS] [--setup SECONDS] [--classes]\n"
                "          [--burstiness] [--trace FILE.jsonl] [--metrics-out FILE]\n"
-               "          [FILE]\n"
+               "          [--threads N] [FILE]\n"
                "  --gap         session gap parameter g (default 60)\n"
+               "  --threads     execution-pool width; 0 = hardware (results are\n"
+               "                identical at any value)\n"
                "  --setup       VC setup delay to evaluate (default 60)\n"
                "  --classes     also print the flow-class taxonomy\n"
                "  --burstiness  also print session burstiness statistics\n"
@@ -174,6 +177,9 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--gap" && i + 1 < argc) {
       gap = std::atof(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      exec::set_default_threads(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
     } else if (arg == "--setup" && i + 1 < argc) {
       setup = std::atof(argv[++i]);
     } else if (arg == "--classes") {

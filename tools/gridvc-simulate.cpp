@@ -32,6 +32,7 @@
 
 #include "common/csv.hpp"
 #include "common/strings.hpp"
+#include "exec/thread_pool.hpp"
 #include "gridftp/transfer_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +46,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --scenario nersc-ornl|anl-nersc|managed-vc|faulty-wan\n"
                "          [--seed N] [--days N] [--tasks N] [--transfers N]\n"
+               "          [--threads N]\n"
                "          [--link-mtbf S] [--link-mttr S] [--log FILE] [--snmp FILE]\n"
                "          [--metrics-out FILE] [--trace-out FILE.jsonl]\n"
                "  --days         scenario horizon in days (nersc-ornl, anl-nersc)\n"
@@ -131,6 +133,9 @@ int main(int argc, char** argv) {
       link_mtbf = std::strtod(argv[++i], nullptr);
     } else if (arg == "--link-mttr" && i + 1 < argc) {
       link_mttr = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      gridvc::exec::set_default_threads(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
     } else if (arg == "--log" && i + 1 < argc) {
       log_path = argv[++i];
     } else if (arg == "--snmp" && i + 1 < argc) {

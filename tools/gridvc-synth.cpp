@@ -1,6 +1,7 @@
 // gridvc-synth: generate a GridFTP usage-statistics log as CSV.
 //
-//   gridvc-synth --profile slac|ncar [--scale F] [--seed N] [--out FILE]
+//   gridvc-synth --profile slac|ncar [--scale F] [--seed N] [--threads N]
+//                [--out FILE]
 //
 // The CSV uses the schema of gridftp/transfer_log.hpp and is consumed by
 // gridvc-analyze (or any spreadsheet).
@@ -11,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "exec/thread_pool.hpp"
 #include "gridftp/transfer_log.hpp"
 #include "workload/profiles.hpp"
 #include "workload/synth.hpp"
@@ -21,11 +23,14 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --profile slac|ncar [--scale F] [--seed N] [--out FILE]\n"
+               "usage: %s --profile slac|ncar [--scale F] [--seed N] [--threads N]\n"
+               "          [--out FILE]\n"
                "  --profile  which calibrated dataset profile to synthesize\n"
                "  --scale    fraction of the full dataset, (0,1]; default 1.0\n"
                "             (applies to the SLAC profile's 1.02M transfers)\n"
                "  --seed     RNG seed; default 1\n"
+               "  --threads  execution-pool width; 0 = hardware (the output\n"
+               "             is byte-identical at any value)\n"
                "  --out      output path; default stdout\n",
                argv0);
   return 2;
@@ -57,6 +62,11 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      exec::set_default_threads(
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10)));
     } else if (arg == "--out") {
       const char* v = value();
       if (!v) return usage(argv[0]);
