@@ -31,7 +31,23 @@ void Server::set_nic_rate(BitsPerSecond nic_rate) {
   notify();
 }
 
+void Server::set_online(bool online) {
+  if (online_ == online) return;
+  online_ = online;
+  if (!online_) {
+    // Crash semantics: every registration is resource state of the dead
+    // process and is gone. No notify here — shares of the still-running
+    // transfers are meaningless until the engine has aborted them (see
+    // TransferEngine::handle_server_down), and a listener firing first
+    // would query shares for ids this server no longer knows.
+    transfers_.clear();
+    return;
+  }
+  notify();
+}
+
 void Server::add_transfer(std::uint64_t transfer_id, int stripes, IoMode io) {
+  GRIDVC_REQUIRE(online_, "cannot register a transfer with an offline server");
   GRIDVC_REQUIRE(stripes >= 1, "transfer needs at least one stripe");
   GRIDVC_REQUIRE(!transfers_.contains(transfer_id), "transfer already registered");
   Registered reg;

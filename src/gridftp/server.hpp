@@ -34,6 +34,10 @@ namespace gridvc::gridftp {
 
 struct ServerConfig {
   std::string name;
+  /// Stable numeric id used in server_down/server_up trace events (the
+  /// trace schema carries integer subject ids only). 0 is fine for
+  /// scenarios that never crash servers.
+  std::uint64_t id = 0;
   /// Per-host NIC/CPU aggregate ceiling.
   BitsPerSecond nic_rate = 0.0;
   /// Per-host sequential disk read ceiling (source-side disk I/O).
@@ -64,8 +68,19 @@ class Server {
   /// throttles). Notifies the change listener.
   void set_nic_rate(BitsPerSecond nic_rate);
 
+  /// Process-level fault model: crash (false) or restart (true) the whole
+  /// cluster. Crashing clears every registration — server resource state
+  /// does not survive a restart — and deliberately does NOT notify the
+  /// change listener: the caller must immediately follow with
+  /// TransferEngine::handle_server_down(), which aborts the affected
+  /// transfers and then refreshes shares safely. Coming back online
+  /// notifies normally. Idempotent per state.
+  void set_online(bool online);
+  bool online() const { return online_; }
+
   /// Register an active transfer that uses `stripes` stripes and the
-  /// given disk mode on this side. Notifies the change listener.
+  /// given disk mode on this side. Requires the server to be online.
+  /// Notifies the change listener.
   void add_transfer(std::uint64_t transfer_id, int stripes, IoMode io);
 
   /// Deregister. Notifies the change listener.
@@ -94,6 +109,7 @@ class Server {
   void notify();
 
   ServerConfig config_;
+  bool online_ = true;
   std::map<std::uint64_t, Registered> transfers_;
   std::function<void()> listener_;
 };

@@ -33,6 +33,10 @@ TransferEngine::TransferEngine(net::Network& network, UsageStatsCollector& colle
                                 "Payload bytes of completed transfers");
   id_active_ = reg.gauge("gridvc_gridftp_active_transfers",
                          "Transfers currently in flight");
+  id_waiting_ = reg.gauge("gridvc_gridftp_waiting_transfers",
+                          "Transfers parked on an offline endpoint server");
+  id_crashes_ = reg.counter("gridvc_gridftp_server_crashes",
+                            "Server crash events handled by the engine");
   id_stripes_hist_ = reg.histogram("gridvc_gridftp_stripes", {1, 2, 4, 8, 16},
                                    "Stripe count per submitted transfer");
   id_streams_hist_ = reg.histogram("gridvc_gridftp_streams", {1, 2, 4, 8, 16, 32},
@@ -49,6 +53,25 @@ void TransferEngine::attach_listener(Server* server) {
   if (listened_.contains(server)) return;
   listened_.insert(server);
   server->set_change_listener([this] { refresh_caps(); });
+}
+
+void TransferEngine::register_endpoints(Active& t) {
+  t.spec.src.server->add_transfer(t.id, t.spec.stripes,
+                                  t.spec.src.io == IoMode::kMemory ? IoMode::kMemory
+                                                                   : IoMode::kDiskRead);
+  t.spec.dst.server->add_transfer(t.id, t.spec.stripes,
+                                  t.spec.dst.io == IoMode::kMemory ? IoMode::kMemory
+                                                                   : IoMode::kDiskWrite);
+  t.registered = true;
+}
+
+bool TransferEngine::endpoints_online(const Active& t) const {
+  return t.spec.src.server->online() && t.spec.dst.server->online();
+}
+
+void TransferEngine::set_waiting_gauge() {
+  network_.simulator().obs().registry().set(id_waiting_,
+                                            static_cast<double>(waiting_.size()));
 }
 
 std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
@@ -75,15 +98,12 @@ std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
 
   attach_listener(spec.src.server);
   attach_listener(spec.dst.server);
-  spec.src.server->add_transfer(id, spec.stripes,
-                                spec.src.io == IoMode::kMemory ? IoMode::kMemory
-                                                               : IoMode::kDiskRead);
-  spec.dst.server->add_transfer(id, spec.stripes,
-                                spec.dst.io == IoMode::kMemory ? IoMode::kMemory
-                                                               : IoMode::kDiskWrite);
+  const bool online = spec.src.server->online() && spec.dst.server->online();
+  t.registered = online;
 
   auto [it, inserted] = transfers_.emplace(id, std::move(t));
   Active& active = it->second;
+  if (online) register_endpoints(active);
 
   // The loss haircut and Slow Start penalty are computed against the
   // steady rate the transfer would get if alone on its current caps.
@@ -104,23 +124,42 @@ std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
             static_cast<std::uint64_t>(spec.stripes), static_cast<double>(spec.size),
             static_cast<double>(spec.streams)});
 
-  active.injection =
-      network_.simulator().schedule_in(penalty, [this, id] { begin_attempt(id); });
+  if (online) {
+    active.injection =
+        network_.simulator().schedule_in(penalty, [this, id] { begin_attempt(id); });
+  } else {
+    // An endpoint is down right now: park until handle_server_up resumes
+    // us (the penalty is re-derived then — slow start restarts anyway).
+    waiting_.insert(id);
+    set_waiting_gauge();
+  }
   return id;
 }
 
 BitsPerSecond TransferEngine::transfer_cap(const Active& t) const {
+  const BitsPerSecond window =
+      tcp_.window_cap(t.spec.streams, t.spec.rtt) * static_cast<double>(t.spec.stripes);
+  // Between a crash and the next attempt the transfer holds no server
+  // registrations, so shares are unqueryable; the window cap alone is a
+  // sane planning estimate for backoff/penalty math (no flows exist yet).
+  if (!t.registered) return std::max(1.0, window * t.noise * t.loss_factor);
   // Which side does disk I/O was fixed at registration, so share()
   // already reflects it.
   const BitsPerSecond src_share = t.spec.src.server->share(t.id);
   const BitsPerSecond dst_share = t.spec.dst.server->share(t.id);
-  const BitsPerSecond window =
-      tcp_.window_cap(t.spec.streams, t.spec.rtt) * static_cast<double>(t.spec.stripes);
   return std::max(1.0, std::min({src_share, dst_share, window}) * t.noise * t.loss_factor);
 }
 
 void TransferEngine::begin_attempt(std::uint64_t id) {
   Active& t = transfers_.at(id);
+  if (!endpoints_online(t)) {
+    // A server crashed while our backoff/injection timer ran. Park; no
+    // attempt is consumed — the client never got a control channel.
+    waiting_.insert(id);
+    set_waiting_gauge();
+    return;
+  }
+  if (!t.registered) register_endpoints(t);
   const Bytes remaining = t.spec.size - t.bytes_done;
   ++t.attempts;
   ++stats_.attempts;
@@ -215,14 +254,20 @@ void TransferEngine::attempt_complete(std::uint64_t id) {
   GRIDVC_REQUIRE(t.attempt_fails, "attempt fell short without a failure");
   ++stats_.failures;
   obs.registry().add(id_failures_);
-  obs.emit({network_.simulator().now(), obs::TraceEventType::kTransferRetry, id,
-            static_cast<std::uint64_t>(t.attempts), static_cast<double>(t.bytes_done),
-            0.0});
   schedule_retry(id);
 }
 
 void TransferEngine::schedule_retry(std::uint64_t id) {
   Active& t = transfers_.at(id);
+  // Every scheduled restart announces itself, whatever ended the previous
+  // attempt (stochastic failure, link abort, server crash): the trace
+  // checker pairs each non-terminal transfer_aborted with the retry that
+  // resolves it. v2 carries the abort count, omitted-when-zero keeps the
+  // classic failure-only traces byte-identical.
+  network_.simulator().obs().emit(
+      {network_.simulator().now(), obs::TraceEventType::kTransferRetry, id,
+       static_cast<std::uint64_t>(t.attempts), static_cast<double>(t.bytes_done),
+       static_cast<double>(t.aborts)});
   const Bytes remaining = t.spec.size - t.bytes_done;
   const Seconds penalty = tcp_.slow_start_penalty(
       std::max<Bytes>(stripe_chunk(remaining, t.spec.stripes), 1),
@@ -251,8 +296,11 @@ void TransferEngine::finish(std::uint64_t id) {
   record.tcp_buffer = tcp_.config().stream_buffer;
   record.block_size = t.spec.block_size;
 
-  t.spec.src.server->remove_transfer(id);
-  t.spec.dst.server->remove_transfer(id);
+  if (t.registered) {
+    t.spec.src.server->remove_transfer(id);
+    t.spec.dst.server->remove_transfer(id);
+  }
+  if (waiting_.erase(id) > 0) set_waiting_gauge();
 
   ++stats_.completed;
   obs::Observability& obs = network_.simulator().obs();
@@ -287,8 +335,11 @@ void TransferEngine::fail_permanently(std::uint64_t id) {
   record.block_size = t.spec.block_size;
   record.failed = true;
 
-  t.spec.src.server->remove_transfer(id);
-  t.spec.dst.server->remove_transfer(id);
+  if (t.registered) {
+    t.spec.src.server->remove_transfer(id);
+    t.spec.dst.server->remove_transfer(id);
+  }
+  if (waiting_.erase(id) > 0) set_waiting_gauge();
 
   ++stats_.failed_transfers;
   obs::Observability& obs = network_.simulator().obs();
@@ -296,6 +347,118 @@ void TransferEngine::fail_permanently(std::uint64_t id) {
   obs.registry().set(id_active_, static_cast<double>(transfers_.size()));
   collector_.report(record);
   if (t.on_done) t.on_done(record);
+}
+
+void TransferEngine::handle_server_down(Server* server) {
+  GRIDVC_REQUIRE(server != nullptr, "handle_server_down needs a server");
+  if (server->online()) server->set_online(false);
+  const Seconds now = network_.simulator().now();
+  obs::Observability& obs = network_.simulator().obs();
+  ++stats_.server_crashes;
+  obs.registry().add(id_crashes_);
+
+  // Phase 1 — collect the transfers that touch the dead server and are
+  // not already parked. transfers_ is id-ordered, so the abort order (and
+  // with it every downstream event) is deterministic.
+  std::vector<std::uint64_t> affected;
+  for (auto& [id, t] : transfers_) {
+    if ((t.spec.src.server == server || t.spec.dst.server == server) &&
+        !waiting_.contains(id)) {
+      affected.push_back(id);
+    }
+  }
+  obs.emit({now, obs::TraceEventType::kServerDown, server->config().id,
+            static_cast<std::uint64_t>(affected.size()), 0.0, 0.0});
+
+  // Phase 2 — kill the data plane. Settle each live flow's delivered
+  // bytes first (they survive as GridFTP restart markers), then abort it;
+  // abort_flow fires no completion callback, so attempt_complete never
+  // runs for these.
+  for (std::uint64_t id : affected) {
+    Active& t = transfers_.at(id);
+    t.injection.cancel();
+    if (!t.flows.empty()) {
+      for (net::FlowId fid : t.flows) {
+        t.attempt_delivered += network_.sent_bytes(fid);
+        network_.abort_flow(fid);
+      }
+      t.flows.clear();
+      t.attempt_aborted = true;
+    }
+  }
+
+  // Phase 3 — drop the survivors' registrations at their other endpoint
+  // (the dead server already cleared its own). Safe now: every affected
+  // transfer has empty flows, so the notify -> refresh_caps storm skips
+  // them and never queries a share the dead server no longer has.
+  for (std::uint64_t id : affected) {
+    Active& t = transfers_.at(id);
+    if (!t.registered) continue;
+    Server* other = t.spec.src.server == server ? t.spec.dst.server : t.spec.src.server;
+    if (other != server && other->online()) other->remove_transfer(id);
+    t.registered = false;
+  }
+
+  // Phase 4 — settle outcomes: credit restart markers, charge the killed
+  // attempt as an abort (terminal after max_aborts), park the rest.
+  for (std::uint64_t id : affected) {
+    Active& t = transfers_.at(id);
+    const bool killed_attempt = t.attempt_aborted;
+    t.attempt_aborted = false;
+    if (killed_attempt) {
+      t.bytes_done += std::min(t.attempt_delivered, t.attempt_bytes);
+      t.attempt_delivered = 0;
+    }
+    if (t.bytes_done >= t.spec.size) {
+      finish(id);
+      continue;
+    }
+    if (killed_attempt) {
+      ++t.aborts;
+      ++stats_.aborted_attempts;
+      obs.registry().add(id_aborted_);
+      const bool terminal = config_.max_aborts > 0 && t.aborts >= config_.max_aborts;
+      obs.emit({now, obs::TraceEventType::kTransferAborted, id,
+                static_cast<std::uint64_t>(t.attempts), static_cast<double>(t.bytes_done),
+                terminal ? 1.0 : 0.0});
+      if (terminal) {
+        fail_permanently(id);
+        continue;
+      }
+    }
+    waiting_.insert(id);
+  }
+  set_waiting_gauge();
+}
+
+void TransferEngine::handle_server_up(Server* server) {
+  GRIDVC_REQUIRE(server != nullptr, "handle_server_up needs a server");
+  if (!server->online()) server->set_online(true);
+  const Seconds now = network_.simulator().now();
+  obs::Observability& obs = network_.simulator().obs();
+  obs.emit({now, obs::TraceEventType::kServerUp, server->config().id, 0, 0.0, 0.0});
+
+  std::vector<std::uint64_t> resumable;
+  for (std::uint64_t id : waiting_) {
+    if (endpoints_online(transfers_.at(id))) resumable.push_back(id);
+  }
+  for (std::uint64_t id : resumable) {
+    waiting_.erase(id);
+    Active& t = transfers_.at(id);
+    if (t.attempts == 0) {
+      // Submitted while an endpoint was down: this is its first injection,
+      // so pay the normal Slow Start ramp rather than a retry backoff.
+      const Seconds penalty = tcp_.slow_start_penalty(
+          stripe_chunk(t.spec.size, t.spec.stripes), t.spec.streams, t.spec.rtt,
+          std::max(1.0, transfer_cap(t) / static_cast<double>(t.spec.stripes)));
+      const std::uint64_t id_copy = id;
+      t.injection = network_.simulator().schedule_in(
+          penalty, [this, id_copy] { begin_attempt(id_copy); });
+    } else {
+      schedule_retry(id);
+    }
+  }
+  set_waiting_gauge();
 }
 
 void TransferEngine::set_guarantee(std::uint64_t transfer_id, BitsPerSecond guarantee) {

@@ -104,6 +104,24 @@ class TransferEngine {
   /// path, size > 0, streams/stripes >= 1). Returns the transfer id.
   std::uint64_t submit(const TransferSpec& spec, DoneFn on_done = nullptr);
 
+  /// Process-level fault model: crash the server cluster. Marks the
+  /// server offline (clearing its registrations), settles and aborts the
+  /// in-flight flows of every transfer touching it — bytes already on the
+  /// wire survive as restart markers — charges each killed attempt as a
+  /// link-style abort (terminal after max_aborts), deregisters the
+  /// survivors from their other endpoint, and parks them in a waiting set
+  /// until both endpoints are back online.
+  void handle_server_down(Server* server);
+
+  /// Restart the server. Parked transfers whose endpoints are now all
+  /// online resume: started ones through the retry/backoff path (from
+  /// their restart markers), never-started ones through the normal
+  /// injection path.
+  void handle_server_up(Server* server);
+
+  /// Transfers parked because an endpoint server is offline.
+  std::size_t waiting_transfers() const { return waiting_.size(); }
+
   /// Attach or replace the rate guarantee of an in-flight transfer (its
   /// circuit activated mid-transfer, or was lost — guarantee 0 degrades
   /// to best-effort). The new value is split across the attempt's *live*
@@ -124,8 +142,9 @@ class TransferEngine {
     std::uint64_t completed = 0;
     std::uint64_t attempts = 0;
     std::uint64_t failures = 0;  ///< attempts that ended in a mid-transfer failure
-    std::uint64_t aborted_attempts = 0;  ///< attempts killed by a link failure
+    std::uint64_t aborted_attempts = 0;  ///< attempts killed by a link failure or crash
     std::uint64_t failed_transfers = 0;  ///< gave up after max_aborts aborts
+    std::uint64_t server_crashes = 0;    ///< handle_server_down invocations
   };
   const Stats& stats() const { return stats_; }
 
@@ -149,7 +168,11 @@ class TransferEngine {
     bool attempt_fails = false;
     bool attempt_aborted = false;  ///< a stripe died with a link failure
     int attempts = 0;
-    int aborts = 0;  ///< link-failure aborts across all attempts
+    int aborts = 0;  ///< link-failure/crash aborts across all attempts
+    /// Whether the transfer currently holds registrations at both
+    /// endpoint servers. Cleared when a crash wipes an endpoint's
+    /// resource state; re-established by the next attempt.
+    bool registered = true;
     /// Flows of the in-flight attempt that have not finished yet; stripes
     /// are removed as they complete so guarantee/cap splits always divide
     /// across live flows only.
@@ -159,6 +182,9 @@ class TransferEngine {
   };
 
   void attach_listener(Server* server);
+  void register_endpoints(Active& t);
+  bool endpoints_online(const Active& t) const;
+  void set_waiting_gauge();
   void begin_attempt(std::uint64_t id);
   void on_flow_complete(std::uint64_t id, const net::FlowRecord& flow);
   void attempt_complete(std::uint64_t id);
@@ -176,6 +202,9 @@ class TransferEngine {
   net::TcpModel tcp_;
   Rng rng_;
   std::map<std::uint64_t, Active> transfers_;
+  /// Id-ordered (determinism) set of transfers parked on an offline
+  /// endpoint server.
+  std::set<std::uint64_t> waiting_;
   std::set<Server*> listened_;
   std::uint64_t next_id_ = 1;
   bool refreshing_ = false;
@@ -188,6 +217,8 @@ class TransferEngine {
   obs::MetricId id_failed_;
   obs::MetricId id_bytes_moved_;
   obs::MetricId id_active_;
+  obs::MetricId id_waiting_;
+  obs::MetricId id_crashes_;
   obs::MetricId id_stripes_hist_;
   obs::MetricId id_streams_hist_;
   obs::MetricId id_start_delay_hist_;

@@ -18,15 +18,35 @@
 #include <vector>
 
 #include "gridftp/transfer_engine.hpp"
+#include "recovery/journal.hpp"
 #include "sim/simulator.hpp"
 
 namespace gridvc::gridftp {
+
+/// What happens when a submission finds the (bounded) queue full.
+enum class OverloadPolicy : std::uint8_t {
+  kRejectNew,   ///< fail the incoming task fast; queued work is sacred
+  kShedOldest,  ///< drop the task that has waited longest (doomed anyway)
+  /// Evict the lowest-priority queued task (oldest among ties) when the
+  /// incoming one outranks it, else reject the incoming task.
+  kPriority,
+};
 
 struct TransferServiceConfig {
   /// Tasks running at once; excess submissions queue FIFO.
   int max_active_tasks = 4;
   /// Transfers in flight per task.
   int per_task_concurrency = 2;
+  /// Bound on the waiting queue (0 = unbounded, the historical default).
+  /// A submission that would push the queue past the limit triggers
+  /// `overload_policy`.
+  std::size_t queue_limit = 0;
+  OverloadPolicy overload_policy = OverloadPolicy::kRejectNew;
+  /// Optional write-ahead journal for task state. When set, submissions
+  /// are appended, per-file progress checkpointed, and terminal tasks
+  /// tombstoned, so crash_and_recover() can rebuild the queue after a
+  /// service crash. Must outlive the service.
+  recovery::Journal* journal = nullptr;
 };
 
 enum class TaskState : std::uint8_t {
@@ -34,12 +54,28 @@ enum class TaskState : std::uint8_t {
   kActive,
   kSucceeded,
   kCancelled,
+  /// Dropped by the overload guard (queue full, priority eviction) or a
+  /// missed deadline — terminal like kCancelled but distinguishable.
+  kShed,
+};
+
+/// Per-submission scheduling knobs (see TransferService::submit).
+struct SubmitOptions {
+  /// Ranks tasks under OverloadPolicy::kPriority; higher outranks lower.
+  int priority = 0;
+  /// Whole-task deadline measured from submission (0 = none). A task not
+  /// finished by then is shed: a queued task terminates immediately, an
+  /// active one stops submitting new files and terminates as kShed when
+  /// the in-flight transfers drain. This sits above the engine's own
+  /// per-transfer retry bounds in the timeout hierarchy.
+  Seconds deadline = 0.0;
 };
 
 struct TaskStatus {
   std::uint64_t id = 0;
   std::string label;
   TaskState state = TaskState::kQueued;
+  int priority = 0;
   std::size_t files_total = 0;
   std::size_t files_done = 0;
   std::size_t files_failed = 0;  ///< permanently-failed transfers (not in files_done)
@@ -73,9 +109,27 @@ class TransferService {
   TransferService& operator=(const TransferService&) = delete;
 
   /// Queue a task: move `files` using `transfer_template` (size filled
-  /// per file). Requires at least one file. Returns the task id.
+  /// per file). Requires at least one file. Returns the task id. With a
+  /// bounded queue the task may be shed immediately (state kShed; the
+  /// on_done callback is deferred to a zero-delay event so submit never
+  /// re-enters the caller).
   std::uint64_t submit(std::string label, std::vector<Bytes> files,
                        TransferSpec transfer_template, TaskDoneFn on_done = nullptr);
+  std::uint64_t submit(std::string label, std::vector<Bytes> files,
+                       TransferSpec transfer_template, const SubmitOptions& options,
+                       TaskDoneFn on_done = nullptr);
+
+  /// Simulate a service process crash followed by a restart that replays
+  /// the configured journal. All in-memory task state dies (completions
+  /// of transfers the dead process started are ignored); every journaled
+  /// non-terminal task is rebuilt with its original id, label, options,
+  /// and the files its progress checkpoint says are still unmoved, and
+  /// re-queued in id order. `transfer_template` supplies the engine spec
+  /// for resumed work (endpoint/path wiring is process state, not journal
+  /// state); `on_done`, if set, is attached to every recovered task —
+  /// original callbacks do not survive a crash. Returns tasks restored.
+  std::size_t crash_and_recover(const TransferSpec& transfer_template,
+                                TaskDoneFn on_done = nullptr);
 
   /// Cancel a task. Queued tasks never start; active tasks stop
   /// submitting new files (in-flight transfers drain and are counted).
@@ -89,22 +143,51 @@ class TransferService {
   std::size_t queued_tasks() const { return queue_.size(); }
   std::size_t active_tasks() const { return active_; }
 
+  /// Snapshot of every task the service knows about, id order.
+  std::vector<TaskStatus> statuses() const;
+
+  /// Overload/recovery accounting across the service's lifetime.
+  std::uint64_t tasks_rejected() const { return tasks_rejected_; }
+  std::uint64_t tasks_shed() const { return tasks_shed_; }
+  std::uint64_t tasks_recovered() const { return tasks_recovered_; }
+
+  /// Crash epoch: bumped by crash_and_recover. Mostly for tests.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
   struct Task {
     TaskStatus status;
     std::vector<Bytes> files;
     TransferSpec transfer_template;
+    Seconds deadline = 0.0;  ///< from SubmitOptions; 0 = none
     std::size_t next_file = 0;
     std::size_t in_flight = 0;
     bool cancelled = false;
+    bool shed = false;  ///< deadline fired while active; terminal state kShed
     sim::Simulator::Counters counters_at_start;
+    sim::EventHandle deadline_event;
     TaskDoneFn on_done;
+  };
+
+  /// Why a task was shed (kTaskShed trace aux).
+  enum ShedReason : std::uint64_t {
+    kShedRejectedNew = 0,
+    kShedOldestEvicted = 1,
+    kShedPriorityEvicted = 2,
+    kShedDeadline = 3,
   };
 
   void maybe_start_next();
   void pump(std::uint64_t task_id);
   void on_transfer_done(std::uint64_t task_id, const TransferRecord& record);
   void finish_task(Task& task, TaskState state);
+  void enforce_queue_limit(std::uint64_t incoming_id);
+  /// Terminate a task that never held an active slot (queued or just
+  /// rejected). Defers on_done to a zero-delay event.
+  void shed_queued(std::uint64_t task_id, ShedReason reason);
+  void on_deadline(std::uint64_t task_id);
+  void journal_task(const Task& task);
+  void sync_queue_gauge();
 
   sim::Simulator& sim_;
   TransferEngine& engine_;
@@ -113,9 +196,16 @@ class TransferService {
   std::deque<std::uint64_t> queue_;
   std::size_t active_ = 0;
   std::uint64_t next_id_ = 1;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t tasks_rejected_ = 0;
+  std::uint64_t tasks_shed_ = 0;
+  std::uint64_t tasks_recovered_ = 0;
   obs::MetricId id_tasks_submitted_;
   obs::MetricId id_tasks_completed_;
   obs::MetricId id_tasks_cancelled_;
+  obs::MetricId id_tasks_shed_;
+  obs::MetricId id_tasks_rejected_;
+  obs::MetricId id_tasks_recovered_;
   obs::MetricId id_queued_gauge_;
   obs::MetricId id_active_gauge_;
   obs::MetricId id_queue_wait_hist_;

@@ -38,8 +38,23 @@ void FaultInjector::schedule_failure(std::size_t target_index, Seconds not_befor
       });
 }
 
+FaultInjector::~FaultInjector() {
+  // The injector may die before the run drains (scoped injectors in
+  // tests, early teardown); pending events would otherwise fire into a
+  // dangling `this`.
+  for (auto& handle : pending_) handle.cancel();
+}
+
 void FaultInjector::fail_link(std::size_t target_index) {
   const LinkId link = config_.targets[target_index];
+  if (!network_.link_up(link)) {
+    // Someone else (another injector, a scripted outage) already holds
+    // the link down. Failing it again would double-count the outage and
+    // our repair would cut their window short — skip this cycle and try
+    // again after it heals.
+    schedule_failure(target_index, network_.simulator().now());
+    return;
+  }
   ++stats_.failures;
   network_.set_link_state(link, false);
   if (on_link_down_) on_link_down_(link);

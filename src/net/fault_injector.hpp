@@ -49,6 +49,9 @@ class FaultInjector {
   /// this is where the IDC's handle_link_failure/restore_link hook in.
   FaultInjector(Network& network, FaultInjectorConfig config, Rng rng,
                 LinkFn on_link_down = nullptr, LinkFn on_link_up = nullptr);
+  /// Cancels any in-flight failure/repair events so the injector can be
+  /// destroyed before the simulation drains.
+  ~FaultInjector();
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 

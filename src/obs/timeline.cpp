@@ -117,6 +117,12 @@ Timelines build_timelines(const std::vector<TraceEvent>& events) {
       case TraceEventType::kNetRecompute:
       case TraceEventType::kLinkDown:
       case TraceEventType::kLinkUp:
+      case TraceEventType::kServerDown:
+      case TraceEventType::kServerUp:
+      case TraceEventType::kIdcOutageBegin:
+      case TraceEventType::kIdcOutageEnd:
+      case TraceEventType::kTaskShed:
+      case TraceEventType::kJournalReplay:
         break;  // not part of the per-transfer/per-circuit timelines
     }
   }

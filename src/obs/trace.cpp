@@ -39,6 +39,12 @@ constexpr NameEntry kNames[] = {
     {TraceEventType::kLinkDown, "link_down"},
     {TraceEventType::kLinkUp, "link_up"},
     {TraceEventType::kTransferAborted, "transfer_aborted"},
+    {TraceEventType::kServerDown, "server_down"},
+    {TraceEventType::kServerUp, "server_up"},
+    {TraceEventType::kIdcOutageBegin, "idc_outage_begin"},
+    {TraceEventType::kIdcOutageEnd, "idc_outage_end"},
+    {TraceEventType::kTaskShed, "task_shed"},
+    {TraceEventType::kJournalReplay, "journal_replay"},
 };
 
 std::string fmt_double(double v) {

@@ -50,7 +50,18 @@ enum class TraceEventType : std::uint8_t {
   kLinkUp,
   // failure semantics (gridftp)
   kTransferAborted,
+  // process-level faults and recovery
+  kServerDown,
+  kServerUp,
+  kIdcOutageBegin,
+  kIdcOutageEnd,
+  kTaskShed,
+  kJournalReplay,
 };
+
+/// Number of distinct event types (array-sizing for per-type counters).
+inline constexpr std::size_t kTraceEventTypeCount =
+    static_cast<std::size_t>(TraceEventType::kJournalReplay) + 1;
 
 /// Stable wire name ("transfer_submitted", ...).
 const char* trace_event_name(TraceEventType type);

@@ -1,0 +1,95 @@
+#include "recovery/circuit_breaker.hpp"
+
+#include "common/error.hpp"
+
+namespace gridvc::recovery {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
+  GRIDVC_REQUIRE(config_.failure_threshold >= 1, "breaker needs a failure threshold >= 1");
+  GRIDVC_REQUIRE(config_.open_duration > 0.0, "breaker open duration must be positive");
+  GRIDVC_REQUIRE(config_.success_threshold >= 1, "breaker needs a success threshold >= 1");
+}
+
+BreakerState CircuitBreaker::state(Seconds now) const {
+  if (state_ == BreakerState::kOpen && now >= opened_at_ + config_.open_duration) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+Seconds CircuitBreaker::reopen_at() const {
+  return state_ == BreakerState::kOpen ? opened_at_ + config_.open_duration : 0.0;
+}
+
+void CircuitBreaker::trip(Seconds now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  probe_in_flight_ = false;
+  ++stats_.trips;
+}
+
+bool CircuitBreaker::allow(Seconds now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < opened_at_ + config_.open_duration) {
+        ++stats_.fast_failures;
+        return false;
+      }
+      // The open window elapsed: transition to half-open and admit the
+      // first probe.
+      state_ = BreakerState::kHalfOpen;
+      half_open_successes_ = 0;
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return true;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        ++stats_.fast_failures;
+        return false;
+      }
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::record_success(Seconds now) {
+  (void)now;
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      return;
+    case BreakerState::kOpen:
+      // A success reported while open can only be a late-completing
+      // request from before the trip; it does not close the breaker.
+      return;
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= config_.success_threshold) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        ++stats_.closes;
+      }
+      return;
+  }
+}
+
+void CircuitBreaker::record_failure(Seconds now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) trip(now);
+      return;
+    case BreakerState::kOpen:
+      return;  // late failure from before the trip; the timer keeps running
+    case BreakerState::kHalfOpen:
+      trip(now);  // the probe failed: back to open, restart the timer
+      return;
+  }
+}
+
+}  // namespace gridvc::recovery

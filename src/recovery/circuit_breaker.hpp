@@ -1,0 +1,80 @@
+// Client-side circuit breaker for a flaky control-plane dependency.
+//
+// The IDC's signaling interface can be *down* (an outage window), and a
+// client that keeps re-signaling into a dead controller both wastes its
+// bounded retry budget and hammers the controller the moment it returns.
+// The standard remedy is the closed/open/half-open breaker:
+//
+//   closed    requests flow; `failure_threshold` consecutive failures trip
+//             the breaker.
+//   open      requests fail fast (no attempt made) until `open_duration`
+//             has elapsed since the trip.
+//   half-open exactly one probe request is let through; success (possibly
+//             several, per `success_threshold`) closes the breaker, a
+//             failure re-opens it and restarts the open timer.
+//
+// The breaker is pure state over caller-supplied times (sim seconds), so
+// it is deterministic and needs no simulator of its own.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace gridvc::recovery {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures (while closed) that trip the breaker.
+  int failure_threshold = 3;
+  /// How long the breaker stays open before admitting a half-open probe.
+  Seconds open_duration = 30.0;
+  /// Consecutive half-open successes required to close again.
+  int success_threshold = 1;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  /// May a request be attempted at `now`? In the open state this fails
+  /// fast; in the half-open state exactly one in-flight probe is allowed —
+  /// further allow() calls fail fast until the probe reports back via
+  /// record_success/record_failure.
+  bool allow(Seconds now);
+
+  /// Report the outcome of an attempted (allowed) request.
+  void record_success(Seconds now);
+  void record_failure(Seconds now);
+
+  /// State as of `now` (open lazily becomes half-open once the open
+  /// window has elapsed).
+  BreakerState state(Seconds now) const;
+
+  /// Earliest time an open breaker admits its half-open probe. Callers
+  /// scheduling a retry can sleep until here instead of polling allow().
+  /// Meaningful only while open; returns 0 when not open.
+  Seconds reopen_at() const;
+
+  struct Stats {
+    std::uint64_t trips = 0;          ///< closed/half-open -> open transitions
+    std::uint64_t fast_failures = 0;  ///< allow() == false
+    std::uint64_t probes = 0;         ///< half-open attempts admitted
+    std::uint64_t closes = 0;         ///< half-open -> closed transitions
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void trip(Seconds now);
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  Seconds opened_at_ = 0.0;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  Stats stats_;
+};
+
+}  // namespace gridvc::recovery

@@ -1,0 +1,152 @@
+#include "recovery/fault_schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "exec/rng_stream.hpp"
+
+namespace gridvc::recovery {
+
+namespace {
+
+/// Stable stream index per (kind, target): kinds get disjoint ranges so a
+/// schedule's link processes never shift when server/idc processes are
+/// enabled or disabled.
+std::uint64_t stream_index(FaultTargetKind kind, std::uint64_t target) {
+  switch (kind) {
+    case FaultTargetKind::kLink:
+      return 0x10000u + target;
+    case FaultTargetKind::kServer:
+      return 0x20000u + target;
+    case FaultTargetKind::kIdc:
+      return 0x30000u;
+  }
+  return 0;
+}
+
+void walk_process(std::vector<FaultWindow>& out, FaultTargetKind kind,
+                  std::uint64_t target, Seconds mtbf, Seconds mttr, Seconds start_after,
+                  Seconds horizon, std::uint64_t seed) {
+  if (mtbf <= 0.0) return;
+  GRIDVC_REQUIRE(mttr > 0.0, "fault schedule mttr must be positive");
+  Rng rng = exec::stream_rng(seed, stream_index(kind, target));
+  Seconds t = start_after;
+  while (true) {
+    t += rng.exponential(mtbf);
+    if (t >= horizon) return;
+    const Seconds outage = std::max(1e-6, rng.exponential(mttr));
+    out.push_back({kind, target, t, t + outage});
+    t += outage;
+  }
+}
+
+bool window_order(const FaultWindow& a, const FaultWindow& b) {
+  return std::tie(a.down_at, a.kind, a.target, a.up_at) <
+         std::tie(b.down_at, b.kind, b.target, b.up_at);
+}
+
+}  // namespace
+
+std::size_t FaultSchedule::count(FaultTargetKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(windows.begin(), windows.end(),
+                    [kind](const FaultWindow& w) { return w.kind == kind; }));
+}
+
+FaultSchedule generate_fault_schedule(const FaultScheduleSpec& spec, std::uint64_t seed) {
+  GRIDVC_REQUIRE(spec.horizon > spec.start_after,
+                 "fault schedule horizon must lie past start_after");
+  FaultSchedule schedule;
+  for (std::size_t i = 0; i < spec.link_count; ++i) {
+    walk_process(schedule.windows, FaultTargetKind::kLink, i, spec.link_mtbf,
+                 spec.link_mttr, spec.start_after, spec.horizon, seed);
+  }
+  for (std::size_t i = 0; i < spec.server_count; ++i) {
+    walk_process(schedule.windows, FaultTargetKind::kServer, i, spec.server_mtbf,
+                 spec.server_mttr, spec.start_after, spec.horizon, seed);
+  }
+  if (spec.idc) {
+    walk_process(schedule.windows, FaultTargetKind::kIdc, 0, spec.idc_mtbf,
+                 spec.idc_mttr, spec.start_after, spec.horizon, seed);
+  }
+  std::sort(schedule.windows.begin(), schedule.windows.end(), window_order);
+  return schedule;
+}
+
+FaultScheduleInjector::FaultScheduleInjector(sim::Simulator& sim, FaultSchedule schedule,
+                                             FaultFn on_down, FaultFn on_up)
+    : sim_(sim),
+      schedule_(std::move(schedule)),
+      on_down_(std::move(on_down)),
+      on_up_(std::move(on_up)) {
+  // Overlapping windows on one target would double-fail it and then heal
+  // it while the second outage is still meant to hold; reject them.
+  std::map<std::pair<FaultTargetKind, std::uint64_t>, Seconds> last_up;
+  std::vector<FaultWindow> sorted = schedule_.windows;
+  std::sort(sorted.begin(), sorted.end(), window_order);
+  for (const FaultWindow& w : sorted) {
+    GRIDVC_REQUIRE(w.up_at > w.down_at, "fault window must have positive duration");
+    GRIDVC_REQUIRE(w.down_at >= 0.0, "fault window cannot start before time 0");
+    auto& prev_up = last_up[{w.kind, w.target}];
+    GRIDVC_REQUIRE(w.down_at >= prev_up, "fault windows overlap on one target");
+    prev_up = w.up_at;
+  }
+
+  pending_.reserve(schedule_.windows.size() * 2);
+  for (const FaultWindow& w : schedule_.windows) {
+    pending_.push_back(sim_.schedule_at(w.down_at, [this, w] {
+      ++stats_.downs;
+      if (on_down_) on_down_(w.kind, w.target);
+    }));
+    pending_.push_back(sim_.schedule_at(w.up_at, [this, w] {
+      ++stats_.ups;
+      if (on_up_) on_up_(w.kind, w.target);
+    }));
+  }
+}
+
+FaultScheduleInjector::~FaultScheduleInjector() {
+  for (sim::EventHandle& h : pending_) h.cancel();
+}
+
+FaultSchedule shrink_schedule(const FaultSchedule& failing,
+                              const std::function<bool(const FaultSchedule&)>& still_fails) {
+  GRIDVC_REQUIRE(still_fails(failing), "shrink input must be a failing schedule");
+  std::vector<FaultWindow> current = failing.windows;
+
+  // ddmin: delete progressively smaller chunks; on success restart at the
+  // coarsest granularity. Terminates because every accepted deletion
+  // strictly shrinks the list.
+  std::size_t chunk = std::max<std::size_t>(1, current.size() / 2);
+  while (!current.empty()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < current.size();) {
+      const std::size_t len = std::min(chunk, current.size() - start);
+      std::vector<FaultWindow> candidate;
+      candidate.reserve(current.size() - len);
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       current.begin() + static_cast<std::ptrdiff_t>(start + len),
+                       current.end());
+      if (still_fails({candidate})) {
+        current = std::move(candidate);
+        removed_any = true;
+        // keep `start` in place: the next chunk has shifted into it
+      } else {
+        start += len;
+      }
+    }
+    if (removed_any) {
+      chunk = std::max<std::size_t>(1, current.size() / 2);
+      continue;
+    }
+    if (chunk == 1) break;  // 1-minimal: no single window can go
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  return {current};
+}
+
+}  // namespace gridvc::recovery

@@ -1,0 +1,68 @@
+#include "recovery/journal.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace gridvc::recovery {
+
+void Journal::append(const std::string& stream, std::uint64_t key, std::string payload) {
+  GRIDVC_REQUIRE(!stream.empty(), "journal stream needs a name");
+  log_.push_back({stream, key, std::move(payload), false});
+  ++stats_.appends;
+}
+
+void Journal::tombstone(const std::string& stream, std::uint64_t key) {
+  GRIDVC_REQUIRE(!stream.empty(), "journal stream needs a name");
+  log_.push_back({stream, key, std::string(), true});
+  ++stats_.tombstones;
+}
+
+std::vector<JournalRecord> Journal::replay(const std::string& stream) const {
+  // Redo pass: walk in append order so the last write per key wins, then
+  // emit survivors in key order (std::map iteration) for deterministic
+  // reconstruction order.
+  std::map<std::uint64_t, const JournalRecord*> latest;
+  for (const JournalRecord& rec : log_) {
+    if (rec.stream != stream) continue;
+    if (rec.tombstone) {
+      latest.erase(rec.key);
+    } else {
+      latest[rec.key] = &rec;
+    }
+  }
+  std::vector<JournalRecord> out;
+  out.reserve(latest.size());
+  for (const auto& [key, rec] : latest) out.push_back(*rec);
+  return out;
+}
+
+std::size_t Journal::compact() {
+  // Keep exactly the records replay() would return for every stream:
+  // the last non-tombstoned write per (stream, key).
+  std::map<std::pair<std::string, std::uint64_t>, std::size_t> latest;
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const JournalRecord& rec = log_[i];
+    if (rec.tombstone) {
+      latest.erase({rec.stream, rec.key});
+    } else {
+      latest[{rec.stream, rec.key}] = i;
+    }
+  }
+  std::vector<bool> keep(log_.size(), false);
+  for (const auto& [key, index] : latest) keep[index] = true;
+
+  std::vector<JournalRecord> compacted;
+  compacted.reserve(latest.size());
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    if (keep[i]) compacted.push_back(std::move(log_[i]));
+  }
+  const std::size_t dropped = log_.size() - compacted.size();
+  log_ = std::move(compacted);
+  ++stats_.compactions;
+  stats_.records_dropped += dropped;
+  return dropped;
+}
+
+}  // namespace gridvc::recovery

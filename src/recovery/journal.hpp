@@ -1,0 +1,71 @@
+// Write-ahead journal: the in-sim durable store behind crash recovery.
+//
+// Reservation-based transfer systems must not lose queued work or granted
+// circuits when the controlling process dies (the paper's §II restart
+// markers recover *data*; this journal recovers *control state*). The
+// model is a single append-only log shared by any number of logical
+// streams ("task", "vc", ...): a subsystem appends one opaque payload per
+// durable object keyed by (stream, key), re-appends on every meaningful
+// state change, and writes a tombstone when the object reaches a terminal
+// state. Recovery replays a stream with last-write-wins per key, which is
+// exactly the redo pass of a conventional WAL — no undo is needed because
+// payloads are full snapshots, not deltas.
+//
+// The journal survives the crash of the subsystem that writes it, not of
+// the whole simulation: callers own it *outside* the component they
+// crash/restart (see TransferService::crash_and_recover, Idc journaling).
+// It is deliberately sim-free and deterministic: no timestamps of its
+// own, iteration in append order, replay in key order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gridvc::recovery {
+
+struct JournalRecord {
+  std::string stream;   ///< logical stream, e.g. "task" or "vc"
+  std::uint64_t key = 0;
+  std::string payload;  ///< full-state snapshot, encoding owned by the writer
+  bool tombstone = false;
+
+  bool operator==(const JournalRecord&) const = default;
+};
+
+class Journal {
+ public:
+  /// Append a full-state snapshot for (stream, key). Later appends for
+  /// the same pair supersede earlier ones at replay.
+  void append(const std::string& stream, std::uint64_t key, std::string payload);
+
+  /// Mark (stream, key) terminal: replay will skip it.
+  void tombstone(const std::string& stream, std::uint64_t key);
+
+  /// Surviving records of one stream: last write per key wins, tombstoned
+  /// keys are dropped, results in ascending key order.
+  std::vector<JournalRecord> replay(const std::string& stream) const;
+
+  /// Raw log length, superseded and tombstoned records included.
+  std::size_t size() const { return log_.size(); }
+
+  /// Drop superseded and tombstoned records in place, keeping exactly the
+  /// records replay() would return (all streams). Returns how many
+  /// records were discarded.
+  std::size_t compact();
+
+  struct Stats {
+    std::uint64_t appends = 0;
+    std::uint64_t tombstones = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t records_dropped = 0;  ///< total discarded by compact()
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<JournalRecord> log_;
+  Stats stats_;
+};
+
+}  // namespace gridvc::recovery

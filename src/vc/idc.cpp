@@ -2,11 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
 
 namespace gridvc::vc {
+
+namespace {
+
+// A lifecycle callback may tear down / retire the very circuit it is
+// invoked for, which destroys the std::function mid-execution and
+// invalidates the entry's Circuit. Copy both to locals first.
+void invoke_callback(const Idc::CircuitFn& fn, const Circuit& circuit) {
+  if (!fn) return;
+  const Idc::CircuitFn fn_copy = fn;
+  const Circuit snapshot = circuit;
+  fn_copy(snapshot);
+}
+
+}  // namespace
 
 Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkPolicy policy)
     : sim_(sim),
@@ -17,7 +32,9 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
       paths_(topo, calendar_, [this](net::LinkId l) {
         if (failed_links_.contains(l)) return false;
         return !user_policy_ || user_policy_(l);
-      }) {
+      }),
+      breaker_(config.breaker) {
+  GRIDVC_REQUIRE(config_.terminal_capacity >= 1, "terminal capacity must be >= 1");
   GRIDVC_REQUIRE(config_.batch_interval > 0.0, "batch interval must be positive");
   GRIDVC_REQUIRE(config_.immediate_setup_delay >= 0.0, "negative signaling delay");
   GRIDVC_REQUIRE(config_.resignal_backoff > 0.0, "resignal backoff must be positive");
@@ -38,6 +55,10 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
   id_rejected_retries_ = reg.counter(
       "gridvc_vc_rejected_retries",
       "Re-rejections of requests marked is_retry (not independent blocks)");
+  id_rejected_outage_ = reg.counter(
+      "gridvc_vc_rejected_outage",
+      "Fail-fast rejections while the control plane was unreachable");
+  id_outages_ = reg.counter("gridvc_vc_outages", "Control-plane outage windows entered");
   id_released_ = reg.counter("gridvc_vc_released", "Circuits torn down after activation");
   id_cancelled_ = reg.counter("gridvc_vc_cancelled", "Reservations cancelled before activation");
   id_repathed_ = reg.counter("gridvc_vc_repathed",
@@ -60,6 +81,13 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
 
 void Idc::count_rejection(const ReservationRequest& request, RejectReason reason) {
   obs::MetricsRegistry& reg = sim_.obs().registry();
+  if (reason == RejectReason::kControlPlaneDown) {
+    // Not an admission verdict (retried or not): the IDC never evaluated
+    // the demand, so it stays out of the blocking-probability counters.
+    ++stats_.rejected_outage;
+    reg.add(id_rejected_outage_);
+    return;
+  }
   if (request.is_retry) {
     // A retried demand was already counted when it first blocked; folding
     // the retry into the per-reason counters would double-count it.
@@ -80,6 +108,8 @@ void Idc::count_rejection(const ReservationRequest& request, RejectReason reason
       ++stats_.rejected_invalid;
       reg.add(id_rejected_invalid_);
       break;
+    case RejectReason::kControlPlaneDown:
+      break;  // handled above
   }
 }
 
@@ -130,6 +160,14 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
     return result;
   };
 
+  if (in_outage_) {
+    // Fail fast: the control plane is unreachable, so no path computation
+    // or admission happens. Callers see the distinct reason and can back
+    // off (or trip their own breaker) instead of interpreting the outage
+    // as a capacity signal.
+    return reject(RejectReason::kControlPlaneDown);
+  }
+
   if (request.bandwidth <= 0.0 || request.end_time <= request.start_time ||
       request.src >= topo_.node_count() || request.dst >= topo_.node_count() ||
       request.src == request.dst) {
@@ -165,6 +203,7 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
   entry.activate_event = sim_.schedule_at(activation, [this, id] { activate(id); });
   entries_.emplace(id, std::move(entry));
   ++stats_.accepted;
+  journal_reservation(id, request, activation);
   obs.registry().add(id_accepted_);
   sync_calendar_gauge();
   obs.emit({sim_.now(), obs::TraceEventType::kVcGranted, id, 0,
@@ -202,7 +241,7 @@ void Idc::activate(std::uint64_t id) {
   obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
   obs.emit({sim_.now(), obs::TraceEventType::kVcActivated, id, 0,
             entry.circuit.setup_delay(), entry.circuit.request.bandwidth});
-  if (entry.on_active) entry.on_active(entry.circuit);
+  invoke_callback(entry.on_active, entry.circuit);
 }
 
 void Idc::release(std::uint64_t id) {
@@ -223,7 +262,7 @@ void Idc::release(std::uint64_t id) {
   obs.emit({sim_.now(), obs::TraceEventType::kVcReleased, id, 0,
             entry.circuit.released_at - entry.circuit.active_at,
             entry.circuit.request.bandwidth});
-  if (entry.on_release) entry.on_release(entry.circuit);
+  invoke_callback(entry.on_release, entry.circuit);
   retire(id);
 }
 
@@ -282,7 +321,7 @@ void Idc::release_now(std::uint64_t circuit_id) {
   obs.emit({sim_.now(), obs::TraceEventType::kVcReleased, circuit_id, 0,
             entry.circuit.released_at - entry.circuit.active_at,
             entry.circuit.request.bandwidth});
-  if (entry.on_release) entry.on_release(entry.circuit);
+  invoke_callback(entry.on_release, entry.circuit);
   retire(circuit_id);
 }
 
@@ -311,6 +350,7 @@ bool Idc::modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwid
       calendar_.book(entry.circuit.path, activation, new_end_time, new_bandwidth);
   entry.circuit.request.bandwidth = new_bandwidth;
   entry.circuit.request.end_time = new_end_time;
+  journal_reservation(circuit_id, entry.circuit.request, activation);
   sync_calendar_gauge();
   return true;
 }
@@ -394,7 +434,7 @@ void Idc::fail_active(std::uint64_t id, net::LinkId failed_link) {
   obs.registry().set(id_active_gauge_, static_cast<double>(active_circuits_));
   obs.emit({sim_.now(), obs::TraceEventType::kVcFailed, id, failed_link,
             c.failed_at - c.active_at, c.request.bandwidth});
-  if (entry.on_failure) entry.on_failure(c);
+  invoke_callback(entry.on_failure, c);
 
   // The callback may have torn the circuit down (release_now retires it).
   const auto it = entries_.find(id);
@@ -428,9 +468,29 @@ void Idc::try_resignal(std::uint64_t id) {
     retire(id);  // the reservation window ran out during the outage
     return;
   }
+  if (!breaker_.allow(now)) {
+    // Breaker open: fail fast without touching the control plane or
+    // consuming a re-signal attempt; come back once a probe is allowed.
+    const Seconds retry_at =
+        std::max(now + config_.resignal_backoff, breaker_.reopen_at());
+    entry.resignal_event = sim_.schedule_at(retry_at, [this, id] { try_resignal(id); });
+    return;
+  }
+  if (in_outage_) {
+    // The probe found the control plane unreachable: a breaker failure,
+    // not a path-computation attempt. Retry after the plain backoff; the
+    // window-expiry check above bounds the loop.
+    breaker_.record_failure(now);
+    entry.resignal_event =
+        sim_.schedule_in(config_.resignal_backoff, [this, id] { try_resignal(id); });
+    return;
+  }
   const auto path = paths_.compute(c.request.src, c.request.dst, c.request.bandwidth,
                                    now, c.request.end_time);
   if (!path) {
+    // The control plane answered — that closes the breaker's book even
+    // though admission failed for capacity reasons.
+    breaker_.record_success(now);
     if (entry.resignal_attempts >= config_.max_resignal_attempts) {
       retire(id);  // give up; the circuit stays failed
       return;
@@ -438,6 +498,7 @@ void Idc::try_resignal(std::uint64_t id) {
     schedule_resignal(id);
     return;
   }
+  breaker_.record_success(now);
 
   // Re-homed: book the remaining window and bring the guarantee back.
   c.path = *path;
@@ -459,7 +520,7 @@ void Idc::try_resignal(std::uint64_t id) {
   // aux=1 marks a re-activation after failure; value is the outage length.
   obs.emit({now, obs::TraceEventType::kVcActivated, id, 1, outage,
             c.request.bandwidth});
-  if (entry.on_active) entry.on_active(c);
+  invoke_callback(entry.on_active, c);
 }
 
 void Idc::retire(std::uint64_t id) {
@@ -470,12 +531,94 @@ void Idc::retire(std::uint64_t id) {
   it->second.resignal_event.cancel();
   terminal_.insert_or_assign(id, std::move(it->second.circuit));
   entries_.erase(it);
-  while (terminal_.size() > kTerminalCapacity) {
+  if (config_.journal) config_.journal->tombstone("vc", id);
+  while (terminal_.size() > config_.terminal_capacity) {
     terminal_.erase(terminal_.begin());  // ids are monotone: begin() is oldest
   }
 }
 
 void Idc::restore_link(net::LinkId link) { failed_links_.erase(link); }
+
+void Idc::begin_outage() {
+  if (in_outage_) return;
+  in_outage_ = true;
+  ++outage_count_;
+  outage_began_ = sim_.now();
+  ++stats_.outages;
+  sim_.obs().registry().add(id_outages_);
+  sim_.obs().emit({sim_.now(), obs::TraceEventType::kIdcOutageBegin, outage_count_, 0,
+                   0.0, 0.0});
+}
+
+void Idc::end_outage() {
+  if (!in_outage_) return;
+  in_outage_ = false;
+  sim_.obs().emit({sim_.now(), obs::TraceEventType::kIdcOutageEnd, outage_count_, 0,
+                   sim_.now() - outage_began_, 0.0});
+}
+
+void Idc::journal_reservation(std::uint64_t id, const ReservationRequest& request,
+                              Seconds activation) {
+  if (!config_.journal) return;
+  std::ostringstream payload;
+  payload.precision(17);
+  payload << request.src << ' ' << request.dst << ' ' << request.bandwidth << ' '
+          << request.start_time << ' ' << request.end_time << ' ' << activation;
+  config_.journal->append("vc", id, payload.str());
+}
+
+std::size_t Idc::recover_from_journal() {
+  GRIDVC_REQUIRE(config_.journal != nullptr, "recover_from_journal needs a journal");
+  GRIDVC_REQUIRE(entries_.empty(), "recover_from_journal on a non-empty IDC");
+  const Seconds now = sim_.now();
+  std::size_t restored = 0;
+  std::size_t dropped = 0;
+  for (const recovery::JournalRecord& rec : config_.journal->replay("vc")) {
+    ReservationRequest request;
+    Seconds activation = 0.0;
+    std::istringstream in(rec.payload);
+    in >> request.src >> request.dst >> request.bandwidth >> request.start_time >>
+        request.end_time >> activation;
+    GRIDVC_REQUIRE(!in.fail(), "malformed vc journal payload");
+    next_id_ = std::max(next_id_, rec.key + 1);
+    if (request.end_time <= now) {
+      // The window ran out while the IDC was down; nothing to restore.
+      config_.journal->tombstone("vc", rec.key);
+      ++dropped;
+      continue;
+    }
+    // Rebook the *remaining* window: an already-active circuit restarts
+    // from now, a future reservation keeps its original activation.
+    const Seconds start = std::max(now, activation);
+    const auto path = paths_.compute(request.src, request.dst, request.bandwidth, start,
+                                     request.end_time);
+    if (!path) {
+      // Topology/calendar moved on while we were down; the reservation
+      // can no longer be honored.
+      config_.journal->tombstone("vc", rec.key);
+      ++dropped;
+      continue;
+    }
+    Entry entry;
+    entry.circuit.id = rec.key;
+    entry.circuit.request = request;
+    entry.circuit.path = *path;
+    entry.circuit.state = CircuitState::kScheduled;
+    entry.circuit.provision_started = now;
+    entry.booking = calendar_.book(*path, start, request.end_time, request.bandwidth);
+    const std::uint64_t id = rec.key;
+    entry.activate_event = sim_.schedule_at(start, [this, id] { activate(id); });
+    entries_.emplace(id, std::move(entry));
+    ++restored;
+  }
+  stats_.recovered += restored;
+  sync_calendar_gauge();
+  // aux=1 tags the IDC's replay (aux=0 is the transfer service's).
+  sim_.obs().emit({now, obs::TraceEventType::kJournalReplay,
+                   static_cast<std::uint64_t>(restored), 1,
+                   static_cast<double>(dropped), 0.0});
+  return restored;
+}
 
 const Circuit& Idc::circuit(std::uint64_t circuit_id) const {
   const auto it = entries_.find(circuit_id);

@@ -26,6 +26,8 @@
 #include <optional>
 #include <set>
 
+#include "recovery/circuit_breaker.hpp"
+#include "recovery/journal.hpp"
 #include "sim/simulator.hpp"
 #include "vc/bandwidth_calendar.hpp"
 #include "vc/path_computation.hpp"
@@ -51,6 +53,18 @@ struct IdcConfig {
   Seconds resignal_backoff = 5.0;          ///< pause before the first re-signal
   double resignal_backoff_multiplier = 2.0;  ///< growth per failed re-signal
   int max_resignal_attempts = 3;
+  /// Cap on retained terminal lifecycle records; oldest ids are evicted
+  /// first. See Idc::kTerminalCapacity for the default.
+  std::size_t terminal_capacity = 256;
+  /// Client-side circuit breaker wrapped around re-signaling: consecutive
+  /// control-plane failures (outage windows) trip it, after which
+  /// re-signal attempts fail fast until a half-open probe succeeds.
+  recovery::CircuitBreakerConfig breaker;
+  /// Optional write-ahead journal for accepted reservations. When set,
+  /// admissions are appended, modifications re-appended, and terminal
+  /// circuits tombstoned, so a restarted IDC can rebuild its live
+  /// reservation set with recover_from_journal(). Must outlive the Idc.
+  recovery::Journal* journal = nullptr;
 };
 
 class Idc {
@@ -114,6 +128,26 @@ class Idc {
   /// Return a previously failed link to service.
   void restore_link(net::LinkId link);
 
+  /// Control-plane outage window: while in_outage(), create_reservation
+  /// fails fast with RejectReason::kControlPlaneDown and re-signal probes
+  /// count as breaker failures. Idempotent per state.
+  void begin_outage();
+  void end_outage();
+  bool in_outage() const { return in_outage_; }
+
+  /// Rebuild the live reservation set from the configured journal after a
+  /// crash/restart. For each surviving record whose window has not
+  /// expired, the path is recomputed and the *remaining* window rebooked;
+  /// records that no longer fit (expired, or the calendar/topology moved
+  /// on) are dropped and tombstoned. Lifecycle callbacks do not survive a
+  /// process crash — recovered circuits re-activate without notifying the
+  /// (dead) original requester, as a real restarted OSCARS would.
+  /// Requires a journal and an empty IDC; returns the count restored.
+  std::size_t recover_from_journal();
+
+  /// Re-signaling circuit breaker state (for tests and chaos invariants).
+  const recovery::CircuitBreaker& breaker() const { return breaker_; }
+
   /// Tear down an active circuit before its endTime; the calendar tail is
   /// returned to the pool. Lenient on circuits that already reached a
   /// terminal state (released, cancelled, or failed) — a caller's teardown
@@ -132,10 +166,11 @@ class Idc {
   /// terminal store, so this never grows with run length.
   std::size_t live_circuit_count() const { return entries_.size(); }
 
-  /// Terminal lifecycle records currently retained (<= kTerminalCapacity).
+  /// Terminal lifecycle records currently retained
+  /// (<= IdcConfig::terminal_capacity).
   std::size_t terminal_record_count() const { return terminal_.size(); }
 
-  /// Cap on retained terminal records; oldest ids are evicted first.
+  /// Default for IdcConfig::terminal_capacity.
   static constexpr std::size_t kTerminalCapacity = 256;
 
   /// The activation time the current signaling mode would give a request
@@ -158,6 +193,9 @@ class Idc {
     std::uint64_t cancelled = 0;
     std::uint64_t failed = 0;      ///< active circuits that lost their path
     std::uint64_t resignaled = 0;  ///< failed circuits successfully re-homed
+    std::uint64_t outages = 0;          ///< control-plane outage windows entered
+    std::uint64_t rejected_outage = 0;  ///< fail-fast rejections during outages
+    std::uint64_t recovered = 0;        ///< reservations rebuilt from the journal
 
     double blocking_probability() const {
       const double total = static_cast<double>(accepted + rejected_no_bandwidth +
@@ -193,6 +231,10 @@ class Idc {
   void retire(std::uint64_t id);
   /// Record a rejection in stats/metrics, honouring the is_retry rule.
   void count_rejection(const ReservationRequest& request, RejectReason reason);
+  /// Append (or re-append after modify) an accepted reservation to the
+  /// configured journal. No-op without a journal.
+  void journal_reservation(std::uint64_t id, const ReservationRequest& request,
+                           Seconds activation);
   /// Refresh the calendar-bookings gauge after any book/release.
   void sync_calendar_gauge();
 
@@ -211,12 +253,18 @@ class Idc {
   std::uint64_t next_id_ = 1;
   Stats stats_;
   std::size_t active_circuits_ = 0;
+  recovery::CircuitBreaker breaker_;
+  bool in_outage_ = false;
+  std::uint64_t outage_count_ = 0;
+  Seconds outage_began_ = 0.0;
   obs::MetricId id_requests_;
   obs::MetricId id_accepted_;
   obs::MetricId id_rejected_no_bandwidth_;
   obs::MetricId id_rejected_no_route_;
   obs::MetricId id_rejected_invalid_;
   obs::MetricId id_rejected_retries_;
+  obs::MetricId id_rejected_outage_;
+  obs::MetricId id_outages_;
   obs::MetricId id_released_;
   obs::MetricId id_cancelled_;
   obs::MetricId id_repathed_;

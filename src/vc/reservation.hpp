@@ -70,6 +70,10 @@ enum class RejectReason : std::uint8_t {
   kNoRoute,          ///< endpoints not connected by reservable links
   kInsufficientBandwidth,  ///< no path with enough calendar headroom
   kInvalidRequest,   ///< malformed window or rate
+  /// The IDC itself is unreachable (control-plane outage): the request
+  /// fails fast without path computation. Not an admission verdict, so it
+  /// is excluded from blocking-probability statistics.
+  kControlPlaneDown,
 };
 
 }  // namespace gridvc::vc

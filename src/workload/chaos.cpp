@@ -1,0 +1,448 @@
+#include "workload/chaos.hpp"
+
+#include <array>
+#include <iomanip>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+#include "gridftp/server.hpp"
+#include "gridftp/transfer_engine.hpp"
+#include "gridftp/usage_stats.hpp"
+#include "net/network.hpp"
+#include "recovery/journal.hpp"
+#include "sim/simulator.hpp"
+#include "vc/idc.hpp"
+
+namespace gridvc::workload {
+
+namespace {
+
+using gridftp::IoMode;
+using gridftp::Server;
+using gridftp::ServerConfig;
+using gridftp::TransferEngine;
+using gridftp::TransferEngineConfig;
+using gridftp::TransferService;
+using gridftp::TransferServiceConfig;
+using gridftp::TransferSpec;
+using obs::TraceEvent;
+using obs::TraceEventType;
+using recovery::FaultTargetKind;
+
+/// Audits the trace stream while optionally teeing it to an external
+/// sink. Everything here is keyed by integer ids, so iteration order —
+/// and therefore the violation report — is deterministic.
+class AuditTraceSink final : public obs::TraceSink {
+ public:
+  explicit AuditTraceSink(obs::TraceSink* tee) : tee_(tee) {}
+
+  void emit(const TraceEvent& event) override {
+    ++total_;
+    ++counts_[static_cast<std::size_t>(event.type)];
+    switch (event.type) {
+      case TraceEventType::kTransferSubmitted: {
+        Track& t = transfers_[event.id];
+        t.size = event.value;
+        break;
+      }
+      case TraceEventType::kTransferFinished: {
+        Track& t = transfers_[event.id];
+        t.finished = true;
+        t.finished_size = event.value2;
+        t.unresolved_abort = false;
+        break;
+      }
+      case TraceEventType::kTransferAborted: {
+        Track& t = transfers_[event.id];
+        ++t.aborts;
+        if (event.value2 != 0.0) {
+          t.failed = true;
+          t.unresolved_abort = false;
+        } else {
+          t.unresolved_abort = true;
+        }
+        break;
+      }
+      case TraceEventType::kTransferRetry: {
+        transfers_[event.id].unresolved_abort = false;
+        break;
+      }
+      default:
+        break;
+    }
+    if (tee_ != nullptr) tee_->emit(event);
+  }
+
+  struct Track {
+    double size = 0.0;
+    double finished_size = 0.0;
+    std::uint64_t aborts = 0;
+    bool finished = false;
+    bool failed = false;  ///< terminal abort recorded
+    /// An abort with no retry / finish / terminal record after it yet.
+    bool unresolved_abort = false;
+  };
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(TraceEventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  const std::map<std::uint64_t, Track>& transfers() const { return transfers_; }
+
+ private:
+  obs::TraceSink* tee_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, obs::kTraceEventTypeCount> counts_{};
+  std::map<std::uint64_t, Track> transfers_;
+};
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
+  GRIDVC_REQUIRE(config.task_count > 0, "no tasks requested");
+  GRIDVC_REQUIRE(config.files_per_task > 0, "tasks need at least one file");
+  GRIDVC_REQUIRE(config.file_size > 0, "file size must be positive");
+
+  ChaosResult result;
+
+  Rng root(seed);
+  sim::Simulator sim;
+  AuditTraceSink audit(config.trace_sink);
+  sim.obs().set_trace_sink(&audit);
+
+  // Same two-span WAN as the faulty-wan scenario: the primary span (via
+  // r1) carries the data path and circuits, the backup span (via r2)
+  // gives failed circuits somewhere to re-signal to.
+  net::Topology topo;
+  const auto src = topo.add_node("src-dtn", net::NodeKind::kHost);
+  const auto edge_a = topo.add_node("edge-a", net::NodeKind::kRouter);
+  const auto r1 = topo.add_node("r1", net::NodeKind::kRouter);
+  const auto r2 = topo.add_node("r2", net::NodeKind::kRouter);
+  const auto edge_b = topo.add_node("edge-b", net::NodeKind::kRouter);
+  const auto dst = topo.add_node("dst-dtn", net::NodeKind::kHost);
+  const auto [src_a, a_src] = topo.add_duplex_link(src, edge_a, gbps(10), 0.0005);
+  const auto [a_r1, r1_a] = topo.add_duplex_link(edge_a, r1, gbps(10), 0.002);
+  const auto [r1_b, b_r1] = topo.add_duplex_link(r1, edge_b, gbps(10), 0.002);
+  const auto [a_r2, r2_a] = topo.add_duplex_link(edge_a, r2, gbps(10), 0.008);
+  const auto [r2_b, b_r2] = topo.add_duplex_link(r2, edge_b, gbps(10), 0.008);
+  const auto [b_dst, dst_b] = topo.add_duplex_link(edge_b, dst, gbps(10), 0.0005);
+  (void)a_src; (void)r1_a; (void)b_r1; (void)r2_a; (void)b_r2; (void)dst_b;
+
+  net::Network network(sim, topo);
+
+  ServerConfig sc;
+  sc.name = "src-dtn";
+  sc.id = 1;
+  sc.nic_rate = gbps(10);
+  Server source(sc);
+  sc.name = "dst-dtn";
+  sc.id = 2;
+  Server sink(sc);
+
+  gridftp::UsageStatsCollector collector;
+  TransferEngineConfig engine_cfg;
+  engine_cfg.tcp.stream_buffer = 64 * MiB;
+  engine_cfg.server_noise_sigma = 0.1;
+  engine_cfg.backoff = gridftp::BackoffPolicy::exponential(5.0, 2.0, 60.0, 0.1);
+  engine_cfg.max_aborts = config.max_aborts;
+  TransferEngine engine(network, collector, engine_cfg, root.fork(1));
+
+  recovery::Journal idc_journal;
+  vc::IdcConfig idc_cfg;
+  idc_cfg.mode = vc::SignalingMode::kImmediate;
+  idc_cfg.journal = &idc_journal;
+  vc::Idc idc(sim, topo, idc_cfg);
+
+  recovery::Journal service_journal;
+  TransferServiceConfig service_cfg;
+  service_cfg.max_active_tasks = 2;
+  service_cfg.per_task_concurrency = 2;
+  service_cfg.queue_limit = config.queue_limit;
+  service_cfg.overload_policy = config.overload_policy;
+  service_cfg.journal = &service_journal;
+  TransferService service(sim, engine, service_cfg);
+
+  const net::Path data_path = {src_a, a_r1, r1_b, b_dst};
+  const Seconds rtt = 2.0 * topo.path_delay(data_path);
+
+  TransferSpec tmpl;
+  tmpl.src = {&source, IoMode::kDiskRead};
+  tmpl.dst = {&sink, IoMode::kDiskWrite};
+  tmpl.path = data_path;
+  tmpl.rtt = rtt;
+  tmpl.streams = config.streams;
+  tmpl.remote_host = "dst-dtn";
+
+  const std::vector<Bytes> files(config.files_per_task, config.file_size);
+  const Bytes task_bytes = config.file_size * config.files_per_task;
+  const Seconds estimated = transfer_time(task_bytes, config.circuit_rate) * 2.0 + 600.0;
+
+  // Per-task submission: try for a circuit; run best-effort when the
+  // control plane says no (outage fail-fast included). The task's
+  // on_done releases the circuit; after a service crash the recovered
+  // tasks carry a shared on_done instead, and the circuit falls back to
+  // its own end-time release — either way it is gone by drain.
+  std::vector<std::uint8_t> launched(config.task_count, 0);
+  for (std::size_t k = 0; k < config.task_count; ++k) {
+    const Seconds when = static_cast<double>(k) * config.task_interarrival;
+    sim.schedule_at(when, [&, k] {
+      const std::string label = "chaos-task-" + std::to_string(k);
+      gridftp::SubmitOptions opts;
+      opts.priority = static_cast<int>(k % 3);
+      if (config.task_deadline > 0.0) opts.deadline = config.task_deadline;
+
+      const auto submit_task = [&, label, opts](BitsPerSecond guarantee,
+                                                std::optional<std::uint64_t> circuit) {
+        TransferSpec spec = tmpl;
+        spec.guarantee = guarantee;
+        service.submit(label, files, spec, opts,
+                       [&idc, circuit](const gridftp::TaskStatus&) {
+                         if (circuit) idc.release_now(*circuit);
+                       });
+      };
+
+      const auto granted = idc.request_immediate(
+          src, dst, config.circuit_rate, estimated,
+          [&, k, submit_task](const vc::Circuit& c) {
+            // First activation launches the task under the guarantee;
+            // re-activations after a re-signal are a no-op here because
+            // the service template is fixed at submit time.
+            if (launched[k] == 0) {
+              launched[k] = 1;
+              submit_task(c.request.bandwidth, c.id);
+            }
+          },
+          nullptr, nullptr);
+      if (granted.accepted()) {
+        ++result.circuits_granted;
+      } else {
+        submit_task(0.0, std::nullopt);
+      }
+    });
+  }
+
+  // Fault plan: either the caller's (shrinking) or generated from the
+  // seed. Link targets 0/1 are the primary span's forward links; server
+  // targets 0/1 are source/sink; the IDC process is singular.
+  recovery::FaultScheduleSpec spec;
+  spec.link_count = 2;
+  spec.server_count = 2;
+  spec.idc = config.idc_mtbf > 0.0;
+  spec.start_after = config.fault_start_after;
+  spec.horizon = config.fault_horizon;
+  spec.link_mtbf = config.link_mtbf;
+  spec.link_mttr = config.link_mttr;
+  spec.server_mtbf = config.server_mtbf;
+  spec.server_mttr = config.server_mttr;
+  spec.idc_mtbf = config.idc_mtbf;
+  spec.idc_mttr = config.idc_mttr;
+  result.schedule = config.schedule_override != nullptr
+                        ? *config.schedule_override
+                        : recovery::generate_fault_schedule(spec, seed);
+
+  const std::array<net::LinkId, 2> fault_links = {a_r1, r1_b};
+  const std::array<Server*, 2> fault_servers = {&source, &sink};
+
+  recovery::FaultScheduleInjector injector(
+      sim, result.schedule,
+      [&](FaultTargetKind kind, std::uint64_t target) {
+        switch (kind) {
+          case FaultTargetKind::kLink: {
+            const net::LinkId link = fault_links[target % fault_links.size()];
+            network.set_link_state(link, false);
+            idc.handle_link_failure(link);
+            break;
+          }
+          case FaultTargetKind::kServer:
+            engine.handle_server_down(fault_servers[target % fault_servers.size()]);
+            if (config.sabotage) {
+              // Metrics/trace inconsistency on purpose: a shed event no
+              // counter ever saw. The consistency invariant must flag it.
+              sim.obs().emit({sim.now(), TraceEventType::kTaskShed, 9999, 0, 0.0, 0.0});
+            }
+            break;
+          case FaultTargetKind::kIdc:
+            idc.begin_outage();
+            break;
+        }
+      },
+      [&](FaultTargetKind kind, std::uint64_t target) {
+        switch (kind) {
+          case FaultTargetKind::kLink: {
+            const net::LinkId link = fault_links[target % fault_links.size()];
+            network.set_link_state(link, true);
+            idc.restore_link(link);
+            break;
+          }
+          case FaultTargetKind::kServer:
+            engine.handle_server_up(fault_servers[target % fault_servers.size()]);
+            break;
+          case FaultTargetKind::kIdc:
+            idc.end_outage();
+            break;
+        }
+      });
+
+  if (config.service_crash_at > 0.0) {
+    sim.schedule_at(config.service_crash_at, [&] {
+      TransferSpec recover_tmpl = tmpl;  // recovered tasks run best-effort
+      service.crash_and_recover(recover_tmpl, nullptr);
+    });
+  }
+
+  sim.run();
+
+  // ---- invariants -------------------------------------------------------
+  const auto violate = [&](const char* invariant, std::string detail) {
+    result.violations.push_back({invariant, std::move(detail)});
+  };
+  const obs::MetricsSnapshot snap = sim.obs().registry().snapshot();
+
+  std::uint64_t finished = 0;
+  std::uint64_t failed = 0;
+  for (const auto& [id, t] : audit.transfers()) {
+    const std::string tag = "transfer " + std::to_string(id);
+    if (t.finished && t.failed) {
+      violate("transfer-resolution", tag + " both finished and failed permanently");
+    } else if (!t.finished && !t.failed) {
+      violate("transfer-resolution", tag + " neither finished nor failed at drain");
+    }
+    if (t.finished) {
+      ++finished;
+      if (t.finished_size != t.size) {
+        std::ostringstream os;
+        os << tag << " delivered " << t.finished_size << " of " << t.size << " bytes";
+        violate("byte-conservation", os.str());
+      }
+    }
+    if (t.failed) ++failed;
+    if (t.unresolved_abort) {
+      violate("unresolved-abort", tag + " aborted with no retry or terminal record");
+    }
+    if (t.aborts > static_cast<std::uint64_t>(config.max_aborts)) {
+      violate("bounded-retries", tag + " recorded " + std::to_string(t.aborts) +
+                                     " aborts (budget " +
+                                     std::to_string(config.max_aborts) + ")");
+    }
+  }
+  if (finished != engine.stats().completed) {
+    violate("trace-metrics", "trace finished=" + std::to_string(finished) +
+                                 " vs engine completed=" +
+                                 std::to_string(engine.stats().completed));
+  }
+  if (failed != engine.stats().failed_transfers) {
+    violate("trace-metrics", "trace failed=" + std::to_string(failed) +
+                                 " vs engine failed=" +
+                                 std::to_string(engine.stats().failed_transfers));
+  }
+
+  if (idc.live_circuit_count() != 0) {
+    violate("orphan-circuits", std::to_string(idc.live_circuit_count()) +
+                                   " circuits still live at drain");
+  }
+  const auto gauge = [&](const char* name) { return snap.value(name); };
+  for (const char* name :
+       {"gridvc_vc_active_circuits", "gridvc_vc_calendar_bookings",
+        "gridvc_gridftp_active_transfers", "gridvc_gridftp_waiting_transfers",
+        "gridvc_gridftp_tasks_queued", "gridvc_gridftp_tasks_active"}) {
+    if (gauge(name) != 0.0) {
+      std::ostringstream os;
+      os << name << " = " << gauge(name) << " at drain";
+      violate("gauge-drain", os.str());
+    }
+  }
+  if (engine.active_transfers() != 0 || engine.waiting_transfers() != 0) {
+    violate("gauge-drain", "engine holds " + std::to_string(engine.active_transfers()) +
+                               " active / " + std::to_string(engine.waiting_transfers()) +
+                               " waiting transfers at drain");
+  }
+  if (service.queued_tasks() != 0 || service.active_tasks() != 0) {
+    violate("gauge-drain", "service holds " + std::to_string(service.queued_tasks()) +
+                               " queued / " + std::to_string(service.active_tasks()) +
+                               " active tasks at drain");
+  }
+
+  for (const auto& status : service.statuses()) {
+    if (status.state == gridftp::TaskState::kQueued ||
+        status.state == gridftp::TaskState::kActive) {
+      violate("task-resolution",
+              "task " + std::to_string(status.id) + " not terminal at drain");
+    }
+  }
+
+  const auto check_count = [&](TraceEventType type, const char* name,
+                               std::uint64_t expected) {
+    const std::uint64_t got = audit.count(type);
+    if (got != expected) {
+      violate("trace-metrics", std::string(name) + " trace count " +
+                                   std::to_string(got) + " vs counter " +
+                                   std::to_string(expected));
+    }
+  };
+  check_count(TraceEventType::kTaskShed, "task_shed",
+              static_cast<std::uint64_t>(gauge("gridvc_gridftp_tasks_shed")));
+  check_count(TraceEventType::kServerDown, "server_down", engine.stats().server_crashes);
+  check_count(TraceEventType::kServerUp, "server_up", audit.count(TraceEventType::kServerDown));
+  check_count(TraceEventType::kIdcOutageBegin, "idc_outage_begin", idc.stats().outages);
+  check_count(TraceEventType::kIdcOutageEnd, "idc_outage_end",
+              audit.count(TraceEventType::kIdcOutageBegin));
+
+  // ---- results + digest -------------------------------------------------
+  result.transfers_submitted = audit.count(TraceEventType::kTransferSubmitted);
+  result.transfers_completed = engine.stats().completed;
+  result.transfers_failed = engine.stats().failed_transfers;
+  result.aborted_attempts = engine.stats().aborted_attempts;
+  result.tasks_shed = service.tasks_shed();
+  result.tasks_rejected = service.tasks_rejected();
+  result.tasks_recovered = service.tasks_recovered();
+  result.server_crashes = engine.stats().server_crashes;
+  result.idc_outages = idc.stats().outages;
+  result.link_downs = result.schedule.count(recovery::FaultTargetKind::kLink);
+  result.outage_rejections = idc.stats().rejected_outage;
+  result.trace_events = audit.total();
+  result.end_time = sim.now();
+
+  std::ostringstream digest;
+  digest << "seed=" << seed << " windows=" << result.schedule.windows.size()
+         << " events=" << result.trace_events << " submitted=" << result.transfers_submitted
+         << " completed=" << result.transfers_completed
+         << " failed=" << result.transfers_failed << " aborts=" << result.aborted_attempts
+         << " shed=" << result.tasks_shed << " recovered=" << result.tasks_recovered
+         << " crashes=" << result.server_crashes << " outages=" << result.idc_outages
+         << " vc=" << result.circuits_granted << "/" << result.outage_rejections
+         << " end=" << std::fixed << std::setprecision(6) << result.end_time
+         << " violations=" << result.violations.size();
+  result.digest = digest.str();
+  return result;
+}
+
+std::vector<ChaosResult> run_chaos_battery(const ChaosConfig& config,
+                                           std::uint64_t base_seed, std::size_t count) {
+  GRIDVC_REQUIRE(config.trace_sink == nullptr,
+                 "replications cannot share a trace sink");
+  GRIDVC_REQUIRE(config.schedule_override == nullptr,
+                 "replications generate their own schedules");
+  return exec::default_pool().parallel_map<ChaosResult>(count, [&](std::size_t i) {
+    return run_chaos(config, base_seed + i);
+  });
+}
+
+recovery::FaultSchedule shrink_chaos_schedule(const ChaosConfig& config,
+                                              std::uint64_t seed) {
+  ChaosResult failing = run_chaos(config, seed);
+  GRIDVC_REQUIRE(!failing.ok(), "cannot shrink a passing run");
+  return recovery::shrink_schedule(
+      failing.schedule, [&](const recovery::FaultSchedule& candidate) {
+        ChaosConfig replay = config;
+        replay.trace_sink = nullptr;
+        replay.schedule_override = &candidate;
+        return !run_chaos(replay, seed).ok();
+      });
+}
+
+}  // namespace gridvc::workload

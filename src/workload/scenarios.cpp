@@ -13,6 +13,7 @@
 #include "gridftp/usage_stats.hpp"
 #include "net/fault_injector.hpp"
 #include "net/network.hpp"
+#include "recovery/fault_schedule.hpp"
 #include "sim/simulator.hpp"
 #include "vc/idc.hpp"
 #include "workload/testbed.hpp"
@@ -407,6 +408,7 @@ ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed
   gridftp::TransferServiceConfig service_cfg;
   service_cfg.max_active_tasks = 2;
   service_cfg.per_task_concurrency = 2;
+  service_cfg.queue_limit = config.queue_limit;
   gridftp::TransferService service(sim, engine, service_cfg);
 
   vc::IdcConfig idc_cfg;
@@ -493,6 +495,7 @@ ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed
   sim.run_until(horizon);
 
   result.end_time = sim.now();
+  result.tasks_rejected = service.tasks_rejected();
   result.blocking_probability = idc.stats().blocking_probability();
   result.metrics = sim.obs().registry().snapshot();
   return result;
@@ -528,9 +531,11 @@ FaultyWanResult run_faulty_wan(const FaultyWanConfig& config, std::uint64_t seed
 
   ServerConfig sc;
   sc.name = "src-dtn";
+  sc.id = 1;
   sc.nic_rate = gbps(10);
   Server source(sc);
   sc.name = "dst-dtn";
+  sc.id = 2;
   Server sink(sc);
 
   gridftp::UsageStatsCollector collector;
@@ -628,6 +633,40 @@ FaultyWanResult run_faulty_wan(const FaultyWanConfig& config, std::uint64_t seed
       [&idc](net::LinkId link) { idc.handle_link_failure(link); },
       [&idc](net::LinkId link) { idc.restore_link(link); });
 
+  // Optional process-level faults: source-DTN crash windows and IDC
+  // control-plane outages, replayed from a pre-generated schedule. The
+  // schedule draws from its own exec::stream_rng streams, so enabling
+  // either process never perturbs the link fault process above (and
+  // with both disabled — the default — legacy seeds replay unchanged).
+  std::optional<recovery::FaultScheduleInjector> process_faults;
+  if (config.server_mtbf > 0.0 || config.idc_outage_mtbf > 0.0) {
+    recovery::FaultScheduleSpec spec;
+    spec.server_count = config.server_mtbf > 0.0 ? 1 : 0;
+    spec.idc = config.idc_outage_mtbf > 0.0;
+    spec.start_after = config.fault_start_after;
+    spec.horizon = config.fault_horizon;
+    spec.server_mtbf = config.server_mtbf;
+    spec.server_mttr = config.server_mttr;
+    spec.idc_mtbf = config.idc_outage_mtbf;
+    spec.idc_mttr = config.idc_outage_mttr;
+    process_faults.emplace(
+        sim, recovery::generate_fault_schedule(spec, seed),
+        [&engine, &source, &idc](recovery::FaultTargetKind kind, std::uint64_t) {
+          if (kind == recovery::FaultTargetKind::kServer) {
+            engine.handle_server_down(&source);
+          } else {
+            idc.begin_outage();
+          }
+        },
+        [&engine, &source, &idc](recovery::FaultTargetKind kind, std::uint64_t) {
+          if (kind == recovery::FaultTargetKind::kServer) {
+            engine.handle_server_up(&source);
+          } else {
+            idc.end_outage();
+          }
+        });
+  }
+
   sim.run();
 
   result.aborted_attempts = engine.stats().aborted_attempts;
@@ -635,6 +674,9 @@ FaultyWanResult run_faulty_wan(const FaultyWanConfig& config, std::uint64_t seed
   result.link_repairs = injector.stats().repairs;
   result.circuits_failed = idc.stats().failed;
   result.circuits_resignaled = idc.stats().resignaled;
+  result.server_crashes = engine.stats().server_crashes;
+  result.idc_outages = idc.stats().outages;
+  result.outage_rejections = idc.stats().rejected_outage;
   result.end_time = sim.now();
   result.metrics = sim.obs().registry().snapshot();
   return result;

@@ -166,6 +166,9 @@ struct ManagedVcConfig {
   double failure_probability = 0.05;
   /// kBatchedAutomatic (1-min IDC) when false, kImmediate when true.
   bool immediate_signaling = false;
+  /// Bound on the service's waiting queue (0 = unbounded, the historical
+  /// default). Submissions past the bound are rejected (kRejectNew).
+  std::size_t queue_limit = 0;
   /// Optional structured-trace destination (non-owning).
   obs::TraceSink* trace_sink = nullptr;
 };
@@ -176,6 +179,7 @@ struct ManagedVcResult {
   std::size_t circuits_granted = 0;
   std::size_t circuits_rejected = 0;   ///< first rejections (not retries)
   std::size_t circuit_retries = 0;     ///< retry submissions after a rejection
+  std::uint64_t tasks_rejected = 0;    ///< shed by the overload guard
   Seconds end_time = 0.0;
   double blocking_probability = 0.0;
   obs::MetricsSnapshot metrics;
@@ -211,6 +215,18 @@ struct FaultyWanConfig {
   /// Link-failure aborts before a transfer is declared permanently
   /// failed (TransferEngineConfig::max_aborts).
   int max_aborts = 8;
+  /// Process-level fault processes, disabled by default so existing
+  /// seeds replay byte-identically. server_mtbf > 0 crashes the source
+  /// DTN (in-flight attempts abort; transfers park and resume from
+  /// their restart markers on repair); idc_outage_mtbf > 0 adds
+  /// control-plane outage windows (reservations fail fast, re-signals
+  /// back off through the circuit breaker). Both draw from dedicated
+  /// recovery::generate_fault_schedule streams, so enabling one never
+  /// shifts the link-fault process.
+  Seconds server_mtbf = 0.0;
+  Seconds server_mttr = 60.0;
+  Seconds idc_outage_mtbf = 0.0;
+  Seconds idc_outage_mttr = 30.0;
   /// Optional structured-trace destination (non-owning).
   obs::TraceSink* trace_sink = nullptr;
 };
@@ -224,6 +240,9 @@ struct FaultyWanResult {
   std::size_t circuits_granted = 0;
   std::uint64_t circuits_failed = 0;      ///< active circuits that lost their path
   std::uint64_t circuits_resignaled = 0;  ///< re-homed onto the backup span
+  std::uint64_t server_crashes = 0;       ///< source-DTN crash windows replayed
+  std::uint64_t idc_outages = 0;          ///< control-plane outage windows
+  std::uint64_t outage_rejections = 0;    ///< fail-fast rejections during outages
   Seconds end_time = 0.0;
   obs::MetricsSnapshot metrics;
 };

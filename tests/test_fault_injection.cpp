@@ -294,5 +294,42 @@ TEST(FaultInjector, RejectsMalformedConfig) {
   EXPECT_THROW(FaultInjector(*f.network, cfg, Rng(1)), PreconditionError);
 }
 
+TEST(FaultInjector, DestructionCancelsPendingEvents) {
+  Fixture f;
+  std::uint64_t downs = 0;
+  {
+    FaultInjectorConfig cfg;
+    cfg.targets = {f.ab};
+    cfg.mtbf = 10.0;
+    cfg.mttr = 5.0;
+    cfg.horizon = 1000.0;
+    FaultInjector injector(*f.network, cfg, Rng(7), [&](LinkId) { ++downs; });
+  }
+  // The injector died with its first failure still scheduled; the event
+  // must not fire into the destroyed instance.
+  f.sim.run();
+  EXPECT_EQ(downs, 0u);
+  EXPECT_TRUE(f.network->link_up(f.ab));
+}
+
+TEST(FaultInjector, SkipsLinksAlreadyHeldDown) {
+  Fixture f;
+  // A scripted outage (another injector, a chaos schedule) holds ab down
+  // across the injector's whole failure window.
+  f.network->set_link_state(f.ab, false);
+  FaultInjectorConfig cfg;
+  cfg.targets = {f.ab};
+  cfg.mtbf = 5.0;
+  cfg.mttr = 1.0;
+  cfg.horizon = 100.0;
+  FaultInjector injector(*f.network, cfg, Rng(3));
+  f.sim.run();
+  // No double-counted failure, and no repair cutting the scripted outage
+  // short out from under its owner.
+  EXPECT_EQ(injector.stats().failures, 0u);
+  EXPECT_EQ(injector.stats().repairs, 0u);
+  EXPECT_FALSE(f.network->link_up(f.ab));
+}
+
 }  // namespace
 }  // namespace gridvc::net

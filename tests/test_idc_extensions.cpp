@@ -2,7 +2,11 @@
 // re-pathing.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/error.hpp"
+#include "recovery/circuit_breaker.hpp"
+#include "recovery/journal.hpp"
 #include "vc/idc.hpp"
 
 namespace gridvc::vc {
@@ -272,6 +276,30 @@ TEST(IdcLifecycleStore, TerminalCircuitsDoNotGrowLiveState) {
   EXPECT_THROW(idc.circuit(1), gridvc::PreconditionError);
 }
 
+TEST(IdcLifecycleStore, TerminalCapacityIsConfigurable) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  cfg.terminal_capacity = 4;
+  Idc idc(f.sim, f.topo, cfg);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const Seconds start = static_cast<double>(i) * 10.0 + 1.0;
+    const auto r = idc.create_reservation(f.request(start, start + 5.0, gbps(2)));
+    ASSERT_TRUE(r.accepted());
+    ids.push_back(*r.circuit_id);
+  }
+  f.sim.run();
+  EXPECT_EQ(idc.live_circuit_count(), 0u);
+  // The store honours the configured bound, not the compiled-in default.
+  EXPECT_EQ(idc.terminal_record_count(), 4u);
+  for (std::size_t i = 6; i < 10; ++i) {
+    EXPECT_EQ(idc.circuit(ids[i]).state, CircuitState::kReleased);
+  }
+  EXPECT_THROW(idc.circuit(ids[0]), gridvc::PreconditionError);
+  EXPECT_THROW(idc.circuit(ids[5]), gridvc::PreconditionError);
+}
+
 TEST(IdcLifecycleStore, ReleasedCircuitQueryableFromTerminalStore) {
   Fixture f;
   IdcConfig cfg;
@@ -286,6 +314,104 @@ TEST(IdcLifecycleStore, ReleasedCircuitQueryableFromTerminalStore) {
   EXPECT_EQ(c.state, CircuitState::kReleased);
   EXPECT_DOUBLE_EQ(c.request.bandwidth, gbps(4));
   EXPECT_GT(c.released_at, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane outages and the re-signaling circuit breaker
+// ---------------------------------------------------------------------------
+
+TEST(IdcOutage, FailsFastAndStaysOutOfBlockingStats) {
+  Fixture f;
+  Idc idc(f.sim, f.topo);
+  idc.begin_outage();
+  EXPECT_TRUE(idc.in_outage());
+  idc.begin_outage();  // idempotent: still one outage window
+  EXPECT_EQ(idc.stats().outages, 1u);
+
+  const auto r = idc.create_reservation(f.request(100, 200, gbps(2)));
+  EXPECT_FALSE(r.accepted());
+  EXPECT_EQ(r.reason, RejectReason::kControlPlaneDown);
+  EXPECT_EQ(idc.stats().rejected_outage, 1u);
+  // Fail-fast rejections are an availability event, not an admission
+  // verdict: they must not pollute the paper's blocking probability.
+  EXPECT_DOUBLE_EQ(idc.stats().blocking_probability(), 0.0);
+
+  idc.end_outage();
+  EXPECT_FALSE(idc.in_outage());
+  EXPECT_TRUE(idc.create_reservation(f.request(100, 200, gbps(2))).accepted());
+  EXPECT_DOUBLE_EQ(idc.stats().blocking_probability(), 0.0);
+}
+
+TEST(IdcOutage, OutageTripsBreakerThenHalfOpenProbeRecovers) {
+  Fixture f;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  // Defaults: resignal_backoff 5 s, failure_threshold 3, open_duration 30 s.
+  Idc idc(f.sim, f.topo, cfg);
+  const auto r = idc.create_reservation(f.request(1, 300, gbps(4)));
+  ASSERT_TRUE(r.accepted());
+  f.sim.run_until(55.0);
+  ASSERT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kActive);
+
+  idc.begin_outage();
+  idc.handle_link_failure(f.r1_b);  // t=55: data plane gone, must re-signal
+  // Re-signal probes at t=60/65/70 all find the control plane down; the
+  // third consecutive failure trips the breaker.
+  f.sim.run_until(71.0);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kFailed);
+  EXPECT_EQ(idc.breaker().state(f.sim.now()), recovery::BreakerState::kOpen);
+  EXPECT_EQ(idc.breaker().stats().trips, 1u);
+
+  // The t=75 attempt fails fast without touching the control plane and
+  // parks until the open window (30 s from the trip at t=70) elapses.
+  f.sim.run_until(85.0);
+  EXPECT_EQ(idc.breaker().stats().fast_failures, 1u);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kFailed);
+  idc.end_outage();
+
+  // t=100: the half-open probe goes through, re-homes the circuit on the
+  // surviving branch, and closes the breaker.
+  f.sim.run_until(101.0);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kActive);
+  EXPECT_EQ(idc.circuit(*r.circuit_id).path, (net::Path{f.a_r2, f.r2_b}));
+  EXPECT_EQ(idc.breaker().state(f.sim.now()), recovery::BreakerState::kClosed);
+  EXPECT_EQ(idc.breaker().stats().probes, 1u);
+  EXPECT_EQ(idc.breaker().stats().closes, 1u);
+  EXPECT_EQ(idc.stats().resignaled, 1u);
+
+  f.sim.run();
+  EXPECT_EQ(idc.circuit(*r.circuit_id).state, CircuitState::kReleased);
+}
+
+// ---------------------------------------------------------------------------
+// Reservation journal and crash recovery
+// ---------------------------------------------------------------------------
+
+TEST(IdcJournal, RecoverRebuildsOnlyUnexpiredReservations) {
+  Fixture f;
+  recovery::Journal journal;
+  IdcConfig cfg;
+  cfg.mode = SignalingMode::kImmediate;
+  cfg.journal = &journal;
+  Idc idc(f.sim, f.topo, cfg);
+  const auto expired = idc.create_reservation(f.request(10, 80, gbps(2)));
+  const auto live = idc.create_reservation(f.request(100, 200, gbps(4)));
+  ASSERT_TRUE(expired.accepted());
+  ASSERT_TRUE(live.accepted());
+  f.sim.run_until(90.0);  // the first circuit released -> tombstoned
+
+  // A restarted IDC on the same journal rebuilds exactly the live set,
+  // keeping the original circuit id.
+  Idc restarted(f.sim, f.topo, cfg);
+  EXPECT_EQ(restarted.recover_from_journal(), 1u);
+  EXPECT_EQ(restarted.stats().recovered, 1u);
+  EXPECT_EQ(restarted.live_circuit_count(), 1u);
+  const Circuit& c = restarted.circuit(*live.circuit_id);
+  EXPECT_EQ(c.state, CircuitState::kScheduled);
+  EXPECT_DOUBLE_EQ(c.request.bandwidth, gbps(4));
+  EXPECT_THROW(restarted.circuit(*expired.circuit_id), gridvc::PreconditionError);
+  // Recovery is a restart-only operation: a populated IDC refuses it.
+  EXPECT_THROW(restarted.recover_from_journal(), gridvc::PreconditionError);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // that paces those retries, and the link-failure abort path.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -400,6 +401,136 @@ TEST(BackoffPolicy, RejectsMalformedParameters) {
   EXPECT_THROW(p.delay(1, rng), PreconditionError);
   p.jitter = 0.0;
   EXPECT_THROW(p.delay(0, rng), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Process-level faults: server crash and restart
+// ---------------------------------------------------------------------------
+
+/// Counts trace events by type (for asserting on stripe/crash lifecycle).
+struct CountingSink final : obs::TraceSink {
+  std::array<std::uint64_t, obs::kTraceEventTypeCount> counts{};
+  void emit(const obs::TraceEvent& e) override {
+    counts[static_cast<std::size_t>(e.type)]++;
+  }
+  std::uint64_t count(obs::TraceEventType t) const {
+    return counts[static_cast<std::size_t>(t)];
+  }
+};
+
+TEST(ServerCrash, AbortsParksAndResumesFromRestartMarkers) {
+  Fixture f(0.0, /*backoff=*/1.0);
+  TransferRecord record{};
+  bool done = false;
+  f.engine->submit(f.spec(2 * GiB), [&](const TransferRecord& r) {
+    record = r;
+    done = true;
+  });
+  f.sim.run_until(2.0);  // ~0.9 GiB moved at the 4 Gbps server ceiling
+  f.engine->handle_server_down(f.dst.get());
+  EXPECT_FALSE(f.dst->online());
+  EXPECT_EQ(f.engine->waiting_transfers(), 1u);
+  EXPECT_EQ(f.engine->stats().server_crashes, 1u);
+  EXPECT_EQ(f.engine->stats().aborted_attempts, 1u);
+  // The server stays down: the transfer is parked, neither finished nor
+  // failed, and no retry burns attempts against the dead endpoint.
+  f.sim.run_until(6.0);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(f.engine->stats().attempts, 1u);
+  f.engine->handle_server_up(f.dst.get());
+  EXPECT_EQ(f.engine->waiting_transfers(), 0u);
+  f.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(record.failed);
+  EXPECT_EQ(record.size, 2 * GiB);
+  EXPECT_EQ(f.engine->stats().attempts, 2u);
+  EXPECT_EQ(f.engine->stats().completed, 1u);
+  // Restart markers: the retry (backoff 1 s after the restart) only moves
+  // the remaining ~1.1 GiB. A from-scratch retransfer of 2 GiB at 4 Gbps
+  // could not finish before t = 7 + 4.29; the marker credit can.
+  const double full = static_cast<double>(2 * GiB) * 8.0 / gbps(4);
+  EXPECT_LT(record.end_time(), 7.0 + full - 1.0);
+  // Every byte crossed the link exactly once (markers resume, not re-send).
+  EXPECT_NEAR(f.network->link_bytes(f.ab), static_cast<double>(2 * GiB), 16.0);
+}
+
+TEST(ServerCrash, StripedTransferResumesEveryStripe) {
+  Fixture f(0.0, /*backoff=*/1.0);
+  CountingSink sink;
+  f.sim.obs().set_trace_sink(&sink);
+  auto s = f.spec(2 * GiB);
+  s.stripes = 4;
+  TransferRecord record{};
+  bool done = false;
+  f.engine->submit(s, [&](const TransferRecord& r) {
+    record = r;
+    done = true;
+  });
+  f.sim.run_until(2.0);  // all four stripe flows are mid-flight
+  ASSERT_EQ(sink.count(obs::TraceEventType::kTransferStripeCompleted), 0u);
+  f.engine->handle_server_down(f.src.get());
+  EXPECT_EQ(f.engine->waiting_transfers(), 1u);
+  EXPECT_EQ(sink.count(obs::TraceEventType::kServerDown), 1u);
+  f.sim.run_until(5.0);
+  f.engine->handle_server_up(f.src.get());
+  f.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(record.failed);
+  EXPECT_EQ(record.stripes, 4);
+  // The resumed attempt re-stripes the remaining bytes across all four
+  // servers: every stripe completes exactly once, none were lost to the
+  // crash.
+  EXPECT_EQ(sink.count(obs::TraceEventType::kTransferStripeCompleted), 4u);
+  EXPECT_EQ(sink.count(obs::TraceEventType::kServerUp), 1u);
+  EXPECT_EQ(sink.count(obs::TraceEventType::kTransferFinished), 1u);
+  EXPECT_EQ(f.engine->stats().aborted_attempts, 1u);
+  EXPECT_NEAR(f.network->link_bytes(f.ab), static_cast<double>(2 * GiB), 64.0);
+  f.sim.obs().set_trace_sink(nullptr);
+}
+
+TEST(ServerCrash, SubmitWhileOfflineParksWithoutConsumingAnAttempt) {
+  Fixture f(0.0, /*backoff=*/1.0);
+  f.engine->handle_server_down(f.src.get());
+  TransferRecord record{};
+  bool done = false;
+  f.engine->submit(f.spec(GiB), [&](const TransferRecord& r) {
+    record = r;
+    done = true;
+  });
+  EXPECT_EQ(f.engine->waiting_transfers(), 1u);
+  f.sim.run_until(10.0);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(f.engine->stats().attempts, 0u);  // never got a control channel
+  f.engine->handle_server_up(f.src.get());
+  f.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(record.failed);
+  // First injection, not a retry: exactly one attempt, no aborts charged.
+  EXPECT_EQ(f.engine->stats().attempts, 1u);
+  EXPECT_EQ(f.engine->stats().aborted_attempts, 0u);
+}
+
+TEST(ServerCrash, RepeatedCrashesExhaustAbortBudget) {
+  Fixture f(0.0, /*backoff=*/1.0, /*max_attempts=*/5, gbps(4), /*max_aborts=*/2);
+  TransferRecord record{};
+  bool done = false;
+  f.engine->submit(f.spec(4 * GiB), [&](const TransferRecord& r) {
+    record = r;
+    done = true;
+  });
+  for (int i = 0; i < 2; ++i) {
+    f.sim.run_until(static_cast<double>(i) * 4.0 + 2.0);
+    f.engine->handle_server_down(f.dst.get());
+    f.engine->handle_server_up(f.dst.get());
+  }
+  f.sim.run();
+  ASSERT_TRUE(done);
+  // Second crash hit the abort ceiling: permanent failure, not a retry.
+  EXPECT_TRUE(record.failed);
+  EXPECT_EQ(f.engine->stats().failed_transfers, 1u);
+  EXPECT_EQ(f.engine->stats().aborted_attempts, 2u);
+  EXPECT_EQ(f.engine->stats().completed, 0u);
+  EXPECT_EQ(f.engine->waiting_transfers(), 0u);
 }
 
 }  // namespace

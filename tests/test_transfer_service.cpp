@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "net/network.hpp"
+#include "recovery/journal.hpp"
 
 namespace gridvc::gridftp {
 namespace {
@@ -178,6 +180,192 @@ TEST(TransferService, ProgressVisibleMidTask) {
   EXPECT_LT(s.progress(), 0.9);
   f.sim.run();
   EXPECT_EQ(f.service->status(id).state, TaskState::kSucceeded);
+}
+
+// ---------------------------------------------------------------------------
+// Overload guard: bounded queue, shed policies, deadlines
+// ---------------------------------------------------------------------------
+
+TEST(TransferServiceOverload, RejectNewShedsTheIncomingTask) {
+  TransferServiceConfig cfg;
+  cfg.max_active_tasks = 1;
+  cfg.queue_limit = 1;
+  cfg.overload_policy = OverloadPolicy::kRejectNew;
+  Fixture f(cfg);
+  std::vector<std::pair<std::uint64_t, TaskState>> done;
+  const auto on_done = [&](const TaskStatus& s) { done.emplace_back(s.id, s.state); };
+  const auto t0 = f.service->submit("t0", {256 * MiB}, f.tmpl(), on_done);
+  const auto t1 = f.service->submit("t1", {256 * MiB}, f.tmpl(), on_done);
+  const auto t2 = f.service->submit("t2", {256 * MiB}, f.tmpl(), on_done);
+  EXPECT_EQ(f.service->status(t2).state, TaskState::kShed);
+  EXPECT_EQ(f.service->status(t1).state, TaskState::kQueued);
+  EXPECT_EQ(f.service->tasks_rejected(), 1u);
+  EXPECT_EQ(f.service->tasks_shed(), 1u);
+  EXPECT_EQ(f.service->queued_tasks(), 1u);
+  f.sim.run();
+  // The shed task's callback fired (deferred, never re-entering submit),
+  // and the admitted tasks ran to completion.
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], (std::pair{t2, TaskState::kShed}));
+  EXPECT_EQ(f.service->status(t0).state, TaskState::kSucceeded);
+  EXPECT_EQ(f.service->status(t1).state, TaskState::kSucceeded);
+}
+
+TEST(TransferServiceOverload, ShedOldestEvictsTheQueueHead) {
+  TransferServiceConfig cfg;
+  cfg.max_active_tasks = 1;
+  cfg.queue_limit = 1;
+  cfg.overload_policy = OverloadPolicy::kShedOldest;
+  Fixture f(cfg);
+  const auto t0 = f.service->submit("t0", {256 * MiB}, f.tmpl());
+  const auto t1 = f.service->submit("t1", {256 * MiB}, f.tmpl());
+  const auto t2 = f.service->submit("t2", {256 * MiB}, f.tmpl());
+  EXPECT_EQ(f.service->status(t1).state, TaskState::kShed);
+  EXPECT_EQ(f.service->status(t2).state, TaskState::kQueued);
+  EXPECT_EQ(f.service->tasks_shed(), 1u);
+  EXPECT_EQ(f.service->tasks_rejected(), 0u);  // eviction, not rejection
+  f.sim.run();
+  EXPECT_EQ(f.service->status(t0).state, TaskState::kSucceeded);
+  EXPECT_EQ(f.service->status(t2).state, TaskState::kSucceeded);
+}
+
+TEST(TransferServiceOverload, PriorityEvictsLowestAndRejectsOutranked) {
+  TransferServiceConfig cfg;
+  cfg.max_active_tasks = 1;
+  cfg.queue_limit = 1;
+  cfg.overload_policy = OverloadPolicy::kPriority;
+  Fixture f(cfg);
+  SubmitOptions low, high;
+  low.priority = 1;
+  high.priority = 5;
+  const auto t0 = f.service->submit("t0", {256 * MiB}, f.tmpl(), SubmitOptions{}, nullptr);
+  const auto t1 = f.service->submit("t1", {256 * MiB}, f.tmpl(), low, nullptr);
+  // A higher-priority arrival evicts the lowest-priority queued task...
+  const auto t2 = f.service->submit("t2", {256 * MiB}, f.tmpl(), high, nullptr);
+  EXPECT_EQ(f.service->status(t1).state, TaskState::kShed);
+  EXPECT_EQ(f.service->status(t2).state, TaskState::kQueued);
+  // ...while one that does not outrank the queue is itself rejected.
+  const auto t3 = f.service->submit("t3", {256 * MiB}, f.tmpl(), SubmitOptions{}, nullptr);
+  EXPECT_EQ(f.service->status(t3).state, TaskState::kShed);
+  EXPECT_EQ(f.service->tasks_shed(), 2u);
+  EXPECT_EQ(f.service->tasks_rejected(), 1u);
+  // statuses() snapshots every task the service has seen, in id order.
+  const auto all = f.service->statuses();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].id, t0);
+  EXPECT_EQ(all[3].id, t3);
+  f.sim.run();
+  EXPECT_EQ(f.service->status(t2).state, TaskState::kSucceeded);
+}
+
+TEST(TransferServiceOverload, DeadlineShedsTaskStillQueued) {
+  TransferServiceConfig cfg;
+  cfg.max_active_tasks = 1;
+  Fixture f(cfg);
+  f.service->submit("hog", {4 * GiB}, f.tmpl());  // ~4.3 s at 8 Gbps
+  TaskStatus final_status;
+  SubmitOptions opts;
+  opts.deadline = 1.0;
+  const auto id = f.service->submit("impatient", {256 * MiB}, f.tmpl(), opts,
+                                    [&](const TaskStatus& s) { final_status = s; });
+  f.sim.run();
+  EXPECT_EQ(final_status.state, TaskState::kShed);
+  EXPECT_DOUBLE_EQ(final_status.finished_at, 1.0);
+  EXPECT_EQ(final_status.files_done, 0u);
+  EXPECT_EQ(f.service->tasks_shed(), 1u);
+  EXPECT_EQ(f.service->status(id).state, TaskState::kShed);
+}
+
+TEST(TransferServiceOverload, DeadlineStopsActiveTaskAndDrainsInFlight) {
+  TransferServiceConfig cfg;
+  cfg.per_task_concurrency = 2;
+  Fixture f(cfg);
+  TaskStatus final_status;
+  SubmitOptions opts;
+  opts.deadline = 1.0;
+  // Four 512 MiB files, two at a time at ~4 Gbps each (~1.07 s/file): the
+  // deadline lands while the first pair is still in flight.
+  const auto id = f.service->submit("slow", std::vector<Bytes>(4, 512 * MiB), f.tmpl(),
+                                    opts, [&](const TaskStatus& s) { final_status = s; });
+  f.sim.run();
+  EXPECT_EQ(final_status.state, TaskState::kShed);
+  // In-flight transfers drained and were counted; files 3 and 4 never
+  // started.
+  EXPECT_EQ(final_status.files_done, 2u);
+  EXPECT_EQ(final_status.files_total, 4u);
+  EXPECT_GT(final_status.finished_at, 1.0);
+  EXPECT_EQ(f.service->tasks_shed(), 1u);
+  EXPECT_EQ(f.service->status(id).state, TaskState::kShed);
+  EXPECT_EQ(f.collector.received(), 2u);
+}
+
+TEST(TransferServiceOverload, CancelQueuedKeepsQueueGaugeInSync) {
+  TransferServiceConfig cfg;
+  cfg.max_active_tasks = 1;
+  Fixture f(cfg);
+  f.service->submit("active", {GiB}, f.tmpl());
+  const auto queued = f.service->submit("queued", {GiB}, f.tmpl());
+  EXPECT_DOUBLE_EQ(
+      f.sim.obs().registry().snapshot().value("gridvc_gridftp_tasks_queued"), 1.0);
+  EXPECT_TRUE(f.service->cancel(queued));
+  // Regression: cancelling a queued task used to leave the gauge (and
+  // queued_tasks()) counting a slot that could never start.
+  EXPECT_EQ(f.service->queued_tasks(), 0u);
+  EXPECT_DOUBLE_EQ(
+      f.sim.obs().registry().snapshot().value("gridvc_gridftp_tasks_queued"), 0.0);
+  f.sim.run();
+  const auto snap = f.sim.obs().registry().snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("gridvc_gridftp_tasks_queued"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.value("gridvc_gridftp_tasks_active"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery from the task journal
+// ---------------------------------------------------------------------------
+
+TEST(TransferServiceRecovery, CrashResumesFromCheckpointedCursor) {
+  recovery::Journal journal;
+  TransferServiceConfig cfg;
+  cfg.journal = &journal;
+  Fixture f(cfg);
+  const auto id = f.service->submit("dataset", {100 * MiB, 100 * MiB, 400 * MiB},
+                                    f.tmpl());
+  // First two files finish (~0.21 s each, concurrent); the third is
+  // in flight when the process dies.
+  f.sim.run_until(0.4);
+  ASSERT_EQ(f.service->status(id).files_done, 2u);
+  TaskStatus final_status;
+  const std::size_t restored = f.service->crash_and_recover(
+      f.tmpl(), [&](const TaskStatus& s) { final_status = s; });
+  EXPECT_EQ(restored, 1u);
+  EXPECT_EQ(f.service->epoch(), 1u);
+  EXPECT_EQ(f.service->tasks_recovered(), 1u);
+  // The restored task kept its id and checkpointed progress; only the
+  // unfinished file is re-run.
+  EXPECT_EQ(f.service->status(id).files_done, 2u);
+  f.sim.run();
+  EXPECT_EQ(final_status.state, TaskState::kSucceeded);
+  EXPECT_EQ(final_status.id, id);
+  EXPECT_EQ(final_status.files_done, 3u);
+  EXPECT_EQ(final_status.bytes_done, 600 * MiB);
+}
+
+TEST(TransferServiceRecovery, FinishedTasksDoNotComeBack) {
+  recovery::Journal journal;
+  TransferServiceConfig cfg;
+  cfg.journal = &journal;
+  Fixture f(cfg);
+  f.service->submit("done", {64 * MiB}, f.tmpl());
+  f.sim.run();
+  // The task completed and was tombstoned: a crash restores nothing.
+  EXPECT_EQ(f.service->crash_and_recover(f.tmpl()), 0u);
+  EXPECT_EQ(f.service->tasks_recovered(), 0u);
+  EXPECT_EQ(f.service->statuses().size(), 0u);
+}
+
+TEST(TransferServiceRecovery, CrashWithoutJournalIsRejected) {
+  Fixture f;
+  EXPECT_THROW(f.service->crash_and_recover(f.tmpl()), gridvc::PreconditionError);
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+// gridvc-chaos: seeded chaos batteries over the full stack.
+//
+//   gridvc-chaos [--seed N] [--replications N] [--threads N]
+//                [--tasks N] [--queue-limit N]
+//                [--policy reject-new|shed-oldest|priority]
+//                [--service-crash-at S] [--sabotage] [--shrink]
+//                [--digest-out FILE] [--trace-out FILE.jsonl]
+//
+// Each replication generates a fault schedule (link faults, server
+// crashes, IDC outages) from its seed, replays it against the managed
+// workload, and audits the cross-layer invariants (byte conservation,
+// orphan circuits, unresolved aborts, gauge drain, trace/metrics
+// consistency). Exit is nonzero when any replication violates an
+// invariant.
+//
+// --digest-out writes one deterministic digest line per replication;
+// runs with different --threads must produce byte-identical files
+// (this is the determinism check CI performs).
+//
+// --sabotage flips the contract: a deliberate trace/metrics
+// inconsistency is injected on every server-down window, so every
+// replication that contains a server crash MUST fail — the tool exits
+// nonzero if the harness misses it. Combine with --shrink to ddmin the
+// first failing schedule down to a 1-minimal window set.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
+#include "recovery/fault_schedule.hpp"
+#include "workload/chaos.hpp"
+
+using namespace gridvc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--replications N] [--threads N]\n"
+               "          [--tasks N] [--queue-limit N]\n"
+               "          [--policy reject-new|shed-oldest|priority]\n"
+               "          [--service-crash-at S] [--sabotage] [--shrink]\n"
+               "          [--digest-out FILE] [--trace-out FILE.jsonl]\n"
+               "  --replications     seeds seed..seed+N-1, run in parallel\n"
+               "  --service-crash-at crash + journal-recover the service at S\n"
+               "  --sabotage         inject a known invariant violation; the\n"
+               "                     run fails unless the harness catches it\n"
+               "  --shrink           ddmin the first failing schedule\n"
+               "  --digest-out       one digest line per replication (must be\n"
+               "                     identical across --threads)\n"
+               "  --trace-out        JSONL trace (single replication only)\n",
+               argv0);
+  return 2;
+}
+
+const char* kind_name(recovery::FaultTargetKind kind) {
+  switch (kind) {
+    case recovery::FaultTargetKind::kLink: return "link";
+    case recovery::FaultTargetKind::kServer: return "server";
+    case recovery::FaultTargetKind::kIdc: return "idc";
+  }
+  return "?";
+}
+
+void print_schedule(const recovery::FaultSchedule& schedule) {
+  for (const auto& w : schedule.windows) {
+    std::printf("  %-6s target=%llu down=%.3f up=%.3f\n", kind_name(w.kind),
+                static_cast<unsigned long long>(w.target), w.down_at, w.up_at);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::ChaosConfig config;
+  std::uint64_t seed = 1;
+  std::size_t replications = 1;
+  bool shrink = false;
+  std::string digest_path, trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--replications" && i + 1 < argc) {
+      replications = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      exec::set_default_threads(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg == "--tasks" && i + 1 < argc) {
+      config.task_count = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--queue-limit" && i + 1 < argc) {
+      config.queue_limit = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--policy" && i + 1 < argc) {
+      const std::string policy = argv[++i];
+      if (policy == "reject-new") {
+        config.overload_policy = gridftp::OverloadPolicy::kRejectNew;
+      } else if (policy == "shed-oldest") {
+        config.overload_policy = gridftp::OverloadPolicy::kShedOldest;
+      } else if (policy == "priority") {
+        config.overload_policy = gridftp::OverloadPolicy::kPriority;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--service-crash-at" && i + 1 < argc) {
+      config.service_crash_at = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--sabotage") {
+      config.sabotage = true;
+    } else if (arg == "--shrink") {
+      shrink = true;
+    } else if (arg == "--digest-out" && i + 1 < argc) {
+      digest_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (replications == 0) return usage(argv[0]);
+
+  std::ofstream trace_stream;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    if (replications != 1) {
+      std::fprintf(stderr, "--trace-out requires --replications 1\n");
+      return 2;
+    }
+    trace_stream.open(trace_path);
+    if (!trace_stream) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_stream);
+    config.trace_sink = trace_sink.get();
+  }
+
+  std::fprintf(stderr, "chaos battery: %zu replication(s), seeds %llu..%llu%s\n",
+               replications, static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(seed + replications - 1),
+               config.sabotage ? " [sabotage]" : "");
+
+  std::vector<workload::ChaosResult> results;
+  if (replications == 1) {
+    results.push_back(workload::run_chaos(config, seed));
+  } else {
+    results = workload::run_chaos_battery(config, seed, replications);
+  }
+
+  if (!digest_path.empty()) {
+    std::ofstream out(digest_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", digest_path.c_str());
+      return 1;
+    }
+    for (const auto& r : results) out << r.digest << '\n';
+    std::printf("%zu digest line(s) -> %s\n", results.size(), digest_path.c_str());
+  }
+
+  std::size_t failing = 0;
+  std::uint64_t crashes = 0, outages = 0, shed = 0, recovered = 0;
+  std::optional<std::uint64_t> first_failing_seed;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    crashes += r.server_crashes;
+    outages += r.idc_outages;
+    shed += r.tasks_shed;
+    recovered += r.tasks_recovered;
+    if (!r.ok()) {
+      ++failing;
+      if (!first_failing_seed) first_failing_seed = seed + i;
+      std::printf("seed %llu: %zu violation(s)\n",
+                  static_cast<unsigned long long>(seed + i), r.violations.size());
+      for (const auto& v : r.violations) {
+        std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+      }
+    }
+  }
+  std::printf("%zu/%zu replications clean; %llu server crashes, %llu IDC outages, "
+              "%llu tasks shed, %llu tasks recovered\n",
+              results.size() - failing, results.size(),
+              static_cast<unsigned long long>(crashes),
+              static_cast<unsigned long long>(outages),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(recovered));
+
+  if (shrink && first_failing_seed) {
+    std::fprintf(stderr, "shrinking the seed-%llu schedule...\n",
+                 static_cast<unsigned long long>(*first_failing_seed));
+    workload::ChaosConfig shrink_cfg = config;
+    shrink_cfg.trace_sink = nullptr;
+    const auto minimal = workload::shrink_chaos_schedule(shrink_cfg, *first_failing_seed);
+    std::printf("minimal failing schedule: %zu window(s)\n", minimal.windows.size());
+    print_schedule(minimal);
+  }
+
+  if (config.sabotage) {
+    // Every replication whose schedule contains a server crash must have
+    // been flagged; if the harness let one through, that is the failure.
+    std::size_t expected = 0;
+    for (const auto& r : results) {
+      if (r.schedule.count(recovery::FaultTargetKind::kServer) > 0) ++expected;
+    }
+    if (failing < expected) {
+      std::fprintf(stderr, "sabotage NOT caught: %zu/%zu poisoned runs flagged\n",
+                   failing, expected);
+      return 1;
+    }
+    std::printf("sabotage caught in all %zu poisoned replication(s)\n", expected);
+    return 0;
+  }
+  return failing == 0 ? 0 : 1;
+}

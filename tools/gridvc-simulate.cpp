@@ -3,8 +3,10 @@
 //
 //   gridvc-simulate --scenario nersc-ornl|anl-nersc|managed-vc|faulty-wan
 //                   [--seed N] [--days N] [--tasks N] [--transfers N]
-//                   [--link-mtbf S] [--link-mttr S] [--log FILE]
-//                   [--snmp FILE] [--metrics-out FILE]
+//                   [--link-mtbf S] [--link-mttr S]
+//                   [--server-mtbf S] [--server-mttr S]
+//                   [--idc-outage S] [--idc-mttr S] [--queue-limit N]
+//                   [--log FILE] [--snmp FILE] [--metrics-out FILE]
 //                   [--trace-out FILE.jsonl]
 //
 // nersc-ornl: the 145x32GB test-transfer study; --snmp dumps the five
@@ -16,6 +18,10 @@
 // (--link-mtbf/--link-mttr tune the fault process; --link-mtbf 0
 // disables it). Exercises the failure semantics end to end: flow aborts,
 // restart-marker retries, circuit failure and re-signaling.
+// --server-mtbf adds source-DTN crash/restart windows and --idc-outage
+// adds control-plane outage windows to faulty-wan (both disabled by
+// default, leaving legacy seeds byte-identical); --queue-limit bounds
+// the managed-vc service queue (excess submissions are rejected).
 //
 // --metrics-out writes the end-of-run metrics snapshot in Prometheus
 // text exposition format, or as flat CSV when FILE ends in ".csv".
@@ -47,7 +53,9 @@ int usage(const char* argv0) {
                "usage: %s --scenario nersc-ornl|anl-nersc|managed-vc|faulty-wan\n"
                "          [--seed N] [--days N] [--tasks N] [--transfers N]\n"
                "          [--threads N]\n"
-               "          [--link-mtbf S] [--link-mttr S] [--log FILE] [--snmp FILE]\n"
+               "          [--link-mtbf S] [--link-mttr S] [--server-mtbf S]\n"
+               "          [--server-mttr S] [--idc-outage S] [--idc-mttr S]\n"
+               "          [--queue-limit N] [--log FILE] [--snmp FILE]\n"
                "          [--metrics-out FILE] [--trace-out FILE.jsonl]\n"
                "  --days         scenario horizon in days (nersc-ornl, anl-nersc)\n"
                "  --tasks        task count (managed-vc)\n"
@@ -55,6 +63,13 @@ int usage(const char* argv0) {
                "  --link-mtbf    mean seconds between link failures (faulty-wan;\n"
                "                 0 disables fault injection)\n"
                "  --link-mttr    mean seconds to repair a failed link (faulty-wan)\n"
+               "  --server-mtbf  mean seconds between source-DTN crashes (faulty-wan;\n"
+               "                 0, the default, disables server crashes)\n"
+               "  --server-mttr  mean seconds until a crashed DTN restarts\n"
+               "  --idc-outage   mean seconds between IDC control-plane outages\n"
+               "                 (faulty-wan; 0, the default, disables them)\n"
+               "  --idc-mttr     mean seconds until the control plane recovers\n"
+               "  --queue-limit  bound the managed-vc task queue (0 = unbounded)\n"
                "  --metrics-out  Prometheus text snapshot (CSV when FILE ends .csv)\n"
                "  --trace-out    structured trace events as JSONL\n",
                argv0);
@@ -116,6 +131,11 @@ int main(int argc, char** argv) {
   std::size_t transfers = 0;  // 0 = scenario default
   double link_mtbf = -1.0;    // < 0 = scenario default
   double link_mttr = -1.0;    // < 0 = scenario default
+  double server_mtbf = -1.0;  // < 0 = scenario default (disabled)
+  double server_mttr = -1.0;  // < 0 = scenario default
+  double idc_outage = -1.0;   // < 0 = scenario default (disabled)
+  double idc_mttr = -1.0;     // < 0 = scenario default
+  std::size_t queue_limit = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -133,6 +153,16 @@ int main(int argc, char** argv) {
       link_mtbf = std::strtod(argv[++i], nullptr);
     } else if (arg == "--link-mttr" && i + 1 < argc) {
       link_mttr = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--server-mtbf" && i + 1 < argc) {
+      server_mtbf = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--server-mttr" && i + 1 < argc) {
+      server_mttr = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--idc-outage" && i + 1 < argc) {
+      idc_outage = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--idc-mttr" && i + 1 < argc) {
+      idc_mttr = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--queue-limit" && i + 1 < argc) {
+      queue_limit = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--threads" && i + 1 < argc) {
       gridvc::exec::set_default_threads(
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
@@ -239,6 +269,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(seed));
     workload::ManagedVcConfig config;
     if (tasks > 0) config.task_count = tasks;
+    config.queue_limit = queue_limit;
     config.trace_sink = trace.sink.get();
     const auto result = workload::run_managed_vc(config, seed);
     std::printf("%zu tasks done (%zu transfers); circuits: %zu granted, %zu rejected, "
@@ -258,6 +289,10 @@ int main(int argc, char** argv) {
     if (transfers > 0) config.transfer_count = transfers;
     if (link_mtbf >= 0.0) config.link_mtbf = link_mtbf;
     if (link_mttr >= 0.0) config.link_mttr = link_mttr;
+    if (server_mtbf >= 0.0) config.server_mtbf = server_mtbf;
+    if (server_mttr >= 0.0) config.server_mttr = server_mttr;
+    if (idc_outage >= 0.0) config.idc_outage_mtbf = idc_outage;
+    if (idc_mttr >= 0.0) config.idc_outage_mttr = idc_mttr;
     config.trace_sink = trace.sink.get();
     const auto result = workload::run_faulty_wan(config, seed);
     std::printf(
@@ -273,6 +308,14 @@ int main(int argc, char** argv) {
         result.circuits_granted,
         static_cast<unsigned long long>(result.circuits_failed),
         static_cast<unsigned long long>(result.circuits_resignaled));
+    if (result.server_crashes > 0 || result.idc_outages > 0) {
+      std::printf(
+          "process faults: %llu server crashes, %llu IDC outages "
+          "(%llu fail-fast rejections)\n",
+          static_cast<unsigned long long>(result.server_crashes),
+          static_cast<unsigned long long>(result.idc_outages),
+          static_cast<unsigned long long>(result.outage_rejections));
+    }
     if (!metrics_path.empty()) return write_metrics_file(result.metrics, metrics_path);
     return 0;
   }

@@ -5,12 +5,23 @@
 // Verifies that every line is a flat JSON object the trace parser
 // accepts (required keys t/ev/id, known event names, no trailing junk)
 // and that timestamps are monotone non-decreasing — the invariant the
-// timeline reconstruction in gridvc-analyze depends on. Exits 0 with a
-// per-event-type census on success, 1 on the first violation (with the
-// offending line number), 2 on usage errors.
+// timeline reconstruction in gridvc-analyze depends on.
+//
+// On top of the schema, it checks the failure-semantics lifecycle rules:
+//   - a transfer_aborted with v2=0 (non-terminal) must be followed by a
+//     transfer_retry, transfer_finished, or terminal abort for the same
+//     transfer — an abort nobody resolves is a lost transfer;
+//   - server_down/server_up must alternate per server id, and every
+//     crashed server must be back up by end of trace;
+//   - idc_outage_begin/idc_outage_end must alternate, and the control
+//     plane must be up by end of trace.
+//
+// Exits 0 with a per-event-type census on success, 1 on the first
+// violation (with the offending line number), 2 on usage errors.
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "obs/trace.hpp"
@@ -34,6 +45,11 @@ int main(int argc, char** argv) {
   std::size_t events = 0;
   double last_time = 0.0;
   bool have_time = false;
+  // id -> line of the unresolved (non-terminal) abort.
+  std::map<std::uint64_t, std::size_t> open_aborts;
+  // server id -> currently down (value = line of the down event).
+  std::map<std::uint64_t, std::size_t> servers_down;
+  std::size_t idc_outage_depth = 0;
   std::string line;
   while (std::getline(in, line)) {
     ++line_number;
@@ -54,10 +70,80 @@ int main(int argc, char** argv) {
     have_time = true;
     ++events;
     ++census[obs::trace_event_name(event.type)];
+
+    switch (event.type) {
+      case obs::TraceEventType::kTransferAborted:
+        if (event.value2 != 0.0) {
+          open_aborts.erase(event.id);  // terminal: permanent failure recorded
+        } else {
+          open_aborts[event.id] = line_number;
+        }
+        break;
+      case obs::TraceEventType::kTransferRetry:
+      case obs::TraceEventType::kTransferFinished:
+        open_aborts.erase(event.id);
+        break;
+      case obs::TraceEventType::kServerDown: {
+        const auto [it, inserted] = servers_down.emplace(event.id, line_number);
+        if (!inserted) {
+          std::fprintf(stderr,
+                       "%s:%zu: server %llu went down twice (first at line %zu)\n",
+                       path.c_str(), line_number,
+                       static_cast<unsigned long long>(event.id), it->second);
+          return 1;
+        }
+        break;
+      }
+      case obs::TraceEventType::kServerUp:
+        if (servers_down.erase(event.id) == 0) {
+          std::fprintf(stderr, "%s:%zu: server %llu came up without going down\n",
+                       path.c_str(), line_number,
+                       static_cast<unsigned long long>(event.id));
+          return 1;
+        }
+        break;
+      case obs::TraceEventType::kIdcOutageBegin:
+        if (idc_outage_depth != 0) {
+          std::fprintf(stderr, "%s:%zu: idc_outage_begin during an open outage\n",
+                       path.c_str(), line_number);
+          return 1;
+        }
+        ++idc_outage_depth;
+        break;
+      case obs::TraceEventType::kIdcOutageEnd:
+        if (idc_outage_depth == 0) {
+          std::fprintf(stderr, "%s:%zu: idc_outage_end without a begin\n",
+                       path.c_str(), line_number);
+          return 1;
+        }
+        --idc_outage_depth;
+        break;
+      default:
+        break;
+    }
   }
 
   if (events == 0) {
     std::fprintf(stderr, "%s: no events\n", path.c_str());
+    return 1;
+  }
+  if (!open_aborts.empty()) {
+    const auto& [id, at] = *open_aborts.begin();
+    std::fprintf(stderr,
+                 "%s: %zu transfer(s) aborted without a matching retry or "
+                 "permanent-failure record (first: transfer %llu at line %zu)\n",
+                 path.c_str(), open_aborts.size(),
+                 static_cast<unsigned long long>(id), at);
+    return 1;
+  }
+  if (!servers_down.empty()) {
+    const auto& [id, at] = *servers_down.begin();
+    std::fprintf(stderr, "%s: server %llu still down at end of trace (line %zu)\n",
+                 path.c_str(), static_cast<unsigned long long>(id), at);
+    return 1;
+  }
+  if (idc_outage_depth != 0) {
+    std::fprintf(stderr, "%s: IDC outage still open at end of trace\n", path.c_str());
     return 1;
   }
   std::printf("%s: OK, %zu events, %zu types\n", path.c_str(), events, census.size());
