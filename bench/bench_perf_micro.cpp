@@ -4,11 +4,17 @@
 // scheduling path under heavy flow concurrency.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/session_grouping.hpp"
@@ -331,18 +337,211 @@ void BM_CalendarPeakQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_CalendarPeakQuery)->Arg(1000)->Arg(10000);
 
+// ---------------------------------------------------------------------------
+// Scale curves (--scale): hand-rolled timing sweeps of the calendar and
+// max-min hot paths across reservation/flow counts, emitted as
+// BENCH_perf_scale.json and gated in CI by gridvc-perf-gate against the
+// checked-in baseline. Unlike the google-benchmark microbenches above,
+// these measure the *growth* of µs/op with structure size — the curve
+// that distinguishes the O(log n) calendar from a linear rebuild.
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScaleReport {
+  std::vector<std::pair<std::string, double>> counters;
+  void note(const std::string& key, double value) { counters.emplace_back(key, value); }
+  double get(const std::string& key) const {
+    for (const auto& [k, v] : counters) {
+      if (k == key) return v;
+    }
+    return 0.0;
+  }
+};
+
+// Steady-state calendar churn at `n` live reservations: book one, release
+// a random one, so the structure size stays pinned while we time the
+// admit/free pair. A separate pass times windowed availability queries.
+void scale_calendar(std::size_t n, ScaleReport& report) {
+  net::Topology topo;
+  const net::NodeId a = topo.add_node("a", net::NodeKind::kHost);
+  const net::NodeId b = topo.add_node("b", net::NodeKind::kHost);
+  // Capacity far above the expected reserved peak: we are timing the
+  // structure, not admission rejects.
+  const net::LinkId link = topo.add_link(a, b, gbps(100000), 0.001);
+  vc::BandwidthCalendar cal(topo);
+  const net::Path path{link};
+  Rng rng(bench::kSeed ^ n);
+  auto draw_window = [&rng](double& t0, double& t1) {
+    t0 = rng.uniform(0.0, 1e6);
+    t1 = t0 + rng.uniform(60.0, 3600.0);
+  };
+  std::vector<vc::ReservationId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t0, t1;
+    draw_window(t0, t1);
+    ids.push_back(cal.book(path, t0, t1, mbps(rng.uniform(1.0, 100.0))));
+  }
+  // Best of several repetitions: the curve is a property of the data
+  // structure, and the minimum is the measurement least polluted by
+  // whatever else the machine was doing.
+  const std::size_t ops = 20000;
+  const int reps = 5;
+  double admit_free_us = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const double start = now_us();
+    for (std::size_t i = 0; i < ops; ++i) {
+      double t0, t1;
+      draw_window(t0, t1);
+      const auto id = cal.book(path, t0, t1, mbps(rng.uniform(1.0, 100.0)));
+      const std::size_t victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      cal.release(ids[victim]);
+      ids[victim] = id;
+    }
+    admit_free_us = std::min(admit_free_us,
+                             (now_us() - start) / (2.0 * static_cast<double>(ops)));
+  }
+
+  const std::size_t queries = 50000;
+  double sink = 0.0;
+  double query_us = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const double qstart = now_us();
+    for (std::size_t i = 0; i < queries; ++i) {
+      const double t0 = rng.uniform(0.0, 1e6);
+      sink += cal.available(link, t0, t0 + 600.0);
+    }
+    query_us = std::min(query_us, (now_us() - qstart) / static_cast<double>(queries));
+  }
+  benchmark::DoNotOptimize(sink);
+
+  const std::string suffix = "_n" + std::to_string(n);
+  report.note("calendar_admit_free_us" + suffix, admit_free_us);
+  report.note("calendar_query_us" + suffix, query_us);
+  std::printf("  calendar  n=%8zu   admit+free %8.3f us/op   query %8.3f us/op\n", n,
+              admit_free_us, query_us);
+}
+
+// Full max-min recompute at `n` concurrent flows on the ESnet testbed.
+// Paths are memoized per host pair (42 pairs), mirroring how the Network
+// borrows stable path storage per flow.
+void scale_maxmin(std::size_t n, ScaleReport& report) {
+  const auto tb = workload::build_esnet_testbed();
+  const net::NodeId hosts[] = {tb.ncar, tb.nics, tb.slac, tb.bnl, tb.nersc, tb.ornl,
+                               tb.anl};
+  std::vector<net::Path> pair_paths;
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      if (i == j) continue;
+      pairs.emplace_back(i, j);
+      pair_paths.push_back(*net::shortest_path(tb.topo, hosts[i], hosts[j]));
+    }
+  }
+  Rng rng(bench::kSeed ^ (n * 31));
+  std::vector<net::FlowDemandRef> demands;
+  demands.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::FlowDemandRef d;
+    d.path = &pair_paths[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pair_paths.size()) - 1))];
+    d.cap = rng.bernoulli(0.5) ? mbps(rng.uniform(100.0, 4000.0)) : 0.0;
+    demands.push_back(d);
+  }
+  const std::vector<char> link_up(tb.topo.link_count(), 1);
+  net::AllocWorkspace ws;
+  benchmark::DoNotOptimize(net::max_min_allocate(tb.topo, demands, link_up, ws));
+  // Best of several repetition blocks (see scale_calendar).
+  const std::size_t calls = std::max<std::size_t>(2, 1000000 / n);
+  double per_call_us = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < 3; ++r) {
+    const double start = now_us();
+    for (std::size_t c = 0; c < calls; ++c) {
+      benchmark::DoNotOptimize(net::max_min_allocate(tb.topo, demands, link_up, ws));
+    }
+    per_call_us = std::min(per_call_us, (now_us() - start) / static_cast<double>(calls));
+  }
+  const double per_flow_us = per_call_us / static_cast<double>(n);
+  const std::string suffix = "_n" + std::to_string(n);
+  report.note("maxmin_recompute_us" + suffix, per_call_us);
+  report.note("maxmin_us_per_flow" + suffix, per_flow_us);
+  std::printf("  maxmin    n=%8zu   recompute %10.1f us/call   %8.4f us/flow\n", n,
+              per_call_us, per_flow_us);
+}
+
+int run_scale(bool full, const std::string& json_path) {
+  std::vector<std::size_t> sizes{1000, 10000, 100000};
+  if (full) sizes.push_back(1000000);
+  std::printf("perf_scale: calendar admit/free/query and max-min recompute curves\n");
+  ScaleReport report;
+  const double wall_start = now_us();
+  for (const std::size_t n : sizes) scale_calendar(n, report);
+  for (const std::size_t n : sizes) scale_maxmin(n, report);
+
+  // Scaling ratios from 10k up to the largest size measured: the gated
+  // signal. An O(log n) admit/free grows ~1.5x from 10k to 1M; a linear
+  // rebuild grows ~100x. Per-flow max-min cost should stay flat.
+  const std::size_t top = sizes.back();
+  const auto ratio = [&](const std::string& stem) {
+    const double at_10k = report.get(stem + "_n10000");
+    const double at_top = report.get(stem + "_n" + std::to_string(top));
+    return at_10k > 0.0 ? at_top / at_10k : 0.0;
+  };
+  report.note("ratio_calendar_admit_free_10k_to_top", ratio("calendar_admit_free_us"));
+  report.note("ratio_calendar_query_10k_to_top", ratio("calendar_query_us"));
+  report.note("ratio_maxmin_us_per_flow_10k_to_top", ratio("maxmin_us_per_flow"));
+  report.note("scale_top_n", static_cast<double>(top));
+  std::printf("  ratios (10k -> %zu): admit+free %.2fx  query %.2fx  maxmin/flow %.2fx\n",
+              top, report.get("ratio_calendar_admit_free_10k_to_top"),
+              report.get("ratio_calendar_query_10k_to_top"),
+              report.get("ratio_maxmin_us_per_flow_10k_to_top"));
+
+  const double wall = (now_us() - wall_start) / 1e6;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "perf_scale: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"exhibit\": \"perf_scale\",\n  \"wall_seconds\": " << wall
+      << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << report.counters[i].first
+        << "\": " << report.counters[i].second;
+  }
+  out << "\n  }\n}\n";
+  std::printf("perf_scale: wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 // Custom main: --quick caps google-benchmark's sampling time for CI
 // smoke runs, --threads pins the execution pool (BM_SynthThroughput
-// overrides it per-Arg); everything else passes through to benchmark.
+// overrides it per-Arg), and --scale [--scale-full] [--scale-out PATH]
+// runs the calendar/max-min scale sweeps instead of google-benchmark;
+// everything else passes through to benchmark.
 int main(int argc, char** argv) {
+  bool scale = false;
+  bool scale_full = false;
+  std::string scale_out = "BENCH_perf_scale.json";
   std::vector<char*> passthrough;
   passthrough.reserve(static_cast<std::size_t>(argc) + 1);
   passthrough.push_back(argv[0]);
   static char quick_flag[] = "--benchmark_min_time=0.05";
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = true;
+    } else if (std::strcmp(argv[i], "--scale-full") == 0) {
+      scale = true;
+      scale_full = true;
+    } else if (std::strcmp(argv[i], "--scale-out") == 0 && i + 1 < argc) {
+      scale_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
       passthrough.push_back(quick_flag);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       gridvc::exec::set_default_threads(
@@ -351,6 +550,7 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
+  if (scale) return run_scale(scale_full, scale_out);
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;

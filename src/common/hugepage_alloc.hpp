@@ -1,0 +1,61 @@
+// Hugepage-backed allocator for large flat slabs.
+//
+// The hot-path data structures (the bandwidth-calendar B+ tree slabs,
+// the booking slab) grow to tens of megabytes at high reservation
+// counts. Backed by 4 KiB pages that working set overwhelms the DTLB,
+// and every cache miss pays a page walk on top. Allocations routed
+// through this allocator are mmap'd and tagged MADV_HUGEPAGE, so on
+// kernels with transparent hugepages in `madvise` (or `always`) mode
+// the slab is assembled from 2 MiB pages and the whole structure needs
+// a handful of TLB entries. On other platforms it degrades to plain
+// anonymous mappings (or operator new), which is never worse.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace gridvc {
+
+template <class T>
+struct HugePageAllocator {
+  using value_type = T;
+
+  HugePageAllocator() = default;
+  template <class U>
+  HugePageAllocator(const HugePageAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+#if defined(__linux__)
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) throw std::bad_alloc();
+#if defined(MADV_HUGEPAGE)
+    // Advisory: harmless when THP is disabled.
+    (void)::madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+    return static_cast<T*>(p);
+#else
+    return static_cast<T*>(::operator new(bytes));
+#endif
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+#if defined(__linux__)
+    ::munmap(p, n * sizeof(T));
+#else
+    ::operator delete(p);
+#endif
+  }
+
+  template <class U>
+  bool operator==(const HugePageAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace gridvc

@@ -38,12 +38,28 @@ const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
   ws.rates.assign(nflows, 0.0);
   if (nflows == 0) return ws.rates;
 
-  for (const auto& f : flows) {
+  // Flatten every path into one CSR index (and validate while copying):
+  // after this pass no loop touches the per-flow std::vector<LinkId>
+  // storage again — path walks are contiguous scans of ws.path_lnk.
+  ws.path_off.resize(nflows + 1);
+  ws.cap_limit.resize(nflows);
+  std::size_t total_links = 0;
+  for (std::size_t i = 0; i < nflows; ++i) {
+    const FlowDemandRef& f = flows[i];
     GRIDVC_REQUIRE(f.path != nullptr && !f.path->empty(), "flow with empty path");
-    for (LinkId l : *f.path) {
-      GRIDVC_REQUIRE(l < nlinks, "flow path references unknown link");
-    }
     GRIDVC_REQUIRE(f.guarantee >= 0.0, "negative guarantee");
+    ws.path_off[i] = static_cast<std::uint32_t>(total_links);
+    total_links += f.path->size();
+    ws.cap_limit[i] = f.cap > 0.0 ? f.cap : kInf;
+  }
+  ws.path_off[nflows] = static_cast<std::uint32_t>(total_links);
+  ws.path_lnk.resize(total_links);
+  for (std::size_t i = 0; i < nflows; ++i) {
+    std::uint32_t off = ws.path_off[i];
+    for (LinkId l : *flows[i].path) {
+      GRIDVC_REQUIRE(l < nlinks, "flow path references unknown link");
+      ws.path_lnk[off++] = static_cast<std::uint32_t>(l);
+    }
   }
 
   ws.residual.assign(nlinks, 0.0);
@@ -56,10 +72,12 @@ const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
   // (should not happen under VC admission control) scale each crossing
   // flow's guarantee by the worst per-link factor on its path.
   ws.guarantee_load.assign(nlinks, 0.0);
-  for (const auto& f : flows) {
-    const double g = f.cap > 0.0 ? std::min(f.guarantee, f.cap) : f.guarantee;
+  for (std::size_t i = 0; i < nflows; ++i) {
+    const double g = std::min(flows[i].guarantee, ws.cap_limit[i]);
     if (g <= 0.0) continue;
-    for (LinkId l : *f.path) ws.guarantee_load[l] += g;
+    for (std::uint32_t k = ws.path_off[i]; k < ws.path_off[i + 1]; ++k) {
+      ws.guarantee_load[ws.path_lnk[k]] += g;
+    }
   }
   ws.link_scale.assign(nlinks, 1.0);
   for (std::size_t l = 0; l < nlinks; ++l) {
@@ -68,64 +86,72 @@ const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
     }
   }
   for (std::size_t i = 0; i < nflows; ++i) {
-    double g = flows[i].cap > 0.0 ? std::min(flows[i].guarantee, flows[i].cap)
-                                  : flows[i].guarantee;
+    const double g = std::min(flows[i].guarantee, ws.cap_limit[i]);
     if (g <= 0.0) continue;
     double scale = 1.0;
-    for (LinkId l : *flows[i].path) scale = std::min(scale, ws.link_scale[l]);
+    for (std::uint32_t k = ws.path_off[i]; k < ws.path_off[i + 1]; ++k) {
+      scale = std::min(scale, ws.link_scale[ws.path_lnk[k]]);
+    }
     ws.rates[i] = g * scale;
   }
   for (std::size_t i = 0; i < nflows; ++i) {
     if (ws.rates[i] <= 0.0) continue;
-    for (LinkId l : *flows[i].path) {
+    for (std::uint32_t k = ws.path_off[i]; k < ws.path_off[i + 1]; ++k) {
+      const std::uint32_t l = ws.path_lnk[k];
       ws.residual[l] = std::max(0.0, ws.residual[l] - ws.rates[i]);
     }
   }
 
-  // Phase 2: progressive filling of the residual capacity. The per-link
-  // count of unfrozen crossing flows is built once and then maintained
-  // incrementally: freezing a flow decrements exactly its own links.
+  // Phase 2: progressive filling of the residual capacity. Unfrozen
+  // flows live in a dense, index-ordered list (ws.active_idx), so every
+  // fill iteration scans only the survivors; the per-link count of
+  // unfrozen crossing flows is built once and maintained incrementally
+  // as flows freeze. The freeze pass compacts the dense list in place,
+  // preserving index order so the arithmetic sequence is identical to
+  // the scalar formulation.
   ws.active.assign(nflows, 0);
   ws.active_on_link.assign(nlinks, 0);
-  std::size_t active_count = 0;
+  ws.active_idx.clear();
   for (std::size_t i = 0; i < nflows; ++i) {
-    if (flows[i].cap > 0.0 && ws.rates[i] >= flows[i].cap - kEps) continue;
+    if (ws.rates[i] >= ws.cap_limit[i] - kEps) continue;  // inf cap never trips
     ws.active[i] = 1;
-    ++active_count;
-    for (LinkId l : *flows[i].path) ++ws.active_on_link[l];
+    ws.active_idx.push_back(static_cast<std::uint32_t>(i));
+    for (std::uint32_t k = ws.path_off[i]; k < ws.path_off[i + 1]; ++k) {
+      ++ws.active_on_link[ws.path_lnk[k]];
+    }
   }
 
   // Each iteration freezes at least one flow (cap hit) or saturates at
   // least one link, so the loop runs at most nflows + nlinks times.
-  for (std::size_t iter = 0; iter < nflows + nlinks + 1 && active_count > 0; ++iter) {
+  for (std::size_t iter = 0; iter < nflows + nlinks + 1 && !ws.active_idx.empty();
+       ++iter) {
     double delta = kInf;
     for (std::size_t l = 0; l < nlinks; ++l) {
       if (ws.active_on_link[l] == 0) continue;
       delta = std::min(delta, ws.residual[l] / static_cast<double>(ws.active_on_link[l]));
     }
-    for (std::size_t i = 0; i < nflows; ++i) {
-      if (!ws.active[i]) continue;
-      if (flows[i].cap > 0.0) delta = std::min(delta, flows[i].cap - ws.rates[i]);
+    for (const std::uint32_t i : ws.active_idx) {
+      delta = std::min(delta, ws.cap_limit[i] - ws.rates[i]);  // inf - r = inf
     }
     if (delta == kInf) break;
     delta = std::max(delta, 0.0);
 
-    for (std::size_t i = 0; i < nflows; ++i) {
-      if (!ws.active[i]) continue;
+    for (const std::uint32_t i : ws.active_idx) {
       ws.rates[i] += delta;
-      for (LinkId l : *flows[i].path) {
-        ws.residual[l] -= delta;
+      for (std::uint32_t k = ws.path_off[i]; k < ws.path_off[i + 1]; ++k) {
+        ws.residual[ws.path_lnk[k]] -= delta;
       }
     }
 
-    // Freeze flows that hit their cap or a saturated link.
+    // Freeze flows that hit their cap or a saturated link; survivors are
+    // compacted to the front of the dense list in stable order.
+    std::size_t w = 0;
     bool froze = false;
-    for (std::size_t i = 0; i < nflows; ++i) {
-      if (!ws.active[i]) continue;
-      bool saturated = flows[i].cap > 0.0 && ws.rates[i] >= flows[i].cap - kEps;
+    for (const std::uint32_t i : ws.active_idx) {
+      bool saturated = ws.rates[i] >= ws.cap_limit[i] - kEps;
       if (!saturated) {
-        for (LinkId l : *flows[i].path) {
-          if (ws.residual[l] <= kEps) {
+        for (std::uint32_t k = ws.path_off[i]; k < ws.path_off[i + 1]; ++k) {
+          if (ws.residual[ws.path_lnk[k]] <= kEps) {
             saturated = true;
             break;
           }
@@ -133,11 +159,15 @@ const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
       }
       if (saturated) {
         ws.active[i] = 0;
-        --active_count;
-        for (LinkId l : *flows[i].path) --ws.active_on_link[l];
+        for (std::uint32_t k = ws.path_off[i]; k < ws.path_off[i + 1]; ++k) {
+          --ws.active_on_link[ws.path_lnk[k]];
+        }
         froze = true;
+      } else {
+        ws.active_idx[w++] = i;
       }
     }
+    ws.active_idx.resize(w);
     if (!froze) break;  // numerical stall guard
   }
 

@@ -52,15 +52,26 @@ struct Allocation {
 /// vectors have grown to the steady-state flow/link counts (pinned by
 /// the allocator microbenchmark). Treat the members as opaque except
 /// `rates`, which holds the result of the last call.
+///
+/// The layout is structure-of-arrays: per-flow state (rates, cap limits,
+/// active flags) and per-link state (residual, counts) live in flat
+/// parallel arrays, and every flow's path is flattened into one CSR
+/// index (`path_off`/`path_lnk`) built once per call — the fill and
+/// freeze loops walk contiguous memory instead of chasing a separate
+/// heap-allocated std::vector<LinkId> per flow per iteration.
 struct AllocWorkspace {
   std::vector<BitsPerSecond> rates;  ///< output: one rate per input flow
 
   // Internal scratch (sized per call).
-  std::vector<double> residual;
-  std::vector<double> guarantee_load;
-  std::vector<double> link_scale;
-  std::vector<char> active;
-  std::vector<std::uint32_t> active_on_link;
+  std::vector<double> residual;        // per link: unallocated capacity
+  std::vector<double> guarantee_load;  // per link: sum of guarantees
+  std::vector<double> link_scale;      // per link: oversubscription scale
+  std::vector<double> cap_limit;       // per flow: cap, +inf when unbounded
+  std::vector<char> active;            // per flow: still filling
+  std::vector<std::uint32_t> active_on_link;  // per link: unfrozen crossers
+  std::vector<std::uint32_t> active_idx;      // dense index of active flows
+  std::vector<std::uint32_t> path_off;        // CSR offsets, nflows + 1
+  std::vector<std::uint32_t> path_lnk;        // CSR flattened link ids
 };
 
 /// Compute the allocation for `flows` over `topo`.
@@ -82,10 +93,12 @@ Allocation max_min_allocate(const Topology& topo, const std::vector<FlowDemand>&
 
 /// Allocation hot path: identical semantics to the vector overloads, but
 /// paths are borrowed and all scratch state lives in `ws` — zero heap
-/// allocations per call once the workspace is warm. Progressive filling
-/// maintains its per-link active-flow counts incrementally as flows
-/// freeze (decrementing just the frozen flow's links) instead of
-/// recounting every flow's path each iteration. Returns `ws.rates`.
+/// allocations per call once the workspace is warm. Paths are flattened
+/// into the workspace's CSR index up front, progressive filling iterates
+/// a dense active-flow list that compacts in stable order as flows
+/// freeze, and per-link active-flow counts are maintained incrementally
+/// (decrementing just the frozen flow's links) instead of recounting
+/// every flow's path each iteration. Returns `ws.rates`.
 const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
                                                    std::span<const FlowDemandRef> flows,
                                                    const std::vector<char>& link_up,

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
@@ -23,6 +24,8 @@ Simulator::Simulator() {
                                "Callbacks actually run");
   id_compactions_ = reg.counter("gridvc_sim_heap_compactions",
                                 "Tombstone-purging heap rebuilds");
+  id_batches_ = reg.counter("gridvc_sim_dispatch_batches",
+                            "Same-timestamp dispatch batches drained by run()");
   id_live_ = reg.gauge("gridvc_sim_events_live",
                        "Events currently awaiting dispatch");
 }
@@ -124,55 +127,86 @@ void Simulator::maybe_compact() {
   obs_.registry().add(id_compactions_);
 }
 
+void Simulator::dispatch_entry(const QueuedEvent& e) {
+  now_ = e.when;
+  obs_.registry().add(id_dispatched_);
+  if (!slots_[e.slot].periodic) {
+    // Move the callback out and free the slot *before* running it: the
+    // handle reads as consumed inside the callback, and the callback may
+    // schedule/cancel freely (including reusing this slot).
+    Callback fn = std::move(slots_[e.slot].fn);
+    release_slot(e.slot);
+    set_live(live_ - 1);
+    fn();
+  } else {
+    std::function<bool()> fn = std::move(slots_[e.slot].repeat);
+    const Seconds period = slots_[e.slot].period;
+    const bool keep_going = fn();
+    // Re-fetch: the callback may have grown the slab or cancelled the
+    // series (which bumps the generation).
+    Slot& s = slots_[e.slot];
+    if (s.live && s.generation == e.generation) {
+      if (keep_going) {
+        s.repeat = std::move(fn);
+        push_entry(e.when + period, e.slot, e.generation);
+      } else {
+        release_slot(e.slot);
+        set_live(live_ - 1);
+      }
+    }
+  }
+}
+
 bool Simulator::step() {
   while (!heap_.empty()) {
     const QueuedEvent top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
     if (!entry_live(top)) continue;  // tombstone
-    now_ = top.when;
-    obs_.registry().add(id_dispatched_);
-    if (!slots_[top.slot].periodic) {
-      // Move the callback out and free the slot *before* running it: the
-      // handle reads as consumed inside the callback, and the callback may
-      // schedule/cancel freely (including reusing this slot).
-      Callback fn = std::move(slots_[top.slot].fn);
-      release_slot(top.slot);
-      set_live(live_ - 1);
-      fn();
-    } else {
-      std::function<bool()> fn = std::move(slots_[top.slot].repeat);
-      const Seconds period = slots_[top.slot].period;
-      const bool keep_going = fn();
-      // Re-fetch: the callback may have grown the slab or cancelled the
-      // series (which bumps the generation).
-      Slot& s = slots_[top.slot];
-      if (s.live && s.generation == top.generation) {
-        if (keep_going) {
-          s.repeat = std::move(fn);
-          push_entry(top.when + period, top.slot, top.generation);
-        } else {
-          release_slot(top.slot);
-          set_live(live_ - 1);
-        }
-      }
-    }
+    dispatch_entry(top);
     return true;
   }
   return false;
 }
 
+bool Simulator::collect_batch(Seconds deadline) {
+  drop_dead_events();
+  if (heap_.empty() || heap_.front().when > deadline) return false;
+  const Seconds when = heap_.front().when;
+  batch_.clear();
+  while (!heap_.empty() && heap_.front().when == when) {
+    const QueuedEvent top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    if (entry_live(top)) batch_.push_back(top);
+  }
+  obs_.registry().add(id_batches_);
+  return true;
+}
+
 void Simulator::run() {
-  while (step()) {
+  // Same-timestamp events drain as one batch: the heap is popped once per
+  // timestamp group, and callbacks that schedule *new* work at the same
+  // time still interleave correctly — their seq numbers are larger than
+  // every batched entry's, so the next collect_batch picks them up at the
+  // same timestamp, after this batch, exactly as FIFO tie-breaking demands.
+  while (collect_batch(std::numeric_limits<Seconds>::infinity())) {
+    for (const QueuedEvent& e : batch_) {
+      // A callback earlier in the batch may have cancelled this entry (or
+      // released and re-armed its slot): re-check liveness at dispatch.
+      if (!entry_live(e)) continue;
+      dispatch_entry(e);
+    }
   }
 }
 
 void Simulator::run_until(Seconds deadline) {
   GRIDVC_REQUIRE(deadline >= now_, "run_until deadline is in the past");
-  while (true) {
-    drop_dead_events();
-    if (heap_.empty() || heap_.front().when > deadline) break;
-    step();
+  while (collect_batch(deadline)) {
+    for (const QueuedEvent& e : batch_) {
+      if (!entry_live(e)) continue;
+      dispatch_entry(e);
+    }
   }
   now_ = deadline;
 }

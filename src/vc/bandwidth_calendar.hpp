@@ -10,10 +10,12 @@
 // its window stays within the link's reservable capacity.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
-#include <map>
+#include <limits>
 #include <vector>
 
+#include "common/hugepage_alloc.hpp"
 #include "common/units.hpp"
 #include "net/topology.hpp"
 
@@ -21,43 +23,155 @@ namespace gridvc::vc {
 
 using ReservationId = std::uint64_t;
 
+/// Fixed-point reserved rate: integer kbit/s. All calendar arithmetic is
+/// exact in this representation, so a release always cancels its booking
+/// to the bit — no float dust can accumulate over any number of
+/// book/release cycles.
+using RateKbps = std::int64_t;
+
+/// Quantize a bits/s rate onto the calendar's kbit/s grid: round to
+/// nearest, but never below one quantum, so every positive rate stays
+/// visible and add/remove with the same argument cancel exactly.
+inline RateKbps quantize_rate_kbps(BitsPerSecond rate) {
+  const RateKbps q = std::llround(rate / 1000.0);
+  return q > 0 ? q : 1;
+}
+
 /// Piecewise-constant reserved-rate profile of one link.
 ///
-/// Mutations maintain a delta map; queries run against a lazily rebuilt
-/// prefix-level cache (sorted change times + cumulative level after each),
-/// so `at()` is one binary search and `peak()` is a binary search plus a
-/// scan of only the deltas inside the queried window — not a sweep of the
-/// whole calendar from t=0 as the map encoding alone would require.
+/// The profile is a delta encoding (change in reserved rate at each time
+/// point) stored in an augmented B+ tree keyed by time. Every subtree
+/// carries two aggregates — the sum of its deltas and the maximum
+/// non-empty prefix sum of its in-order delta sequence — so a point
+/// update is O(log n) and `peak(start, end)` decomposes the window into
+/// O(log n) subtrees whose aggregates answer "highest level reached
+/// inside" without sweeping. Wide nodes (32 entries / 32 children, laid
+/// out as per-field arrays) keep the hot search path to a handful of
+/// sequential cache lines per level: at one million reservations a walk
+/// touches ~5 nodes instead of the ~21 dependent cache misses a binary
+/// tree would take, which is what keeps the admit/free scale curve flat.
+/// Rates are held as integer kbit/s (see RateKbps), which makes
+/// add/remove cancellation exact: a balanced sequence of operations
+/// always returns the tree to empty.
 class BandwidthProfile {
  public:
   /// Add `rate` over [start, end). Requires start < end and rate > 0.
   void add(Seconds start, Seconds end, BitsPerSecond rate);
 
   /// Remove a previously added block (exact inverse of add).
+  /// Requires start < end and rate > 0.
   void remove(Seconds start, Seconds end, BitsPerSecond rate);
 
-  /// Peak reserved rate over [start, end).
+  /// Move a block's end marker from `old_end` to `new_end` (early
+  /// teardown truncating [start, old_end) to [start, new_end)): two
+  /// point updates instead of the four a remove+add pair would cost.
+  /// Requires new_end < old_end and rate > 0.
+  void shift_end(Seconds old_end, Seconds new_end, BitsPerSecond rate);
+
+  /// Peak reserved rate over [start, end). The empty window [t, t)
+  /// contains no instant, so its peak is 0.
   BitsPerSecond peak(Seconds start, Seconds end) const;
 
   /// Reserved rate at instant `t`.
   BitsPerSecond at(Seconds t) const;
 
   /// True when nothing is reserved at any time.
-  bool empty() const;
+  bool empty() const { return entry_count_ == 0; }
+
+  /// Live change points in the tree. Balanced add/remove sequences
+  /// return this to 0; the float-dust regression test pins that bound.
+  std::size_t node_count() const { return entry_count_; }
 
  private:
-  void ensure_cache() const;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr RateKbps kNoLevel = std::numeric_limits<RateKbps>::min() / 2;
+  // Wide nodes: a leaf holds up to 32 (time, delta) entries, an inner
+  // node up to 32 children. Minimum fills are chosen so that merging two
+  // minimal siblings leaves room for one more insert (2 * min < cap),
+  // which lets apply() rebalance preemptively on the way down — it never
+  // knows until the leaf whether the op inserts or erases.
+  static constexpr int kLeafCap = 32;
+  static constexpr int kLeafMin = 12;
+  static constexpr int kInnerCap = 32;
+  static constexpr int kInnerMin = 12;
 
-  // Delta encoding: deltas_[t] is the change in reserved rate at time t.
-  // Entries are erased only on *exact* cancellation — an epsilon test
-  // here would silently drop legitimately tiny residual rates.
-  std::map<Seconds, BitsPerSecond> deltas_;
+  /// Sorted run of change points. Aggregates live in the parent; the
+  /// root-is-leaf case recomputes them on the fly (O(kLeafCap)).
+  struct Leaf {
+    std::uint16_t n = 0;
+    Seconds key[kLeafCap];
+    RateKbps delta[kLeafCap];
+  };
 
-  // Query cache: cache_levels_[i] is the reserved rate in force from
-  // cache_times_[i] (inclusive) until the next change time.
-  mutable std::vector<Seconds> cache_times_;
-  mutable std::vector<BitsPerSecond> cache_levels_;
-  mutable bool cache_valid_ = false;
+  /// Routing node. Per-child copies of the subtree aggregates (delta sum
+  /// and max non-empty prefix sum) and the subtree's max key make both
+  /// the point-update descent and the peak range query touch only nodes
+  /// on the boundary paths; fully covered children are O(1) reads here.
+  /// The per-child fields are interleaved (32 bytes, two per cache line)
+  /// so a routing scan is one sequential stream and the chosen child's
+  /// aggregates share a line with the key that selected it.
+  struct ChildRef {
+    Seconds max_key;
+    RateKbps sum;
+    RateKbps maxp;
+    std::uint32_t child;
+  };
+  struct Inner {
+    std::uint16_t n = 0;      // child count
+    bool child_leaf = false;  // true when children are leaves
+    ChildRef ent[kInnerCap];
+  };
+
+  std::uint32_t alloc_leaf();
+  std::uint32_t alloc_inner();
+  void free_leaf(std::uint32_t id);
+  void free_inner(std::uint32_t id);
+
+  /// Recompute parent->(max_key, sum, maxp) for child slot `i` from the
+  /// child node itself.
+  void refresh_child_meta(Inner& parent, int i) const;
+  /// Index of the child that owns key `t` (first child with
+  /// max_key >= t, else the last child).
+  static int pick_child(const Inner& nd, Seconds t);
+
+  /// Split the full child `i` of `parent` in two (child keeps the lower
+  /// half). Grows the slabs; callers must refetch references.
+  void split_child(std::uint32_t parent_id, int i);
+  /// Restore slack to child `i` sitting at minimum fill: borrow one
+  /// entry/child from a sibling, or merge with it when it is minimal too.
+  void fix_child(std::uint32_t parent_id, int i);
+
+  /// Add `d` to the delta at `t`, inserting or erasing the entry as
+  /// needed; recursive arm over inner nodes.
+  void apply_inner(std::uint32_t node_id, Seconds t, RateKbps d);
+  void apply_leaf(std::uint32_t leaf_id, Seconds t, RateKbps d);
+  void apply_delta(Seconds t, RateKbps d);
+
+  /// Sum of deltas with key <= t (the level in force at instant t).
+  RateKbps level_at(Seconds t) const;
+  /// One-walk window query: `best` is the max level over change points
+  /// with key strictly in (lo, hi) (kNoLevel when none), `entry` the
+  /// level in force at instant lo. `base` is the level just before this
+  /// subtree's first key; the left boundary path of the range
+  /// decomposition doubles as the entry-level walk, so peak() costs a
+  /// single descent instead of two.
+  struct WindowLevels {
+    RateKbps best;
+    RateKbps entry;
+  };
+  WindowLevels window_levels(std::uint32_t node_id, bool is_leaf, Seconds lo, Seconds hi,
+                             RateKbps base) const;
+
+  // Slabs are hugepage-backed: at scale they dominate the working set
+  // and 2 MiB pages keep the descent off the page-walker (see
+  // common/hugepage_alloc.hpp).
+  std::vector<Leaf, HugePageAllocator<Leaf>> leaves_;    // slab; index = leaf id
+  std::vector<Inner, HugePageAllocator<Inner>> inners_;  // slab; index = inner id
+  std::vector<std::uint32_t> free_leaves_;
+  std::vector<std::uint32_t> free_inners_;
+  std::uint32_t root_ = kNil;
+  bool root_leaf_ = true;
+  std::size_t entry_count_ = 0;
 };
 
 /// Per-topology calendar over all links.
@@ -68,6 +182,7 @@ class BandwidthCalendar {
   explicit BandwidthCalendar(const net::Topology& topo, double reservable_fraction = 1.0);
 
   /// Max rate still reservable on `link` everywhere in [start, end).
+  /// The empty window [t, t) has the full reservable capacity available.
   BitsPerSecond available(net::LinkId link, Seconds start, Seconds end) const;
 
   /// True iff `rate` fits on every link of `path` over the whole window.
@@ -78,28 +193,43 @@ class BandwidthCalendar {
   /// expected to check first; booking a non-fitting request throws.
   ReservationId book(const net::Path& path, Seconds start, Seconds end, BitsPerSecond rate);
 
-  /// Release a booking in full (idempotent release of an unknown id throws).
+  /// Release a booking in full. Not idempotent: releasing an unknown or
+  /// already-released id throws, so double releases surface as bugs
+  /// instead of silently unbalancing the calendar.
   void release(ReservationId id);
 
   /// Truncate a booking's end time (early circuit teardown releases the
   /// tail of the window for other users). `new_end` must lie in
-  /// [start, end].
+  /// [start, end]. A single end-shift per link — the start marker is
+  /// untouched.
   void truncate(ReservationId id, Seconds new_end);
 
-  std::size_t active_bookings() const { return bookings_.size(); }
+  std::size_t active_bookings() const { return active_; }
 
  private:
+  /// Slab record for one reservation. Slots are recycled through a free
+  /// list; the generation is bumped on every release so stale ids are
+  /// rejected, and the path vector keeps its capacity across reuse, so a
+  /// steady-state book/release cycle allocates nothing.
   struct Booking {
     net::Path path;
-    Seconds start, end;
-    BitsPerSecond rate;
+    Seconds start = 0.0, end = 0.0;
+    BitsPerSecond rate = 0.0;
+    std::uint32_t generation = 0;
+    bool live = false;
   };
+
+  /// Ids encode (generation << 32) | (slot + 1): nonzero by construction
+  /// (callers use 0 as a "no booking" sentinel), O(1) to resolve, and
+  /// impossible to confuse with a recycled slot's newer booking.
+  Booking& resolve(ReservationId id, const char* what);
 
   const net::Topology& topo_;
   double reservable_fraction_;
   std::vector<BandwidthProfile> profiles_;  // one per link
-  std::map<ReservationId, Booking> bookings_;
-  ReservationId next_id_ = 1;
+  std::vector<Booking> bookings_;           // slab, indexed by slot
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t active_ = 0;
 };
 
 }  // namespace gridvc::vc

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -162,19 +165,104 @@ TEST(BandwidthProfile, TouchingWindowsDoNotDoubleCount) {
   EXPECT_DOUBLE_EQ(p.peak(49.0, 51.0), mbps(600));
 }
 
-TEST(BandwidthProfile, TinyResidualRateSurvives) {
-  // Accumulated +/-rate pairs near (but not at) zero must keep the
-  // residual: an epsilon-erase would drop this sub-milli-bit/s level.
+TEST(BandwidthProfile, SubQuantumRatesQuantizeAndCancelExactly) {
+  // Rates live on the integer-kbit/s fixed-point grid: a positive rate
+  // below one quantum rounds up to 1 kbit/s (never to invisibility), and
+  // remove() with the same argument quantizes identically, so balanced
+  // add/remove pairs always cancel exactly — no epsilon tests anywhere.
   BandwidthProfile p;
-  const double tiny = 2.5e-4;  // below the old 1e-3 cleanup threshold
+  const double tiny = 2.5e-4;  // far below one kbit/s quantum
   p.add(0.0, 10.0, tiny);
   EXPECT_FALSE(p.empty());
-  EXPECT_DOUBLE_EQ(p.at(5.0), tiny);
+  EXPECT_DOUBLE_EQ(p.at(5.0), 1000.0);  // one quantum
   p.add(0.0, 10.0, tiny);
   p.remove(0.0, 10.0, tiny);
-  EXPECT_DOUBLE_EQ(p.at(5.0), tiny);
+  EXPECT_DOUBLE_EQ(p.at(5.0), 1000.0);
   p.remove(0.0, 10.0, tiny);
   EXPECT_TRUE(p.empty());
+  // Above-quantum rates round to nearest kbit/s.
+  p.add(0.0, 10.0, 1234567.89);
+  EXPECT_DOUBLE_EQ(p.at(5.0), 1235000.0);
+  p.remove(0.0, 10.0, 1234567.89);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(BandwidthProfile, EmptyWindowPeakIsZero) {
+  // [t, t) contains no instant, so nothing is reserved over it — even
+  // when a block is in force at t itself.
+  BandwidthProfile p;
+  p.add(0.0, 100.0, mbps(500));
+  EXPECT_DOUBLE_EQ(p.at(50.0), mbps(500));
+  EXPECT_DOUBLE_EQ(p.peak(50.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.peak(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.peak(200.0, 200.0), 0.0);
+}
+
+TEST(BandwidthCalendar, EmptyWindowHasFullAvailabilityAndFits) {
+  // available(l, t, t) must not under-report from the level in force at
+  // t: an instantaneous window blocks nothing, so a zero-length probe
+  // (e.g. a degenerate activation window) is never spuriously rejected.
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  cal.book({f.ab, f.bc}, 0.0, 100.0, gbps(7));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 50.0, 50.0), gbps(10));
+  EXPECT_TRUE(cal.fits({f.ab, f.bc}, 50.0, 50.0, gbps(10)));
+}
+
+TEST(BandwidthProfile, FloatDustSharedTimestampCyclesLeaveNoResidue) {
+  // Regression for the delta-map leak: overlapping bookings sharing a
+  // timestamp (book r1, book r2, release r1, release r2) used to leave
+  // near-zero float-dust entries that never erased, growing the map —
+  // and every query sweep — without bound. Fixed-point deltas cancel
+  // exactly, so a million cycles leave an empty tree and the live node
+  // count stays bounded by the overlap depth throughout.
+  BandwidthProfile p;
+  const double r1 = 1234567.89;   // deliberately awkward in binary
+  const double r2 = 987654.321;
+  std::size_t max_nodes = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    p.add(0.0, 100.0, r1);
+    p.add(0.0, 100.0, r2);   // shares both timestamps with r1
+    p.remove(0.0, 100.0, r1);
+    p.remove(0.0, 100.0, r2);
+    max_nodes = std::max(max_nodes, p.node_count());
+  }
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.node_count(), 0u);
+  EXPECT_LE(max_nodes, 4u);  // never more change points than live blocks need
+  EXPECT_DOUBLE_EQ(p.peak(0.0, 100.0), 0.0);
+}
+
+TEST(BandwidthCalendar, SharedTimestampBookReleaseCyclesStayBounded) {
+  // The same leak shape through the public calendar API, at depth: many
+  // concurrent bookings over the same window, released in mixed order.
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  for (int cycle = 0; cycle < 20'000; ++cycle) {
+    std::vector<ReservationId> ids;
+    for (int k = 0; k < 5; ++k) {
+      ids.push_back(cal.book({f.ab, f.bc}, 10.0, 500.0, mbps(123.456 + k)));
+    }
+    for (int k = 0; k < 5; ++k) cal.release(ids[(k * 3) % 5]);
+  }
+  EXPECT_EQ(cal.active_bookings(), 0u);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 1000.0), gbps(10));
+  EXPECT_DOUBLE_EQ(cal.available(f.bc, 0.0, 1000.0), gbps(10));
+}
+
+TEST(BandwidthCalendar, TruncateIsRepeatableAndMonotonic) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const auto id = cal.book({f.ab}, 0.0, 100.0, gbps(9));
+  cal.truncate(id, 80.0);
+  cal.truncate(id, 80.0);  // no-op: already ends here
+  cal.truncate(id, 40.0);  // further truncation shifts the end again
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 40.0), gbps(1));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 40.0, 100.0), gbps(10));
+  // The window can only shrink: extending past the current end throws.
+  EXPECT_THROW(cal.truncate(id, 90.0), gridvc::PreconditionError);
+  cal.release(id);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 100.0), gbps(10));
 }
 
 TEST(BandwidthCalendar, EndpointTouchingBookingsDoNotDoubleCountInPeak) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -159,7 +162,9 @@ TEST_P(FairShareProperty, ConservationAndCapRespect) {
 
   // (2) Caps are respected.
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    if (flows[i].cap > 0.0) EXPECT_LE(alloc.rates[i], flows[i].cap + kTol);
+    if (flows[i].cap > 0.0) {
+      EXPECT_LE(alloc.rates[i], flows[i].cap + kTol);
+    }
   }
 
   // (3) Pareto efficiency for uncapped flows: every uncapped flow has at
@@ -217,6 +222,145 @@ TEST(FairShare, WorkspaceOverloadMatchesPlainApi) {
         max_min_allocate(f.topo, refs, link_up, ws);
     ASSERT_EQ(rerun, again);
   }
+}
+
+// Straight transcription of the pre-SoA scalar allocator (per-flow path
+// chasing, flag-scan fill loop). The CSR/dense-list implementation is a
+// layout change only, so it must reproduce this arithmetic sequence
+// bit-for-bit.
+std::vector<BitsPerSecond> scalar_reference_allocate(const Topology& topo,
+                                                     const std::vector<FlowDemand>& flows,
+                                                     const std::vector<char>& link_up) {
+  constexpr double kRefEps = 1e-3;
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::size_t nflows = flows.size();
+  const std::size_t nlinks = topo.link_count();
+  std::vector<BitsPerSecond> rates(nflows, 0.0);
+  if (nflows == 0) return rates;
+  std::vector<double> residual(nlinks, 0.0);
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    const bool up = link_up.empty() || link_up[l] != 0;
+    residual[l] = up ? topo.link(static_cast<LinkId>(l)).capacity : 0.0;
+  }
+  std::vector<double> guarantee_load(nlinks, 0.0);
+  for (const auto& f : flows) {
+    const double g = f.cap > 0.0 ? std::min(f.guarantee, f.cap) : f.guarantee;
+    if (g <= 0.0) continue;
+    for (LinkId l : f.path) guarantee_load[l] += g;
+  }
+  std::vector<double> link_scale(nlinks, 1.0);
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    if (guarantee_load[l] > residual[l]) link_scale[l] = residual[l] / guarantee_load[l];
+  }
+  for (std::size_t i = 0; i < nflows; ++i) {
+    double g = flows[i].cap > 0.0 ? std::min(flows[i].guarantee, flows[i].cap)
+                                  : flows[i].guarantee;
+    if (g <= 0.0) continue;
+    double scale = 1.0;
+    for (LinkId l : flows[i].path) scale = std::min(scale, link_scale[l]);
+    rates[i] = g * scale;
+  }
+  for (std::size_t i = 0; i < nflows; ++i) {
+    if (rates[i] <= 0.0) continue;
+    for (LinkId l : flows[i].path) residual[l] = std::max(0.0, residual[l] - rates[i]);
+  }
+  std::vector<char> active(nflows, 0);
+  std::vector<std::uint32_t> active_on_link(nlinks, 0);
+  std::size_t active_count = 0;
+  for (std::size_t i = 0; i < nflows; ++i) {
+    if (flows[i].cap > 0.0 && rates[i] >= flows[i].cap - kRefEps) continue;
+    active[i] = 1;
+    ++active_count;
+    for (LinkId l : flows[i].path) ++active_on_link[l];
+  }
+  for (std::size_t iter = 0; iter < nflows + nlinks + 1 && active_count > 0; ++iter) {
+    double delta = inf;
+    for (std::size_t l = 0; l < nlinks; ++l) {
+      if (active_on_link[l] == 0) continue;
+      delta = std::min(delta, residual[l] / static_cast<double>(active_on_link[l]));
+    }
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (!active[i]) continue;
+      if (flows[i].cap > 0.0) delta = std::min(delta, flows[i].cap - rates[i]);
+    }
+    if (delta == inf) break;
+    delta = std::max(delta, 0.0);
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (!active[i]) continue;
+      rates[i] += delta;
+      for (LinkId l : flows[i].path) residual[l] -= delta;
+    }
+    bool froze = false;
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (!active[i]) continue;
+      bool saturated = flows[i].cap > 0.0 && rates[i] >= flows[i].cap - kRefEps;
+      if (!saturated) {
+        for (LinkId l : flows[i].path) {
+          if (residual[l] <= kRefEps) {
+            saturated = true;
+            break;
+          }
+        }
+      }
+      if (saturated) {
+        active[i] = 0;
+        --active_count;
+        for (LinkId l : flows[i].path) --active_on_link[l];
+        froze = true;
+      }
+    }
+    if (!froze) break;
+  }
+  return rates;
+}
+
+// SoA-vs-scalar equivalence at scale: 10k flows over a 12-link backbone
+// chain, mixed caps/guarantees/down-links, compared bit-for-bit against
+// the scalar transcription above.
+TEST(FairShare, SoALayoutMatchesScalarReferenceAt10kFlows) {
+  Topology topo;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 13; ++i) {
+    nodes.push_back(topo.add_node("n" + std::to_string(i),
+                                  i == 0 || i == 12 ? NodeKind::kHost
+                                                    : NodeKind::kRouter));
+  }
+  std::vector<LinkId> chain;
+  for (int i = 0; i < 12; ++i) {
+    chain.push_back(topo.add_link(nodes[static_cast<std::size_t>(i)],
+                                  nodes[static_cast<std::size_t>(i) + 1], gbps(10),
+                                  0.001));
+  }
+  Rng rng(20120);
+  std::vector<FlowDemand> flows;
+  flows.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    FlowDemand d;
+    const int a = static_cast<int>(rng.uniform_int(0, 11));
+    const int b = static_cast<int>(rng.uniform_int(a, 11));
+    for (int l = a; l <= b; ++l) d.path.push_back(chain[static_cast<std::size_t>(l)]);
+    if (rng.bernoulli(0.6)) d.cap = mbps(rng.uniform(1.0, 500.0));
+    if (rng.bernoulli(0.2)) d.guarantee = mbps(rng.uniform(1.0, 100.0));
+    flows.push_back(std::move(d));
+  }
+  std::vector<char> link_up(topo.link_count(), 1);
+  link_up[5] = 0;  // one dead link in the middle of the chain
+
+  const std::vector<BitsPerSecond> ref = scalar_reference_allocate(topo, flows, link_up);
+
+  std::vector<FlowDemandRef> refs;
+  refs.reserve(flows.size());
+  for (const auto& d : flows) refs.push_back({&d.path, d.cap, d.guarantee});
+  AllocWorkspace ws;
+  const std::vector<BitsPerSecond>& rates = max_min_allocate(topo, refs, link_up, ws);
+
+  ASSERT_EQ(rates.size(), ref.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    ASSERT_DOUBLE_EQ(rates[i], ref[i]) << "flow " << i;
+  }
+  // And through the plain vector API (which routes through the SoA path).
+  const Allocation plain = max_min_allocate(topo, flows, link_up);
+  ASSERT_EQ(plain.rates, std::vector<BitsPerSecond>(rates.begin(), rates.end()));
 }
 
 }  // namespace

@@ -265,6 +265,68 @@ TEST(Simulator, RunUntilAtExactEventTimestamp) {
   EXPECT_EQ(fired.size(), 3u);
 }
 
+// Batched same-timestamp dispatch must preserve FIFO order, interleave
+// same-time events scheduled *from* the batch after it, and honor
+// cancellations made by earlier batch members.
+TEST(Simulator, SameTimestampBatchKeepsFifoOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 6; ++i) {
+    sim.schedule_at(7.0, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Simulator, CallbackSchedulingAtSameTimeRunsAfterBatch) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(3.0, [&] {
+    fired.push_back(0);
+    // Scheduled mid-batch at the same timestamp: larger seq, so it must
+    // run after every event already queued at t=3, not before.
+    sim.schedule_at(3.0, [&] { fired.push_back(9); });
+  });
+  sim.schedule_at(3.0, [&] { fired.push_back(1); });
+  sim.schedule_at(3.0, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 9}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, CancellationWithinBatchIsHonored) {
+  Simulator sim;
+  std::vector<int> fired;
+  EventHandle victim;
+  sim.schedule_at(4.0, [&] {
+    fired.push_back(0);
+    victim.cancel();  // same-timestamp event later in this very batch
+  });
+  victim = sim.schedule_at(4.0, [&] { fired.push_back(1); });
+  sim.schedule_at(4.0, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+  EXPECT_EQ(sim.cancelled(), 1u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, PeriodicSeriesInterleavesWithBatches) {
+  Simulator sim;
+  std::vector<int> fired;
+  int ticks = 0;
+  sim.schedule_periodic(1.0, 1.0, [&] {
+    fired.push_back(100 + ticks);
+    return ++ticks < 3;
+  });
+  sim.schedule_at(1.0, [&] { fired.push_back(0); });
+  sim.schedule_at(2.0, [&] { fired.push_back(1); });
+  sim.run();
+  // t=1: periodic (scheduled first), then the one-shot; t=2: periodic
+  // re-arm has a later seq than the pre-scheduled one-shot.
+  EXPECT_EQ(fired, (std::vector<int>{100, 0, 1, 101, 102}));
+  EXPECT_TRUE(sim.idle());
+}
+
 TEST(Simulator, StepProcessesOneEvent) {
   Simulator sim;
   int fired = 0;

@@ -1,0 +1,115 @@
+// gridvc-perf-gate: compare a fresh BENCH_perf_scale.json against the
+// checked-in baseline and fail on regressions.
+//
+//   gridvc-perf-gate --baseline bench/baselines/BENCH_perf_scale.json
+//                    --current BENCH_perf_scale.json [--tolerance 0.20]
+//
+// Both files are BENCH_*.json exhibits ({"exhibit": ..., "counters":
+// {...}}). The gate reads every counter whose key starts with "ratio_"
+// from the baseline — those are the scale-curve shape metrics
+// (us/op at the top size divided by us/op at 10k), which are stable
+// across machines in a way raw microsecond counters are not — and
+// requires the current value to be at most baseline * (1 + tolerance).
+// A missing key in the current file is a failure too: a renamed or
+// dropped curve must update the baseline deliberately. Exit status is
+// 0 when every gated key passes, 1 otherwise, with a per-key listing
+// either way.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// Minimal scan for "key": number pairs. The BENCH exhibit format is a
+// two-level object with unique keys and no string values containing
+// quotes, so a flat scan is exact for our files; it is not a general
+// JSON parser and does not need to be.
+std::map<std::string, double> read_counters(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "gridvc-perf-gate: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while ((i = text.find('"', i)) != std::string::npos) {
+    const std::size_t k0 = i + 1;
+    const std::size_t k1 = text.find('"', k0);
+    if (k1 == std::string::npos) break;
+    std::size_t j = k1 + 1;
+    while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+    if (j < text.size() && text[j] == ':') {
+      ++j;
+      while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str() + j, &end);
+      if (end != text.c_str() + j) out[text.substr(k0, k1 - k0)] = v;
+    }
+    i = k1 + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  double tolerance = 0.20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--current") == 0 && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: gridvc-perf-gate --baseline FILE --current FILE "
+                   "[--tolerance FRACTION]\n");
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "gridvc-perf-gate: --baseline and --current are required\n");
+    return 2;
+  }
+
+  const auto baseline = read_counters(baseline_path);
+  const auto current = read_counters(current_path);
+
+  int gated = 0, failed = 0;
+  std::printf("perf gate: tolerance %.0f%%, baseline %s\n", tolerance * 100.0,
+              baseline_path.c_str());
+  for (const auto& [key, base] : baseline) {
+    if (key.rfind("ratio_", 0) != 0) continue;
+    ++gated;
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      std::printf("  FAIL %-44s baseline %8.3f  current missing\n", key.c_str(), base);
+      ++failed;
+      continue;
+    }
+    const double limit = base * (1.0 + tolerance);
+    const bool ok = it->second <= limit;
+    std::printf("  %s %-44s baseline %8.3f  current %8.3f  limit %8.3f\n",
+                ok ? "ok  " : "FAIL", key.c_str(), base, it->second, limit);
+    if (!ok) ++failed;
+  }
+  if (gated == 0) {
+    std::fprintf(stderr, "gridvc-perf-gate: baseline has no ratio_* keys to gate\n");
+    return 2;
+  }
+  if (failed > 0) {
+    std::printf("perf gate: %d/%d gated keys regressed beyond tolerance\n", failed, gated);
+    return 1;
+  }
+  std::printf("perf gate: all %d gated keys within tolerance\n", gated);
+  return 0;
+}
