@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <new>
 #include <string>
 #include <utility>
@@ -26,6 +27,8 @@
 #include "net/fair_share.hpp"
 #include "net/network.hpp"
 #include "net/tcp_model.hpp"
+#include "obs/profile_io.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "vc/bandwidth_calendar.hpp"
@@ -518,17 +521,126 @@ int run_scale(bool full, const std::string& json_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Profiler overhead gate (--prof-gate): the same instrumented workload
+// timed with the zone profiler disabled and enabled, interleaved
+// best-of-reps so machine noise hits both sides equally. The CI
+// acceptance bar is <5% wall-clock overhead enabled; disabled, a zone is
+// one relaxed atomic load.
+
+constexpr double kProfGateLimit = 1.05;
+
+// Calendar churn, trace synthesis, and a full engine run: touches every
+// GRIDVC_PROF_ZONE on the simulation hot path (sim dispatch, net
+// recompute/max-min, calendar book/release, engine phases) mixed with
+// the un-instrumented compute the full suite also spends time in, so
+// the ratio reflects a representative workload rather than a pure
+// zone-entry stress loop.
+void prof_gate_workload() {
+  const auto tb = workload::build_esnet_testbed();
+  Rng rng(bench::kSeed ^ 77);
+  {
+    const auto profile = workload::slac_bnl_profile(20000.0 / 1021999.0);
+    const auto log = workload::synthesize_trace(profile, 9);
+    benchmark::DoNotOptimize(log.data());
+  }
+  {
+    vc::BandwidthCalendar cal(tb.topo);
+    const auto path = *net::shortest_path(tb.topo, tb.nersc, tb.ornl);
+    std::vector<vc::ReservationId> ids;
+    for (int i = 0; i < 20000; ++i) {
+      const double t0 = rng.uniform(0.0, 1e6);
+      const double t1 = t0 + rng.uniform(60.0, 3600.0);
+      if (!cal.fits(path, t0, t1, mbps(40))) continue;
+      ids.push_back(cal.book(path, t0, t1, mbps(40)));
+      if (ids.size() > 512) {
+        cal.release(ids.back());
+        ids.pop_back();
+      }
+    }
+    for (const auto id : ids) cal.release(id);
+  }
+
+  sim::Simulator sim;
+  net::Network network(sim, tb.topo);
+  gridftp::ServerConfig sc;
+  sc.nic_rate = gbps(10);
+  sc.pool_size = 4;
+  sc.name = "nersc-dtn";
+  gridftp::Server src(sc);
+  sc.name = "anl-dtn";
+  gridftp::Server dst(sc);
+  gridftp::UsageStatsCollector collector;
+  gridftp::TransferEngineConfig cfg;
+  cfg.server_noise_sigma = 0.25;
+  gridftp::TransferEngine engine(network, collector, cfg, Rng(bench::kSeed));
+  gridftp::TransferSpec proto;
+  proto.src = {&src, gridftp::IoMode::kMemory};
+  proto.dst = {&dst, gridftp::IoMode::kMemory};
+  proto.path = tb.path(tb.nersc, tb.anl);
+  proto.rtt = tb.rtt(tb.nersc, tb.anl);
+  proto.streams = 4;
+  proto.remote_host = "anl";
+  for (int i = 0; i < 150; ++i) {
+    gridftp::TransferSpec s = proto;
+    const Seconds at = rng.uniform(0.0, 120.0);
+    s.size = static_cast<Bytes>(rng.uniform(1e8, 4e9));
+    s.stripes = static_cast<int>(rng.uniform_int(1, 4));
+    sim.schedule_at(at, [&engine, s] { engine.submit(s); });
+  }
+  sim.run();
+  benchmark::DoNotOptimize(engine.stats().completed);
+}
+
+int run_prof_gate() {
+#ifdef GRIDVC_PROF_DISABLED
+  std::printf("prof_gate: zones compiled out (GRIDVC_PROFILING=OFF); nothing to gate\n");
+  return 0;
+#else
+  prof_gate_workload();  // warm-up: fault in code paths and testbed data
+  const int reps = 5;
+  double best_off = std::numeric_limits<double>::infinity();
+  double best_on = best_off;
+  for (int r = 0; r < reps; ++r) {
+    obs::Profiler::disable();
+    double start = now_us();
+    prof_gate_workload();
+    best_off = std::min(best_off, now_us() - start);
+
+    obs::Profiler::enable();
+    start = now_us();
+    prof_gate_workload();
+    best_on = std::min(best_on, now_us() - start);
+    obs::Profiler::disable();
+  }
+  (void)obs::Profiler::collect();  // drain the per-thread sample rings
+  const double ratio = best_on / best_off;
+  std::printf("prof_gate: disabled %.1f ms  enabled %.1f ms  ratio %.4f (limit %.2f)\n",
+              best_off / 1e3, best_on / 1e3, ratio, kProfGateLimit);
+  if (ratio > kProfGateLimit) {
+    std::fprintf(stderr, "prof_gate: profiling overhead %.1f%% exceeds %.0f%%\n",
+                 (ratio - 1.0) * 100.0, (kProfGateLimit - 1.0) * 100.0);
+    return 1;
+  }
+  return 0;
+#endif
+}
+
 }  // namespace
 
 // Custom main: --quick caps google-benchmark's sampling time for CI
 // smoke runs, --threads pins the execution pool (BM_SynthThroughput
-// overrides it per-Arg), and --scale [--scale-full] [--scale-out PATH]
-// runs the calendar/max-min scale sweeps instead of google-benchmark;
-// everything else passes through to benchmark.
+// overrides it per-Arg), --scale [--scale-full] [--scale-out PATH]
+// runs the calendar/max-min scale sweeps instead of google-benchmark,
+// --prof-gate runs the profiler overhead check, and --profile-out
+// enables the zone profiler for the whole run and writes a Chrome
+// trace-event JSON profile; everything else passes through to benchmark.
 int main(int argc, char** argv) {
   bool scale = false;
   bool scale_full = false;
+  bool prof_gate = false;
   std::string scale_out = "BENCH_perf_scale.json";
+  std::string profile_out;
   std::vector<char*> passthrough;
   passthrough.reserve(static_cast<std::size_t>(argc) + 1);
   passthrough.push_back(argv[0]);
@@ -541,6 +653,10 @@ int main(int argc, char** argv) {
       scale_full = true;
     } else if (std::strcmp(argv[i], "--scale-out") == 0 && i + 1 < argc) {
       scale_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--prof-gate") == 0) {
+      prof_gate = true;
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       passthrough.push_back(quick_flag);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -550,6 +666,9 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
+  if (prof_gate) return run_prof_gate();
+  gridvc::obs::ProfileScope profile;
+  if (!profile_out.empty()) profile.arm(profile_out);
   if (scale) return run_scale(scale_full, scale_out);
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/profiler.hpp"
+
 namespace gridvc::exec {
 
 namespace {
@@ -81,7 +83,12 @@ ThreadPool::ThreadPool(unsigned threads) {
   impl_ = std::make_unique<Impl>();
   impl_->workers.reserve(threads_ - 1);
   for (unsigned i = 0; i + 1 < threads_; ++i) {
-    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    // Lane i + 1: the parallel_for caller is lane 0. The label feeds the
+    // profiler's deterministic buffer ordering and timeline tids.
+    impl_->workers.emplace_back([this, i] {
+      obs::Profiler::set_thread_lane(i + 1);
+      impl_->worker_loop();
+    });
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::gridftp {
 
@@ -41,11 +42,11 @@ TransferEngine::TransferEngine(net::Network& network, UsageStatsCollector& colle
                                    "Stripe count per submitted transfer");
   id_streams_hist_ = reg.histogram("gridvc_gridftp_streams", {1, 2, 4, 8, 16, 32},
                                    "Parallel TCP streams per submitted transfer");
-  id_start_delay_hist_ = reg.histogram(
-      "gridvc_gridftp_start_delay_seconds", {0.1, 0.5, 1, 5, 15, 60, 300},
+  id_start_delay_hist_ = reg.log_histogram(
+      "gridvc_gridftp_start_delay_seconds",
       "Submit -> first bytes on the wire (slow-start ramp, queueing)");
-  id_duration_hist_ = reg.histogram(
-      "gridvc_gridftp_transfer_seconds", {1, 10, 60, 300, 1800, 7200, 43200},
+  id_duration_hist_ = reg.log_histogram(
+      "gridvc_gridftp_transfer_seconds",
       "Submit -> last byte, retries included");
 }
 
@@ -75,6 +76,7 @@ void TransferEngine::set_waiting_gauge() {
 }
 
 std::uint64_t TransferEngine::submit(const TransferSpec& spec, DoneFn on_done) {
+  GRIDVC_PROF_ZONE("gridftp.engine.submit");
   GRIDVC_REQUIRE(spec.src.server != nullptr && spec.dst.server != nullptr,
                  "transfer endpoints need servers");
   GRIDVC_REQUIRE(!spec.path.empty(), "transfer needs a network path");
@@ -151,6 +153,7 @@ BitsPerSecond TransferEngine::transfer_cap(const Active& t) const {
 }
 
 void TransferEngine::begin_attempt(std::uint64_t id) {
+  GRIDVC_PROF_ZONE("gridftp.engine.begin_attempt");
   Active& t = transfers_.at(id);
   if (!endpoints_online(t)) {
     // A server crashed while our backoff/injection timer ran. Park; no
@@ -222,6 +225,7 @@ void TransferEngine::on_flow_complete(std::uint64_t id, const net::FlowRecord& f
 }
 
 void TransferEngine::attempt_complete(std::uint64_t id) {
+  GRIDVC_PROF_ZONE("gridftp.engine.attempt_complete");
   Active& t = transfers_.at(id);
   // Restart-marker semantics: bytes any stripe delivered survive the
   // attempt, whether it completed, was cut short by the stochastic
@@ -279,6 +283,7 @@ void TransferEngine::schedule_retry(std::uint64_t id) {
 }
 
 void TransferEngine::finish(std::uint64_t id) {
+  GRIDVC_PROF_ZONE("gridftp.engine.finish");
   auto node = transfers_.extract(id);
   Active& t = node.mapped();
   const Seconds now = network_.simulator().now();

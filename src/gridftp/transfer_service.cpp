@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::gridftp {
 
@@ -32,8 +34,8 @@ TransferService::TransferService(sim::Simulator& sim, TransferEngine& engine,
                                "Tasks waiting for an active slot");
   id_active_gauge_ = reg.gauge("gridvc_gridftp_tasks_active",
                                "Tasks currently holding an active slot");
-  id_queue_wait_hist_ = reg.histogram(
-      "gridvc_gridftp_task_queue_wait_seconds", {0.1, 1, 10, 60, 300, 1800, 7200},
+  id_queue_wait_hist_ = reg.log_histogram(
+      "gridvc_gridftp_task_queue_wait_seconds",
       "Task submit -> first transfer start (slot wait)");
 }
 
@@ -320,7 +322,14 @@ std::vector<TaskStatus> TransferService::statuses() const {
 
 std::size_t TransferService::crash_and_recover(const TransferSpec& transfer_template,
                                                TaskDoneFn on_done) {
+  GRIDVC_PROF_ZONE("recovery.service_replay");
   GRIDVC_REQUIRE(config_.journal != nullptr, "crash_and_recover needs a journal");
+  // A crash is exactly the moment the flight recorder exists for:
+  // capture the pre-replay window before this incarnation's events
+  // start overwriting it.
+  if (obs::FlightRecorder::armed()) {
+    obs::FlightRecorder::instance().dump("crash_and_recover");
+  }
   // Crash: every in-memory structure of the old incarnation dies. The
   // epoch bump makes completions of transfers the old process started
   // (the engine keeps running them — they are remote server/network

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::net {
 
@@ -31,6 +32,7 @@ const std::vector<BitsPerSecond>& max_min_allocate(const Topology& topo,
                                                    std::span<const FlowDemandRef> flows,
                                                    const std::vector<char>& link_up,
                                                    AllocWorkspace& ws) {
+  GRIDVC_PROF_ZONE("net.max_min_allocate");
   const std::size_t nflows = flows.size();
   const std::size_t nlinks = topo.link_count();
   GRIDVC_REQUIRE(link_up.empty() || link_up.size() == nlinks,

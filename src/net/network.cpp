@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::net {
 
@@ -241,6 +242,7 @@ void Network::settle() {
 }
 
 void Network::recompute() {
+  GRIDVC_PROF_ZONE("net.recompute");
   const Seconds now = sim_.now();
 
   // Borrow each flow's path rather than copying it: the flow records

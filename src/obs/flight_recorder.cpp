@@ -1,0 +1,232 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace gridvc::obs {
+
+namespace {
+
+struct EventRing {
+  std::mutex m;  // record() vs a dumping thread's snapshot
+  std::uint32_t lane = 0;
+  std::uint64_t created_seq = 0;
+  std::vector<TraceEvent> ring;
+  std::size_t pos = 0;
+  std::uint64_t pushed = 0;
+};
+
+struct RecorderState {
+  std::mutex m;  // registry + arm/dump bookkeeping
+  std::vector<std::shared_ptr<EventRing>> rings;
+  std::uint64_t next_seq = 0;
+  std::string path;
+  std::size_t capacity = 512;
+  std::atomic<std::uint64_t> arm_epoch{0};  // read unlocked in record()
+  std::uint64_t dumps = 0;
+};
+
+RecorderState& state() {
+  static RecorderState s;
+  return s;
+}
+
+thread_local std::shared_ptr<EventRing> t_owner;
+thread_local EventRing* t_ring = nullptr;
+thread_local std::uint64_t t_epoch = 0;
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20) out << ' ';
+    else out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::arm(std::string path, std::size_t per_thread_capacity) {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.m);
+  s.path = std::move(path);
+  s.capacity = std::max<std::size_t>(1, per_thread_capacity);
+  // Existing rings lazily reset on their next record().
+  s.arm_epoch.fetch_add(1, std::memory_order_release);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disarm() {
+  g_armed.store(false, std::memory_order_release);
+}
+
+void FlightRecorder::record(const TraceEvent& event) {
+  EventRing* r = t_ring;
+  RecorderState& s = state();
+  if (!r) {
+    auto ring = std::make_shared<EventRing>();
+    ring->lane = Profiler::thread_lane();
+    std::lock_guard<std::mutex> lk(s.m);
+    ring->created_seq = s.next_seq++;
+    ring->ring.resize(s.capacity);
+    s.rings.push_back(ring);
+    t_owner = ring;
+    t_ring = ring.get();
+    t_epoch = s.arm_epoch.load(std::memory_order_relaxed);
+    r = t_ring;
+  } else if (t_epoch != s.arm_epoch.load(std::memory_order_acquire)) {
+    // Re-armed since this thread last recorded: drop the stale window.
+    std::size_t capacity;
+    std::uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lk(s.m);
+      capacity = s.capacity;
+      epoch = s.arm_epoch.load(std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lk(r->m);
+    r->ring.assign(capacity, TraceEvent{});
+    r->pos = 0;
+    r->pushed = 0;
+    t_epoch = epoch;
+  }
+  std::lock_guard<std::mutex> lk(r->m);
+  r->lane = Profiler::thread_lane();
+  r->ring[r->pos] = event;
+  r->pos = (r->pos + 1) % r->ring.size();
+  ++r->pushed;
+}
+
+void FlightRecorder::dump_to(std::ostream& out, const std::string& reason) {
+  RecorderState& s = state();
+  std::uint64_t dump_index;
+  std::vector<std::shared_ptr<EventRing>> rings;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    dump_index = ++s.dumps;
+    rings = s.rings;
+  }
+  std::sort(rings.begin(), rings.end(),
+            [](const std::shared_ptr<EventRing>& a,
+               const std::shared_ptr<EventRing>& b) {
+              if (a->lane != b->lane) return a->lane < b->lane;
+              return a->created_seq < b->created_seq;
+            });
+
+  out << "{\n\"flightRecorder\": {\n";
+  out << "\"reason\": ";
+  write_escaped(out, reason);
+  out << ",\n\"dumpIndex\": " << dump_index << ",\n";
+
+  // Zone context of the thread that hit the failure.
+  out << "\"thread\": {\"lane\": " << Profiler::thread_lane()
+      << ", \"liveZones\": [";
+  const std::vector<std::string> live = Profiler::live_stack_this_thread();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (i) out << ", ";
+    write_escaped(out, live[i]);
+  }
+  out << "], \"recentZones\": [";
+  const std::vector<ZoneSample> recent = Profiler::recent_zones_this_thread(64);
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    const ZoneSample& z = recent[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\": ";
+    write_escaped(out, Profiler::zone_name(z.zone));
+    out << ", \"start_ns\": " << fixed(z.start_ns, 1)
+        << ", \"dur_ns\": " << fixed(z.dur_ns, 1) << ", \"depth\": " << z.depth
+        << "}";
+  }
+  out << (recent.empty() ? "]" : "\n]") << "},\n";
+
+  out << "\"zoneTotals\": [";
+  const std::vector<ZoneStat> totals = Profiler::totals_this_thread();
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    const ZoneStat& z = totals[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\": ";
+    write_escaped(out, z.name);
+    out << ", \"count\": " << z.count << ", \"total_ticks\": " << z.total_ns
+        << ", \"self_ticks\": " << z.self_ns << "}";
+  }
+  out << (totals.empty() ? "]" : "\n]") << ",\n";
+
+  out << "\"traceEvents\": [";
+  bool first = true;
+  for (const auto& ring : rings) {
+    std::vector<TraceEvent> events;
+    std::uint64_t pushed;
+    std::uint32_t lane;
+    {
+      std::lock_guard<std::mutex> lk(ring->m);
+      lane = ring->lane;
+      pushed = ring->pushed;
+      const std::size_t cap = ring->ring.size();
+      const std::size_t kept =
+          static_cast<std::size_t>(std::min<std::uint64_t>(pushed, cap));
+      const std::size_t begin = pushed > cap ? ring->pos : 0;
+      events.reserve(kept);
+      for (std::size_t i = 0; i < kept; ++i) {
+        events.push_back(ring->ring[(begin + i) % cap]);
+      }
+    }
+    for (const TraceEvent& e : events) {
+      out << (first ? "\n" : ",\n") << "{\"lane\": " << lane << ", \"t\": "
+          << fixed(e.time, 6) << ", \"ev\": ";
+      write_escaped(out, trace_event_name(e.type));
+      out << ", \"id\": " << e.id << ", \"aux\": " << e.aux << ", \"v\": "
+          << fixed(e.value, 6) << ", \"v2\": " << fixed(e.value2, 6) << "}";
+      first = false;
+    }
+    (void)pushed;
+  }
+  out << (first ? "]" : "\n]") << "\n}\n}\n";
+}
+
+bool FlightRecorder::dump(const std::string& reason) {
+  if (!armed()) return false;
+  static std::mutex dump_m;  // serialize concurrent failure dumps
+  std::lock_guard<std::mutex> lk(dump_m);
+  std::string path;
+  {
+    RecorderState& s = state();
+    std::lock_guard<std::mutex> slk(s.m);
+    path = s.path;
+  }
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  dump_to(out, reason);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::uint64_t FlightRecorder::dump_count() const {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.m);
+  return s.dumps;
+}
+
+std::string FlightRecorder::path() const {
+  RecorderState& s = state();
+  std::lock_guard<std::mutex> lk(s.m);
+  return s.path;
+}
+
+}  // namespace gridvc::obs

@@ -1,0 +1,55 @@
+// Crash flight recorder.
+//
+// When armed, every TraceEvent passing through an Observability context
+// is also copied into a bounded per-thread ring, and a dump can be
+// triggered at any failure point (chaos invariant violations,
+// TransferService::crash_and_recover) to capture "what was the system
+// doing": the most recent trace events from every thread, plus the
+// calling thread's live zone stack, recent completed zones, and per-zone
+// totals from the profiler. The dump is written as JSON to the armed
+// path (later dumps overwrite earlier ones, so the file always holds the
+// most recent failure).
+//
+// Recording costs one relaxed atomic load when disarmed. When armed,
+// each event takes an uncontended per-thread mutex so a dumping thread
+// can snapshot other threads' rings without a data race; zone context in
+// the dump is deliberately restricted to the dumping thread's own
+// buffer, which needs no synchronization at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace gridvc::obs {
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Start mirroring trace events into per-thread rings; dumps go to
+  /// `path`. Re-arming clears previously retained events.
+  void arm(std::string path, std::size_t per_thread_capacity = 512);
+  void disarm();
+  static bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+  /// Hot-path hook, called by Observability::emit when armed.
+  void record(const TraceEvent& event);
+
+  /// Write a dump to the armed path. Returns false when disarmed or the
+  /// file cannot be written. Thread-safe; concurrent dumps serialize.
+  bool dump(const std::string& reason);
+  void dump_to(std::ostream& out, const std::string& reason);
+
+  std::uint64_t dump_count() const;
+  std::string path() const;
+
+ private:
+  FlightRecorder() = default;
+  inline static std::atomic<bool> g_armed{false};
+};
+
+}  // namespace gridvc::obs

@@ -1,0 +1,138 @@
+// HDR-style log-bucket histogram.
+//
+// Buckets are derived from the IEEE-754 bit pattern of the observed
+// value: the exponent selects an octave and the top kSubBucketBits
+// mantissa bits split the octave into equal-width sub-buckets. Because
+// positive doubles order the same as their bit patterns, the bucket
+// index is a shift — no search, no per-histogram bound table — and any
+// value in a bucket is within a factor of 2^-kSubBucketBits of the
+// bucket edges, which bounds the relative error of reported quantiles.
+//
+// Storage is a dense count array over the index range actually observed
+// (grown on demand), so a histogram spanning nanoseconds to hours costs
+// a few KB, not the full 2^16-entry index space.
+//
+// Not thread-safe; same single-writer contract as MetricsRegistry.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gridvc::obs {
+
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear buckets per octave, so a
+  /// reported quantile is within 1/32 (~3.1%) of the exact order
+  /// statistic it stands in for.
+  static constexpr unsigned kSubBucketBits = 5;
+
+  void observe(double v) {
+    sum_ += v;
+    ++total_;
+    if (!(v > 0.0)) {  // zero, negative, or NaN: no log bucket exists
+      ++underflow_;
+      return;
+    }
+    const std::uint32_t idx = bucket_index(v);
+    if (counts_.empty()) {
+      base_ = idx;
+      counts_.push_back(0);
+    } else if (idx < base_) {
+      counts_.insert(counts_.begin(), base_ - idx, 0);
+      base_ = idx;
+    } else if (idx >= base_ + counts_.size()) {
+      counts_.resize(idx - base_ + 1, 0);
+    }
+    ++counts_[idx - base_];
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  double sum() const { return sum_; }
+
+  /// Quantile over the positive observations (midpoint of the bucket the
+  /// rank lands in); 0 when nothing positive was observed. Underflow
+  /// observations (v <= 0) are excluded — they carry no magnitude.
+  double quantile(double q) const {
+    const std::uint64_t n = total_ - underflow_;
+    if (n == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) {
+        const std::uint32_t idx = base_ + static_cast<std::uint32_t>(i);
+        const double lo = bucket_lower(idx);
+        const double hi = bucket_upper(idx);
+        return std::isfinite(hi) ? (lo + hi) * 0.5 : lo;
+      }
+    }
+    return bucket_upper(base_ + static_cast<std::uint32_t>(counts_.size()) - 1);
+  }
+
+  void merge(const LogHistogram& other) {
+    sum_ += other.sum_;
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    if (other.counts_.empty()) return;
+    if (counts_.empty()) {
+      base_ = other.base_;
+      counts_ = other.counts_;
+      return;
+    }
+    const std::uint32_t lo = std::min(base_, other.base_);
+    const std::uint32_t hi =
+        std::max(base_ + static_cast<std::uint32_t>(counts_.size()),
+                 other.base_ + static_cast<std::uint32_t>(other.counts_.size()));
+    if (lo < base_) {
+      counts_.insert(counts_.begin(), base_ - lo, 0);
+      base_ = lo;
+    }
+    if (hi > base_ + counts_.size()) counts_.resize(hi - base_, 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[other.base_ - base_ + i] += other.counts_[i];
+    }
+  }
+
+  /// Non-empty buckets, ascending; used by snapshot/export code.
+  struct Bucket {
+    double lower = 0.0;
+    double upper = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets() const {
+    std::vector<Bucket> out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const std::uint32_t idx = base_ + static_cast<std::uint32_t>(i);
+      out.push_back(Bucket{bucket_lower(idx), bucket_upper(idx), counts_[i]});
+    }
+    return out;
+  }
+
+  /// Bit-scan bucket index for a positive double: exponent plus the top
+  /// mantissa bits, monotone in v.
+  static std::uint32_t bucket_index(double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    return static_cast<std::uint32_t>(bits >> (52 - kSubBucketBits));
+  }
+  static double bucket_lower(std::uint32_t idx) {
+    return std::bit_cast<double>(static_cast<std::uint64_t>(idx) << (52 - kSubBucketBits));
+  }
+  static double bucket_upper(std::uint32_t idx) { return bucket_lower(idx + 1); }
+
+ private:
+  std::vector<std::uint64_t> counts_;  // dense over [base_, base_ + size)
+  std::uint32_t base_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace gridvc::obs

@@ -13,6 +13,7 @@ const char* metric_kind_name(MetricKind kind) {
     case MetricKind::kCounter: return "counter";
     case MetricKind::kGauge: return "gauge";
     case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kLogHistogram: return "summary";
   }
   return "unknown";
 }
@@ -39,7 +40,12 @@ MetricId MetricsRegistry::register_metric(const std::string& name, MetricKind ki
     GRIDVC_REQUIRE(meta.kind == kind,
                    "metric '" + name + "' already registered as " +
                        metric_kind_name(meta.kind));
-    return MetricId{meta.slot};
+    if (kind == MetricKind::kHistogram) {
+      GRIDVC_REQUIRE(histograms_[meta.slot].bounds == bounds,
+                     "histogram '" + name +
+                         "' re-registered with conflicting bucket bounds");
+    }
+    return MetricId{meta.slot, meta.kind};
   }
   std::uint32_t slot = 0;
   switch (kind) {
@@ -61,10 +67,14 @@ MetricId MetricsRegistry::register_metric(const std::string& name, MetricKind ki
       histograms_.push_back(std::move(h));
       break;
     }
+    case MetricKind::kLogHistogram:
+      slot = static_cast<std::uint32_t>(log_histograms_.size());
+      log_histograms_.emplace_back();
+      break;
   }
   by_name_.emplace(name, metas_.size());
   metas_.push_back(Meta{name, help, kind, slot});
-  return MetricId{slot};
+  return MetricId{slot, kind};
 }
 
 MetricId MetricsRegistry::counter(const std::string& name, const std::string& help) {
@@ -81,10 +91,15 @@ MetricId MetricsRegistry::histogram(const std::string& name,
   return register_metric(name, MetricKind::kHistogram, help, std::move(bucket_bounds));
 }
 
+MetricId MetricsRegistry::log_histogram(const std::string& name,
+                                        const std::string& help) {
+  return register_metric(name, MetricKind::kLogHistogram, help, {});
+}
+
 MetricId MetricsRegistry::find(const std::string& name, MetricKind kind) const {
   const auto it = by_name_.find(name);
   if (it == by_name_.end() || metas_[it->second].kind != kind) return MetricId{};
-  return MetricId{metas_[it->second].slot};
+  return MetricId{metas_[it->second].slot, kind};
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
@@ -111,6 +126,26 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         e.value = static_cast<double>(h.total);
         break;
       }
+      case MetricKind::kLogHistogram: {
+        const LogHistogram& h = log_histograms_[meta.slot];
+        e.histogram.log_bucket = true;
+        e.histogram.sum = h.sum();
+        e.histogram.total = h.total();
+        e.histogram.p50 = h.quantile(0.50);
+        e.histogram.p95 = h.quantile(0.95);
+        e.histogram.p99 = h.quantile(0.99);
+        // Synthesized bounds over the non-empty buckets; first edge 0
+        // carries the underflow (v <= 0) count.
+        e.histogram.bounds.push_back(0.0);
+        e.histogram.counts.push_back(h.underflow());
+        for (const LogHistogram::Bucket& b : h.buckets()) {
+          e.histogram.bounds.push_back(b.upper);
+          e.histogram.counts.push_back(b.count);
+        }
+        e.histogram.counts.push_back(0);  // +Inf bucket: nothing above
+        e.value = static_cast<double>(h.total());
+        break;
+      }
     }
     snap.entries.push_back(std::move(e));
   }
@@ -126,12 +161,29 @@ std::string fmt(double v) {
   return os.str();
 }
 
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+
+double quantile_field(const MetricsSnapshot::Histogram& h, double q) {
+  if (q == 0.5) return h.p50;
+  if (q == 0.95) return h.p95;
+  return h.p99;
+}
+
 }  // namespace
 
 void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
   for (const auto& e : snapshot.entries) {
     if (!e.help.empty()) out << "# HELP " << e.name << ' ' << e.help << '\n';
     out << "# TYPE " << e.name << ' ' << metric_kind_name(e.kind) << '\n';
+    if (e.kind == MetricKind::kLogHistogram) {
+      for (const double q : kQuantiles) {
+        out << e.name << "{quantile=\"" << fmt(q) << "\"} "
+            << fmt(quantile_field(e.histogram, q)) << '\n';
+      }
+      out << e.name << "_sum " << fmt(e.histogram.sum) << '\n';
+      out << e.name << "_count " << e.histogram.total << '\n';
+      continue;
+    }
     if (e.kind != MetricKind::kHistogram) {
       out << e.name << ' ' << fmt(e.value) << '\n';
       continue;
@@ -151,6 +203,15 @@ void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
 void write_csv(std::ostream& out, const MetricsSnapshot& snapshot) {
   out << "metric,kind,label,value\n";
   for (const auto& e : snapshot.entries) {
+    if (e.kind == MetricKind::kLogHistogram) {
+      for (const double q : kQuantiles) {
+        out << e.name << ",summary,quantile=" << fmt(q) << ','
+            << fmt(quantile_field(e.histogram, q)) << '\n';
+      }
+      out << e.name << ",summary,sum," << fmt(e.histogram.sum) << '\n';
+      out << e.name << ",summary,count," << e.histogram.total << '\n';
+      continue;
+    }
     if (e.kind != MetricKind::kHistogram) {
       out << e.name << ',' << metric_kind_name(e.kind) << ",," << fmt(e.value) << '\n';
       continue;

@@ -4,6 +4,7 @@
 // plumbing.
 #pragma once
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -28,10 +29,12 @@ class Observability {
   void emit(const TraceEvent&) {}
 #else
   bool tracing() const { return sink_ != nullptr; }
-  /// One null-check when no sink is attached — cheap enough to call
-  /// unconditionally from instrumented hot paths.
+  /// One null-check when no sink is attached plus one relaxed load for
+  /// the flight recorder — cheap enough to call unconditionally from
+  /// instrumented hot paths.
   void emit(const TraceEvent& event) {
     if (sink_) sink_->emit(event);
+    if (FlightRecorder::armed()) FlightRecorder::instance().record(event);
   }
 #endif
 

@@ -1,0 +1,477 @@
+#include "obs/profile_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gridvc::obs {
+
+namespace {
+
+// --- JSON writing ----------------------------------------------------------
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Fixed-precision formatting keeps the files deterministic across
+// locales and iostream state.
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+// --- JSON parsing ----------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (i_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("profile JSON, offset " + std::to_string(i_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+                              s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(i_, n, lit) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Json v;
+        v.type = Json::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json{};
+      default: return parse_number();
+    }
+  }
+
+  static Json make_bool(bool b) {
+    Json v;
+    v.type = Json::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Json parse_object() {
+    Json v;
+    v.type = Json::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json parse_array() {
+    Json v;
+    v.type = Json::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++i_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    while (i_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+                              s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+                              s_[i_] == '+' || s_[i_] == '-')) {
+      ++i_;
+    }
+    if (i_ == start) fail("expected a value");
+    Json v;
+    v.type = Json::Type::kNumber;
+    try {
+      v.number = std::stod(s_.substr(start, i_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+double num_field(const Json& obj, const std::string& key) {
+  const Json* v = obj.get(key);
+  if (!v || v->type != Json::Type::kNumber) {
+    throw ParseError("profile JSON: missing numeric field '" + key + "'");
+  }
+  return v->number;
+}
+
+std::string str_field(const Json& obj, const std::string& key) {
+  const Json* v = obj.get(key);
+  if (!v || v->type != Json::Type::kString) {
+    throw ParseError("profile JSON: missing string field '" + key + "'");
+  }
+  return v->str;
+}
+
+}  // namespace
+
+const Json* Json::get(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+void write_chrome_trace(std::ostream& out, const ProfileReport& report) {
+  out << "{\n";
+  out << "\"displayTimeUnit\": \"ms\",\n";
+  out << "\"gridvcMeta\": {\"lanes\": " << report.lanes
+      << ", \"droppedSamples\": " << report.dropped_samples
+      << ", \"spanNs\": " << fixed(report.span_ns, 1)
+      << ", \"zoneCount\": " << report.zones.size()
+      << ", \"sampleCount\": " << report.samples.size() << "},\n";
+  out << "\"gridvcProfile\": [";
+  for (std::size_t i = 0; i < report.zones.size(); ++i) {
+    const ZoneStat& z = report.zones[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\": ";
+    write_escaped(out, z.name);
+    out << ", \"count\": " << z.count << ", \"total_ns\": " << z.total_ns
+        << ", \"self_ns\": " << z.self_ns << ", \"p50_ns\": " << fixed(z.p50_ns, 1)
+        << ", \"p95_ns\": " << fixed(z.p95_ns, 1)
+        << ", \"p99_ns\": " << fixed(z.p99_ns, 1) << "}";
+  }
+  out << "\n],\n";
+  out << "\"traceEvents\": [";
+  bool first = true;
+  for (std::uint32_t lane = 0; lane < report.lanes; ++lane) {
+    out << (first ? "\n" : ",\n")
+        << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << lane
+        << ", \"args\": {\"name\": \"lane " << lane << "\"}}";
+    first = false;
+  }
+  for (const ZoneSample& sample : report.samples) {
+    out << (first ? "\n" : ",\n") << "{\"name\": ";
+    write_escaped(out, sample.zone < report.zone_names.size()
+                           ? report.zone_names[sample.zone]
+                           : "?");
+    // Chrome trace timestamps are microseconds.
+    out << ", \"cat\": \"gridvc\", \"ph\": \"X\", \"ts\": "
+        << fixed(sample.start_ns / 1000.0, 3) << ", \"dur\": "
+        << fixed(sample.dur_ns / 1000.0, 3) << ", \"pid\": 1, \"tid\": "
+        << sample.lane << ", \"args\": {\"depth\": " << sample.depth << "}}";
+    first = false;
+  }
+  out << "\n]\n}\n";
+}
+
+ProfileReport read_profile_json(const std::string& text) {
+  const Json doc = parse_json(text);
+  if (doc.type != Json::Type::kObject) {
+    throw ParseError("profile JSON: document is not an object");
+  }
+  const Json* zones = doc.get("gridvcProfile");
+  if (!zones || zones->type != Json::Type::kArray) {
+    throw ParseError("profile JSON: missing gridvcProfile array");
+  }
+  ProfileReport report;
+  std::map<std::string, ZoneId> ids;
+  for (const Json& z : zones->array) {
+    ZoneStat stat;
+    stat.name = str_field(z, "name");
+    stat.count = static_cast<std::uint64_t>(num_field(z, "count"));
+    stat.total_ns = static_cast<std::uint64_t>(num_field(z, "total_ns"));
+    stat.self_ns = static_cast<std::uint64_t>(num_field(z, "self_ns"));
+    stat.p50_ns = num_field(z, "p50_ns");
+    stat.p95_ns = num_field(z, "p95_ns");
+    stat.p99_ns = num_field(z, "p99_ns");
+    ids.emplace(stat.name, static_cast<ZoneId>(report.zone_names.size()));
+    report.zone_names.push_back(stat.name);
+    report.zones.push_back(std::move(stat));
+  }
+  if (const Json* meta = doc.get("gridvcMeta")) {
+    report.lanes = static_cast<std::uint32_t>(num_field(*meta, "lanes"));
+    report.dropped_samples =
+        static_cast<std::uint64_t>(num_field(*meta, "droppedSamples"));
+    report.span_ns = num_field(*meta, "spanNs");
+  }
+  const Json* events = doc.get("traceEvents");
+  if (!events || events->type != Json::Type::kArray) {
+    throw ParseError("profile JSON: missing traceEvents array");
+  }
+  for (const Json& e : events->array) {
+    const Json* ph = e.get("ph");
+    if (!ph || ph->str != "X") continue;  // metadata events
+    ZoneSample sample;
+    sample.start_ns = num_field(e, "ts") * 1000.0;
+    sample.dur_ns = num_field(e, "dur") * 1000.0;
+    sample.lane = static_cast<std::uint32_t>(num_field(e, "tid"));
+    const std::string name = str_field(e, "name");
+    const auto it = ids.find(name);
+    if (it == ids.end()) {
+      // Sample for a zone absent from the aggregate table: tolerated so
+      // hand-edited traces still load, but it gets a fresh id.
+      ids.emplace(name, static_cast<ZoneId>(report.zone_names.size()));
+      report.zone_names.push_back(name);
+      sample.zone = ids.at(name);
+    } else {
+      sample.zone = it->second;
+    }
+    if (const Json* args = e.get("args")) {
+      if (const Json* depth = args->get("depth")) {
+        sample.depth = static_cast<std::uint32_t>(depth->number);
+      }
+    }
+    report.samples.push_back(sample);
+  }
+  return report;
+}
+
+ProfileReport read_profile_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GRIDVC_REQUIRE(in.good(), "cannot open profile file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_profile_json(buf.str());
+}
+
+void write_hotspots(std::ostream& out, const ProfileReport& report,
+                    std::size_t top_n) {
+  std::vector<const ZoneStat*> order;
+  order.reserve(report.zones.size());
+  for (const ZoneStat& z : report.zones) order.push_back(&z);
+  std::sort(order.begin(), order.end(), [](const ZoneStat* a, const ZoneStat* b) {
+    if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+    return a->name < b->name;
+  });
+  if (order.size() > top_n) order.resize(top_n);
+  out << "  self(ms)  total(ms)      count   p50(us)   p95(us)   p99(us)  zone\n";
+  for (const ZoneStat* z : order) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%10.3f %10.3f %10llu %9.3f %9.3f %9.3f  %s\n",
+                  static_cast<double>(z->self_ns) / 1e6,
+                  static_cast<double>(z->total_ns) / 1e6,
+                  static_cast<unsigned long long>(z->count), z->p50_ns / 1e3,
+                  z->p95_ns / 1e3, z->p99_ns / 1e3, z->name.c_str());
+    out << line;
+  }
+}
+
+void write_profile_digest(std::ostream& out, const ProfileReport& report) {
+  for (const ZoneStat& z : report.zones) {
+    out << z.name << ' ' << z.count << '\n';
+  }
+}
+
+void write_profile_diff(std::ostream& out, const ProfileReport& before,
+                        const ProfileReport& after, std::size_t top_n) {
+  struct Delta {
+    std::string name;
+    double d_self = 0.0, d_total = 0.0;
+    std::int64_t d_count = 0;
+  };
+  std::map<std::string, Delta> by_name;
+  for (const ZoneStat& z : before.zones) {
+    Delta& d = by_name[z.name];
+    d.name = z.name;
+    d.d_self -= static_cast<double>(z.self_ns);
+    d.d_total -= static_cast<double>(z.total_ns);
+    d.d_count -= static_cast<std::int64_t>(z.count);
+  }
+  for (const ZoneStat& z : after.zones) {
+    Delta& d = by_name[z.name];
+    d.name = z.name;
+    d.d_self += static_cast<double>(z.self_ns);
+    d.d_total += static_cast<double>(z.total_ns);
+    d.d_count += static_cast<std::int64_t>(z.count);
+  }
+  std::vector<Delta> order;
+  order.reserve(by_name.size());
+  for (auto& [name, d] : by_name) order.push_back(std::move(d));
+  std::sort(order.begin(), order.end(), [](const Delta& a, const Delta& b) {
+    if (std::fabs(a.d_self) != std::fabs(b.d_self)) {
+      return std::fabs(a.d_self) > std::fabs(b.d_self);
+    }
+    return a.name < b.name;
+  });
+  if (order.size() > top_n) order.resize(top_n);
+  out << " dself(ms)  dtotal(ms)     dcount  zone\n";
+  for (const Delta& d : order) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%+10.3f  %+10.3f %+10lld  %s\n",
+                  d.d_self / 1e6, d.d_total / 1e6,
+                  static_cast<long long>(d.d_count), d.name.c_str());
+    out << line;
+  }
+}
+
+bool dump_profile(const std::string& path, std::ostream& diag) {
+  const ProfileReport report = Profiler::collect();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    diag << "profile: cannot open " << path << " for writing\n";
+    return false;
+  }
+  write_chrome_trace(out, report);
+  out.flush();
+  if (!out) {
+    diag << "profile: write to " << path << " failed\n";
+    return false;
+  }
+  diag << "profile: " << report.zones.size() << " zones, "
+       << report.samples.size() << " samples ("
+       << report.dropped_samples << " dropped) -> " << path << "\n";
+  return true;
+}
+
+bool ProfileScope::finish() {
+  if (path_.empty()) return true;
+  const std::string path = std::move(path_);
+  path_.clear();
+  Profiler::disable();
+  std::ostringstream diag;
+  const bool ok = dump_profile(path, diag);
+  std::fputs(diag.str().c_str(), stderr);
+  return ok;
+}
+
+}  // namespace gridvc::obs

@@ -1,0 +1,84 @@
+// Profile serialization and reporting.
+//
+// write_chrome_trace emits a Chrome trace-event JSON file loadable in
+// Perfetto / chrome://tracing: one "X" (complete) event per retained
+// zone sample, tid = exec lane, plus a "gridvcProfile" top-level key
+// carrying the merged per-zone aggregate table so tooling never has to
+// re-derive it from the sample timeline. read_profile_* parse that file
+// back (a small strict JSON parser; throws ParseError on malformed
+// input), and the write_* helpers render the hotspot table, the
+// thread-count-invariant digest, and a diff between two profiles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace gridvc::obs {
+
+/// Minimal JSON document node (subset: no duplicate-key handling; \u
+/// escapes outside ASCII decode to '?'). Public so flight-recorder
+/// dumps and tests can validate emitted files with the same parser.
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Json* get(const std::string& key) const;
+};
+
+/// Parse a complete JSON document. Throws ParseError on malformed input
+/// or trailing garbage.
+Json parse_json(const std::string& text);
+
+void write_chrome_trace(std::ostream& out, const ProfileReport& report);
+
+ProfileReport read_profile_json(const std::string& text);
+/// Throws ParseError (parse failure) or PreconditionError (unreadable file).
+ProfileReport read_profile_file(const std::string& path);
+
+/// Flat top-N hotspot table, self-time descending (ties by name).
+void write_hotspots(std::ostream& out, const ProfileReport& report,
+                    std::size_t top_n = 20);
+
+/// One "name count" line per zone, sorted by name. Call counts are
+/// thread-count-invariant under the exec determinism contract, so this
+/// digest is byte-identical across --threads for the same workload.
+void write_profile_digest(std::ostream& out, const ProfileReport& report);
+
+/// Signed per-zone deltas (after - before), largest |self| change first.
+void write_profile_diff(std::ostream& out, const ProfileReport& before,
+                        const ProfileReport& after, std::size_t top_n = 20);
+
+/// Collect the live profiler state and write it to `path`; reports a
+/// one-line summary (or the failure) on `diag`. Returns success.
+bool dump_profile(const std::string& path, std::ostream& diag);
+
+/// Tool helper: arm() enables the profiler; the destructor (or an early
+/// finish()) collects and writes the file. Safe to destroy unarmed.
+class ProfileScope {
+ public:
+  ProfileScope() = default;
+  ~ProfileScope() { finish(); }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  void arm(std::string path) {
+    path_ = std::move(path);
+    Profiler::enable();
+  }
+  bool finish();
+
+ private:
+  std::string path_;
+};
+
+}  // namespace gridvc::obs

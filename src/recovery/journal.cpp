@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::recovery {
 
@@ -20,6 +21,7 @@ void Journal::tombstone(const std::string& stream, std::uint64_t key) {
 }
 
 std::vector<JournalRecord> Journal::replay(const std::string& stream) const {
+  GRIDVC_PROF_ZONE("recovery.journal_replay");
   // Redo pass: walk in append order so the last write per key wins, then
   // emit survivors in key order (std::map iteration) for deterministic
   // reconstruction order.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::sim {
 
@@ -191,6 +192,7 @@ void Simulator::run() {
   // every batched entry's, so the next collect_batch picks them up at the
   // same timestamp, after this batch, exactly as FIFO tie-breaking demands.
   while (collect_batch(std::numeric_limits<Seconds>::infinity())) {
+    GRIDVC_PROF_ZONE("sim.dispatch_batch");
     for (const QueuedEvent& e : batch_) {
       // A callback earlier in the batch may have cancelled this entry (or
       // released and re-armed its slot): re-check liveness at dispatch.
@@ -203,6 +205,7 @@ void Simulator::run() {
 void Simulator::run_until(Seconds deadline) {
   GRIDVC_REQUIRE(deadline >= now_, "run_until deadline is in the past");
   while (collect_batch(deadline)) {
+    GRIDVC_PROF_ZONE("sim.dispatch_batch");
     for (const QueuedEvent& e : batch_) {
       if (!entry_live(e)) continue;
       dispatch_entry(e);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::vc {
 
@@ -468,6 +469,7 @@ BandwidthCalendar::Booking& BandwidthCalendar::resolve(ReservationId id, const c
 
 ReservationId BandwidthCalendar::book(const net::Path& path, Seconds start, Seconds end,
                                       BitsPerSecond rate) {
+  GRIDVC_PROF_ZONE("vc.calendar.book");
   GRIDVC_REQUIRE(fits(path, start, end, rate), "booking does not fit the calendar");
   for (net::LinkId l : path) profiles_[l].add(start, end, rate);
   std::uint32_t slot;
@@ -490,6 +492,7 @@ ReservationId BandwidthCalendar::book(const net::Path& path, Seconds start, Seco
 }
 
 void BandwidthCalendar::release(ReservationId id) {
+  GRIDVC_PROF_ZONE("vc.calendar.release");
   Booking& b = resolve(id, "release of unknown booking");
   for (net::LinkId l : b.path) profiles_[l].remove(b.start, b.end, b.rate);
   b.live = false;
@@ -499,6 +502,7 @@ void BandwidthCalendar::release(ReservationId id) {
 }
 
 void BandwidthCalendar::truncate(ReservationId id, Seconds new_end) {
+  GRIDVC_PROF_ZONE("vc.calendar.truncate");
   Booking& b = resolve(id, "truncate of unknown booking");
   GRIDVC_REQUIRE(new_end >= b.start && new_end <= b.end, "truncate outside booking window");
   if (new_end == b.end) return;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::vc {
 
@@ -71,11 +72,11 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
                                "Circuits whose guarantee is currently in force");
   id_bookings_gauge_ = reg.gauge("gridvc_vc_calendar_bookings",
                                  "Live bookings in the bandwidth calendar");
-  id_setup_delay_hist_ = reg.histogram(
-      "gridvc_vc_setup_delay_seconds", {0.05, 0.1, 1, 10, 30, 60, 120, 300},
+  id_setup_delay_hist_ = reg.log_histogram(
+      "gridvc_vc_setup_delay_seconds",
       "Observed activation - requested start (the paper's VC setup delay)");
-  id_resignal_delay_hist_ = reg.histogram(
-      "gridvc_vc_resignal_delay_seconds", {0.1, 1, 5, 15, 60, 300},
+  id_resignal_delay_hist_ = reg.log_histogram(
+      "gridvc_vc_resignal_delay_seconds",
       "Failure -> re-activation for circuits re-homed after a link failure");
 }
 
@@ -142,6 +143,7 @@ Seconds Idc::predicted_activation(Seconds submit_time, Seconds start_time) const
 Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
                                           CircuitFn on_active, CircuitFn on_release,
                                           CircuitFn on_failure) {
+  GRIDVC_PROF_ZONE("vc.idc.admit");
   // Ids are allocated per *request*, so rejected requests and the circuit
   // they would have become share one id in the trace stream.
   const std::uint64_t id = next_id_++;
@@ -568,6 +570,7 @@ void Idc::journal_reservation(std::uint64_t id, const ReservationRequest& reques
 }
 
 std::size_t Idc::recover_from_journal() {
+  GRIDVC_PROF_ZONE("recovery.idc_replay");
   GRIDVC_REQUIRE(config_.journal != nullptr, "recover_from_journal needs a journal");
   GRIDVC_REQUIRE(entries_.empty(), "recover_from_journal on a non-empty IDC");
   const Seconds now = sim_.now();

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/flight_recorder.hpp"
 #include "gridftp/server.hpp"
 #include "gridftp/transfer_engine.hpp"
 #include "gridftp/usage_stats.hpp"
@@ -418,6 +419,12 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
          << " end=" << std::fixed << std::setprecision(6) << result.end_time
          << " violations=" << result.violations.size();
   result.digest = digest.str();
+  if (!result.violations.empty() && obs::FlightRecorder::armed()) {
+    // Post-mortem capture at the moment of failure: the armed path holds
+    // the most recent violating replication's window.
+    obs::FlightRecorder::instance().dump(
+        std::string("chaos-invariant:") + result.violations.front().invariant);
+  }
   return result;
 }
 

@@ -1,0 +1,78 @@
+# Smoke test of the profiling pipeline: simulate with --profile-out,
+# validate and inspect the Chrome trace with gridvc-profile, prove the
+# profile digest is byte-identical across thread counts via gridvc-chaos,
+# and check that a sabotaged chaos run dumps the flight recorder.
+set(profile ${WORKDIR}/profile_smoke.json)
+set(digest1 ${WORKDIR}/profile_smoke_t1.txt)
+set(digest8 ${WORKDIR}/profile_smoke_t8.txt)
+set(flight ${WORKDIR}/profile_smoke_flight.json)
+
+execute_process(
+  COMMAND ${SIMULATE} --scenario nersc-ornl --profile-out ${profile}
+  RESULT_VARIABLE sim_rc)
+if(NOT sim_rc EQUAL 0)
+  message(FATAL_ERROR "gridvc-simulate --profile-out failed: ${sim_rc}")
+endif()
+
+# The profile must parse, and the hotspot table must show the
+# instrumented simulation layers.
+execute_process(
+  COMMAND ${PROFILE} ${profile}
+  OUTPUT_VARIABLE hotspots
+  RESULT_VARIABLE prof_rc)
+if(NOT prof_rc EQUAL 0)
+  message(FATAL_ERROR "gridvc-profile rejected the profile: ${prof_rc}")
+endif()
+foreach(zone "sim.dispatch_batch" "net.recompute" "net.max_min_allocate"
+        "gridftp.engine.submit")
+  string(FIND "${hotspots}" "${zone}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "hotspot table missing zone '${zone}':\n${hotspots}")
+  endif()
+endforeach()
+
+# Zone call counts are thread-count-invariant (exec determinism), so the
+# digest of the same chaos battery at 1 and 8 threads must be identical.
+foreach(threads 1 8)
+  execute_process(
+    COMMAND ${CHAOS} --seed 11 --replications 4 --threads ${threads}
+            --profile-out ${WORKDIR}/profile_smoke_t${threads}.json
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE chaos_rc)
+  if(NOT chaos_rc EQUAL 0)
+    message(FATAL_ERROR "gridvc-chaos --threads ${threads} failed: ${chaos_rc}")
+  endif()
+  execute_process(
+    COMMAND ${PROFILE} --digest ${WORKDIR}/profile_smoke_t${threads}.json
+    OUTPUT_FILE ${WORKDIR}/profile_smoke_t${threads}.txt
+    RESULT_VARIABLE digest_rc)
+  if(NOT digest_rc EQUAL 0)
+    message(FATAL_ERROR "gridvc-profile --digest failed: ${digest_rc}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${digest1} ${digest8}
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR "profile digests differ between --threads 1 and 8")
+endif()
+
+# A sabotaged chaos run must fail AND dump the flight recorder.
+execute_process(
+  COMMAND ${CHAOS} --seed 3 --sabotage --flight-out ${flight}
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE sab_rc)
+if(NOT EXISTS ${flight})
+  message(FATAL_ERROR "sabotaged run did not write the flight dump")
+endif()
+execute_process(
+  COMMAND ${PROFILE} --check-flight ${flight}
+  OUTPUT_VARIABLE flight_out
+  RESULT_VARIABLE flight_rc)
+if(NOT flight_rc EQUAL 0)
+  message(FATAL_ERROR "flight dump failed validation: ${flight_rc}")
+endif()
+string(FIND "${flight_out}" "chaos-invariant" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "flight dump reason is not a chaos invariant:\n${flight_out}")
+endif()

@@ -92,6 +92,56 @@ TEST(MetricsRegistry, HistogramBucketEdges) {
   EXPECT_DOUBLE_EQ(e->histogram.sum, 0.5 + 1.0 + 1.001 + 10.0 + 11.0);
 }
 
+TEST(MetricsRegistry, ReRegistrationWithConflictingBoundsThrows) {
+  MetricsRegistry reg;
+  reg.histogram("edges", {1.0, 10.0});
+  EXPECT_THROW(reg.histogram("edges", {1.0, 5.0}), PreconditionError);
+  EXPECT_THROW(reg.histogram("edges", {1.0}), PreconditionError);
+  // Identical bounds still share the slot.
+  const MetricId again = reg.histogram("edges", {1.0, 10.0});
+  EXPECT_TRUE(again.valid());
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LogHistogramObserveSnapshotAndQuantiles) {
+  MetricsRegistry reg;
+  const MetricId h = reg.log_histogram("lat_log", "log-bucket latency");
+  EXPECT_EQ(h.kind, MetricKind::kLogHistogram);
+  for (int i = 1; i <= 100; ++i) reg.observe(h, static_cast<double>(i));
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* e = snap.find("lat_log");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, MetricKind::kLogHistogram);
+  EXPECT_TRUE(e->histogram.log_bucket);
+  EXPECT_EQ(e->histogram.total, 100u);
+  EXPECT_DOUBLE_EQ(e->histogram.sum, 5050.0);
+  // Log buckets keep quantiles within 1/32 relative error.
+  EXPECT_NEAR(e->histogram.p50, 50.0, 50.0 / 32.0);
+  EXPECT_NEAR(e->histogram.p95, 95.0, 95.0 / 32.0);
+  EXPECT_NEAR(e->histogram.p99, 99.0, 99.0 / 32.0);
+
+  // Re-registration shares the slot; a kind clash still throws.
+  EXPECT_EQ(reg.log_histogram("lat_log").slot, h.slot);
+  EXPECT_THROW(reg.histogram("lat_log", {1.0}), PreconditionError);
+  EXPECT_THROW(reg.counter("lat_log"), PreconditionError);
+}
+
+TEST(MetricsRegistry, LogHistogramExportsAsSummary) {
+  MetricsRegistry reg;
+  const MetricId h = reg.log_histogram("wait", "queue wait");
+  reg.observe(h, 2.0);
+  reg.observe(h, 4.0);
+  std::ostringstream out;
+  write_prometheus(out, reg.snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE wait summary"), std::string::npos);
+  EXPECT_NE(text.find("wait{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("wait{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("wait_sum 6"), std::string::npos);
+  EXPECT_NE(text.find("wait_count 2"), std::string::npos);
+}
+
 TEST(MetricsRegistry, PrometheusCumulativeBuckets) {
   MetricsRegistry reg;
   const MetricId h = reg.histogram("lat", {1.0, 2.0}, "latency");
@@ -119,7 +169,8 @@ TEST(SimSpan, AttributesElapsedSimTime) {
   EXPECT_DOUBLE_EQ(span.end_observe(reg, h, 12.5), 7.5);
   // Ending twice is a no-op.
   EXPECT_DOUBLE_EQ(span.end_observe(reg, h, 99.0), 0.0);
-  const auto* e = reg.snapshot().find("span_seconds");
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* e = snap.find("span_seconds");
   EXPECT_EQ(e->histogram.total, 1u);
   EXPECT_DOUBLE_EQ(e->histogram.sum, 7.5);
 }

@@ -5,6 +5,7 @@
 //                [--policy reject-new|shed-oldest|priority]
 //                [--service-crash-at S] [--sabotage] [--shrink]
 //                [--digest-out FILE] [--trace-out FILE.jsonl]
+//                [--profile-out FILE.json] [--flight-out FILE.json]
 //
 // Each replication generates a fault schedule (link faults, server
 // crashes, IDC outages) from its seed, replays it against the managed
@@ -22,6 +23,11 @@
 // replication that contains a server crash MUST fail — the tool exits
 // nonzero if the harness misses it. Combine with --shrink to ddmin the
 // first failing schedule down to a 1-minimal window set.
+//
+// --profile-out enables the zone profiler and writes a Chrome
+// trace-event JSON profile (inspect via gridvc-profile). --flight-out
+// arms the flight recorder: the first invariant violation (or
+// crash_and_recover) dumps the recent trace-event/zone history to FILE.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +38,8 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/profile_io.hpp"
 #include "obs/trace.hpp"
 #include "recovery/fault_schedule.hpp"
 #include "workload/chaos.hpp"
@@ -47,6 +55,7 @@ int usage(const char* argv0) {
                "          [--policy reject-new|shed-oldest|priority]\n"
                "          [--service-crash-at S] [--sabotage] [--shrink]\n"
                "          [--digest-out FILE] [--trace-out FILE.jsonl]\n"
+               "          [--profile-out FILE.json] [--flight-out FILE.json]\n"
                "  --replications     seeds seed..seed+N-1, run in parallel\n"
                "  --service-crash-at crash + journal-recover the service at S\n"
                "  --sabotage         inject a known invariant violation; the\n"
@@ -54,7 +63,10 @@ int usage(const char* argv0) {
                "  --shrink           ddmin the first failing schedule\n"
                "  --digest-out       one digest line per replication (must be\n"
                "                     identical across --threads)\n"
-               "  --trace-out        JSONL trace (single replication only)\n",
+               "  --trace-out        JSONL trace (single replication only)\n"
+               "  --profile-out      zone profile as Chrome trace-event JSON\n"
+               "  --flight-out       arm the flight recorder; invariant\n"
+               "                     failures dump recent history to FILE\n",
                argv0);
   return 2;
 }
@@ -82,7 +94,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t replications = 1;
   bool shrink = false;
-  std::string digest_path, trace_path;
+  std::string digest_path, trace_path, profile_path, flight_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,11 +130,19 @@ int main(int argc, char** argv) {
       digest_path = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (arg == "--flight-out" && i + 1 < argc) {
+      flight_path = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
   if (replications == 0) return usage(argv[0]);
+
+  obs::ProfileScope profile;
+  if (!profile_path.empty()) profile.arm(profile_path);
+  if (!flight_path.empty()) obs::FlightRecorder::instance().arm(flight_path);
 
   std::ofstream trace_stream;
   std::unique_ptr<obs::JsonlTraceSink> trace_sink;
@@ -188,6 +208,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(outages),
               static_cast<unsigned long long>(shed),
               static_cast<unsigned long long>(recovered));
+
+  if (!flight_path.empty()) {
+    auto& recorder = obs::FlightRecorder::instance();
+    std::fprintf(stderr, "flight recorder: %llu dump(s) -> %s\n",
+                 static_cast<unsigned long long>(recorder.dump_count()),
+                 flight_path.c_str());
+    recorder.disarm();
+  }
 
   if (shrink && first_failing_seed) {
     std::fprintf(stderr, "shrinking the seed-%llu schedule...\n",

@@ -28,6 +28,9 @@
 // --trace-out streams every structured trace event as JSONL
 // (replayable via `gridvc-analyze --trace FILE`, checkable via
 // gridvc-trace-check).
+// --profile-out enables the zone profiler for the run and writes a
+// Chrome trace-event JSON profile (Perfetto-loadable; inspect/diff via
+// gridvc-profile).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +44,7 @@
 #include "exec/thread_pool.hpp"
 #include "gridftp/transfer_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile_io.hpp"
 #include "obs/trace.hpp"
 #include "workload/scenarios.hpp"
 
@@ -57,6 +61,7 @@ int usage(const char* argv0) {
                "          [--server-mttr S] [--idc-outage S] [--idc-mttr S]\n"
                "          [--queue-limit N] [--log FILE] [--snmp FILE]\n"
                "          [--metrics-out FILE] [--trace-out FILE.jsonl]\n"
+               "          [--profile-out FILE.json]\n"
                "  --days         scenario horizon in days (nersc-ornl, anl-nersc)\n"
                "  --tasks        task count (managed-vc)\n"
                "  --transfers    transfer count (faulty-wan)\n"
@@ -71,7 +76,8 @@ int usage(const char* argv0) {
                "  --idc-mttr     mean seconds until the control plane recovers\n"
                "  --queue-limit  bound the managed-vc task queue (0 = unbounded)\n"
                "  --metrics-out  Prometheus text snapshot (CSV when FILE ends .csv)\n"
-               "  --trace-out    structured trace events as JSONL\n",
+               "  --trace-out    structured trace events as JSONL\n"
+               "  --profile-out  zone profile as Chrome trace-event JSON\n",
                argv0);
   return 2;
 }
@@ -124,7 +130,7 @@ struct TraceOut {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string scenario, log_path, snmp_path, metrics_path, trace_path;
+  std::string scenario, log_path, snmp_path, metrics_path, trace_path, profile_path;
   std::uint64_t seed = 1;
   std::size_t days = 0;       // 0 = scenario default
   std::size_t tasks = 0;      // 0 = scenario default
@@ -174,6 +180,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      profile_path = argv[++i];
     } else {
       return usage(argv[0]);
     }
@@ -181,6 +189,10 @@ int main(int argc, char** argv) {
 
   TraceOut trace;
   if (!TraceOut::open(trace_path, trace)) return 1;
+
+  // Written when main returns, whichever scenario branch we take.
+  obs::ProfileScope profile;
+  if (!profile_path.empty()) profile.arm(profile_path);
 
   if (scenario == "nersc-ornl") {
     std::fprintf(stderr, "running the NERSC-ORNL 32GB test scenario (seed %llu)...\n",
