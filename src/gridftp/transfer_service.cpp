@@ -1,6 +1,7 @@
 #include "gridftp/transfer_service.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <sstream>
 
@@ -216,12 +217,17 @@ void TransferService::pump(std::uint64_t task_id) {
     ++task.in_flight;
     // The epoch guard drops completions of transfers a *dead* service
     // incarnation started: after crash_and_recover the engine still
-    // finishes them, but they belong to nobody.
+    // finishes them, but they belong to nobody. The id box closes the
+    // submit-returns-id / callback-needs-id cycle.
     const std::uint64_t epoch = epoch_;
-    engine_.submit(spec, [this, task_id, epoch](const TransferRecord& record) {
-      if (epoch != epoch_) return;
-      on_transfer_done(task_id, record);
-    });
+    const auto tid_box = std::make_shared<std::uint64_t>(0);
+    const std::uint64_t tid =
+        engine_.submit(spec, [this, task_id, epoch, tid_box](const TransferRecord& record) {
+          if (epoch != epoch_) return;
+          on_transfer_done(task_id, *tid_box, record);
+        });
+    *tid_box = tid;
+    task.live_transfers.push_back(tid);
   }
   if (task.in_flight == 0) {
     finish_task(task, task.shed        ? TaskState::kShed
@@ -230,10 +236,14 @@ void TransferService::pump(std::uint64_t task_id) {
   }
 }
 
-void TransferService::on_transfer_done(std::uint64_t task_id, const TransferRecord& record) {
+void TransferService::on_transfer_done(std::uint64_t task_id, std::uint64_t transfer_id,
+                                       const TransferRecord& record) {
   Task& task = tasks_.at(task_id);
   GRIDVC_REQUIRE(task.in_flight > 0, "task in-flight underflow");
   --task.in_flight;
+  const auto live = std::find(task.live_transfers.begin(), task.live_transfers.end(),
+                              transfer_id);
+  if (live != task.live_transfers.end()) task.live_transfers.erase(live);
   if (record.failed) {
     ++task.status.files_failed;
   } else {
@@ -305,6 +315,18 @@ bool TransferService::cancel(std::uint64_t task_id) {
       return false;
   }
   return false;
+}
+
+void TransferService::set_task_guarantee(std::uint64_t task_id, BitsPerSecond guarantee) {
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+  task.transfer_template.guarantee = guarantee;
+  // Unknown/finished ids are ignored by the engine, so a transfer that
+  // completed between our bookkeeping and this call is harmless.
+  for (const std::uint64_t tid : task.live_transfers) {
+    engine_.set_guarantee(tid, guarantee);
+  }
 }
 
 const TaskStatus& TransferService::status(std::uint64_t task_id) const {

@@ -137,6 +137,15 @@ class TransferService {
   /// any effect.
   bool cancel(std::uint64_t task_id);
 
+  /// Update the rate guarantee attached to a task's transfers: files not
+  /// yet started inherit it through the task's transfer template, and
+  /// transfers already in flight are re-pinned via
+  /// TransferEngine::set_guarantee. This is how a shaped (malleable)
+  /// circuit's stepwise profile is driven into the data plane — callers
+  /// invoke it at each profile step boundary. Unknown ids are ignored (a
+  /// profile step may outlive its task).
+  void set_task_guarantee(std::uint64_t task_id, BitsPerSecond guarantee);
+
   /// Current status snapshot. Throws NotFoundError for unknown ids.
   const TaskStatus& status(std::uint64_t task_id) const;
 
@@ -162,6 +171,10 @@ class TransferService {
     Seconds deadline = 0.0;  ///< from SubmitOptions; 0 = none
     std::size_t next_file = 0;
     std::size_t in_flight = 0;
+    /// Engine ids of this task's in-flight transfers, so a guarantee
+    /// change (circuit activation, shaped-profile step) reaches work
+    /// already submitted.
+    std::vector<std::uint64_t> live_transfers;
     bool cancelled = false;
     bool shed = false;  ///< deadline fired while active; terminal state kShed
     sim::Simulator::Counters counters_at_start;
@@ -179,7 +192,8 @@ class TransferService {
 
   void maybe_start_next();
   void pump(std::uint64_t task_id);
-  void on_transfer_done(std::uint64_t task_id, const TransferRecord& record);
+  void on_transfer_done(std::uint64_t task_id, std::uint64_t transfer_id,
+                        const TransferRecord& record);
   void finish_task(Task& task, TaskState state);
   void enforce_queue_limit(std::uint64_t incoming_id);
   /// Terminate a task that never held an active slot (queued or just

@@ -436,6 +436,31 @@ BitsPerSecond BandwidthProfile::at(Seconds t) const {
   return static_cast<double>(std::max<RateKbps>(level_at(t), 0)) * 1000.0;
 }
 
+void BandwidthProfile::for_each_delta(
+    Seconds start, Seconds end, const std::function<void(Seconds, RateKbps)>& fn) const {
+  if (root_ == kNil || start >= end) return;
+  // Subtrees whose max key falls before the window are skipped whole;
+  // the walk only descends into children that can hold a key in range,
+  // so a narrow window over a large tree stays O(log n + hits).
+  const auto walk = [&](const auto& self, std::uint32_t node, bool leaf) -> void {
+    if (leaf) {
+      const Leaf& L = leaves_[node];
+      for (int k = 0; k < L.n; ++k) {
+        if (L.key[k] >= end) break;
+        if (L.key[k] >= start) fn(L.key[k], L.delta[k]);
+      }
+      return;
+    }
+    const Inner& nd = inners_[node];
+    for (int k = 0; k < nd.n; ++k) {
+      if (nd.ent[k].max_key < start) continue;
+      self(self, nd.ent[k].child, nd.child_leaf);
+      if (nd.ent[k].max_key >= end) break;
+    }
+  };
+  walk(walk, root_, root_leaf_);
+}
+
 BandwidthCalendar::BandwidthCalendar(const net::Topology& topo, double reservable_fraction)
     : topo_(topo), reservable_fraction_(reservable_fraction), profiles_(topo.link_count()) {
   GRIDVC_REQUIRE(reservable_fraction > 0.0 && reservable_fraction <= 1.0,
@@ -454,6 +479,32 @@ bool BandwidthCalendar::fits(const net::Path& path, Seconds start, Seconds end,
   GRIDVC_REQUIRE(!path.empty(), "fits() of empty path");
   for (net::LinkId l : path) {
     if (available(l, start, end) + kRateEps < rate) return false;
+  }
+  return true;
+}
+
+namespace {
+// Shared precondition of fits_profile/book_profile: non-empty, each
+// segment a valid window with positive rate, time-ascending without
+// overlap (touching segments are fine).
+void validate_profile(const std::vector<RateSegment>& profile) {
+  GRIDVC_REQUIRE(!profile.empty(), "shaped booking needs at least one segment");
+  Seconds prev_end = kNegInf;
+  for (const RateSegment& s : profile) {
+    GRIDVC_REQUIRE(s.start < s.end, "shaped segment window inverted");
+    GRIDVC_REQUIRE(s.rate > 0.0, "shaped segment rate must be positive");
+    GRIDVC_REQUIRE(s.start >= prev_end, "shaped segments must be time-ascending");
+    prev_end = s.end;
+  }
+}
+}  // namespace
+
+bool BandwidthCalendar::fits_profile(const net::Path& path,
+                                     const std::vector<RateSegment>& profile) const {
+  GRIDVC_REQUIRE(!path.empty(), "fits_profile() of empty path");
+  validate_profile(profile);
+  for (const RateSegment& s : profile) {
+    if (!fits(path, s.start, s.end, s.rate)) return false;
   }
   return true;
 }
@@ -485,6 +536,34 @@ ReservationId BandwidthCalendar::book(const net::Path& path, Seconds start, Seco
   b.start = start;
   b.end = end;
   b.rate = rate;
+  b.segments.clear();
+  b.live = true;
+  ++active_;
+  return (static_cast<ReservationId>(b.generation) << 32) |
+         static_cast<ReservationId>(slot + 1);
+}
+
+ReservationId BandwidthCalendar::book_profile(const net::Path& path,
+                                              std::vector<RateSegment> profile) {
+  GRIDVC_PROF_ZONE("vc.calendar.book_profile");
+  GRIDVC_REQUIRE(fits_profile(path, profile), "shaped booking does not fit the calendar");
+  for (net::LinkId l : path) {
+    for (const RateSegment& s : profile) profiles_[l].add(s.start, s.end, s.rate);
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    bookings_.emplace_back();
+    slot = static_cast<std::uint32_t>(bookings_.size() - 1);
+  }
+  Booking& b = bookings_[slot];
+  b.path.assign(path.begin(), path.end());
+  b.start = profile.front().start;
+  b.end = profile.back().end;
+  b.rate = 0.0;
+  b.segments.assign(profile.begin(), profile.end());  // reuses capacity
   b.live = true;
   ++active_;
   return (static_cast<ReservationId>(b.generation) << 32) |
@@ -494,7 +573,14 @@ ReservationId BandwidthCalendar::book(const net::Path& path, Seconds start, Seco
 void BandwidthCalendar::release(ReservationId id) {
   GRIDVC_PROF_ZONE("vc.calendar.release");
   Booking& b = resolve(id, "release of unknown booking");
-  for (net::LinkId l : b.path) profiles_[l].remove(b.start, b.end, b.rate);
+  if (b.segments.empty()) {
+    for (net::LinkId l : b.path) profiles_[l].remove(b.start, b.end, b.rate);
+  } else {
+    for (net::LinkId l : b.path) {
+      for (const RateSegment& s : b.segments) profiles_[l].remove(s.start, s.end, s.rate);
+    }
+    b.segments.clear();
+  }
   b.live = false;
   ++b.generation;  // stale ids (including this one) now fail resolve()
   free_slots_.push_back(static_cast<std::uint32_t>((id & 0xffffffffull) - 1));
@@ -504,14 +590,84 @@ void BandwidthCalendar::release(ReservationId id) {
 void BandwidthCalendar::truncate(ReservationId id, Seconds new_end) {
   GRIDVC_PROF_ZONE("vc.calendar.truncate");
   Booking& b = resolve(id, "truncate of unknown booking");
-  GRIDVC_REQUIRE(new_end >= b.start && new_end <= b.end, "truncate outside booking window");
+  GRIDVC_REQUIRE(new_end <= b.end, "truncate cannot extend a booking");
   if (new_end == b.end) return;
-  if (new_end == b.start) {
+  if (new_end <= b.start) {
+    // Nothing of the window survives: a full release, so no residual
+    // deltas remain, the slot is recycled, and the id goes stale.
     release(id);
     return;
   }
-  for (net::LinkId l : b.path) profiles_[l].shift_end(b.end, new_end, b.rate);
-  b.end = new_end;
+  if (b.segments.empty()) {
+    for (net::LinkId l : b.path) profiles_[l].shift_end(b.end, new_end, b.rate);
+    b.end = new_end;
+    return;
+  }
+  // Shaped booking: drop segments past the cut, clip the straddler. The
+  // first segment starts at b.start < new_end, so at least one survives.
+  while (b.segments.back().start >= new_end) {
+    const RateSegment s = b.segments.back();
+    for (net::LinkId l : b.path) profiles_[l].remove(s.start, s.end, s.rate);
+    b.segments.pop_back();
+  }
+  if (b.segments.back().end > new_end) {
+    RateSegment& s = b.segments.back();
+    for (net::LinkId l : b.path) profiles_[l].shift_end(s.end, new_end, s.rate);
+    s.end = new_end;
+  }
+  b.end = b.segments.back().end;  // may undershoot new_end across a gap
+}
+
+std::vector<RateSegment> BandwidthCalendar::headroom_profile(const net::Path& path,
+                                                             Seconds start,
+                                                             Seconds end) const {
+  GRIDVC_PROF_ZONE("vc.calendar.headroom");
+  GRIDVC_REQUIRE(!path.empty(), "headroom_profile() of empty path");
+  GRIDVC_REQUIRE(start < end, "headroom window inverted");
+  // Cut the window at every change point of any link, then sample each
+  // piece once per link: inside a piece no profile changes, so at() at
+  // the piece start is the level throughout.
+  std::vector<Seconds> cuts;
+  cuts.push_back(start);
+  for (net::LinkId l : path) {
+    profiles_[l].for_each_delta(start, end, [&](Seconds t, RateKbps) {
+      if (t > start) cuts.push_back(t);
+    });
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  cuts.push_back(end);
+
+  std::vector<RateSegment> out;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    BitsPerSecond avail = std::numeric_limits<BitsPerSecond>::infinity();
+    for (net::LinkId l : path) {
+      const BitsPerSecond reservable = topo_.link(l).capacity * reservable_fraction_;
+      avail = std::min(avail, std::max(0.0, reservable - profiles_[l].at(cuts[i])));
+    }
+    if (!out.empty() && out.back().rate == avail) {
+      out.back().end = cuts[i + 1];  // merge equal-rate neighbors
+    } else {
+      out.push_back({cuts[i], cuts[i + 1], avail});
+    }
+  }
+  return out;
+}
+
+const std::vector<RateSegment>& BandwidthCalendar::booking_segments(ReservationId id) const {
+  return const_cast<BandwidthCalendar*>(this)
+      ->resolve(id, "booking_segments of unknown booking")
+      .segments;
+}
+
+std::vector<std::pair<Seconds, RateKbps>> BandwidthCalendar::link_deltas(
+    net::LinkId link) const {
+  GRIDVC_REQUIRE(link < profiles_.size(), "link id out of range");
+  std::vector<std::pair<Seconds, RateKbps>> out;
+  constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+  profiles_[link].for_each_delta(kNegInf, kInf,
+                                 [&](Seconds t, RateKbps d) { out.emplace_back(t, d); });
+  return out;
 }
 
 }  // namespace gridvc::vc

@@ -12,12 +12,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/hugepage_alloc.hpp"
 #include "common/units.hpp"
 #include "net/topology.hpp"
+#include "vc/reservation.hpp"
 
 namespace gridvc::vc {
 
@@ -74,6 +77,13 @@ class BandwidthProfile {
 
   /// Reserved rate at instant `t`.
   BitsPerSecond at(Seconds t) const;
+
+  /// Visit every change point with key in [start, end), in time order.
+  /// The shaping pass uses this to discretize a window at the points
+  /// where headroom can change; tests use it to compare calendar state
+  /// exactly (the delta sequence IS the profile, bit for bit).
+  void for_each_delta(Seconds start, Seconds end,
+                      const std::function<void(Seconds, RateKbps)>& fn) const;
 
   /// True when nothing is reserved at any time.
   bool empty() const { return entry_count_ == 0; }
@@ -188,10 +198,21 @@ class BandwidthCalendar {
   /// True iff `rate` fits on every link of `path` over the whole window.
   bool fits(const net::Path& path, Seconds start, Seconds end, BitsPerSecond rate) const;
 
+  /// True iff every segment of `profile` fits on every link of `path`.
+  /// Segments must be valid (start < end, rate > 0) and time-ascending
+  /// without overlap, as book_profile requires.
+  bool fits_profile(const net::Path& path, const std::vector<RateSegment>& profile) const;
+
   /// Book `rate` on every link of `path` over [start, end). Returns a
   /// booking id used for release. Requires fits(...) — callers are
   /// expected to check first; booking a non-fitting request throws.
   ReservationId book(const net::Path& path, Seconds start, Seconds end, BitsPerSecond rate);
+
+  /// Book a shaped stepwise profile on every link of `path`: one slab
+  /// entry, N profile deltas. Requires fits_profile(...); segments must
+  /// be time-ascending and non-overlapping with start < end and
+  /// rate > 0. Released/truncated through the same id as flat bookings.
+  ReservationId book_profile(const net::Path& path, std::vector<RateSegment> profile);
 
   /// Release a booking in full. Not idempotent: releasing an unknown or
   /// already-released id throws, so double releases surface as bugs
@@ -199,10 +220,30 @@ class BandwidthCalendar {
   void release(ReservationId id);
 
   /// Truncate a booking's end time (early circuit teardown releases the
-  /// tail of the window for other users). `new_end` must lie in
-  /// [start, end]. A single end-shift per link — the start marker is
-  /// untouched.
+  /// tail of the window for other users). Requires new_end <= end. A
+  /// new_end at or before the booking's start is a full release — no
+  /// residual deltas survive, the slab slot is recycled, and the id goes
+  /// stale (generation bumped) exactly as release() would leave it.
+  /// Otherwise a single end-shift per link for flat bookings — the start
+  /// marker is untouched; shaped bookings drop/clip their tail segments.
   void truncate(ReservationId id, Seconds new_end);
+
+  /// Stepwise headroom over [start, end) on `path`: at each instant the
+  /// minimum across links of (reservable capacity - reserved rate),
+  /// broken at every change point of any link's profile and with equal
+  /// adjacent pieces merged. This is the input the malleable shaper
+  /// packs volume into.
+  std::vector<RateSegment> headroom_profile(const net::Path& path, Seconds start,
+                                            Seconds end) const;
+
+  /// The shaped segments of a booking (empty for flat bookings).
+  const std::vector<RateSegment>& booking_segments(ReservationId id) const;
+
+  /// Full delta sequence (time, kbit/s change) of one link's profile.
+  /// Deterministic and exact — two calendars with equal link_deltas on
+  /// every link admit exactly the same futures. Tests use this to prove
+  /// a rejected admission reinstated prior state byte for byte.
+  std::vector<std::pair<Seconds, RateKbps>> link_deltas(net::LinkId link) const;
 
   std::size_t active_bookings() const { return active_; }
 
@@ -215,6 +256,11 @@ class BandwidthCalendar {
     net::Path path;
     Seconds start = 0.0, end = 0.0;
     BitsPerSecond rate = 0.0;
+    /// Shaped bookings carry their stepwise profile here (empty = flat).
+    /// start/end span the whole profile and rate is 0; release/truncate
+    /// walk the segments instead of the flat block. The vector keeps its
+    /// capacity across slot reuse, like path.
+    std::vector<RateSegment> segments;
     std::uint32_t generation = 0;
     bool live = false;
   };

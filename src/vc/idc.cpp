@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -30,10 +31,7 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
       config_(config),
       calendar_(topo, config.reservable_fraction),
       user_policy_(std::move(policy)),
-      paths_(topo, calendar_, [this](net::LinkId l) {
-        if (failed_links_.contains(l)) return false;
-        return !user_policy_ || user_policy_(l);
-      }),
+      paths_(topo, calendar_, [this](net::LinkId l) { return link_usable(l); }),
       breaker_(config.breaker) {
   GRIDVC_REQUIRE(config_.terminal_capacity >= 1, "terminal capacity must be >= 1");
   GRIDVC_REQUIRE(config_.batch_interval > 0.0, "batch interval must be positive");
@@ -64,6 +62,12 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
   id_cancelled_ = reg.counter("gridvc_vc_cancelled", "Reservations cancelled before activation");
   id_repathed_ = reg.counter("gridvc_vc_repathed",
                              "Circuits re-homed around a failed link");
+  id_shaped_ = reg.counter("gridvc_vc_shaped",
+                           "Malleable reservations admitted via profile shaping");
+  id_defragmented_ = reg.counter(
+      "gridvc_vc_defragmented", "Shaped admissions that reshaped existing bookings");
+  id_rerouted_ = reg.counter("gridvc_vc_rerouted",
+                             "Shaped admissions placed off the primary route");
   id_failed_ = reg.counter("gridvc_vc_failed",
                            "Active circuits that lost a link on their path");
   id_resignaled_ = reg.counter("gridvc_vc_resignaled",
@@ -78,6 +82,15 @@ Idc::Idc(sim::Simulator& sim, const net::Topology& topo, IdcConfig config, LinkP
   id_resignal_delay_hist_ = reg.log_histogram(
       "gridvc_vc_resignal_delay_seconds",
       "Failure -> re-activation for circuits re-homed after a link failure");
+}
+
+bool Idc::link_usable(net::LinkId link) const {
+  if (failed_links_.contains(link)) return false;
+  return !user_policy_ || user_policy_(link);
+}
+
+Seconds Idc::booked_end(const Circuit& c) {
+  return c.profile.empty() ? c.request.end_time : c.profile.back().end;
 }
 
 void Idc::count_rejection(const ReservationRequest& request, RejectReason reason) {
@@ -175,6 +188,12 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
       request.src == request.dst) {
     return reject(RejectReason::kInvalidRequest);
   }
+  if (request.malleable && request.max_bandwidth > 0.0 &&
+      request.max_bandwidth < request.bandwidth) {
+    // A step cap below the preferred rate could not carry even the flat
+    // shape the request nominally asks for.
+    return reject(RejectReason::kInvalidRequest);
+  }
 
   const Seconds activation = predicted_activation(sim_.now(), request.start_time);
   if (activation >= request.end_time) {
@@ -182,8 +201,51 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
     return reject(RejectReason::kInvalidRequest);
   }
 
-  const auto path = paths_.compute(request.src, request.dst, request.bandwidth,
-                                   activation, request.end_time);
+  auto path = paths_.compute(request.src, request.dst, request.bandwidth,
+                             activation, request.end_time);
+  std::vector<RateSegment> profile;  // stays empty for flat admissions
+  bool defragmented = false;
+  bool rerouted = false;
+  if (!path && request.malleable) {
+    // Flat admission failed: shape the volume into the primary route's
+    // headroom, defragment it when that fails, and only then reroute.
+    // The primary shaping route is the plain policy-filtered shortest
+    // path — a link with no *flat* headroom over the whole window can
+    // still carry the volume in its slack slices.
+    const net::LinkFilter usable = [this](net::LinkId l) { return link_usable(l); };
+    const auto try_shape =
+        [&](const net::Path& p) -> std::optional<std::vector<RateSegment>> {
+      auto shaped = shape_request(p, request, activation);
+      if (!shaped) {
+        shaped = shape_with_defrag(p, request, activation);
+        if (shaped) defragmented = true;
+      }
+      return shaped;
+    };
+    const auto primary = net::shortest_path(topo_, request.src, request.dst, usable);
+    if (primary) {
+      auto shaped = try_shape(*primary);
+      if (shaped) {
+        path = primary;
+      } else {
+        // Reroute-on-rejection: ask path computation for a detour with at
+        // least half the preferred rate of flat headroom — a deliberately
+        // weaker probe than the admission that just failed — and shape
+        // into it before giving up.
+        const auto detour = paths_.compute(request.src, request.dst,
+                                           request.bandwidth * 0.5, activation,
+                                           request.end_time);
+        if (detour && *detour != *primary) {
+          shaped = try_shape(*detour);
+          if (shaped) {
+            path = detour;
+            rerouted = true;
+          }
+        }
+      }
+      if (shaped) profile = std::move(*shaped);
+    }
+  }
   if (!path) {
     // Distinguish "no connectivity at all" from "connected but full".
     const bool any_route = net::shortest_path(topo_, request.src, request.dst).has_value();
@@ -197,18 +259,38 @@ Idc::SubmitResult Idc::create_reservation(const ReservationRequest& request,
   entry.circuit.request = request;
   entry.circuit.path = *path;
   entry.circuit.state = CircuitState::kScheduled;
-  entry.booking = calendar_.book(*path, activation, request.end_time, request.bandwidth);
+  entry.circuit.profile = profile;
+  entry.activation = activation;
+  if (profile.empty()) {
+    entry.booking = calendar_.book(*path, activation, request.end_time, request.bandwidth);
+  } else {
+    entry.booking = calendar_.book_profile(*path, profile);
+    ++stats_.shaped;
+    obs.registry().add(id_shaped_);
+    if (defragmented) {
+      ++stats_.defragmented;
+      obs.registry().add(id_defragmented_);
+    }
+    if (rerouted) {
+      ++stats_.rerouted;
+      obs.registry().add(id_rerouted_);
+    }
+  }
   entry.on_active = std::move(on_active);
   entry.on_release = std::move(on_release);
   entry.on_failure = std::move(on_failure);
   entry.circuit.provision_started = sim_.now();
-  entry.activate_event = sim_.schedule_at(activation, [this, id] { activate(id); });
+  const Seconds activate_at = profile.empty() ? activation : profile.front().start;
+  entry.activate_event = sim_.schedule_at(activate_at, [this, id] { activate(id); });
   entries_.emplace(id, std::move(entry));
   ++stats_.accepted;
-  journal_reservation(id, request, activation);
+  journal_reservation(id, request, activation, profile);
   obs.registry().add(id_accepted_);
   sync_calendar_gauge();
-  obs.emit({sim_.now(), obs::TraceEventType::kVcGranted, id, 0,
+  // aux bit 0: shaped; bit 1: needed defrag; bit 2: placed off-route.
+  const std::uint64_t aux = (profile.empty() ? 0u : 1u) | (defragmented ? 2u : 0u) |
+                            (rerouted ? 4u : 0u);
+  obs.emit({sim_.now(), obs::TraceEventType::kVcGranted, id, aux,
             activation - request.start_time, request.bandwidth});
   result.circuit_id = id;
   return result;
@@ -236,7 +318,7 @@ void Idc::activate(std::uint64_t id) {
   entry.circuit.state = CircuitState::kActive;
   entry.circuit.active_at = sim_.now();
   entry.release_event =
-      sim_.schedule_at(entry.circuit.request.end_time, [this, id] { release(id); });
+      sim_.schedule_at(booked_end(entry.circuit), [this, id] { release(id); });
   ++active_circuits_;
   obs::Observability& obs = sim_.obs();
   obs.registry().observe(id_setup_delay_hist_, entry.circuit.setup_delay());
@@ -335,24 +417,57 @@ bool Idc::modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwid
   GRIDVC_REQUIRE(entry.circuit.state == CircuitState::kScheduled,
                  "only scheduled reservations can be modified");
   GRIDVC_REQUIRE(new_bandwidth > 0.0, "modified bandwidth must be positive");
-  const Seconds activation =
-      predicted_activation(entry.circuit.provision_started, entry.circuit.request.start_time);
+  const Seconds activation = entry.activation;
   if (new_end_time <= activation) return false;
 
   // Re-admit with the old booking out of the way so shrinking always
   // succeeds and growing is checked against true residual capacity.
   calendar_.release(entry.booking);
-  if (!calendar_.fits(entry.circuit.path, activation, new_end_time, new_bandwidth)) {
-    entry.booking = calendar_.book(entry.circuit.path, activation,
-                                   entry.circuit.request.end_time,
-                                   entry.circuit.request.bandwidth);
+  const auto reinstate = [&] {
+    if (entry.circuit.profile.empty()) {
+      entry.booking = calendar_.book(entry.circuit.path, activation,
+                                     entry.circuit.request.end_time,
+                                     entry.circuit.request.bandwidth);
+    } else {
+      entry.booking = calendar_.book_profile(entry.circuit.path, entry.circuit.profile);
+    }
+  };
+  const Seconds old_activate_at = entry.circuit.profile.empty()
+                                      ? activation
+                                      : entry.circuit.profile.front().start;
+  std::vector<RateSegment> new_profile;  // empty = the change fits flat
+  if (calendar_.fits(entry.circuit.path, activation, new_end_time, new_bandwidth)) {
+    entry.booking =
+        calendar_.book(entry.circuit.path, activation, new_end_time, new_bandwidth);
+  } else if (entry.circuit.request.malleable &&
+             (entry.circuit.request.max_bandwidth <= 0.0 ||
+              entry.circuit.request.max_bandwidth >= new_bandwidth)) {
+    ReservationRequest changed = entry.circuit.request;
+    changed.bandwidth = new_bandwidth;
+    changed.end_time = new_end_time;
+    const auto shaped = shape_request(entry.circuit.path, changed, activation);
+    if (!shaped) {
+      reinstate();
+      return false;
+    }
+    new_profile = *shaped;
+    entry.booking = calendar_.book_profile(entry.circuit.path, new_profile);
+  } else {
+    reinstate();
     return false;
   }
-  entry.booking =
-      calendar_.book(entry.circuit.path, activation, new_end_time, new_bandwidth);
   entry.circuit.request.bandwidth = new_bandwidth;
   entry.circuit.request.end_time = new_end_time;
-  journal_reservation(circuit_id, entry.circuit.request, activation);
+  entry.circuit.profile = std::move(new_profile);
+  const Seconds new_activate_at = entry.circuit.profile.empty()
+                                      ? activation
+                                      : entry.circuit.profile.front().start;
+  if (new_activate_at != old_activate_at) {
+    entry.activate_event.cancel();
+    const std::uint64_t id = circuit_id;
+    entry.activate_event = sim_.schedule_at(new_activate_at, [this, id] { activate(id); });
+  }
+  journal_reservation(circuit_id, entry.circuit.request, activation, entry.circuit.profile);
   sync_calendar_gauge();
   return true;
 }
@@ -391,17 +506,31 @@ std::size_t Idc::handle_link_failure(net::LinkId failed_link) {
     // of the way so the replacement can reuse the surviving portion.
     calendar_.release(entry.booking);
     entry.booking = 0;
-    const Seconds start = predicted_activation(sim_.now(), c.request.start_time);
-    const auto replacement = paths_.compute(c.request.src, c.request.dst,
-                                            c.request.bandwidth, start,
-                                            c.request.end_time);
-    if (replacement) {
-      c.path = *replacement;
-      entry.booking =
-          calendar_.book(*replacement, start, c.request.end_time, c.request.bandwidth);
-      ++repathed;
-      sim_.obs().registry().add(id_repathed_);
-      continue;
+    if (!c.profile.empty()) {
+      // Shaped circuit: keep the admitted profile, just re-home it on a
+      // surviving route that still fits every segment.
+      const auto alt = net::shortest_path(topo_, c.request.src, c.request.dst,
+                                          [this](net::LinkId l) { return link_usable(l); });
+      if (alt && calendar_.fits_profile(*alt, c.profile)) {
+        c.path = *alt;
+        entry.booking = calendar_.book_profile(*alt, c.profile);
+        ++repathed;
+        sim_.obs().registry().add(id_repathed_);
+        continue;
+      }
+    } else {
+      const Seconds start = predicted_activation(sim_.now(), c.request.start_time);
+      const auto replacement = paths_.compute(c.request.src, c.request.dst,
+                                              c.request.bandwidth, start,
+                                              c.request.end_time);
+      if (replacement) {
+        c.path = *replacement;
+        entry.booking =
+            calendar_.book(*replacement, start, c.request.end_time, c.request.bandwidth);
+        ++repathed;
+        sim_.obs().registry().add(id_repathed_);
+        continue;
+      }
     }
     // No alternative: the reservation cannot be honored.
     entry.activate_event.cancel();
@@ -441,7 +570,7 @@ void Idc::fail_active(std::uint64_t id, net::LinkId failed_link) {
   // The callback may have torn the circuit down (release_now retires it).
   const auto it = entries_.find(id);
   if (it == entries_.end() || it->second.circuit.state != CircuitState::kFailed) return;
-  if (config_.resignal_on_failure && sim_.now() < c.request.end_time) {
+  if (config_.resignal_on_failure && sim_.now() < booked_end(c)) {
     schedule_resignal(id);
   } else {
     retire(id);
@@ -466,7 +595,7 @@ void Idc::try_resignal(std::uint64_t id) {
   if (c.state != CircuitState::kFailed) return;
 
   const Seconds now = sim_.now();
-  if (now >= c.request.end_time) {
+  if (now >= booked_end(c)) {
     retire(id);  // the reservation window ran out during the outage
     return;
   }
@@ -487,29 +616,56 @@ void Idc::try_resignal(std::uint64_t id) {
         sim_.schedule_in(config_.resignal_backoff, [this, id] { try_resignal(id); });
     return;
   }
-  const auto path = paths_.compute(c.request.src, c.request.dst, c.request.bandwidth,
-                                   now, c.request.end_time);
-  if (!path) {
-    // The control plane answered — that closes the breaker's book even
-    // though admission failed for capacity reasons.
-    breaker_.record_success(now);
-    if (entry.resignal_attempts >= config_.max_resignal_attempts) {
-      retire(id);  // give up; the circuit stays failed
+  if (!c.profile.empty()) {
+    // Shaped circuit: rebook the remaining *shaped* window — segments
+    // already delivered stay gone; the straddling segment restarts now.
+    std::vector<RateSegment> clipped;
+    for (const RateSegment& s : c.profile) {
+      if (s.end <= now) continue;
+      clipped.push_back({std::max(s.start, now), s.end, s.rate});
+    }
+    const auto alt = net::shortest_path(topo_, c.request.src, c.request.dst,
+                                        [this](net::LinkId l) { return link_usable(l); });
+    if (!alt || !calendar_.fits_profile(*alt, clipped)) {
+      // The control plane answered — that closes the breaker's book even
+      // though admission failed for capacity reasons.
+      breaker_.record_success(now);
+      if (entry.resignal_attempts >= config_.max_resignal_attempts) {
+        retire(id);  // give up; the circuit stays failed
+        return;
+      }
+      schedule_resignal(id);
       return;
     }
-    schedule_resignal(id);
-    return;
-  }
-  breaker_.record_success(now);
+    breaker_.record_success(now);
+    c.path = *alt;
+    c.profile = std::move(clipped);
+    entry.booking = calendar_.book_profile(c.path, c.profile);
+  } else {
+    const auto path = paths_.compute(c.request.src, c.request.dst, c.request.bandwidth,
+                                     now, c.request.end_time);
+    if (!path) {
+      // The control plane answered — that closes the breaker's book even
+      // though admission failed for capacity reasons.
+      breaker_.record_success(now);
+      if (entry.resignal_attempts >= config_.max_resignal_attempts) {
+        retire(id);  // give up; the circuit stays failed
+        return;
+      }
+      schedule_resignal(id);
+      return;
+    }
+    breaker_.record_success(now);
 
-  // Re-homed: book the remaining window and bring the guarantee back.
-  c.path = *path;
-  entry.booking = calendar_.book(*path, now, c.request.end_time, c.request.bandwidth);
+    // Re-homed: book the remaining window and bring the guarantee back.
+    c.path = *path;
+    entry.booking = calendar_.book(*path, now, c.request.end_time, c.request.bandwidth);
+  }
   c.state = CircuitState::kActive;
   c.active_at = now;
   entry.resignal_attempts = 0;
   entry.release_event =
-      sim_.schedule_at(c.request.end_time, [this, id] { release(id); });
+      sim_.schedule_at(booked_end(c), [this, id] { release(id); });
   ++active_circuits_;
   ++stats_.resignaled;
 
@@ -559,13 +715,180 @@ void Idc::end_outage() {
                    sim_.now() - outage_began_, 0.0});
 }
 
+std::optional<std::vector<RateSegment>> Idc::shape_request(
+    const net::Path& path, const ReservationRequest& request, Seconds activation,
+    Seconds earliest) const {
+  GRIDVC_PROF_ZONE("vc.idc.shape");
+  // Chen & Primet: the request is a volume demand — preferred rate times
+  // booked window — and any stepwise profile delivering that volume by
+  // the deadline honors it. Greedy earliest-fill at the highest usable
+  // rate finishes the volume as early as the headroom allows, which is
+  // what minimizes completion time for a work-conserving data plane.
+  //
+  // The volume owed is anchored at `activation` even when the fill can
+  // only begin at `earliest`: a scheduled circuit being reshaped after
+  // its nominal activation still owes everything it was admitted for.
+  const double volume = request.bandwidth * (request.end_time - activation);
+  const Seconds fill_from = std::max(activation, earliest);
+  if (fill_from >= request.end_time) return std::nullopt;
+  const BitsPerSecond cap = request.max_bandwidth > 0.0
+                                ? request.max_bandwidth
+                                : std::numeric_limits<BitsPerSecond>::infinity();
+  std::vector<RateSegment> profile;
+  double remaining = volume;
+  for (const RateSegment& piece :
+       calendar_.headroom_profile(path, fill_from, request.end_time)) {
+    // Floor to whole kbit/s: the calendar quantizes to that grid, so a
+    // floored rate books at or below true headroom with zero rounding.
+    const BitsPerSecond rate = std::floor(std::min(cap, piece.rate) / 1000.0) * 1000.0;
+    if (rate <= 0.0) continue;
+    const Seconds take = std::min(piece.end - piece.start, remaining / rate);
+    if (!profile.empty() && profile.back().end == piece.start &&
+        profile.back().rate == rate) {
+      profile.back().end = piece.start + take;
+    } else {
+      profile.push_back({piece.start, piece.start + take, rate});
+    }
+    remaining -= rate * take;
+    if (remaining <= volume * 1e-12) {
+      remaining = 0.0;
+      break;
+    }
+  }
+  if (remaining > 0.0) return std::nullopt;  // volume cannot meet the deadline
+  return profile;
+}
+
+std::optional<std::vector<RateSegment>> Idc::shape_with_defrag(
+    const net::Path& path, const ReservationRequest& request, Seconds activation) {
+  GRIDVC_PROF_ZONE("vc.idc.defrag");
+  // Candidates for displacement: scheduled malleable circuits sharing a
+  // link with `path` whose booked window overlaps the request window.
+  // Their guarantee is not yet in force, so reshaping is invisible to the
+  // data plane; active circuits are never touched.
+  struct Displaced {
+    std::uint64_t id = 0;
+    bool was_flat = false;
+    Seconds flat_start = 0.0, flat_end = 0.0;
+    BitsPerSecond flat_rate = 0.0;
+    std::vector<RateSegment> segments;  // prior shaped booking
+  };
+  std::vector<Displaced> displaced;
+  for (const auto& [cid, e] : entries_) {  // std::map: ascending id, deterministic
+    const Circuit& c = e.circuit;
+    if (c.state != CircuitState::kScheduled || !c.request.malleable || e.booking == 0) {
+      continue;
+    }
+    const Seconds b_start = c.profile.empty() ? e.activation : c.profile.front().start;
+    if (booked_end(c) <= activation || b_start >= request.end_time) continue;
+    bool shares = false;
+    for (net::LinkId l : c.path) {
+      if (std::find(path.begin(), path.end(), l) != path.end()) {
+        shares = true;
+        break;
+      }
+    }
+    if (!shares) continue;
+    Displaced d;
+    d.id = cid;
+    d.was_flat = c.profile.empty();
+    d.flat_start = b_start;
+    d.flat_end = c.request.end_time;
+    d.flat_rate = c.request.bandwidth;
+    d.segments = c.profile;
+    displaced.push_back(std::move(d));
+  }
+  if (displaced.empty()) return std::nullopt;
+
+  // Phase 1: release every displaced booking, opening the gap.
+  for (const Displaced& d : displaced) {
+    Entry& e = entries_.at(d.id);
+    calendar_.release(e.booking);
+    e.booking = 0;
+  }
+
+  // All-or-nothing: drop whatever the attempt booked, then reinstate
+  // every displaced booking exactly as it was. Integer-kbps calendar
+  // arithmetic makes the reinstate byte-exact.
+  const auto rollback = [&](std::size_t rebooked, ReservationId probe) {
+    for (std::size_t k = 0; k < rebooked; ++k) {
+      Entry& e = entries_.at(displaced[k].id);
+      calendar_.release(e.booking);
+      e.booking = 0;
+    }
+    if (probe != 0) calendar_.release(probe);
+    for (const Displaced& d : displaced) {
+      Entry& e = entries_.at(d.id);
+      if (d.was_flat) {
+        e.booking = calendar_.book(e.circuit.path, d.flat_start, d.flat_end, d.flat_rate);
+      } else {
+        e.booking = calendar_.book_profile(e.circuit.path, d.segments);
+      }
+    }
+  };
+
+  // Phase 2: shape the new request into the opened gap and hold that
+  // capacity with a probe booking while the displaced set re-packs.
+  const auto shaped = shape_request(path, request, activation);
+  if (!shaped) {
+    rollback(0, 0);
+    return std::nullopt;
+  }
+  const ReservationId probe = calendar_.book_profile(path, *shaped);
+
+  // Phase 3: re-shape each displaced circuit around the probe, in id
+  // order.
+  std::vector<std::vector<RateSegment>> new_profiles(displaced.size());
+  for (std::size_t k = 0; k < displaced.size(); ++k) {
+    Entry& e = entries_.at(displaced[k].id);
+    // A scheduled circuit's nominal activation can already be in the
+    // past (its shaped profile simply starts later), so floor the
+    // re-pack at now: the full admitted volume, booked from here on.
+    const auto reshaped = shape_request(e.circuit.path, e.circuit.request, e.activation,
+                                        sim_.now());
+    if (!reshaped) {
+      rollback(k, probe);
+      return std::nullopt;
+    }
+    new_profiles[k] = *reshaped;
+    e.booking = calendar_.book_profile(e.circuit.path, new_profiles[k]);
+  }
+
+  // Commit: adopt the reshaped profiles, re-anchor activate events that
+  // moved, and re-journal the displaced circuits.
+  for (std::size_t k = 0; k < displaced.size(); ++k) {
+    Entry& e = entries_.at(displaced[k].id);
+    const Seconds old_at = displaced[k].was_flat ? displaced[k].flat_start
+                                                 : displaced[k].segments.front().start;
+    e.circuit.profile = std::move(new_profiles[k]);
+    const Seconds new_at = e.circuit.profile.front().start;
+    if (new_at != old_at) {
+      e.activate_event.cancel();
+      const std::uint64_t cid = displaced[k].id;
+      e.activate_event = sim_.schedule_at(new_at, [this, cid] { activate(cid); });
+    }
+    journal_reservation(displaced[k].id, e.circuit.request, e.activation,
+                        e.circuit.profile);
+  }
+  calendar_.release(probe);  // the caller books the returned profile itself
+  return shaped;
+}
+
 void Idc::journal_reservation(std::uint64_t id, const ReservationRequest& request,
-                              Seconds activation) {
+                              Seconds activation, const std::vector<RateSegment>& profile) {
   if (!config_.journal) return;
   std::ostringstream payload;
   payload.precision(17);
   payload << request.src << ' ' << request.dst << ' ' << request.bandwidth << ' '
           << request.start_time << ' ' << request.end_time << ' ' << activation;
+  // Malleable extension (absent in pre-malleable journals; replay treats
+  // a 6-field payload as a flat booking): flags, step cap, and the shaped
+  // profile so recovery can rebook the remaining *shaped* window.
+  payload << ' ' << (request.malleable ? 1 : 0) << ' ' << request.max_bandwidth << ' '
+          << profile.size();
+  for (const RateSegment& s : profile) {
+    payload << ' ' << s.start << ' ' << s.end << ' ' << s.rate;
+  }
   config_.journal->append("vc", id, payload.str());
 }
 
@@ -583,21 +906,26 @@ std::size_t Idc::recover_from_journal() {
     in >> request.src >> request.dst >> request.bandwidth >> request.start_time >>
         request.end_time >> activation;
     GRIDVC_REQUIRE(!in.fail(), "malformed vc journal payload");
-    next_id_ = std::max(next_id_, rec.key + 1);
-    if (request.end_time <= now) {
-      // The window ran out while the IDC was down; nothing to restore.
-      config_.journal->tombstone("vc", rec.key);
-      ++dropped;
-      continue;
+    // Malleable extension; a legacy 6-field payload reads as flat.
+    int malleable = 0;
+    BitsPerSecond max_bandwidth = 0.0;
+    std::size_t seg_count = 0;
+    std::vector<RateSegment> profile;
+    if (in >> malleable >> max_bandwidth >> seg_count) {
+      request.malleable = malleable != 0;
+      request.max_bandwidth = max_bandwidth;
+      profile.resize(seg_count);
+      for (RateSegment& s : profile) in >> s.start >> s.end >> s.rate;
+      GRIDVC_REQUIRE(!in.fail(), "malformed vc journal payload");
     }
-    // Rebook the *remaining* window: an already-active circuit restarts
-    // from now, a future reservation keeps its original activation.
-    const Seconds start = std::max(now, activation);
-    const auto path = paths_.compute(request.src, request.dst, request.bandwidth, start,
-                                     request.end_time);
-    if (!path) {
-      // Topology/calendar moved on while we were down; the reservation
-      // can no longer be honored.
+    next_id_ = std::max(next_id_, rec.key + 1);
+    // Expiry is the *booked* end — a shaped circuit delivering its volume
+    // early expires with its profile. The boundary is exact: a window
+    // with zero remaining seconds at recovery is expired (rebooking it
+    // would create a zero-length booking), so it tombstones.
+    const Seconds expiry = profile.empty() ? request.end_time : profile.back().end;
+    if (expiry <= now) {
+      // The window ran out while the IDC was down; nothing to restore.
       config_.journal->tombstone("vc", rec.key);
       ++dropped;
       continue;
@@ -605,10 +933,45 @@ std::size_t Idc::recover_from_journal() {
     Entry entry;
     entry.circuit.id = rec.key;
     entry.circuit.request = request;
-    entry.circuit.path = *path;
     entry.circuit.state = CircuitState::kScheduled;
     entry.circuit.provision_started = now;
-    entry.booking = calendar_.book(*path, start, request.end_time, request.bandwidth);
+    Seconds start = 0.0;
+    if (!profile.empty()) {
+      // Rebook the remaining *shaped* window: segments already delivered
+      // stay gone; the straddling segment restarts now.
+      std::vector<RateSegment> clipped;
+      for (const RateSegment& s : profile) {
+        if (s.end <= now) continue;
+        clipped.push_back({std::max(s.start, now), s.end, s.rate});
+      }
+      const auto path = net::shortest_path(topo_, request.src, request.dst,
+                                           [this](net::LinkId l) { return link_usable(l); });
+      if (!path || !calendar_.fits_profile(*path, clipped)) {
+        config_.journal->tombstone("vc", rec.key);
+        ++dropped;
+        continue;
+      }
+      entry.circuit.path = *path;
+      entry.circuit.profile = std::move(clipped);
+      entry.booking = calendar_.book_profile(entry.circuit.path, entry.circuit.profile);
+      start = entry.circuit.profile.front().start;
+    } else {
+      // Rebook the *remaining* window: an already-active circuit restarts
+      // from now, a future reservation keeps its original activation.
+      start = std::max(now, activation);
+      const auto path = paths_.compute(request.src, request.dst, request.bandwidth, start,
+                                       request.end_time);
+      if (!path) {
+        // Topology/calendar moved on while we were down; the reservation
+        // can no longer be honored.
+        config_.journal->tombstone("vc", rec.key);
+        ++dropped;
+        continue;
+      }
+      entry.circuit.path = *path;
+      entry.booking = calendar_.book(*path, start, request.end_time, request.bandwidth);
+    }
+    entry.activation = start;
     const std::uint64_t id = rec.key;
     entry.activate_event = sim_.schedule_at(start, [this, id] { activate(id); });
     entries_.emplace(id, std::move(entry));

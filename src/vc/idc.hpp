@@ -109,8 +109,10 @@ class Idc {
   /// OSCARS modifyReservation: change a scheduled (not yet active)
   /// reservation's bandwidth and/or extend/shorten its end time. The
   /// change is admitted against the calendar with the old booking
-  /// removed; on rejection the old booking is reinstated untouched.
-  /// Returns true when the modification was admitted.
+  /// removed (flat first; malleable reservations that no longer fit flat
+  /// are re-shaped); on rejection the old booking — flat or shaped — is
+  /// reinstated untouched. Returns true when the modification was
+  /// admitted.
   bool modify_reservation(std::uint64_t circuit_id, BitsPerSecond new_bandwidth,
                           Seconds new_end_time);
 
@@ -196,13 +198,35 @@ class Idc {
     std::uint64_t outages = 0;          ///< control-plane outage windows entered
     std::uint64_t rejected_outage = 0;  ///< fail-fast rejections during outages
     std::uint64_t recovered = 0;        ///< reservations rebuilt from the journal
+    std::uint64_t shaped = 0;        ///< malleable admissions that needed shaping
+    std::uint64_t defragmented = 0;  ///< shaped admissions that needed defrag
+    std::uint64_t rerouted = 0;      ///< shaped admissions off the primary route
 
+    /// Admission-verdict blocking probability (the paper's call-blocking
+    /// statistic): of the demands the IDC actually *evaluated*, the
+    /// fraction blocked for capacity or connectivity. Outage fail-fasts
+    /// never reached admission, so they are excluded here — use
+    /// rejection_rate() for the client-observed failure fraction.
     double blocking_probability() const {
       const double total = static_cast<double>(accepted + rejected_no_bandwidth +
                                                rejected_no_route + rejected_invalid);
       return total > 0.0
                  ? static_cast<double>(rejected_no_bandwidth + rejected_no_route) / total
                  : 0.0;
+    }
+
+    /// Client-observed rejection fraction: every first-submission outcome
+    /// counts, *including* outage fail-fasts (a client whose request dies
+    /// against a down control plane was rejected, whatever the reason).
+    /// `rejected_retries` stays out of both numerator and denominator by
+    /// design — a retried demand already counted when it first blocked,
+    /// and folding retries in would double-count one blocked demand.
+    double rejection_rate() const {
+      const double rejections =
+          static_cast<double>(rejected_no_bandwidth + rejected_no_route +
+                              rejected_invalid + rejected_outage);
+      const double total = static_cast<double>(accepted) + rejections;
+      return total > 0.0 ? rejections / total : 0.0;
     }
   };
   const Stats& stats() const { return stats_; }
@@ -211,6 +235,10 @@ class Idc {
   struct Entry {
     Circuit circuit;
     ReservationId booking = 0;
+    /// Activation instant the booking was admitted against (the shaping
+    /// window starts here; a shaped profile may begin later if the first
+    /// headroom slice was full).
+    Seconds activation = 0.0;
     CircuitFn on_active;
     CircuitFn on_release;
     CircuitFn on_failure;
@@ -220,8 +248,35 @@ class Idc {
     int resignal_attempts = 0;
   };
 
+  /// Administrative + failure filter shared by every path search.
+  bool link_usable(net::LinkId link) const;
+
   void activate(std::uint64_t id);
   void release(std::uint64_t id);
+  /// End of a circuit's booked window: the profile's last segment end for
+  /// shaped circuits (shaping may deliver the volume before endTime),
+  /// request.end_time otherwise.
+  static Seconds booked_end(const Circuit& c);
+  /// Greedy earliest-fill shaper (Chen & Primet): pack the request's
+  /// volume (bandwidth x [activation, endTime)) into the path's headroom
+  /// as stepwise segments, each capped by max_bandwidth (when positive)
+  /// and floored to whole kbit/s so calendar arithmetic stays exact.
+  /// `earliest` floors where the fill may begin without shrinking the
+  /// volume owed — reshaping a displaced circuit mid-flight must deliver
+  /// its full admitted volume but may only book from now on.
+  /// nullopt when the path cannot deliver the volume by the deadline.
+  std::optional<std::vector<RateSegment>> shape_request(const net::Path& path,
+                                                        const ReservationRequest& request,
+                                                        Seconds activation,
+                                                        Seconds earliest = 0.0) const;
+  /// Defragmentation: temporarily release every *scheduled* malleable
+  /// circuit sharing a link with `path` over the request window, shape
+  /// the new request into the opened gap, then re-shape the displaced
+  /// circuits (ascending id). All-or-nothing: any failure reinstates
+  /// every displaced booking exactly and returns nullopt.
+  std::optional<std::vector<RateSegment>> shape_with_defrag(const net::Path& path,
+                                                            const ReservationRequest& request,
+                                                            Seconds activation);
   /// Active circuit lost `failed_link`: kFailed + on_failure + re-signal.
   void fail_active(std::uint64_t id, net::LinkId failed_link);
   void schedule_resignal(std::uint64_t id);
@@ -231,10 +286,11 @@ class Idc {
   void retire(std::uint64_t id);
   /// Record a rejection in stats/metrics, honouring the is_retry rule.
   void count_rejection(const ReservationRequest& request, RejectReason reason);
-  /// Append (or re-append after modify) an accepted reservation to the
-  /// configured journal. No-op without a journal.
+  /// Append (or re-append after modify/defrag) an accepted reservation to
+  /// the configured journal, shaped profile included. No-op without a
+  /// journal.
   void journal_reservation(std::uint64_t id, const ReservationRequest& request,
-                           Seconds activation);
+                           Seconds activation, const std::vector<RateSegment>& profile);
   /// Refresh the calendar-bookings gauge after any book/release.
   void sync_calendar_gauge();
 
@@ -268,6 +324,9 @@ class Idc {
   obs::MetricId id_released_;
   obs::MetricId id_cancelled_;
   obs::MetricId id_repathed_;
+  obs::MetricId id_shaped_;
+  obs::MetricId id_defragmented_;
+  obs::MetricId id_rerouted_;
   obs::MetricId id_failed_;
   obs::MetricId id_resignaled_;
   obs::MetricId id_active_gauge_;

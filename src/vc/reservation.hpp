@@ -5,11 +5,30 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/units.hpp"
 #include "net/topology.hpp"
 
 namespace gridvc::vc {
+
+/// One constant-rate step of a shaped (malleable) reservation. A shaped
+/// profile is a time-ascending, non-overlapping sequence of these;
+/// gaps between segments mean "no guarantee in force".
+struct RateSegment {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  BitsPerSecond rate = 0.0;
+
+  bool operator==(const RateSegment&) const = default;
+};
+
+/// Total volume (bits) a stepwise profile delivers.
+inline double profile_volume(const std::vector<RateSegment>& profile) {
+  double bits = 0.0;
+  for (const RateSegment& s : profile) bits += s.rate * (s.end - s.start);
+  return bits;
+}
 
 /// How circuit provisioning is triggered (§IV).
 enum class SignalingMode : std::uint8_t {
@@ -38,6 +57,19 @@ struct ReservationRequest {
   /// of the per-reason counters, so one blocked demand never counts as
   /// two independent rejections in blocking-probability studies.
   bool is_retry = false;
+  /// Malleable (flexible) reservation per Chen & Primet: the request is
+  /// really a *volume* demand — bandwidth x booked window — and the IDC
+  /// may reshape how that volume is delivered as a stepwise rate profile
+  /// inside the window, instead of rejecting when the flat rate does not
+  /// fit. `bandwidth` then reads as the preferred flat rate; any request
+  /// a fixed-window scheduler admits, a malleable one admits too (the
+  /// flat shape is always among the candidates).
+  bool malleable = false;
+  /// Cap on any single shaped step of a malleable reservation. <= 0
+  /// means only link headroom caps the steps; a positive value must be
+  /// >= bandwidth (a cap below the preferred rate could not even carry
+  /// the flat shape and is rejected as invalid).
+  BitsPerSecond max_bandwidth = 0.0;
 };
 
 enum class CircuitState : std::uint8_t {
@@ -59,6 +91,25 @@ struct Circuit {
   Seconds active_at = 0.0;          ///< when the guarantee took effect (last activation)
   Seconds released_at = 0.0;
   Seconds failed_at = 0.0;          ///< when the path died (kFailed and after)
+
+  /// Shaped stepwise rate profile in force. Empty for fixed-window
+  /// circuits (the guarantee is flat `request.bandwidth` over the booked
+  /// window); non-empty only when the IDC reshaped a malleable request.
+  /// Segments are time-ascending and non-overlapping; the data plane
+  /// should follow rate_at().
+  std::vector<RateSegment> profile;
+
+  /// Rate the data plane should enforce at instant `t`:
+  /// request.bandwidth when the profile is empty, else the rate of the
+  /// segment containing `t` (0 in gaps and outside the profile).
+  BitsPerSecond rate_at(Seconds t) const {
+    if (profile.empty()) return request.bandwidth;
+    for (const RateSegment& s : profile) {
+      if (t < s.start) break;
+      if (t < s.end) return s.rate;
+    }
+    return 0.0;
+  }
 
   /// Observed setup delay (active_at - the time the user asked for the
   /// circuit to be usable). Meaningful once kActive.

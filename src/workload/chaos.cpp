@@ -207,18 +207,30 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
                        });
       };
 
-      const auto granted = idc.request_immediate(
-          src, dst, config.circuit_rate, estimated,
-          [&, k, submit_task](const vc::Circuit& c) {
-            // First activation launches the task under the guarantee;
-            // re-activations after a re-signal are a no-op here because
-            // the service template is fixed at submit time.
-            if (launched[k] == 0) {
-              launched[k] = 1;
-              submit_task(c.request.bandwidth, c.id);
-            }
-          },
-          nullptr, nullptr);
+      const auto on_active = [&, k, submit_task](const vc::Circuit& c) {
+        // First activation launches the task under the guarantee;
+        // re-activations after a re-signal are a no-op here because
+        // the service template is fixed at submit time.
+        if (launched[k] == 0) {
+          launched[k] = 1;
+          submit_task(c.rate_at(sim.now()), c.id);
+        }
+      };
+      const auto granted = [&] {
+        if (!config.malleable_reservations) {
+          return idc.request_immediate(src, dst, config.circuit_rate, estimated,
+                                       on_active, nullptr, nullptr);
+        }
+        vc::ReservationRequest req;
+        req.src = src;
+        req.dst = dst;
+        req.bandwidth = config.circuit_rate;
+        req.start_time = sim.now();
+        req.end_time = idc.predicted_activation(sim.now(), sim.now()) + estimated;
+        req.description = label;
+        req.malleable = true;
+        return idc.create_reservation(req, on_active);
+      }();
       if (granted.accepted()) {
         ++result.circuits_granted;
       } else {

@@ -42,6 +42,11 @@ struct ChaosConfig {
   int streams = 8;
   int max_aborts = 10;  ///< engine per-transfer abort budget
   BitsPerSecond circuit_rate = gbps(4);
+  /// Request circuits as malleable (volume-preserving shaped profiles)
+  /// instead of fixed-window. Off by default so existing seeds replay
+  /// byte-identically; the malleable battery proves digests stay
+  /// thread-count-invariant with shaping, defrag, and reroute active.
+  bool malleable_reservations = false;
 
   // Overload guard under test.
   std::size_t queue_limit = 3;  ///< 0 = unbounded (disables shedding)

@@ -438,14 +438,14 @@ ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed
     const std::vector<Bytes> files(config.files_per_task, config.file_size);
     TransferSpec spec = tmpl;
     spec.guarantee = guarantee;
-    service.submit(label, files, spec,
-                   [&result, &idc, circuit_id](const gridftp::TaskStatus& s) {
-                     if (s.state == gridftp::TaskState::kSucceeded) {
-                       ++result.tasks_completed;
-                       result.transfers_completed += s.files_done;
-                     }
-                     if (circuit_id) idc.release_now(*circuit_id);
-                   });
+    return service.submit(label, files, spec,
+                          [&result, &idc, circuit_id](const gridftp::TaskStatus& s) {
+                            if (s.state == gridftp::TaskState::kSucceeded) {
+                              ++result.tasks_completed;
+                              result.transfers_completed += s.files_done;
+                            }
+                            if (circuit_id) idc.release_now(*circuit_id);
+                          });
   };
 
   for (std::size_t k = 0; k < config.task_count; ++k) {
@@ -458,11 +458,38 @@ ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed
           transfer_time(task_bytes, config.circuit_rate) * 1.5 + 120.0;
 
       const auto on_active = [&, label](const vc::Circuit& c) {
-        submit_task(label, c.request.bandwidth, c.id);
+        const std::uint64_t task = submit_task(label, c.rate_at(sim.now()), c.id);
+        // A shaped (malleable) grant steps its rate over time: re-pin the
+        // task's guarantee at each profile boundary, dropping to best
+        // effort once the profile runs out.
+        for (const vc::RateSegment& s : c.profile) {
+          if (s.start > sim.now()) {
+            sim.schedule_at(s.start, [&service, task, rate = s.rate] {
+              service.set_task_guarantee(task, rate);
+            });
+          }
+        }
+        if (!c.profile.empty()) {
+          sim.schedule_at(c.profile.back().end, [&service, task] {
+            service.set_task_guarantee(task, 0.0);
+          });
+        }
       };
-      const auto granted =
-          idc.request_immediate(tb.ncar, tb.nics, config.circuit_rate, estimated,
-                                on_active);
+      const auto granted = [&] {
+        if (!config.malleable_reservations) {
+          return idc.request_immediate(tb.ncar, tb.nics, config.circuit_rate,
+                                       estimated, on_active);
+        }
+        vc::ReservationRequest req;
+        req.src = tb.ncar;
+        req.dst = tb.nics;
+        req.bandwidth = config.circuit_rate;
+        req.start_time = sim.now();
+        req.end_time = idc.predicted_activation(sim.now(), sim.now()) + estimated;
+        req.description = label;
+        req.malleable = true;
+        return idc.create_reservation(req, on_active);
+      }();
       if (granted.accepted()) {
         ++result.circuits_granted;
         return;
@@ -479,6 +506,7 @@ ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed
       retry.end_time = idc.predicted_activation(sim.now(), sim.now()) + estimated;
       retry.description = label + " (retry)";
       retry.is_retry = true;
+      retry.malleable = config.malleable_reservations;
       ++result.circuit_retries;
       const auto retried = idc.create_reservation(retry, on_active);
       if (retried.accepted()) {
@@ -496,6 +524,7 @@ ManagedVcResult run_managed_vc(const ManagedVcConfig& config, std::uint64_t seed
 
   result.end_time = sim.now();
   result.tasks_rejected = service.tasks_rejected();
+  result.circuits_shaped = static_cast<std::size_t>(idc.stats().shaped);
   result.blocking_probability = idc.stats().blocking_probability();
   result.metrics = sim.obs().registry().snapshot();
   return result;

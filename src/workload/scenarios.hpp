@@ -169,6 +169,12 @@ struct ManagedVcConfig {
   /// Bound on the service's waiting queue (0 = unbounded, the historical
   /// default). Submissions past the bound are rejected (kRejectNew).
   std::size_t queue_limit = 0;
+  /// Submit circuit requests as malleable (volume-preserving) instead of
+  /// fixed-window: the IDC may grant a stepwise rate profile, and the
+  /// scenario drives each profile step into the data plane via
+  /// TransferService::set_task_guarantee. Off by default so existing
+  /// seeds replay byte-identically.
+  bool malleable_reservations = false;
   /// Optional structured-trace destination (non-owning).
   obs::TraceSink* trace_sink = nullptr;
 };
@@ -179,6 +185,7 @@ struct ManagedVcResult {
   std::size_t circuits_granted = 0;
   std::size_t circuits_rejected = 0;   ///< first rejections (not retries)
   std::size_t circuit_retries = 0;     ///< retry submissions after a rejection
+  std::size_t circuits_shaped = 0;     ///< grants that used a malleable profile
   std::uint64_t tasks_rejected = 0;    ///< shed by the overload guard
   Seconds end_time = 0.0;
   double blocking_probability = 0.0;

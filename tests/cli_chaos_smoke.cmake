@@ -31,6 +31,32 @@ if(NOT same_rc EQUAL 0)
   message(FATAL_ERROR "chaos digests differ between --threads 1 and 8")
 endif()
 
+# Same determinism contract with malleable reservations: shaping,
+# defragmentation, and reroute run inside the battery, and the digests
+# must still be byte-identical across thread counts.
+set(digests_m1 ${WORKDIR}/chaos_malleable_t1.digests)
+set(digests_m8 ${WORKDIR}/chaos_malleable_t8.digests)
+execute_process(
+  COMMAND ${CHAOS} --seed 1 --replications 10 --threads 1
+          --malleable --digest-out ${digests_m1}
+  RESULT_VARIABLE mrc1)
+if(NOT mrc1 EQUAL 0)
+  message(FATAL_ERROR "gridvc-chaos malleable battery (threads=1) failed: ${mrc1}")
+endif()
+execute_process(
+  COMMAND ${CHAOS} --seed 1 --replications 10 --threads 8
+          --malleable --digest-out ${digests_m8}
+  RESULT_VARIABLE mrc8)
+if(NOT mrc8 EQUAL 0)
+  message(FATAL_ERROR "gridvc-chaos malleable battery (threads=8) failed: ${mrc8}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${digests_m1} ${digests_m8}
+  RESULT_VARIABLE msame_rc)
+if(NOT msame_rc EQUAL 0)
+  message(FATAL_ERROR "malleable chaos digests differ between --threads 1 and 8")
+endif()
+
 # Single replication with a trace: the lifecycle checker must accept it
 # and the process-fault event types must have fired.
 execute_process(

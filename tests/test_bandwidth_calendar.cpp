@@ -292,6 +292,75 @@ TEST(BandwidthCalendar, TruncateToStartReleasesCleanly) {
   EXPECT_THROW(cal.release(id), gridvc::PreconditionError);
 }
 
+// Regression: a new_end strictly *before* the start must behave exactly
+// like release() too — no residual deltas (the old code path would have
+// left a negative-rate tail), slot recycled, id stale.
+TEST(BandwidthCalendar, TruncateBeforeStartIsFullRelease) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const auto id = cal.book({f.ab, f.bc}, 100.0, 200.0, gbps(8));
+  cal.truncate(id, 50.0);  // new_end < start
+  EXPECT_EQ(cal.active_bookings(), 0u);
+  EXPECT_TRUE(cal.link_deltas(f.ab).empty());
+  EXPECT_TRUE(cal.link_deltas(f.bc).empty());
+  // The id went stale exactly as release() would leave it...
+  EXPECT_THROW(cal.release(id), gridvc::PreconditionError);
+  EXPECT_THROW(cal.truncate(id, 40.0), gridvc::PreconditionError);
+  // ...and the recycled slot's new booking is not confused with it.
+  const auto next = cal.book({f.ab}, 300.0, 400.0, gbps(10));
+  EXPECT_NE(next, id);
+  EXPECT_THROW(cal.release(id), gridvc::PreconditionError);
+  cal.release(next);
+  EXPECT_TRUE(cal.link_deltas(f.ab).empty());
+}
+
+TEST(BandwidthCalendar, ShapedBookingTruncatesToStartAsFullRelease) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const std::vector<RateSegment> profile = {{100.0, 200.0, gbps(2)},
+                                            {200.0, 260.0, gbps(10)}};
+  ASSERT_TRUE(cal.fits_profile({f.ab, f.bc}, profile));
+  const auto id = cal.book_profile({f.ab, f.bc}, profile);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 100.0, 200.0), gbps(8));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 200.0, 260.0), 0.0);
+  cal.truncate(id, 100.0);  // at the first segment's start: full release
+  EXPECT_EQ(cal.active_bookings(), 0u);
+  EXPECT_TRUE(cal.link_deltas(f.ab).empty());
+  EXPECT_TRUE(cal.link_deltas(f.bc).empty());
+  EXPECT_THROW(cal.release(id), gridvc::PreconditionError);
+}
+
+TEST(BandwidthCalendar, ShapedTruncateDropsTailSegmentsAndClipsStraddler) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  const std::vector<RateSegment> profile = {
+      {0.0, 100.0, gbps(2)}, {100.0, 200.0, gbps(4)}, {200.0, 300.0, gbps(6)}};
+  const auto id = cal.book_profile({f.ab}, profile);
+  // Cut mid-second-segment: the third drops, the second clips to 150.
+  cal.truncate(id, 150.0);
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 0.0, 100.0), gbps(8));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 100.0, 150.0), gbps(6));
+  EXPECT_DOUBLE_EQ(cal.available(f.ab, 150.0, 300.0), gbps(10));
+  cal.release(id);
+  EXPECT_TRUE(cal.link_deltas(f.ab).empty());
+}
+
+TEST(BandwidthCalendar, HeadroomProfileBreaksAtEveryChangePointAcrossLinks) {
+  CalFixture f;
+  BandwidthCalendar cal(f.topo);
+  cal.book({f.ab}, 50.0, 100.0, gbps(4));
+  cal.book({f.bc}, 80.0, 120.0, gbps(7));
+  const auto pieces = cal.headroom_profile({f.ab, f.bc}, 0.0, 150.0);
+  // min across links at every instant; the change points at 100 (ab) and
+  // 120 (bc) both show up, but equal-rate neighbors [80,100) and
+  // [100,120) merge into one piece.
+  const std::vector<RateSegment> expected = {{0.0, 50.0, gbps(10)},
+                                             {50.0, 80.0, gbps(6)},
+                                             {80.0, 120.0, gbps(3)},
+                                             {120.0, 150.0, gbps(10)}};
+  EXPECT_EQ(pieces, expected);
+}
+
 // Property: random book/release sequences never leave negative
 // availability and end balanced after all releases.
 class CalendarProperty : public ::testing::TestWithParam<int> {};

@@ -75,6 +75,22 @@ TEST(Chaos, ParallelBatteryMatchesSerialRuns) {
   }
 }
 
+TEST(Chaos, MalleableBatteryStaysCleanAndReplaysByteIdentical) {
+  // Malleable shaping, defrag, and reroute all run inside the chaos
+  // workload; every invariant must still hold and the digest must stay a
+  // pure function of (config, seed) — the parallel battery and the
+  // serial rerun agree bit for bit.
+  ChaosConfig config = small_config();
+  config.malleable_reservations = true;
+  const auto battery = run_chaos_battery(config, 31, 4);
+  ASSERT_EQ(battery.size(), 4u);
+  for (std::size_t i = 0; i < battery.size(); ++i) {
+    EXPECT_TRUE(battery[i].ok()) << first_violation(battery[i]);
+    EXPECT_EQ(battery[i].digest, run_chaos(config, 31 + i).digest)
+        << "seed " << 31 + i;
+  }
+}
+
 TEST(Chaos, ServiceCrashRecoversFromJournal) {
   ChaosConfig config = small_config();
   // Land the crash inside the third task's window (submitted at t=90,

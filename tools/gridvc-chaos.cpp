@@ -53,11 +53,13 @@ int usage(const char* argv0) {
                "usage: %s [--seed N] [--replications N] [--threads N]\n"
                "          [--tasks N] [--queue-limit N]\n"
                "          [--policy reject-new|shed-oldest|priority]\n"
-               "          [--service-crash-at S] [--sabotage] [--shrink]\n"
+               "          [--service-crash-at S] [--malleable] [--sabotage] [--shrink]\n"
                "          [--digest-out FILE] [--trace-out FILE.jsonl]\n"
                "          [--profile-out FILE.json] [--flight-out FILE.json]\n"
                "  --replications     seeds seed..seed+N-1, run in parallel\n"
                "  --service-crash-at crash + journal-recover the service at S\n"
+               "  --malleable        request circuits as malleable (shaped\n"
+               "                     volume-preserving profiles)\n"
                "  --sabotage         inject a known invariant violation; the\n"
                "                     run fails unless the harness catches it\n"
                "  --shrink           ddmin the first failing schedule\n"
@@ -122,6 +124,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--service-crash-at" && i + 1 < argc) {
       config.service_crash_at = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--malleable") {
+      config.malleable_reservations = true;
     } else if (arg == "--sabotage") {
       config.sabotage = true;
     } else if (arg == "--shrink") {
