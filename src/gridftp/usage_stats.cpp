@@ -21,12 +21,16 @@ void UsageStatsCollector::report(const TransferRecord& record) {
     ++dropped_;
     return;
   }
-  log_.push_back(record);
+  ++received_;
+  received_bytes_ += record.size;
+  if (keep_log_) log_.push_back(record);
 }
 
 TransferLog UsageStatsCollector::take_log() {
   TransferLog out = std::move(log_);
   log_.clear();
+  received_ = 0;
+  received_bytes_ = 0;
   return out;
 }
 

@@ -21,14 +21,27 @@ class UsageStatsCollector {
   /// Report one finished transfer (called by the engine).
   void report(const TransferRecord& record);
 
-  /// All received records in arrival order.
+  /// Counting-only mode: when retention is off, report() still counts
+  /// received records and accumulates byte/duration totals but does not
+  /// append to the log. Multi-million-transfer runs (bench_shard_scale,
+  /// the sharded federation) keep memory flat this way; the paper's
+  /// per-record analyses keep the default retention. Toggling does not
+  /// clear records already retained.
+  void set_keep_log(bool keep) { keep_log_ = keep; }
+  bool keep_log() const { return keep_log_; }
+
+  /// All received records in arrival order (empty while retention is off).
   const TransferLog& log() const { return log_; }
 
   /// Move the log out (collector resets to empty).
   TransferLog take_log();
 
-  std::size_t received() const { return log_.size(); }
+  std::size_t received() const { return received_; }
   std::size_t dropped() const { return dropped_; }
+
+  /// Sum of TransferRecord::size over received (non-dropped) reports;
+  /// maintained in counting-only mode too.
+  Bytes received_bytes() const { return received_bytes_; }
 
   /// Permanently-failed transfers reported by the engine. Counted here,
   /// never appended to the log: the paper's analyses (throughput CDFs,
@@ -39,6 +52,9 @@ class UsageStatsCollector {
   double drop_probability_;
   Rng rng_;
   TransferLog log_;
+  bool keep_log_ = true;
+  std::size_t received_ = 0;
+  Bytes received_bytes_ = 0;
   std::size_t dropped_ = 0;
   std::size_t failed_ = 0;
 };

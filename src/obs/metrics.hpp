@@ -133,6 +133,17 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
 
+  /// Re-pin the single-writer contract to the calling thread. Only legal
+  /// across a synchronization point: the sharded simulation joins its
+  /// pool at every barrier before re-dispatching worlds onto (possibly
+  /// different) lanes, so the old owner's writes happen-before the new
+  /// owner's. Mutations within an epoch remain asserted single-threaded.
+  void rebind_owner() {
+#ifndef NDEBUG
+    owner_ = std::this_thread::get_id();
+#endif
+  }
+
  private:
   struct HistogramSlots {
     std::vector<double> bounds;

@@ -45,6 +45,8 @@ constexpr NameEntry kNames[] = {
     {TraceEventType::kIdcOutageEnd, "idc_outage_end"},
     {TraceEventType::kTaskShed, "task_shed"},
     {TraceEventType::kJournalReplay, "journal_replay"},
+    {TraceEventType::kVcSegmentBooked, "vc_segment_booked"},
+    {TraceEventType::kVcSegmentRollback, "vc_segment_rollback"},
 };
 
 std::string fmt_double(double v) {

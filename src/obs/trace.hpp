@@ -57,11 +57,18 @@ enum class TraceEventType : std::uint8_t {
   kIdcOutageEnd,
   kTaskShed,
   kJournalReplay,
+  // inter-domain chain booking (two-phase): one kVcSegmentBooked per
+  // accepted per-domain segment; kVcSegmentRollback per segment cancelled
+  // when a downstream domain rejects the chain. id = end-to-end chain id
+  // (or the segment circuit id when no chain id exists), aux = segment
+  // index along the path.
+  kVcSegmentBooked,
+  kVcSegmentRollback,
 };
 
 /// Number of distinct event types (array-sizing for per-type counters).
 inline constexpr std::size_t kTraceEventTypeCount =
-    static_cast<std::size_t>(TraceEventType::kJournalReplay) + 1;
+    static_cast<std::size_t>(TraceEventType::kVcSegmentRollback) + 1;
 
 /// Stable wire name ("transfer_submitted", ...).
 const char* trace_event_name(TraceEventType type);

@@ -170,6 +170,12 @@ bool Simulator::step() {
   return false;
 }
 
+std::optional<Seconds> Simulator::next_event_time() {
+  drop_dead_events();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().when;
+}
+
 bool Simulator::collect_batch(Seconds deadline) {
   drop_dead_events();
   if (heap_.empty() || heap_.front().when > deadline) return false;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -102,6 +103,12 @@ class Simulator {
 
   /// Process exactly one event if any is queued; returns false when empty.
   bool step();
+
+  /// Timestamp of the earliest live event, or nothing when idle. Drops
+  /// cancelled tombstones off the heap top as a side effect; O(1) amortized.
+  /// Conservative lookahead scheduling (src/shard/) polls this every
+  /// barrier round to pick the next epoch horizon.
+  std::optional<Seconds> next_event_time();
 
   /// Number of events dispatched so far (diagnostics).
   std::uint64_t dispatched() const { return obs_.registry().counter_value(id_dispatched_); }

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "net/routing.hpp"
+#include "obs/profiler.hpp"
 
 namespace gridvc::vc {
 
@@ -26,6 +27,7 @@ Idc* InterdomainCoordinator::controller_for(const std::string& domain) const {
 
 std::vector<InterdomainCoordinator::Segment> InterdomainCoordinator::segment_path(
     const net::Path& path) const {
+  GRIDVC_PROF_ZONE("vc.interdomain.segment_path");
   std::vector<Segment> segments;
   for (net::LinkId lid : path) {
     const net::Link& link = topo_.link(lid);
@@ -49,7 +51,9 @@ std::vector<InterdomainCoordinator::Segment> InterdomainCoordinator::segment_pat
 
 InterdomainCoordinator::Result InterdomainCoordinator::create_reservation(
     const ReservationRequest& request) {
+  GRIDVC_PROF_ZONE("vc.interdomain.create_reservation");
   Result result;
+  result.chain_id = next_chain_id_++;
   const auto path = net::shortest_path(topo_, request.src, request.dst);
   if (!path || path->empty()) {
     result.reason = RejectReason::kNoRoute;
@@ -59,15 +63,25 @@ InterdomainCoordinator::Result InterdomainCoordinator::create_reservation(
 
   const auto segments = segment_path(*path);
   // Two-phase booking: try every domain in path order; on failure cancel
-  // the segments already booked.
-  for (const auto& seg : segments) {
+  // the segments already booked. Rollbacks are emitted segment-by-segment
+  // so the trace shows exactly which bookings a rejected chain undid.
+  const auto roll_back = [&] {
+    for (std::size_t i = result.segments.size(); i-- > 0;) {
+      const auto& booked = result.segments[i];
+      controller_for(booked.domain)->cancel(booked.circuit_id);
+      sim_.obs().emit(obs::TraceEvent{sim_.now(), obs::TraceEventType::kVcSegmentRollback,
+                                      result.chain_id, i,
+                                      static_cast<double>(booked.circuit_id), 0.0});
+    }
+    result.segments.clear();
+  };
+  for (std::size_t seg_index = 0; seg_index < segments.size(); ++seg_index) {
+    GRIDVC_PROF_ZONE("vc.interdomain.segment_book");
+    const auto& seg = segments[seg_index];
     Idc* idc = controller_for(seg.domain);
     if (idc == nullptr) {
       result.reason = RejectReason::kNoRoute;  // uncooperative domain
-      for (const auto& booked : result.segments) {
-        controller_for(booked.domain)->cancel(booked.circuit_id);
-      }
-      result.segments.clear();
+      roll_back();
       return result;
     }
     ReservationRequest seg_request = request;
@@ -77,12 +91,12 @@ InterdomainCoordinator::Result InterdomainCoordinator::create_reservation(
     const auto sub = idc->create_reservation(seg_request);
     if (!sub.accepted()) {
       result.reason = sub.reason;
-      for (const auto& booked : result.segments) {
-        controller_for(booked.domain)->cancel(booked.circuit_id);
-      }
-      result.segments.clear();
+      roll_back();
       return result;
     }
+    sim_.obs().emit(obs::TraceEvent{sim_.now(), obs::TraceEventType::kVcSegmentBooked,
+                                    result.chain_id, seg_index,
+                                    static_cast<double>(*sub.circuit_id), 0.0});
     result.segments.push_back(SegmentBooking{seg.domain, *sub.circuit_id});
   }
 

@@ -51,6 +51,10 @@ class InterdomainCoordinator {
     std::vector<SegmentBooking> segments;
     /// Predicted activation of the slowest domain (== end-to-end setup).
     Seconds activation = 0.0;
+    /// Coordinator-assigned end-to-end chain id: the subject id of the
+    /// kVcSegmentBooked / kVcSegmentRollback trace events this attempt
+    /// emitted (assigned whether or not the chain was admitted).
+    std::uint64_t chain_id = 0;
   };
 
   /// Book an end-to-end circuit across all traversed domains.
@@ -70,6 +74,7 @@ class InterdomainCoordinator {
   sim::Simulator& sim_;
   const net::Topology& topo_;
   std::map<std::string, Idc*> controllers_;
+  std::uint64_t next_chain_id_ = 1;
 };
 
 }  // namespace gridvc::vc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace gridvc::vc {
 namespace {
@@ -125,6 +126,152 @@ TEST(Interdomain, UnknownDomainRejects) {
   const auto result = coord.create_reservation(f.request());
   EXPECT_FALSE(result.accepted);
   EXPECT_EQ(result.reason, RejectReason::kNoRoute);
+}
+
+TEST(Interdomain, SingleDomainPathIsOneSegment) {
+  // Both hosts and every router in one domain: no chain, one segment.
+  sim::Simulator sim;
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kHost, "solo");
+  const NodeId r1 = topo.add_node("r1", NodeKind::kRouter, "solo");
+  const NodeId r2 = topo.add_node("r2", NodeKind::kRouter, "solo");
+  const NodeId b = topo.add_node("b", NodeKind::kHost, "solo");
+  topo.add_duplex_link(a, r1, gbps(10), 0.001);
+  topo.add_duplex_link(r1, r2, gbps(10), 0.005);
+  topo.add_duplex_link(r2, b, gbps(10), 0.001);
+  Idc idc(sim, topo);
+  InterdomainCoordinator coord(sim, topo, {{"solo", &idc}});
+  const auto path = net::shortest_path(topo, a, b);
+  ASSERT_TRUE(path.has_value());
+  const auto segments = coord.segment_path(*path);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].domain, "solo");
+  EXPECT_EQ(segments[0].links.size(), path->size());
+}
+
+TEST(Interdomain, HostEndpointsAdoptNeighborRouterDomains) {
+  // Access links (host<->router) belong to the *router's* domain: a path
+  // whose first link leaves host a into a west router and whose last link
+  // enters host b from an east router must open with a west segment and
+  // close with an east one — the hosts' own (empty) domain tags never
+  // produce segments of their own.
+  sim::Simulator sim;
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kHost, "");  // untagged host
+  const NodeId w = topo.add_node("w", NodeKind::kRouter, "west");
+  const NodeId e = topo.add_node("e", NodeKind::kRouter, "east");
+  const NodeId b = topo.add_node("b", NodeKind::kHost, "");  // untagged host
+  topo.add_duplex_link(a, w, gbps(10), 0.001);
+  topo.add_duplex_link(w, e, gbps(10), 0.010);
+  topo.add_duplex_link(e, b, gbps(10), 0.001);
+  Idc west(sim, topo);
+  Idc east(sim, topo);
+  InterdomainCoordinator coord(sim, topo, {{"west", &west}, {"east", &east}});
+  const auto path = net::shortest_path(topo, a, b);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 3u);
+  const auto segments = coord.segment_path(*path);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].domain, "west");  // a->w access + w->e inter-domain
+  EXPECT_EQ(segments[0].links.size(), 2u);
+  EXPECT_EQ(segments[1].domain, "east");  // e->b access
+  EXPECT_EQ(segments[1].links.size(), 1u);
+}
+
+TEST(Interdomain, PathReenteringADomainSegmentsTwice) {
+  // A hand-built path west -> east -> west must produce three segments:
+  // re-entry opens a NEW segment rather than merging with the earlier
+  // visit (segments are contiguous runs, not domain sets).
+  sim::Simulator sim;
+  Topology topo;
+  const NodeId w1 = topo.add_node("w1", NodeKind::kRouter, "west");
+  const NodeId e1 = topo.add_node("e1", NodeKind::kRouter, "east");
+  const NodeId w2 = topo.add_node("w2", NodeKind::kRouter, "west");
+  const auto [we, dummy1] = topo.add_duplex_link(w1, e1, gbps(10), 0.010);
+  const auto [ew, dummy2] = topo.add_duplex_link(e1, w2, gbps(10), 0.010);
+  (void)dummy1;
+  (void)dummy2;
+  Idc west(sim, topo);
+  Idc east(sim, topo);
+  InterdomainCoordinator coord(sim, topo, {{"west", &west}, {"east", &east}});
+  const auto segments = coord.segment_path(net::Path{we, ew});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].domain, "west");  // w1->e1 owned by w1's domain
+  EXPECT_EQ(segments[1].domain, "east");  // e1->w2 owned by e1's domain
+  // Extend through west again: a fresh west segment, not a merge.
+  const NodeId w3 = topo.add_node("w3", NodeKind::kRouter, "west");
+  const auto ww = topo.add_link(w2, w3, gbps(10), 0.005);
+  const auto three = coord.segment_path(net::Path{we, ew, ww});
+  ASSERT_EQ(three.size(), 3u);
+  EXPECT_EQ(three[0].domain, "west");
+  EXPECT_EQ(three[1].domain, "east");
+  EXPECT_EQ(three[2].domain, "west");
+  EXPECT_EQ(three[2].links.size(), 1u);
+}
+
+TEST(Interdomain, EmitsSegmentBookedTraceEvents) {
+  Fixture f;
+  obs::RingBufferTraceSink ring(64);
+  f.sim.obs().set_trace_sink(&ring);
+  Idc west(f.sim, f.topo);
+  Idc east(f.sim, f.topo);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}, {"east", &east}});
+  const auto result = coord.create_reservation(f.request());
+  ASSERT_TRUE(result.accepted);
+  EXPECT_GT(result.chain_id, 0u);
+  std::size_t booked = 0;
+  for (const auto& ev : ring.events()) {
+    if (ev.type != obs::TraceEventType::kVcSegmentBooked) continue;
+    EXPECT_EQ(ev.id, result.chain_id);
+    EXPECT_EQ(ev.aux, booked);  // segment index, in path order
+    EXPECT_EQ(static_cast<std::uint64_t>(ev.value),
+              result.segments[booked].circuit_id);
+    ++booked;
+  }
+  EXPECT_EQ(booked, result.segments.size());
+  f.sim.obs().set_trace_sink(nullptr);
+}
+
+TEST(Interdomain, EmitsRollbackTraceEventsInReverseOrder) {
+  Fixture f;
+  obs::RingBufferTraceSink ring(64);
+  f.sim.obs().set_trace_sink(&ring);
+  Idc west(f.sim, f.topo);
+  Idc east(f.sim, f.topo);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}, {"east", &east}});
+  // Exhaust east so the chain books west, then rejects and rolls back.
+  const auto e1 = f.topo.find_node("e1");
+  ASSERT_TRUE(e1.has_value());
+  ReservationRequest hog;
+  hog.src = *e1;
+  hog.dst = f.b;
+  hog.bandwidth = gbps(9);
+  hog.start_time = 100.0;
+  hog.end_time = 400.0;
+  ASSERT_TRUE(east.create_reservation(hog).accepted());
+
+  const auto result = coord.create_reservation(f.request(gbps(5)));
+  EXPECT_FALSE(result.accepted);
+  std::vector<obs::TraceEvent> rollbacks;
+  for (const auto& ev : ring.events()) {
+    if (ev.type == obs::TraceEventType::kVcSegmentRollback) rollbacks.push_back(ev);
+  }
+  ASSERT_EQ(rollbacks.size(), 1u);  // only west was booked
+  EXPECT_EQ(rollbacks[0].id, result.chain_id);
+  EXPECT_EQ(rollbacks[0].aux, 0u);  // segment 0 undone
+  f.sim.obs().set_trace_sink(nullptr);
+}
+
+TEST(Interdomain, ChainIdsAreUniquePerAttempt) {
+  Fixture f;
+  Idc west(f.sim, f.topo);
+  Idc east(f.sim, f.topo);
+  InterdomainCoordinator coord(f.sim, f.topo, {{"west", &west}, {"east", &east}});
+  const auto r1 = coord.create_reservation(f.request(gbps(1)));
+  const auto r2 = coord.create_reservation(f.request(gbps(1)));
+  ASSERT_TRUE(r1.accepted);
+  ASSERT_TRUE(r2.accepted);
+  EXPECT_NE(r1.chain_id, r2.chain_id);
 }
 
 TEST(Interdomain, DuplicateDomainThrows) {

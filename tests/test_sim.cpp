@@ -327,6 +327,34 @@ TEST(Simulator, PeriodicSeriesInterleavesWithBatches) {
   EXPECT_TRUE(sim.idle());
 }
 
+TEST(Simulator, NextEventTimeSeesThroughCancellations) {
+  Simulator sim;
+  EXPECT_FALSE(sim.next_event_time().has_value());  // idle
+  auto early = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(5.0, [] {});
+  ASSERT_TRUE(sim.next_event_time().has_value());
+  EXPECT_DOUBLE_EQ(*sim.next_event_time(), 1.0);
+  // Cancelling the head tombstone must not be reported as the next event.
+  early.cancel();
+  ASSERT_TRUE(sim.next_event_time().has_value());
+  EXPECT_DOUBLE_EQ(*sim.next_event_time(), 5.0);
+  sim.run();
+  EXPECT_FALSE(sim.next_event_time().has_value());
+}
+
+TEST(Simulator, NextEventTimeMatchesRunUntilBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(4.0, [&] { ++fired; });
+  // Running exactly to the reported next event dispatches it (<= deadline).
+  const auto t = sim.next_event_time();
+  ASSERT_TRUE(t.has_value());
+  sim.run_until(*t);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(*sim.next_event_time(), 4.0);
+}
+
 TEST(Simulator, StepProcessesOneEvent) {
   Simulator sim;
   int fired = 0;

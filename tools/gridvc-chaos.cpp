@@ -42,7 +42,9 @@
 #include "obs/profile_io.hpp"
 #include "obs/trace.hpp"
 #include "recovery/fault_schedule.hpp"
+#include "shard/sharded_simulation.hpp"
 #include "workload/chaos.hpp"
+#include "workload/federation.hpp"
 
 using namespace gridvc;
 
@@ -68,7 +70,11 @@ int usage(const char* argv0) {
                "  --trace-out        JSONL trace (single replication only)\n"
                "  --profile-out      zone profile as Chrome trace-event JSON\n"
                "  --flight-out       arm the flight recorder; invariant\n"
-               "                     failures dump recent history to FILE\n",
+               "                     failures dump recent history to FILE\n"
+               "  --shards N         run the sharded multi-domain federation\n"
+               "                     battery on N executor lanes instead of the\n"
+               "                     classic battery; digests are shard-count\n"
+               "                     invariant (compare --shards 1 vs N files)\n",
                argv0);
   return 2;
 }
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
   workload::ChaosConfig config;
   std::uint64_t seed = 1;
   std::size_t replications = 1;
+  unsigned shards = 0;  // > 0 selects the sharded federation battery
   bool shrink = false;
   std::string digest_path, trace_path, profile_path, flight_path;
 
@@ -130,6 +137,8 @@ int main(int argc, char** argv) {
       config.sabotage = true;
     } else if (arg == "--shrink") {
       shrink = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--digest-out" && i + 1 < argc) {
       digest_path = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -143,6 +152,58 @@ int main(int argc, char** argv) {
     }
   }
   if (replications == 0) return usage(argv[0]);
+
+  if (shards > 0) {
+    // Sharded federation battery: one full multi-domain run per seed.
+    // Every run must drain clean, and the digest file must be identical
+    // whatever --shards was — CI diffs a --shards 1 file against a
+    // --shards 4 file.
+    obs::ProfileScope fed_profile;
+    if (!profile_path.empty()) fed_profile.arm(profile_path);
+    std::fprintf(stderr,
+                 "sharded federation battery: %zu replication(s), seeds %llu..%llu, "
+                 "%u shard lane(s)\n",
+                 replications, static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(seed + replications - 1), shards);
+    workload::FederationConfig fed;
+    fed.sites = 8;
+    fed.hosts_per_site = 2;
+    fed.users = 96;
+    fed.transfers_per_user = 2;
+    fed.file_size = 8ULL << 20;
+    fed.arrival_horizon = 60.0;
+    fed.think_time = 2.0;
+    fed.remote_fraction = 0.6;
+    fed.vc_fraction = 0.4;
+    if (config.task_count > 0) fed.users = config.task_count;
+    std::size_t fed_failing = 0;
+    std::vector<std::string> digests;
+    for (std::size_t i = 0; i < replications; ++i) {
+      const auto scenario = workload::build_federation(fed, seed + i);
+      shard::ShardedSimulation sharded(scenario, shards);
+      sharded.run();
+      digests.push_back(sharded.digest());
+      if (!sharded.violations().empty()) {
+        ++fed_failing;
+        std::printf("seed %llu: %zu violation(s)\n",
+                    static_cast<unsigned long long>(seed + i),
+                    sharded.violations().size());
+        for (const auto& v : sharded.violations()) std::printf("  %s\n", v.c_str());
+      }
+    }
+    if (!digest_path.empty()) {
+      std::ofstream out(digest_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", digest_path.c_str());
+        return 1;
+      }
+      for (const auto& d : digests) out << d << '\n';
+      std::printf("%zu digest line(s) -> %s\n", digests.size(), digest_path.c_str());
+    }
+    std::printf("%zu/%zu federation replications clean\n", replications - fed_failing,
+                replications);
+    return fed_failing == 0 ? 0 : 1;
+  }
 
   obs::ProfileScope profile;
   if (!profile_path.empty()) profile.arm(profile_path);

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   const auto baseline = read_counters(baseline_path);
   const auto current = read_counters(current_path);
 
-  int gated = 0, failed = 0;
+  int gated = 0, regressed = 0, missing = 0;
   std::printf("perf gate: tolerance %.0f%%, baseline %s\n", tolerance * 100.0,
               baseline_path.c_str());
   for (const auto& [key, base] : baseline) {
@@ -93,21 +93,33 @@ int main(int argc, char** argv) {
     const auto it = current.find(key);
     if (it == current.end()) {
       std::printf("  FAIL %-44s baseline %8.3f  current missing\n", key.c_str(), base);
-      ++failed;
+      ++missing;
       continue;
     }
     const double limit = base * (1.0 + tolerance);
     const bool ok = it->second <= limit;
     std::printf("  %s %-44s baseline %8.3f  current %8.3f  limit %8.3f\n",
                 ok ? "ok  " : "FAIL", key.c_str(), base, it->second, limit);
-    if (!ok) ++failed;
+    if (!ok) ++regressed;
+  }
+  // Keys only on the candidate side are the other half of a rename: the
+  // baseline-side half already failed above, but naming the new key makes
+  // the fix (update the baseline deliberately) obvious from the log.
+  for (const auto& [key, value] : current) {
+    if (key.rfind("ratio_", 0) != 0) continue;
+    if (baseline.find(key) == baseline.end()) {
+      std::printf("  note %-44s current %8.3f  not in baseline (ungated)\n",
+                  key.c_str(), value);
+    }
   }
   if (gated == 0) {
     std::fprintf(stderr, "gridvc-perf-gate: baseline has no ratio_* keys to gate\n");
     return 2;
   }
-  if (failed > 0) {
-    std::printf("perf gate: %d/%d gated keys regressed beyond tolerance\n", failed, gated);
+  if (regressed + missing > 0) {
+    std::printf("perf gate: %d/%d gated keys failed (%d regressed beyond tolerance, "
+                "%d missing from current)\n",
+                regressed + missing, gated, regressed, missing);
     return 1;
   }
   std::printf("perf gate: all %d gated keys within tolerance\n", gated);

@@ -46,6 +46,8 @@
 #include "obs/metrics.hpp"
 #include "obs/profile_io.hpp"
 #include "obs/trace.hpp"
+#include "shard/sharded_simulation.hpp"
+#include "workload/federation.hpp"
 #include "workload/scenarios.hpp"
 
 using namespace gridvc;
@@ -54,7 +56,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --scenario nersc-ornl|anl-nersc|managed-vc|faulty-wan\n"
+               "usage: %s --scenario nersc-ornl|anl-nersc|managed-vc|faulty-wan|federation\n"
                "          [--seed N] [--days N] [--tasks N] [--transfers N]\n"
                "          [--threads N]\n"
                "          [--link-mtbf S] [--link-mttr S] [--server-mtbf S]\n"
@@ -77,7 +79,12 @@ int usage(const char* argv0) {
                "  --queue-limit  bound the managed-vc task queue (0 = unbounded)\n"
                "  --metrics-out  Prometheus text snapshot (CSV when FILE ends .csv)\n"
                "  --trace-out    structured trace events as JSONL\n"
-               "  --profile-out  zone profile as Chrome trace-event JSON\n",
+               "  --profile-out  zone profile as Chrome trace-event JSON\n"
+               "  --shards       executor lanes for the sharded federation run\n"
+               "                 (federation; the digest is shard-count invariant)\n"
+               "  --sites        federation site/domain count (federation)\n"
+               "  --users        federation user-session count (federation)\n"
+               "  --digest-out   write the deterministic run digest to FILE\n",
                argv0);
   return 2;
 }
@@ -142,6 +149,10 @@ int main(int argc, char** argv) {
   double idc_outage = -1.0;   // < 0 = scenario default (disabled)
   double idc_mttr = -1.0;     // < 0 = scenario default
   std::size_t queue_limit = 0;
+  unsigned shards = 1;
+  std::size_t sites = 0;      // 0 = federation default
+  std::uint64_t users = 0;    // 0 = federation default
+  std::string digest_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -169,6 +180,14 @@ int main(int argc, char** argv) {
       idc_mttr = std::strtod(argv[++i], nullptr);
     } else if (arg == "--queue-limit" && i + 1 < argc) {
       queue_limit = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--sites" && i + 1 < argc) {
+      sites = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--users" && i + 1 < argc) {
+      users = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--digest-out" && i + 1 < argc) {
+      digest_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       gridvc::exec::set_default_threads(
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
@@ -330,6 +349,48 @@ int main(int argc, char** argv) {
     }
     if (!metrics_path.empty()) return write_metrics_file(result.metrics, metrics_path);
     return 0;
+  }
+
+  if (scenario == "federation") {
+    std::fprintf(stderr,
+                 "running the sharded multi-domain federation (seed %llu, %u shards)...\n",
+                 static_cast<unsigned long long>(seed), shards);
+    workload::FederationConfig config;
+    if (sites > 0) config.sites = sites;
+    if (users > 0) config.users = users;
+    if (transfers > 0) {
+      config.transfers_per_user = static_cast<std::uint32_t>(
+          std::max<std::size_t>(1, transfers / std::max<std::uint64_t>(1, config.users)));
+    }
+    const auto scn = workload::build_federation(config, seed);
+    shard::ShardedSimulation sharded(scn, shards);
+    sharded.run();
+    const auto& st = sharded.stats();
+    std::printf("%llu/%llu transfers across %zu domains; %llu cross-shard msgs, "
+                "%llu barriers, stall fraction %.3f\n",
+                static_cast<unsigned long long>(st.transfers_completed),
+                static_cast<unsigned long long>(scn.total_transfers()),
+                sharded.partition().domain_count(),
+                static_cast<unsigned long long>(st.messages),
+                static_cast<unsigned long long>(st.barriers), st.stall_fraction());
+    std::printf("chains: %llu granted, %llu rejected of %llu requested\n",
+                static_cast<unsigned long long>(st.chains_granted),
+                static_cast<unsigned long long>(st.chains_rejected),
+                static_cast<unsigned long long>(st.chains_requested));
+    std::printf("digest: %s\n", sharded.digest().c_str());
+    for (const auto& v : sharded.violations()) {
+      std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", v.c_str());
+    }
+    if (!digest_path.empty()) {
+      std::ofstream out(digest_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", digest_path.c_str());
+        return 1;
+      }
+      out << sharded.digest() << '\n';
+      std::printf("digest -> %s\n", digest_path.c_str());
+    }
+    return sharded.violations().empty() ? 0 : 1;
   }
 
   return usage(argv[0]);
