@@ -1,0 +1,22 @@
+#include "frontend/wall_clock.hpp"
+
+#include <chrono>
+
+namespace gridvc::frontend {
+
+namespace {
+
+double steady_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SteadyWallClock::SteadyWallClock() : epoch_ns_(steady_ns()) {}
+
+Seconds SteadyWallClock::now() const { return (steady_ns() - epoch_ns_) * 1e-9; }
+
+}  // namespace gridvc::frontend

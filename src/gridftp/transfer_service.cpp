@@ -4,6 +4,7 @@
 #include <memory>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/flight_recorder.hpp"
@@ -51,12 +52,19 @@ std::uint64_t TransferService::submit(std::string label, std::vector<Bytes> file
                                       const SubmitOptions& options, TaskDoneFn on_done) {
   GRIDVC_REQUIRE(!files.empty(), "task needs at least one file");
   GRIDVC_REQUIRE(options.deadline >= 0.0, "task deadline must be non-negative");
+  GRIDVC_REQUIRE(options.tenant.find(' ') == std::string::npos &&
+                     options.tenant != "-",
+                 "tenant tags must not contain spaces or be \"-\" (journaled "
+                 "as a token, \"-\" marks the anonymous tenant)");
 
   const std::uint64_t id = next_id_++;
+  ++tasks_submitted_;
+  ++tenant_counters_[options.tenant].submitted;
   Task task;
   task.status.id = id;
   task.status.label = std::move(label);
   task.status.priority = options.priority;
+  task.tenant = options.tenant;
   task.status.files_total = files.size();
   task.status.bytes_total =
       std::accumulate(files.begin(), files.end(), Bytes{0});
@@ -93,14 +101,18 @@ void TransferService::enforce_queue_limit(std::uint64_t incoming_id) {
       shed_queued(queue_.front(), kShedOldestEvicted);
       return;
     case OverloadPolicy::kPriority: {
-      // Find the lowest-priority queued task, oldest among ties. The
-      // incoming task is last in the queue, so when priorities tie
-      // everywhere this degenerates to reject-new.
+      // Victim = min by (priority, id): the lowest-priority queued task,
+      // FIFO (oldest id) within a priority level. Explicitly keyed on the
+      // task id rather than queue position so the rule survives queue
+      // reorderings (journal replay re-queues in id order) and stays
+      // deterministic. When priorities tie everywhere the incoming task —
+      // youngest, hence largest id — is its own victim: reject-new.
       std::uint64_t victim = queue_.front();
       for (const std::uint64_t id : queue_) {
-        if (tasks_.at(id).status.priority < tasks_.at(victim).status.priority) {
-          victim = id;
-        }
+        const auto key = [&](std::uint64_t t) {
+          return std::pair(tasks_.at(t).status.priority, t);
+        };
+        if (key(id) < key(victim)) victim = id;
       }
       const bool evict_incoming =
           tasks_.at(victim).status.priority >= tasks_.at(incoming_id).status.priority;
@@ -124,9 +136,11 @@ void TransferService::shed_queued(std::uint64_t task_id, ShedReason reason) {
   sync_queue_gauge();
   if (reason == kShedRejectedNew) {
     ++tasks_rejected_;
+    ++tenant_counters_[task.tenant].rejected;
     sim_.obs().registry().add(id_tasks_rejected_);
   }
   ++tasks_shed_;
+  ++tenant_counters_[task.tenant].shed;
   sim_.obs().registry().add(id_tasks_shed_);
   if (config_.journal) config_.journal->tombstone("task", task_id);
   sim_.obs().emit({sim_.now(), obs::TraceEventType::kTaskShed, task_id, reason,
@@ -155,6 +169,7 @@ void TransferService::on_deadline(std::uint64_t task_id) {
       // transfers drain and the task terminates as kShed.
       task.shed = true;
       ++tasks_shed_;
+      ++tenant_counters_[task.tenant].shed;
       sim_.obs().registry().add(id_tasks_shed_);
       sim_.obs().emit({sim_.now(), obs::TraceEventType::kTaskShed, task_id, kShedDeadline,
                        static_cast<double>(queue_.size()), 1.0});
@@ -178,6 +193,9 @@ void TransferService::journal_task(const Task& task) {
           << task.status.submitted_at << ' ' << task.status.files_done << ' '
           << task.files.size();
   for (const Bytes f : task.files) payload << ' ' << f;
+  // Tenant as a single token ("-" = anonymous) so the label — which may
+  // contain spaces — can stay the free-form tail.
+  payload << ' ' << (task.tenant.empty() ? "-" : task.tenant);
   payload << ' ' << task.status.label;
   config_.journal->append("task", task.status.id, payload.str());
 }
@@ -377,7 +395,10 @@ std::size_t TransferService::crash_and_recover(const TransferSpec& transfer_temp
     GRIDVC_REQUIRE(!in.fail(), "malformed task journal payload");
     task.files.resize(nfiles);
     for (std::size_t i = 0; i < nfiles; ++i) in >> task.files[i];
+    std::string tenant;
+    in >> tenant;
     GRIDVC_REQUIRE(!in.fail() && cursor <= nfiles, "malformed task journal payload");
+    task.tenant = tenant == "-" ? std::string() : tenant;
     in >> std::ws;
     std::getline(in, task.status.label);
 
@@ -409,6 +430,7 @@ std::size_t TransferService::crash_and_recover(const TransferSpec& transfer_temp
     }
     ++restored;
     ++tasks_recovered_;
+    ++tenant_counters_[it->second.tenant].recovered;
     obs.registry().add(id_tasks_recovered_);
   }
   sync_queue_gauge();

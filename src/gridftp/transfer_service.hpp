@@ -27,8 +27,14 @@ namespace gridvc::gridftp {
 enum class OverloadPolicy : std::uint8_t {
   kRejectNew,   ///< fail the incoming task fast; queued work is sacred
   kShedOldest,  ///< drop the task that has waited longest (doomed anyway)
-  /// Evict the lowest-priority queued task (oldest among ties) when the
-  /// incoming one outranks it, else reject the incoming task.
+  /// Evict the lowest-priority queued task when the incoming one strictly
+  /// outranks it, else reject the incoming task. Tie-break is FIFO within
+  /// a priority level: the victim is the *oldest* (smallest task id)
+  /// among the lowest-priority queued tasks, and an incoming task that
+  /// merely ties the queue minimum is itself rejected — earlier arrivals
+  /// win. Task ids are allocated in submission order (and journal replay
+  /// re-queues in id order), so this rule is deterministic under crash
+  /// recovery too; test_transfer_service pins it.
   kPriority,
 };
 
@@ -69,6 +75,22 @@ struct SubmitOptions {
   /// the in-flight transfers drain. This sits above the engine's own
   /// per-transfer retry bounds in the timeout hierarchy.
   Seconds deadline = 0.0;
+  /// Tenant the task is accounted to (multi-tenant front-end attribution;
+  /// empty = the anonymous tenant). Must not contain spaces — the tag is
+  /// journaled as a whitespace-delimited token and survives crash
+  /// recovery. Overload/recovery counters are broken down per tenant; see
+  /// TransferService::tenant_counters().
+  std::string tenant;
+};
+
+/// Per-tenant slice of the service's overload/recovery accounting. The
+/// global counters (tasks_shed() etc.) are by contract the sum of the
+/// per-tenant values — test_transfer_service pins the contract.
+struct TenantCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t shed = 0;       ///< includes rejected (rejection is a shed kind)
+  std::uint64_t rejected = 0;
+  std::uint64_t recovered = 0;
 };
 
 struct TaskStatus {
@@ -152,13 +174,35 @@ class TransferService {
   std::size_t queued_tasks() const { return queue_.size(); }
   std::size_t active_tasks() const { return active_; }
 
+  /// The configuration the service was built with (the admission
+  /// front-end reads max_active_tasks to size its dispatch window).
+  const TransferServiceConfig& config() const { return config_; }
+
   /// Snapshot of every task the service knows about, id order.
   std::vector<TaskStatus> statuses() const;
 
   /// Overload/recovery accounting across the service's lifetime.
+  std::uint64_t tasks_submitted() const { return tasks_submitted_; }
   std::uint64_t tasks_rejected() const { return tasks_rejected_; }
   std::uint64_t tasks_shed() const { return tasks_shed_; }
   std::uint64_t tasks_recovered() const { return tasks_recovered_; }
+
+  /// Fraction of submissions refused outright by the overload guard
+  /// (rejected / submitted; 0 before the first submission). Evictions of
+  /// *other* queued tasks (kShedOldest / priority eviction) count as shed
+  /// but not rejected, mirroring the per-tenant breakdown.
+  double rejection_rate() const {
+    return tasks_submitted_ == 0
+               ? 0.0
+               : static_cast<double>(tasks_rejected_) /
+                     static_cast<double>(tasks_submitted_);
+  }
+
+  /// Per-tenant overload/recovery breakdown, keyed by SubmitOptions::
+  /// tenant ("" = anonymous). Sums to the global counters by contract.
+  const std::map<std::string, TenantCounters>& tenant_counters() const {
+    return tenant_counters_;
+  }
 
   /// Crash epoch: bumped by crash_and_recover. Mostly for tests.
   std::uint64_t epoch() const { return epoch_; }
@@ -169,6 +213,7 @@ class TransferService {
     std::vector<Bytes> files;
     TransferSpec transfer_template;
     Seconds deadline = 0.0;  ///< from SubmitOptions; 0 = none
+    std::string tenant;      ///< from SubmitOptions; journaled, survives recovery
     std::size_t next_file = 0;
     std::size_t in_flight = 0;
     /// Engine ids of this task's in-flight transfers, so a guarantee
@@ -211,9 +256,11 @@ class TransferService {
   std::size_t active_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t epoch_ = 0;
+  std::uint64_t tasks_submitted_ = 0;
   std::uint64_t tasks_rejected_ = 0;
   std::uint64_t tasks_shed_ = 0;
   std::uint64_t tasks_recovered_ = 0;
+  std::map<std::string, TenantCounters> tenant_counters_;
   obs::MetricId id_tasks_submitted_;
   obs::MetricId id_tasks_completed_;
   obs::MetricId id_tasks_cancelled_;

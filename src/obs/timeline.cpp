@@ -123,6 +123,15 @@ Timelines build_timelines(const std::vector<TraceEvent>& events) {
       case TraceEventType::kIdcOutageEnd:
       case TraceEventType::kTaskShed:
       case TraceEventType::kJournalReplay:
+      case TraceEventType::kVcSegmentBooked:
+      case TraceEventType::kVcSegmentRollback:
+      case TraceEventType::kFrontSessionOpened:
+      case TraceEventType::kFrontSessionClosed:
+      case TraceEventType::kFrontSubmit:
+      case TraceEventType::kFrontReject:
+      case TraceEventType::kFrontDispatch:
+      case TraceEventType::kFrontShed:
+      case TraceEventType::kFrontCancel:
         break;  // not part of the per-transfer/per-circuit timelines
     }
   }

@@ -47,6 +47,13 @@ constexpr NameEntry kNames[] = {
     {TraceEventType::kJournalReplay, "journal_replay"},
     {TraceEventType::kVcSegmentBooked, "vc_segment_booked"},
     {TraceEventType::kVcSegmentRollback, "vc_segment_rollback"},
+    {TraceEventType::kFrontSessionOpened, "front_session_opened"},
+    {TraceEventType::kFrontSessionClosed, "front_session_closed"},
+    {TraceEventType::kFrontSubmit, "front_submit"},
+    {TraceEventType::kFrontReject, "front_reject"},
+    {TraceEventType::kFrontDispatch, "front_dispatch"},
+    {TraceEventType::kFrontShed, "front_shed"},
+    {TraceEventType::kFrontCancel, "front_cancel"},
 };
 
 std::string fmt_double(double v) {

@@ -64,11 +64,27 @@ enum class TraceEventType : std::uint8_t {
   // index along the path.
   kVcSegmentBooked,
   kVcSegmentRollback,
+  // Admission front-end (src/frontend/). Client sessions: id = session
+  // id, aux = tenant index (opened) / close reason 0=disconnect
+  // 1=idle-reap (closed). Submissions: id = ticket id, aux = session id;
+  // front_submit is emitted only for *accepted* submissions (value =
+  // bytes, value2 = tenant index), front_reject for refused ones (aux =
+  // session, value = retry-after hint, value2 = reason). Every accepted
+  // ticket is resolved exactly once by front_dispatch (aux = backend
+  // task id, value = queue wait), front_shed (aux = reason), or
+  // front_cancel — gridvc-trace-check enforces the lifecycle.
+  kFrontSessionOpened,
+  kFrontSessionClosed,
+  kFrontSubmit,
+  kFrontReject,
+  kFrontDispatch,
+  kFrontShed,
+  kFrontCancel,
 };
 
 /// Number of distinct event types (array-sizing for per-type counters).
 inline constexpr std::size_t kTraceEventTypeCount =
-    static_cast<std::size_t>(TraceEventType::kVcSegmentRollback) + 1;
+    static_cast<std::size_t>(TraceEventType::kFrontCancel) + 1;
 
 /// Stable wire name ("transfer_submitted", ...).
 const char* trace_event_name(TraceEventType type);

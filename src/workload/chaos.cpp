@@ -3,6 +3,7 @@
 #include <array>
 #include <iomanip>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "exec/thread_pool.hpp"
+#include "frontend/admission.hpp"
 #include "obs/flight_recorder.hpp"
 #include "gridftp/server.hpp"
 #include "gridftp/transfer_engine.hpp"
@@ -108,6 +110,9 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
   GRIDVC_REQUIRE(config.task_count > 0, "no tasks requested");
   GRIDVC_REQUIRE(config.files_per_task > 0, "tasks need at least one file");
   GRIDVC_REQUIRE(config.file_size > 0, "file size must be positive");
+  GRIDVC_REQUIRE(config.tenants == 0 || config.service_crash_at <= 0.0,
+                 "service crash recovery is not composed with the front-end "
+                 "(recovered tasks drop the front-end's completion hooks)");
 
   ChaosResult result;
 
@@ -163,10 +168,38 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
   TransferServiceConfig service_cfg;
   service_cfg.max_active_tasks = 2;
   service_cfg.per_task_concurrency = 2;
-  service_cfg.queue_limit = config.queue_limit;
+  // With a front-end the overload guard moves to the per-tenant queues:
+  // the backend queue is unbounded but stays empty because the DRR
+  // dispatcher only releases work into free active slots.
+  service_cfg.queue_limit = config.tenants > 0 ? 0 : config.queue_limit;
   service_cfg.overload_policy = config.overload_policy;
   service_cfg.journal = &service_journal;
   TransferService service(sim, engine, service_cfg);
+
+  const Bytes task_bytes = config.file_size * config.files_per_task;
+
+  std::unique_ptr<frontend::FrontEnd> front;
+  std::vector<std::uint64_t> front_sessions;
+  if (config.tenants > 0) {
+    frontend::FrontEndConfig fcfg;
+    for (std::size_t t = 0; t < config.tenants; ++t) {
+      frontend::TenantConfig tc;
+      tc.name = "tenant" + std::to_string(t);
+      tc.weight = static_cast<double>(t + 1);
+      tc.queue_limit = config.queue_limit;
+      tc.policy = config.overload_policy;
+      // The heaviest tenant runs against a one-task queued-bytes quota so
+      // every battery exercises the rejection path deterministically.
+      if (t + 1 == config.tenants && config.tenants > 1) {
+        tc.max_queued_bytes = task_bytes;
+      }
+      fcfg.tenants.push_back(tc);
+    }
+    front = std::make_unique<frontend::FrontEnd>(sim, service, fcfg);
+    for (std::size_t t = 0; t < config.tenants; ++t) {
+      front_sessions.push_back(front->connect("tenant" + std::to_string(t)));
+    }
+  }
 
   const net::Path data_path = {src_a, a_r1, r1_b, b_dst};
   const Seconds rtt = 2.0 * topo.path_delay(data_path);
@@ -180,7 +213,6 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
   tmpl.remote_host = "dst-dtn";
 
   const std::vector<Bytes> files(config.files_per_task, config.file_size);
-  const Bytes task_bytes = config.file_size * config.files_per_task;
   const Seconds estimated = transfer_time(task_bytes, config.circuit_rate) * 2.0 + 600.0;
 
   // Per-task submission: try for a circuit; run best-effort when the
@@ -197,14 +229,24 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
       opts.priority = static_cast<int>(k % 3);
       if (config.task_deadline > 0.0) opts.deadline = config.task_deadline;
 
-      const auto submit_task = [&, label, opts](BitsPerSecond guarantee,
-                                                std::optional<std::uint64_t> circuit) {
+      const auto submit_task = [&, k, label, opts](BitsPerSecond guarantee,
+                                                   std::optional<std::uint64_t> circuit) {
         TransferSpec spec = tmpl;
         spec.guarantee = guarantee;
-        service.submit(label, files, spec, opts,
-                       [&idc, circuit](const gridftp::TaskStatus&) {
-                         if (circuit) idc.release_now(*circuit);
-                       });
+        const auto release = [&idc, circuit](const gridftp::TaskStatus&) {
+          if (circuit) idc.release_now(*circuit);
+        };
+        if (front != nullptr) {
+          // Tickets the front-end refuses or sheds never fire on_done;
+          // release the circuit here on refusal, and let shed tickets'
+          // circuits fall back to their end-time release (same fallback
+          // the crash-recovery path relies on).
+          const auto r = front->submit(front_sessions[k % config.tenants],
+                                       label, files, spec, opts, "", release);
+          if (!r.accepted && circuit) idc.release_now(*circuit);
+        } else {
+          service.submit(label, files, spec, opts, release);
+        }
       };
 
       const auto on_active = [&, k, submit_task](const vc::Circuit& c) {
@@ -397,6 +439,68 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
                                    std::to_string(expected));
     }
   };
+
+  if (front != nullptr) {
+    // Close the long-lived tenant sessions; unfinished work would be
+    // adopted, but quiescence below proves there is none.
+    for (const std::uint64_t session : front_sessions) {
+      front->disconnect(session);
+    }
+    if (!front->quiescent()) {
+      violate("front-drain", "front-end holds " +
+                                 std::to_string(front->queued_tickets()) +
+                                 " queued / " + std::to_string(front->in_flight()) +
+                                 " in-flight tickets at drain");
+    }
+    if (front->sessions_open() != 0) {
+      violate("front-drain", std::to_string(front->sessions_open()) +
+                                 " sessions still open after disconnect");
+    }
+    if (front->isolation_violations() != 0) {
+      violate("tenant-isolation",
+              std::to_string(front->isolation_violations()) +
+                  " backpressure sheds hit an in-quota tenant");
+    }
+    if (front->starvation_violations() != 0) {
+      violate("tenant-starvation",
+              std::to_string(front->starvation_violations()) +
+                  " tenants waited beyond the DRR service bound");
+    }
+    const std::uint64_t ticket_resolutions =
+        audit.count(TraceEventType::kFrontDispatch) +
+        audit.count(TraceEventType::kFrontShed) +
+        audit.count(TraceEventType::kFrontCancel);
+    if (audit.count(TraceEventType::kFrontSubmit) != ticket_resolutions) {
+      violate("front-ticket-resolution",
+              "accepted tickets " +
+                  std::to_string(audit.count(TraceEventType::kFrontSubmit)) +
+                  " vs dispatch+shed+cancel " + std::to_string(ticket_resolutions));
+    }
+    check_count(TraceEventType::kFrontSessionClosed, "front_session_closed",
+                audit.count(TraceEventType::kFrontSessionOpened));
+    std::uint64_t accepted = 0, rejected = 0, shed = 0, dispatched = 0;
+    for (std::size_t t = 0; t < config.tenants; ++t) {
+      const frontend::TenantStats st =
+          front->tenant_stats("tenant" + std::to_string(t));
+      accepted += st.accepted;
+      rejected += st.rejected;
+      shed += st.shed;
+      dispatched += st.dispatched;
+      if (st.queued != 0 || st.in_flight != 0) {
+        violate("front-drain", "tenant" + std::to_string(t) + " holds " +
+                                   std::to_string(st.queued) + " queued / " +
+                                   std::to_string(st.in_flight) +
+                                   " in-flight at drain");
+      }
+    }
+    check_count(TraceEventType::kFrontDispatch, "front_dispatch", dispatched);
+    check_count(TraceEventType::kFrontShed, "front_shed", shed);
+    check_count(TraceEventType::kFrontReject, "front_reject", rejected);
+    result.front_accepted = accepted;
+    result.front_rejected = rejected;
+    result.front_shed = shed;
+  }
+
   check_count(TraceEventType::kTaskShed, "task_shed",
               static_cast<std::uint64_t>(gauge("gridvc_gridftp_tasks_shed")));
   check_count(TraceEventType::kServerDown, "server_down", engine.stats().server_crashes);
@@ -430,6 +534,11 @@ ChaosResult run_chaos(const ChaosConfig& config, std::uint64_t seed) {
          << " vc=" << result.circuits_granted << "/" << result.outage_rejections
          << " end=" << std::fixed << std::setprecision(6) << result.end_time
          << " violations=" << result.violations.size();
+  if (config.tenants > 0) {
+    // Extension keeps legacy (tenants == 0) digests byte-identical.
+    digest << " tenants=" << config.tenants << " front=" << result.front_accepted
+           << "/" << result.front_rejected << "/" << result.front_shed;
+  }
   result.digest = digest.str();
   if (!result.violations.empty() && obs::FlightRecorder::armed()) {
     // Post-mortem capture at the moment of failure: the armed path holds

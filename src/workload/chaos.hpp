@@ -53,6 +53,18 @@ struct ChaosConfig {
   gridftp::OverloadPolicy overload_policy = gridftp::OverloadPolicy::kShedOldest;
   Seconds task_deadline = 0.0;  ///< per-task deadline when > 0
 
+  /// When > 0, route every submission through the multi-tenant admission
+  /// front-end instead of straight into the service: tenant k of N has
+  /// DRR weight k+1 and one long-lived session, task k belongs to tenant
+  /// k % N, queue_limit/overload_policy move to the per-tenant queues
+  /// (the backend queue is unbounded-but-empty by construction), and the
+  /// last tenant gets a one-task queued-bytes quota so rejections are
+  /// exercised. Adds the tenant-isolation / no-starvation / ticket-
+  /// resolution invariants and extends the digest; 0 keeps the legacy
+  /// submission path and its digests byte-identical. Not composable with
+  /// service_crash_at (recovery drops the front-end's completion hooks).
+  std::size_t tenants = 0;
+
   // Fault processes (mtbf <= 0 disables a layer).
   Seconds link_mtbf = 400.0;
   Seconds link_mttr = 30.0;
@@ -100,6 +112,10 @@ struct ChaosResult {
   std::uint64_t link_downs = 0;
   std::uint64_t circuits_granted = 0;
   std::uint64_t outage_rejections = 0;
+  /// Front-end accounting; all zero when ChaosConfig::tenants == 0.
+  std::uint64_t front_accepted = 0;
+  std::uint64_t front_rejected = 0;
+  std::uint64_t front_shed = 0;
   std::uint64_t trace_events = 0;
   Seconds end_time = 0.0;
 

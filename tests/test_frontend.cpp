@@ -1,0 +1,396 @@
+#include "frontend/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/network.hpp"
+#include "obs/trace.hpp"
+#include "recovery/circuit_breaker.hpp"
+
+namespace gridvc::frontend {
+namespace {
+
+using gridftp::IoMode;
+using gridftp::OverloadPolicy;
+using gridftp::Server;
+using gridftp::ServerConfig;
+using gridftp::SubmitOptions;
+using gridftp::TaskState;
+using gridftp::TransferEngine;
+using gridftp::TransferEngineConfig;
+using gridftp::TransferService;
+using gridftp::TransferServiceConfig;
+using gridftp::TransferSpec;
+using gridftp::UsageStatsCollector;
+
+struct Fixture {
+  sim::Simulator sim;
+  net::Topology topo;
+  net::LinkId ab;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<Server> src, dst;
+  UsageStatsCollector collector;
+  std::unique_ptr<TransferEngine> engine;
+  std::unique_ptr<TransferService> service;
+  std::unique_ptr<FrontEnd> front;
+
+  explicit Fixture(FrontEndConfig fcfg = two_tenants(), int max_active = 1) {
+    const auto a = topo.add_node("a", net::NodeKind::kHost);
+    const auto b = topo.add_node("b", net::NodeKind::kHost);
+    ab = topo.add_link(a, b, gbps(10), 0.005);
+    network = std::make_unique<net::Network>(sim, topo);
+    ServerConfig sc;
+    sc.name = "src";
+    sc.nic_rate = gbps(8);
+    src = std::make_unique<Server>(sc);
+    sc.name = "dst";
+    dst = std::make_unique<Server>(sc);
+    TransferEngineConfig ecfg;
+    ecfg.server_noise_sigma = 0.0;
+    ecfg.tcp.stream_buffer = 64 * MiB;
+    engine = std::make_unique<TransferEngine>(*network, collector, ecfg, Rng(3));
+    TransferServiceConfig scfg;
+    scfg.max_active_tasks = max_active;
+    scfg.queue_limit = 0;  // the front-end owns all waiting
+    service = std::make_unique<TransferService>(sim, *engine, scfg);
+    front = std::make_unique<FrontEnd>(sim, *service, std::move(fcfg));
+  }
+
+  /// Tenants "alpha" (weight 1) and "beta" (weight 2), no quotas.
+  static FrontEndConfig two_tenants() {
+    FrontEndConfig cfg;
+    TenantConfig a;
+    a.name = "alpha";
+    a.weight = 1.0;
+    TenantConfig b;
+    b.name = "beta";
+    b.weight = 2.0;
+    cfg.tenants = {a, b};
+    cfg.drr_quantum = 64 * MiB;
+    return cfg;
+  }
+
+  TransferSpec tmpl() {
+    TransferSpec s;
+    s.src = {src.get(), IoMode::kMemory};
+    s.dst = {dst.get(), IoMode::kMemory};
+    s.path = {ab};
+    s.rtt = 0.01;
+    s.streams = 8;
+    s.remote_host = "b";
+    return s;
+  }
+
+  /// Park a long-running task directly in the backend so every
+  /// front-end ticket stays queued (the dispatcher sees no free slot).
+  std::uint64_t occupy_backend() {
+    return service->submit("filler", {10 * GiB}, tmpl());
+  }
+};
+
+TEST(FrontEnd, SubmitDispatchCompleteRoundTrip) {
+  Fixture f;
+  const auto session = f.front->connect("alpha");
+  const SubmitResult r =
+      f.front->submit(session, "job", {64 * MiB}, f.tmpl());
+  ASSERT_TRUE(r.accepted);
+  EXPECT_FALSE(r.duplicate);
+  f.sim.run();
+  const TicketStatus st = f.front->poll(session, r.ticket);
+  EXPECT_EQ(st.state, TicketState::kDone);
+  EXPECT_EQ(st.task_state, TaskState::kSucceeded);
+  EXPECT_EQ(st.bytes_done, 64 * MiB);
+  EXPECT_TRUE(f.front->quiescent());
+  const TenantStats ts = f.front->tenant_stats("alpha");
+  EXPECT_EQ(ts.accepted, 1u);
+  EXPECT_EQ(ts.dispatched, 1u);
+  EXPECT_EQ(ts.completed, 1u);
+  // Per-tenant counters are also first-class metrics.
+  const auto snap = f.sim.obs().registry().snapshot();
+  EXPECT_EQ(snap.value("gridvc_front_tenant_alpha_completed"), 1.0);
+}
+
+TEST(FrontEnd, ConnectUnknownTenantThrows) {
+  Fixture f;
+  EXPECT_THROW(f.front->connect("nobody"), NotFoundError);
+}
+
+TEST(FrontEnd, CancelQueuedTicketNeverDispatches) {
+  Fixture f;
+  f.occupy_backend();
+  const auto session = f.front->connect("alpha");
+  const SubmitResult r = f.front->submit(session, "doomed", {MiB}, f.tmpl());
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(f.front->poll(session, r.ticket).state, TicketState::kQueued);
+  EXPECT_TRUE(f.front->cancel(session, r.ticket));
+  EXPECT_EQ(f.front->poll(session, r.ticket).state, TicketState::kCancelled);
+  f.sim.run();
+  // Still cancelled, never reached the backend, and cancel is sticky.
+  EXPECT_EQ(f.front->poll(session, r.ticket).state, TicketState::kCancelled);
+  EXPECT_EQ(f.front->tenant_stats("alpha").dispatched, 0u);
+  EXPECT_FALSE(f.front->cancel(session, r.ticket));
+}
+
+TEST(FrontEnd, DoubleSubmitWithIdempotencyKeyIsDeduped) {
+  Fixture f;
+  const auto session = f.front->connect("alpha");
+  const SubmitResult first =
+      f.front->submit(session, "job", {MiB}, f.tmpl(), {}, "retry-1");
+  ASSERT_TRUE(first.accepted);
+  const SubmitResult second =
+      f.front->submit(session, "job", {MiB}, f.tmpl(), {}, "retry-1");
+  EXPECT_TRUE(second.accepted);
+  EXPECT_TRUE(second.duplicate);
+  EXPECT_EQ(second.ticket, first.ticket);
+  // The duplicate was charged nothing: one submission, one accept.
+  EXPECT_EQ(f.front->tenant_stats("alpha").submitted, 1u);
+  EXPECT_EQ(f.front->tenant_stats("alpha").accepted, 1u);
+  f.sim.run();
+  EXPECT_TRUE(f.front->quiescent());
+}
+
+TEST(FrontEnd, DisconnectWithInFlightAdoptsOrphans) {
+  Fixture f;
+  const auto session = f.front->connect("alpha");
+  const SubmitResult r = f.front->submit(session, "orphan", {64 * MiB}, f.tmpl());
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(f.front->status(r.ticket).state, TicketState::kDispatched);
+  f.front->disconnect(session);
+  EXPECT_THROW(f.front->poll(session, r.ticket), NotFoundError);
+  f.sim.run();
+  // The orphan ran to completion under the tenant's account.
+  EXPECT_EQ(f.front->status(r.ticket).state, TicketState::kDone);
+  EXPECT_EQ(f.front->status(r.ticket).task_state, TaskState::kSucceeded);
+  EXPECT_EQ(f.front->tenant_stats("alpha").completed, 1u);
+  EXPECT_TRUE(f.front->quiescent());
+}
+
+TEST(FrontEnd, DisconnectWithAbortCancelsInFlightAndShedsQueued) {
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.abort_on_disconnect = true;
+  Fixture f(std::move(cfg));
+  const auto session = f.front->connect("alpha");
+  const SubmitResult active =
+      f.front->submit(session, "active", {64 * MiB}, f.tmpl());
+  const SubmitResult queued =
+      f.front->submit(session, "queued", {64 * MiB}, f.tmpl());
+  ASSERT_TRUE(active.accepted);
+  ASSERT_TRUE(queued.accepted);
+  EXPECT_EQ(f.front->status(active.ticket).state, TicketState::kDispatched);
+  EXPECT_EQ(f.front->status(queued.ticket).state, TicketState::kQueued);
+  f.front->disconnect(session);
+  EXPECT_EQ(f.front->status(queued.ticket).state, TicketState::kShed);
+  f.sim.run();
+  EXPECT_EQ(f.front->status(active.ticket).task_state, TaskState::kCancelled);
+  EXPECT_TRUE(f.front->quiescent());
+  EXPECT_EQ(f.front->tenant_stats("alpha").shed, 1u);
+}
+
+TEST(FrontEnd, IdleReapRacesAPoll) {
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.session_idle_timeout = 10.0;
+  cfg.reap_interval = 5.0;
+  Fixture f(std::move(cfg));
+  const auto session = f.front->connect("alpha");
+  bool polled_alive = false;
+  bool reaped_poll_threw = false;
+  // A poll at t=4 refreshes the activity clock, pushing the reap from
+  // t=10 out to t=15 (the first sweep at/after activity+timeout).
+  f.sim.schedule_at(4.0, [&] {
+    (void)f.front->submit(session, "keepalive", {MiB}, f.tmpl());
+    polled_alive = true;
+  });
+  f.sim.schedule_at(16.0, [&] {
+    try {
+      (void)f.front->poll(session, 1);
+    } catch (const NotFoundError&) {
+      reaped_poll_threw = true;
+    }
+  });
+  f.sim.run();
+  EXPECT_TRUE(polled_alive);
+  EXPECT_TRUE(reaped_poll_threw);
+  EXPECT_EQ(f.front->sessions_reaped(), 1u);
+  EXPECT_EQ(f.front->sessions_open(), 0u);
+  // The reaper disarmed itself (sim.run() returned), and re-arms on the
+  // next connect.
+  EXPECT_TRUE(f.sim.idle());
+  (void)f.front->connect("beta");
+  EXPECT_FALSE(f.sim.idle());
+  f.front->stop_reaper();
+}
+
+TEST(FrontEnd, TokenBucketRateLimitsAndRecovers) {
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.tenants[0].submit_rate = 1.0;  // 1/s, burst 1
+  cfg.tenants[0].submit_burst = 1.0;
+  Fixture f(std::move(cfg));
+  const auto session = f.front->connect("alpha");
+  ASSERT_TRUE(f.front->submit(session, "a", {MiB}, f.tmpl()).accepted);
+  const SubmitResult limited = f.front->submit(session, "b", {MiB}, f.tmpl());
+  ASSERT_FALSE(limited.accepted);
+  EXPECT_EQ(limited.reason, RejectReason::kRateLimited);
+  EXPECT_NEAR(limited.retry_after, 1.0, 1e-9);
+  f.sim.run_until(limited.retry_after);
+  EXPECT_TRUE(f.front->submit(session, "b", {MiB}, f.tmpl()).accepted);
+  EXPECT_EQ(f.front->tenant_stats("alpha").rejected, 1u);
+  f.sim.run();
+}
+
+TEST(FrontEnd, QueuedBytesQuotaRejects) {
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.tenants[0].max_queued_bytes = 2 * MiB;
+  Fixture f(std::move(cfg));
+  f.occupy_backend();
+  const auto session = f.front->connect("alpha");
+  ASSERT_TRUE(f.front->submit(session, "a", {2 * MiB}, f.tmpl()).accepted);
+  const SubmitResult over = f.front->submit(session, "b", {MiB}, f.tmpl());
+  ASSERT_FALSE(over.accepted);
+  EXPECT_EQ(over.reason, RejectReason::kQuotaBytes);
+  EXPECT_GT(over.retry_after, 0.0);
+}
+
+TEST(FrontEnd, PerTenantPriorityEvictionIsFifoWithinLevel) {
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.tenants[0].queue_limit = 2;
+  cfg.tenants[0].policy = OverloadPolicy::kPriority;
+  Fixture f(std::move(cfg));
+  f.occupy_backend();
+  const auto session = f.front->connect("alpha");
+  SubmitOptions pri0;
+  pri0.priority = 0;
+  const auto t1 = f.front->submit(session, "t1", {MiB}, f.tmpl(), pri0);
+  const auto t2 = f.front->submit(session, "t2", {MiB}, f.tmpl(), pri0);
+  ASSERT_TRUE(t1.accepted);
+  ASSERT_TRUE(t2.accepted);
+  // A tie never evicts: earlier arrivals win.
+  const auto tie = f.front->submit(session, "tie", {MiB}, f.tmpl(), pri0);
+  ASSERT_FALSE(tie.accepted);
+  EXPECT_EQ(tie.reason, RejectReason::kQueueFull);
+  // A strictly higher priority evicts the *oldest* lowest-priority
+  // ticket — t1, not t2.
+  SubmitOptions pri1;
+  pri1.priority = 1;
+  const auto winner = f.front->submit(session, "win", {MiB}, f.tmpl(), pri1);
+  ASSERT_TRUE(winner.accepted);
+  EXPECT_EQ(f.front->status(t1.ticket).state, TicketState::kShed);
+  EXPECT_EQ(f.front->status(t2.ticket).state, TicketState::kQueued);
+}
+
+TEST(FrontEnd, DrrDispatchesBytesByWeight) {
+  Fixture f;  // alpha weight 1, beta weight 2, one backend slot
+  obs::RingBufferTraceSink sink(8192);
+  f.sim.obs().set_trace_sink(&sink);
+  const auto sa = f.front->connect("alpha");
+  const auto sb = f.front->connect("beta");
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(
+        f.front->submit(sa, "a" + std::to_string(i), {64 * MiB}, f.tmpl())
+            .accepted);
+    ASSERT_TRUE(
+        f.front->submit(sb, "b" + std::to_string(i), {64 * MiB}, f.tmpl())
+            .accepted);
+  }
+  f.sim.run();
+  // Replay dispatch order from the trace: within the first 9 dispatches
+  // beta (weight 2) must get twice alpha's slots.
+  std::vector<std::uint64_t> order;
+  for (const obs::TraceEvent& e : sink.events()) {
+    if (e.type == obs::TraceEventType::kFrontDispatch) {
+      order.push_back(static_cast<std::uint64_t>(e.value2));  // tenant idx
+    }
+  }
+  ASSERT_EQ(order.size(), 18u);
+  int alpha_first9 = 0;
+  for (int i = 0; i < 9; ++i) alpha_first9 += order[static_cast<std::size_t>(i)] == 0;
+  EXPECT_EQ(alpha_first9, 3);  // 1:2 split
+  EXPECT_EQ(f.front->starvation_violations(), 0u);
+  EXPECT_EQ(f.front->isolation_violations(), 0u);
+  EXPECT_TRUE(f.front->quiescent());
+  f.sim.obs().set_trace_sink(nullptr);
+}
+
+TEST(FrontEnd, GlobalBackpressureShedsOverShareTenantFirst) {
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.tenants[0].weight = 1.0;
+  cfg.tenants[1].weight = 1.0;
+  cfg.global_queued_bytes_limit = 10 * MiB;  // fair share: 5 MiB each
+  Fixture f(std::move(cfg));
+  f.occupy_backend();
+  const auto sa = f.front->connect("alpha");
+  const auto sb = f.front->connect("beta");
+  // beta hoards 8 MiB of queue — over its 5 MiB share.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(f.front->submit(sb, "hog", {MiB}, f.tmpl()).accepted);
+  }
+  // alpha's in-quota 4 MiB submission reclaims from beta instead of
+  // being refused.
+  const SubmitResult r = f.front->submit(sa, "fair", {4 * MiB}, f.tmpl());
+  ASSERT_TRUE(r.accepted);
+  EXPECT_GE(f.front->tenant_stats("beta").shed, 2u);
+  EXPECT_LE(f.front->queued_bytes(), 10 * MiB);
+  EXPECT_EQ(f.front->isolation_violations(), 0u);
+  // With beta now at its share, alpha pushing *itself* over share is
+  // refused with a retry-after hint rather than shedding beta further.
+  const SubmitResult over = f.front->submit(sa, "greedy", {7 * MiB}, f.tmpl());
+  ASSERT_FALSE(over.accepted);
+  EXPECT_EQ(over.reason, RejectReason::kBackpressure);
+  EXPECT_GT(over.retry_after, 0.0);
+}
+
+TEST(FrontEnd, BreakerOpenRejectsWithReopenHint) {
+  recovery::CircuitBreaker breaker;
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.breaker = &breaker;
+  Fixture f(std::move(cfg));
+  const auto session = f.front->connect("alpha");
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0.0);
+  const SubmitResult r = f.front->submit(session, "sick", {MiB}, f.tmpl());
+  ASSERT_FALSE(r.accepted);
+  EXPECT_EQ(r.reason, RejectReason::kBreakerOpen);
+  EXPECT_NEAR(r.retry_after, breaker.reopen_at(), 1e-9);
+}
+
+TEST(FrontEnd, InFlightCapThrottlesWithoutStarvationCount) {
+  FrontEndConfig cfg = Fixture::two_tenants();
+  cfg.tenants[0].max_in_flight = 1;
+  Fixture f(std::move(cfg), /*max_active=*/4);
+  const auto session = f.front->connect("alpha");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(f.front->submit(session, "x", {32 * MiB}, f.tmpl()).accepted);
+  }
+  // Only one dispatched despite four free backend slots.
+  EXPECT_EQ(f.front->in_flight(), 1u);
+  EXPECT_EQ(f.front->queued_tickets(), 3u);
+  f.sim.run();
+  EXPECT_TRUE(f.front->quiescent());
+  EXPECT_EQ(f.front->tenant_stats("alpha").completed, 4u);
+  EXPECT_EQ(f.front->starvation_violations(), 0u);
+}
+
+TEST(FrontEnd, SubmitOnClosedOrUnknownSessionThrows) {
+  Fixture f;
+  EXPECT_THROW(f.front->submit(99, "x", {MiB}, f.tmpl()), NotFoundError);
+  const auto session = f.front->connect("alpha");
+  f.front->disconnect(session);
+  f.front->disconnect(session);  // idempotent
+  EXPECT_THROW(f.front->submit(session, "x", {MiB}, f.tmpl()), NotFoundError);
+  EXPECT_THROW(f.front->cancel(session, 1), NotFoundError);
+}
+
+TEST(FrontEnd, PollForeignTicketThrows) {
+  Fixture f;
+  const auto sa = f.front->connect("alpha");
+  const auto sb = f.front->connect("beta");
+  const SubmitResult r = f.front->submit(sa, "mine", {MiB}, f.tmpl());
+  ASSERT_TRUE(r.accepted);
+  EXPECT_THROW(f.front->poll(sb, r.ticket), NotFoundError);
+  f.sim.run();
+}
+
+}  // namespace
+}  // namespace gridvc::frontend

@@ -1,7 +1,7 @@
 // gridvc-chaos: seeded chaos batteries over the full stack.
 //
 //   gridvc-chaos [--seed N] [--replications N] [--threads N]
-//                [--tasks N] [--queue-limit N]
+//                [--tasks N] [--queue-limit N] [--tenants N]
 //                [--policy reject-new|shed-oldest|priority]
 //                [--service-crash-at S] [--sabotage] [--shrink]
 //                [--digest-out FILE] [--trace-out FILE.jsonl]
@@ -53,12 +53,15 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--replications N] [--threads N]\n"
-               "          [--tasks N] [--queue-limit N]\n"
+               "          [--tasks N] [--interarrival S] [--queue-limit N] [--tenants N]\n"
                "          [--policy reject-new|shed-oldest|priority]\n"
                "          [--service-crash-at S] [--malleable] [--sabotage] [--shrink]\n"
                "          [--digest-out FILE] [--trace-out FILE.jsonl]\n"
                "          [--profile-out FILE.json] [--flight-out FILE.json]\n"
                "  --replications     seeds seed..seed+N-1, run in parallel\n"
+               "  --tenants          route submissions through the multi-tenant\n"
+               "                     admission front-end (N weighted tenants;\n"
+               "                     adds isolation/no-starvation invariants)\n"
                "  --service-crash-at crash + journal-recover the service at S\n"
                "  --malleable        request circuits as malleable (shaped\n"
                "                     volume-preserving profiles)\n"
@@ -116,6 +119,10 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
     } else if (arg == "--tasks" && i + 1 < argc) {
       config.task_count = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--interarrival" && i + 1 < argc) {
+      config.task_interarrival = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      config.tenants = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--queue-limit" && i + 1 < argc) {
       config.queue_limit = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--policy" && i + 1 < argc) {

@@ -14,7 +14,14 @@
 //   - server_down/server_up must alternate per server id, and every
 //     crashed server must be back up by end of trace;
 //   - idc_outage_begin/idc_outage_end must alternate, and the control
-//     plane must be up by end of trace.
+//     plane must be up by end of trace;
+// and the admission front-end session/ticket lifecycle:
+//   - front_session_opened/closed must pair per session id, and
+//     front_submit/front_reject must reference a session that is open at
+//     that point (no submissions after a disconnect or idle reap);
+//   - every front_submit (accepted ticket) must be resolved exactly once
+//     by a front_dispatch, front_shed, or front_cancel — double
+//     resolutions and tickets left hanging at end of trace both fail.
 //
 // Exits 0 with a per-event-type census on success, 1 on the first
 // violation (with the offending line number), 2 on usage errors.
@@ -50,6 +57,9 @@ int main(int argc, char** argv) {
   // server id -> currently down (value = line of the down event).
   std::map<std::uint64_t, std::size_t> servers_down;
   std::size_t idc_outage_depth = 0;
+  // front-end session id -> line opened; ticket id -> line accepted.
+  std::map<std::uint64_t, std::size_t> open_sessions;
+  std::map<std::uint64_t, std::size_t> open_tickets;
   std::string line;
   while (std::getline(in, line)) {
     ++line_number;
@@ -118,6 +128,66 @@ int main(int argc, char** argv) {
         }
         --idc_outage_depth;
         break;
+      case obs::TraceEventType::kFrontSessionOpened: {
+        const auto [it, inserted] = open_sessions.emplace(event.id, line_number);
+        if (!inserted) {
+          std::fprintf(stderr,
+                       "%s:%zu: session %llu opened twice (first at line %zu)\n",
+                       path.c_str(), line_number,
+                       static_cast<unsigned long long>(event.id), it->second);
+          return 1;
+        }
+        break;
+      }
+      case obs::TraceEventType::kFrontSessionClosed:
+        if (open_sessions.erase(event.id) == 0) {
+          std::fprintf(stderr, "%s:%zu: session %llu closed without opening\n",
+                       path.c_str(), line_number,
+                       static_cast<unsigned long long>(event.id));
+          return 1;
+        }
+        break;
+      case obs::TraceEventType::kFrontSubmit: {
+        const auto session = static_cast<std::uint64_t>(event.aux);
+        if (open_sessions.count(session) == 0) {
+          std::fprintf(stderr,
+                       "%s:%zu: front_submit on session %llu which is not open\n",
+                       path.c_str(), line_number,
+                       static_cast<unsigned long long>(session));
+          return 1;
+        }
+        const auto [it, inserted] = open_tickets.emplace(event.id, line_number);
+        if (!inserted) {
+          std::fprintf(stderr,
+                       "%s:%zu: ticket %llu accepted twice (first at line %zu)\n",
+                       path.c_str(), line_number,
+                       static_cast<unsigned long long>(event.id), it->second);
+          return 1;
+        }
+        break;
+      }
+      case obs::TraceEventType::kFrontReject:
+        if (open_sessions.count(static_cast<std::uint64_t>(event.aux)) == 0) {
+          std::fprintf(stderr,
+                       "%s:%zu: front_reject on session %llu which is not open\n",
+                       path.c_str(), line_number,
+                       static_cast<unsigned long long>(event.aux));
+          return 1;
+        }
+        break;
+      case obs::TraceEventType::kFrontDispatch:
+      case obs::TraceEventType::kFrontShed:
+      case obs::TraceEventType::kFrontCancel:
+        if (open_tickets.erase(event.id) == 0) {
+          std::fprintf(stderr,
+                       "%s:%zu: %s resolves ticket %llu which is not pending "
+                       "(never accepted, or already resolved)\n",
+                       path.c_str(), line_number,
+                       obs::trace_event_name(event.type),
+                       static_cast<unsigned long long>(event.id));
+          return 1;
+        }
+        break;
       default:
         break;
     }
@@ -144,6 +214,15 @@ int main(int argc, char** argv) {
   }
   if (idc_outage_depth != 0) {
     std::fprintf(stderr, "%s: IDC outage still open at end of trace\n", path.c_str());
+    return 1;
+  }
+  if (!open_tickets.empty()) {
+    const auto& [id, at] = *open_tickets.begin();
+    std::fprintf(stderr,
+                 "%s: %zu accepted ticket(s) never dispatched, shed, or "
+                 "cancelled (first: ticket %llu at line %zu)\n",
+                 path.c_str(), open_tickets.size(),
+                 static_cast<unsigned long long>(id), at);
     return 1;
   }
   std::printf("%s: OK, %zu events, %zu types\n", path.c_str(), events, census.size());
